@@ -1,0 +1,68 @@
+package reactive_test
+
+// Benchmarks regenerating the paper's evaluation figures (see
+// EXPERIMENTS.md for the recorded series and the paper-vs-measured
+// comparison):
+//
+//	BenchmarkFig9Naive/N=…    — Fig. 9: naive per-patient trigger design
+//	BenchmarkFig10Summary/N=… — Fig. 10: summary-based redesign
+//	BenchmarkAblationRegions  — §V ablation: naive vs. summary across regions
+//
+// `go test -bench . -benchmem` runs laptop-scale sweeps;
+// `go run ./cmd/rkm-bench -full` runs the paper-scale ones and prints the
+// figure series.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func BenchmarkFig9Naive(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			cfg := bench.Config{PatientCounts: []int{n}, Regions: 20, Days: 2, Seed: 1, Batch: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pts, err := bench.RunFig9(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(pts[0].PerTrigger.Nanoseconds()), "ns/trigger")
+			}
+		})
+	}
+}
+
+func BenchmarkFig10Summary(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			cfg := bench.Config{PatientCounts: []int{n}, Regions: 20, Days: 2, Seed: 1, Batch: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pts, err := bench.RunFig10(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(pts[0].SummaryTime.Nanoseconds()), "ns/summary-phase")
+				b.ReportMetric(float64(pts[0].TriggerTime.Nanoseconds()), "ns/trigger-phase")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationRegions(b *testing.B) {
+	for _, r := range []int{5, 20, 100} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pts, err := bench.RunAblation(2000, []int{r}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pts[0].Speedup, "x-speedup")
+			}
+		})
+	}
+}

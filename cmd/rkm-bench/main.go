@@ -1,0 +1,128 @@
+// Command rkm-bench regenerates the paper's evaluation figures on the pure
+// Go reactive knowledge management system.
+//
+// Usage:
+//
+//	rkm-bench -fig 9                 # Fig. 9: naive per-patient triggers
+//	rkm-bench -fig 10                # Fig. 10: summary-based design
+//	rkm-bench -fig ablation          # naive vs summary across region counts
+//	rkm-bench -fig all               # everything
+//	rkm-bench -fig 9 -full           # paper-scale sweep (up to 10^6 patients)
+//	rkm-bench -fig 9 -patients 500,5000 -regions 10
+//
+// Absolute numbers depend on the machine; the reproduction target is the
+// paper's shapes — see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, all")
+		patients = flag.String("patients", "", "comma-separated patient counts (overrides defaults)")
+		regions  = flag.Int("regions", 20, "number of regions")
+		days     = flag.Int("days", 2, "days the admissions are spread over")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		batch    = flag.Int("batch", 1, "patients per transaction")
+		full     = flag.Bool("full", false, "paper-scale sweep (10^2..10^6 patients; slow)")
+		reps     = flag.Int("reps", 1, "repetitions per measurement (median reported)")
+	)
+	flag.Parse()
+
+	counts := []int{100, 1000, 10000}
+	if *full {
+		counts = []int{100, 1000, 10000, 100000, 1000000}
+	}
+	if *patients != "" {
+		counts = nil
+		for _, f := range strings.Split(*patients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fatalf("bad -patients value %q", f)
+			}
+			counts = append(counts, n)
+		}
+	}
+	cfg := bench.Config{
+		PatientCounts: counts,
+		Regions:       *regions,
+		Days:          *days,
+		Seed:          *seed,
+		Batch:         *batch,
+		Reps:          *reps,
+	}
+
+	switch *fig {
+	case "9":
+		runFig9(cfg)
+	case "10":
+		runFig10(cfg)
+	case "ablation":
+		runAblation(cfg)
+	case "rules":
+		runRuleScaling(cfg)
+	case "all":
+		runFig9(cfg)
+		fmt.Println()
+		runFig10(cfg)
+		fmt.Println()
+		runAblation(cfg)
+		fmt.Println()
+		runRuleScaling(cfg)
+	default:
+		fatalf("unknown -fig %q (want 9, 10, ablation, rules or all)", *fig)
+	}
+}
+
+func runFig9(cfg bench.Config) {
+	pts, err := bench.RunFig9(cfg)
+	if err != nil {
+		fatalf("fig 9: %v", err)
+	}
+	bench.WriteFig9(os.Stdout, pts)
+}
+
+func runFig10(cfg bench.Config) {
+	pts, err := bench.RunFig10(cfg)
+	if err != nil {
+		fatalf("fig 10: %v", err)
+	}
+	bench.WriteFig10(os.Stdout, pts)
+}
+
+func runAblation(cfg bench.Config) {
+	n := 2000
+	if len(cfg.PatientCounts) > 0 {
+		n = cfg.PatientCounts[len(cfg.PatientCounts)-1]
+	}
+	pts, err := bench.RunAblation(n, []int{5, 20, 100}, cfg.Seed)
+	if err != nil {
+		fatalf("ablation: %v", err)
+	}
+	bench.WriteAblation(os.Stdout, pts)
+}
+
+func runRuleScaling(cfg bench.Config) {
+	n := 2000
+	if len(cfg.PatientCounts) > 0 {
+		n = cfg.PatientCounts[0]
+	}
+	pts, err := bench.RunRuleScaling(n, []int{1, 4, 16, 64}, cfg.Seed)
+	if err != nil {
+		fatalf("rule scaling: %v", err)
+	}
+	bench.WriteRuleScaling(os.Stdout, pts)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rkm-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

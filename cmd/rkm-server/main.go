@@ -1,0 +1,367 @@
+// Command rkm-server exposes a reactive knowledge base over HTTP with a
+// JSON API, in the spirit of the paper's public CoV2K API.
+//
+//	rkm-server -addr :8080 -demo
+//
+// Endpoints:
+//
+//	POST /query    {"query": "...", "params": {...}}   read-only
+//	POST /execute  {"query": "...", "params": {...}}   write + rules fire
+//	GET  /alerts                                       alert log
+//	GET  /rules                                        installed rules
+//	POST /rules    {"name","hub","event","label","guard","alert","action"}
+//	               or {"text": "CREATE TRIGGER …"} (PG-Triggers syntax)
+//	DELETE /rules?name=R9                              drop a rule
+//	GET  /hubs                                         hubs and owned labels
+//	GET  /stats                                        graph + hub statistics
+//	POST /tick     {"hours": 24}                       advance demo clock
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	reactive "repro"
+	"repro/internal/democovid"
+)
+
+type server struct {
+	kb    *reactive.KnowledgeBase
+	clock *reactive.ManualClock // nil when running on the wall clock
+}
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		demo = flag.Bool("demo", false, "load the four-hub COVID-19 demo (uses a simulated clock)")
+	)
+	flag.Parse()
+
+	srv := &server{}
+	if *demo {
+		srv.clock = reactive.NewManualClock(time.Date(2023, 4, 1, 8, 0, 0, 0, time.UTC))
+		srv.kb = reactive.New(reactive.Config{Clock: srv.clock})
+		if err := democovid.Setup(srv.kb); err != nil {
+			log.Fatalf("demo setup: %v", err)
+		}
+		if err := democovid.Seed(srv.kb); err != nil {
+			log.Fatalf("demo seed: %v", err)
+		}
+	} else {
+		srv.kb = reactive.New(reactive.Config{})
+	}
+
+	mux := http.NewServeMux()
+	srv.register(mux)
+	log.Printf("rkm-server listening on %s (demo=%v)", *addr, *demo)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func (s *server) register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /execute", s.handleExecute)
+	mux.HandleFunc("GET /alerts", s.handleAlerts)
+	mux.HandleFunc("GET /rules", s.handleRulesList)
+	mux.HandleFunc("POST /rules", s.handleRuleInstall)
+	mux.HandleFunc("DELETE /rules", s.handleRuleDrop)
+	mux.HandleFunc("GET /hubs", s.handleHubs)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /tick", s.handleTick)
+	mux.HandleFunc("GET /rules/apoc", s.handleRulesAPOC)
+}
+
+type statementRequest struct {
+	Query  string         `json:"query"`
+	Params map[string]any `json:"params"`
+}
+
+type resultResponse struct {
+	Columns []string       `json:"columns"`
+	Rows    [][]any        `json:"rows"`
+	Stats   map[string]int `json:"stats,omitempty"`
+	Rules   map[string]int `json:"rules,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeStatement(r *http.Request) (statementRequest, error) {
+	var req statementRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return req, fmt.Errorf("bad request body: %w", err)
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return req, fmt.Errorf("missing query")
+	}
+	return req, nil
+}
+
+func toResponse(res *reactive.Result) resultResponse {
+	out := resultResponse{Columns: res.Columns, Rows: make([][]any, len(res.Rows))}
+	for i, row := range res.Rows {
+		cells := make([]any, len(row))
+		for j, v := range row {
+			cells[j] = jsonValue(v)
+		}
+		out.Rows[i] = cells
+	}
+	st := res.Stats
+	if st != (reactive.Result{}).Stats {
+		out.Stats = map[string]int{
+			"nodesCreated": st.NodesCreated, "nodesDeleted": st.NodesDeleted,
+			"relsCreated": st.RelsCreated, "relsDeleted": st.RelsDeleted,
+			"propsSet": st.PropsSet, "labelsAdded": st.LabelsAdded,
+			"labelsRemoved": st.LabelsRemoved,
+		}
+	}
+	return out
+}
+
+// jsonValue converts a graph value into a JSON-encodable form.
+func jsonValue(v reactive.Value) any {
+	x := v.Go()
+	if t, ok := x.(time.Time); ok {
+		return t.Format(time.RFC3339Nano)
+	}
+	if d, ok := x.(time.Duration); ok {
+		return d.String()
+	}
+	return x
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeStatement(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.kb.Query(req.Query, reactive.Params(req.Params))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(res))
+}
+
+func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeStatement(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, rep, err := s.kb.ExecuteReport(req.Query, reactive.Params(req.Params))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out := toResponse(res)
+	if rep != nil {
+		out.Rules = map[string]int{
+			"guardChecks": rep.GuardChecks, "guardPasses": rep.GuardPasses,
+			"alertRuns": rep.AlertRuns, "alertNodes": rep.AlertNodes,
+			"rounds": rep.Rounds,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	alerts, err := s.kb.Alerts()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	type alertJSON struct {
+		ID       int64          `json:"id"`
+		Rule     string         `json:"rule"`
+		Hub      string         `json:"hub"`
+		DateTime string         `json:"dateTime"`
+		Props    map[string]any `json:"props"`
+	}
+	out := make([]alertJSON, 0, len(alerts))
+	for _, a := range alerts {
+		props := make(map[string]any, len(a.Props))
+		for k, v := range a.Props {
+			props[k] = jsonValue(v)
+		}
+		out = append(out, alertJSON{
+			ID: int64(a.ID), Rule: a.Rule, Hub: a.Hub,
+			DateTime: a.DateTime.Format(time.RFC3339Nano), Props: props,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+var eventKinds = map[string]reactive.EventKind{
+	"createNode":         reactive.CreateNode,
+	"deleteNode":         reactive.DeleteNode,
+	"createRelationship": reactive.CreateRelationship,
+	"deleteRelationship": reactive.DeleteRelationship,
+	"setLabel":           reactive.SetLabel,
+	"removeLabel":        reactive.RemoveLabel,
+	"setProperty":        reactive.SetProperty,
+	"removeProperty":     reactive.RemoveProperty,
+}
+
+func (s *server) handleRulesList(w http.ResponseWriter, r *http.Request) {
+	type ruleJSON struct {
+		Name   string `json:"name"`
+		Hub    string `json:"hub"`
+		Event  string `json:"event"`
+		Guard  string `json:"guard,omitempty"`
+		Alert  string `json:"alert,omitempty"`
+		Action string `json:"action,omitempty"`
+		Paused bool   `json:"paused"`
+		Scope  string `json:"scope"`
+		State  string `json:"state"`
+	}
+	var out []ruleJSON
+	for _, info := range s.kb.Rules() {
+		out = append(out, ruleJSON{
+			Name: info.Name, Hub: info.Hub, Event: info.Event.String(),
+			Guard: info.Guard, Alert: info.Alert, Action: info.Action,
+			Paused: info.Paused,
+			Scope:  info.Classification.Scope.String(),
+			State:  info.Classification.State.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleRuleInstall(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name    string `json:"name"`
+		Hub     string `json:"hub"`
+		Event   string `json:"event"`
+		Label   string `json:"label"`
+		PropKey string `json:"propKey"`
+		Guard   string `json:"guard"`
+		Alert   string `json:"alert"`
+		Action  string `json:"action"`
+		// Text carries a whole CREATE TRIGGER declaration instead of the
+		// structured fields.
+		Text string `json:"text"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Text != "" {
+		rule, err := s.kb.InstallRuleText(req.Text)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"installed": rule.Name})
+		return
+	}
+	kind, ok := eventKinds[req.Event]
+	if !ok {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown event %q", req.Event))
+		return
+	}
+	err := s.kb.InstallRule(reactive.Rule{
+		Name:   req.Name,
+		Hub:    req.Hub,
+		Event:  reactive.Event{Kind: kind, Label: req.Label, PropKey: req.PropKey},
+		Guard:  req.Guard,
+		Alert:  req.Alert,
+		Action: req.Action,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"installed": req.Name})
+}
+
+func (s *server) handleRuleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing ?name="))
+		return
+	}
+	if err := s.kb.DropRule(name); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+}
+
+// handleRulesAPOC exports the rule set as Neo4j APOC trigger calls
+// (Fig. 6/7 translation).
+func (s *server) handleRulesAPOC(w http.ResponseWriter, r *http.Request) {
+	translated, skipped := s.kb.TranslateRulesAPOC("neo4j", "before")
+	writeJSON(w, http.StatusOK, map[string]any{
+		"triggers": translated,
+		"skipped":  skipped,
+	})
+}
+
+func (s *server) handleHubs(w http.ResponseWriter, r *http.Request) {
+	type hubJSON struct {
+		Name        string   `json:"name"`
+		Description string   `json:"description"`
+		Labels      []string `json:"labels"`
+	}
+	var out []hubJSON
+	reg := s.kb.Hubs()
+	for _, h := range reg.Hubs() {
+		out = append(out, hubJSON{Name: h.Name, Description: h.Description,
+			Labels: reg.OwnedLabels(h.Name)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	g := s.kb.GraphStats()
+	hs, err := s.kb.HubStats()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes":         g.Nodes,
+		"relationships": g.Relationships,
+		"labels":        g.Labels,
+		"relTypes":      g.RelTypes,
+		"indexes":       g.Indexes,
+		"nodesPerHub":   hs.NodesPerHub,
+		"unassigned":    hs.Unassigned,
+		"intraHubEdges": hs.IntraEdges,
+		"interHubEdges": hs.InterEdges,
+		"time":          s.kb.Now().Format(time.RFC3339),
+	})
+}
+
+func (s *server) handleTick(w http.ResponseWriter, r *http.Request) {
+	if s.clock == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("tick requires -demo (simulated clock)"))
+		return
+	}
+	var req struct {
+		Hours int `json:"hours"`
+	}
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	if req.Hours <= 0 {
+		req.Hours = 24
+	}
+	s.clock.Advance(time.Duration(req.Hours) * time.Hour)
+	if err := s.kb.Tick(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"time": s.kb.Now().Format(time.RFC3339)})
+}

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	reactive "repro"
+	"repro/internal/democovid"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s := &server{
+		clock: reactive.NewManualClock(time.Date(2023, 4, 1, 8, 0, 0, 0, time.UTC)),
+	}
+	s.kb = reactive.New(reactive.Config{Clock: s.clock})
+	if err := democovid.Setup(s.kb); err != nil {
+		t.Fatal(err)
+	}
+	if err := democovid.Seed(s.kb); err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	s.register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	data, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"query": "MATCH (r:Region) RETURN r.name ORDER BY r.name",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	rows := out["rows"].([]any)
+	if len(rows) != 2 {
+		t.Fatalf("rows: %v", rows)
+	}
+	if rows[0].([]any)[0] != "Lombardy" {
+		t.Errorf("first region: %v", rows[0])
+	}
+	// Writes through /query are rejected.
+	resp, _ = postJSON(t, ts.URL+"/query", map[string]any{"query": "CREATE (:X)"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Error("write through /query should 400")
+	}
+	// Missing query is rejected.
+	resp, _ = postJSON(t, ts.URL+"/query", map[string]any{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Error("empty query should 400")
+	}
+}
+
+func TestExecuteEndpointFiresRules(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/execute", map[string]any{
+		"query": `MATCH (ef:Effect {level: 'critical'})
+		         CREATE (:Mutation {id: $id, hub: 'E'})-[:HasEffect]->(ef)`,
+		"params": map[string]any{"id": "S:E484K"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	rules := out["rules"].(map[string]any)
+	if rules["alertNodes"].(float64) != 1 {
+		t.Errorf("rule report: %v", rules)
+	}
+	stats := out["stats"].(map[string]any)
+	if stats["nodesCreated"].(float64) < 1 {
+		t.Errorf("stats: %v", stats)
+	}
+
+	var alerts []map[string]any
+	getJSON(t, ts.URL+"/alerts", &alerts)
+	if len(alerts) != 1 || alerts[0]["rule"] != "R1" {
+		t.Fatalf("alerts: %v", alerts)
+	}
+}
+
+func TestRulesEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	var rules []map[string]any
+	getJSON(t, ts.URL+"/rules", &rules)
+	if len(rules) != 5 {
+		t.Fatalf("rules: %d", len(rules))
+	}
+	// Install a new rule over HTTP.
+	resp, out := postJSON(t, ts.URL+"/rules", map[string]any{
+		"name":  "R9",
+		"hub":   "R",
+		"event": "createNode",
+		"label": "Policy",
+		"alert": "RETURN NEW.kind AS kind",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("install: %d %v", resp.StatusCode, out)
+	}
+	getJSON(t, ts.URL+"/rules", &rules)
+	if len(rules) != 6 {
+		t.Error("rule not installed")
+	}
+	// Unknown event kind.
+	resp, _ = postJSON(t, ts.URL+"/rules", map[string]any{
+		"name": "bad", "event": "explode",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Error("unknown event should 400")
+	}
+	// Drop it.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/rules?name=R9", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Errorf("drop: %d", dresp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/rules?name=R9", nil)
+	dresp, _ = http.DefaultClient.Do(req)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("double drop: %d", dresp.StatusCode)
+	}
+}
+
+func TestHubsAndStatsEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	var hubs []map[string]any
+	getJSON(t, ts.URL+"/hubs", &hubs)
+	if len(hubs) != 4 {
+		t.Fatalf("hubs: %d", len(hubs))
+	}
+	var stats map[string]any
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats["nodes"].(float64) <= 0 {
+		t.Errorf("stats: %v", stats)
+	}
+	if _, ok := stats["nodesPerHub"]; !ok {
+		t.Error("missing hub stats")
+	}
+}
+
+func TestTickEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	before := s.kb.Now()
+	resp, out := postJSON(t, ts.URL+"/tick", map[string]any{"hours": 25})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tick: %d %v", resp.StatusCode, out)
+	}
+	if !s.kb.Now().After(before.Add(24 * time.Hour)) {
+		t.Error("clock did not advance")
+	}
+	// A server without a manual clock rejects /tick.
+	noClock := &server{kb: reactive.New(reactive.Config{})}
+	mux := http.NewServeMux()
+	noClock.register(mux)
+	ts2 := httptest.NewServer(mux)
+	defer ts2.Close()
+	resp, _ = postJSON(t, ts2.URL+"/tick", map[string]any{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Error("tick without manual clock should 400")
+	}
+}
+
+func TestValueJSONEncoding(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"query": "RETURN 1, 1.5, 'x', true, null, [1, 'a'], datetime('2023-04-01'), duration('2h')",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	row := out["rows"].([]any)[0].([]any)
+	if row[0].(float64) != 1 || row[1].(float64) != 1.5 || row[2] != "x" ||
+		row[3] != true || row[4] != nil {
+		t.Errorf("scalars: %v", row)
+	}
+	if list := row[5].([]any); len(list) != 2 {
+		t.Errorf("list: %v", row[5])
+	}
+	if _, err := time.Parse(time.RFC3339Nano, row[6].(string)); err != nil {
+		t.Errorf("datetime encoding: %v", row[6])
+	}
+	if row[7] != "2h0m0s" {
+		t.Errorf("duration encoding: %v", row[7])
+	}
+}
+
+func TestRulesAPOCEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var out map[string][]string
+	getJSON(t, ts.URL+"/rules/apoc", &out)
+	// The demo installs R1, R2, R3, R5, R4 — all node-creation rules.
+	if len(out["triggers"]) != 5 {
+		t.Fatalf("translated %d triggers (skipped: %v)", len(out["triggers"]), out["skipped"])
+	}
+	found := false
+	for _, trg := range out["triggers"] {
+		if bytes.Contains([]byte(trg), []byte("apoc.trigger.install('neo4j', 'R2'")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("R2 translation missing")
+	}
+}
+
+func TestRuleInstallViaText(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/rules", map[string]any{
+		"text": "CREATE TRIGGER fromText ON HUB R\nAFTER CREATE OF NODE Policy\nALERT RETURN NEW.kind AS kind",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("install: %d %v", resp.StatusCode, out)
+	}
+	if out["installed"] != "fromText" {
+		t.Errorf("response: %v", out)
+	}
+	resp, _ = postJSON(t, ts.URL+"/rules", map[string]any{"text": "CREATE TRIGGER broken"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Error("bad text should 400")
+	}
+}

@@ -1,0 +1,149 @@
+// Climate-crisis transfer of the paper's framework (§I motivates climate
+// change as a second crisis scenario): four hubs — Meteorology (M),
+// Hydrology (H), Civil Protection (P), Governance (G) — share a partitioned
+// knowledge graph of stations, readings, rivers and basins. Reactive rules
+// escalate from raw readings to flood risk to policy recommendations,
+// demonstrating property-set events, Action rules with cascades, and
+// multi-state moving-average analytics over the Essential Summary.
+//
+//	go run ./examples/climate
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	reactive "repro"
+)
+
+func main() {
+	clock := reactive.NewManualClock(time.Date(2024, 10, 1, 6, 0, 0, 0, time.UTC))
+	kb := reactive.New(reactive.Config{Clock: clock, StrictTermination: true})
+
+	for _, h := range []struct {
+		name, desc string
+		labels     []string
+	}{
+		{"M", "Meteorology: stations and rainfall readings", []string{"Station", "Reading"}},
+		{"H", "Hydrology: rivers and level gauges", []string{"River", "Gauge"}},
+		{"P", "Civil protection: incidents and interventions", []string{"Incident", "FloodRisk"}},
+		{"G", "Governance: basins and policies", []string{"Basin", "Policy"}},
+	} {
+		if err := kb.DefineHub(h.name, h.desc, h.labels...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := kb.EnableSummaries(24 * time.Hour); err != nil {
+		log.Fatal(err)
+	}
+
+	rules := []reactive.Rule{
+		// CR1 (Meteorology, intra-hub): extreme rainfall reading.
+		{
+			Name:  "CR1-extreme-rain",
+			Hub:   "M",
+			Event: reactive.Event{Kind: reactive.CreateNode, Label: "Reading"},
+			Guard: "NEW.mm > 100",
+			Alert: `MATCH (NEW)<-[:Measured]-(st:Station)-[:InBasin]->(b:Basin)
+			        RETURN b.name AS basin, st.name AS station, NEW.mm AS mm`,
+		},
+		// CR2 (Hydrology → Civil protection, inter-hub Action rule): when a
+		// river gauge level is SET above its flood threshold while heavy
+		// rain was read in the same basin, materialize a FloodRisk node —
+		// a genuine reactive side effect that cascades into CR3.
+		{
+			Name:  "CR2-flood-risk",
+			Hub:   "H",
+			Event: reactive.Event{Kind: reactive.SetProperty, Label: "Gauge", PropKey: "level"},
+			Guard: "NEWVALUE > 4.5",
+			Alert: `MATCH (NEW)-[:OnRiver]->(r:River)-[:Drains]->(b:Basin)
+			        MATCH (:Station)-[:InBasin]->(b)
+			        MATCH (rd:Reading) WHERE rd.basin = b.name AND rd.mm > 100
+			        WITH DISTINCT b.name AS basin, r.name AS river, NEWVALUE AS level
+			        RETURN basin, river, level`,
+			Action: `CREATE (:FloodRisk {basin: basin, river: river, level: level, hub: 'P'})`,
+		},
+		// CR3 (Civil protection, fires on the cascaded FloodRisk nodes).
+		{
+			Name:  "CR3-alarm",
+			Hub:   "P",
+			Event: reactive.Event{Kind: reactive.CreateNode, Label: "FloodRisk"},
+			Alert: `RETURN NEW.basin AS basin, NEW.river AS river, NEW.level AS level`,
+		},
+		// CR4 (Governance, multi-state): persistent rainfall — the 3-day
+		// moving picture is read from the Essential Summary's CR1 alerts.
+		{
+			Name:  "CR4-persistent-rain",
+			Hub:   "G",
+			Event: reactive.Event{Kind: reactive.CreateNode, Label: "Summary"},
+			Alert: `MATCH (a:Alert {rule: 'CR1-extreme-rain'})<-[:has]-(s:Summary)
+			        WITH a.basin AS basin, count(a) AS extremes
+			        WHERE extremes >= 3
+			        RETURN basin, extremes`,
+		},
+	}
+	for _, r := range rules {
+		if err := kb.InstallRule(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("rules installed; triggering graph cycles:", kb.CheckTermination())
+
+	// Base knowledge.
+	mustExec(kb, `CREATE (:Basin {name: 'Po', hub: 'G'})`)
+	mustExec(kb, `MATCH (b:Basin {name: 'Po'})
+	             CREATE (:Station {name: 'Torino-1', hub: 'M'})-[:InBasin]->(b),
+	                    (:Station {name: 'Piacenza-1', hub: 'M'})-[:InBasin]->(b)`)
+	mustExec(kb, `MATCH (b:Basin {name: 'Po'})
+	             CREATE (r:River {name: 'Po', hub: 'H'})-[:Drains]->(b),
+	                    (:Gauge {name: 'Po-at-Cremona', level: 2.1, hub: 'H'})-[:OnRiver]->(r)`)
+
+	// Three days of worsening weather.
+	rain := []float64{120, 135, 160}
+	for day, mm := range rain {
+		fmt.Printf("\n== day %d: %0.f mm at Torino-1 ==\n", day+1, mm)
+		mustExec(kb, fmt.Sprintf(`MATCH (st:Station {name: 'Torino-1'})
+		     CREATE (rd:Reading {mm: %g, basin: 'Po', hub: 'M'})<-[:Measured]-(st)`, mm))
+		if day == 2 {
+			// The river finally exceeds its flood threshold: CR2 fires on
+			// the property-set event and cascades into CR3.
+			fmt.Println("   river gauge rises to 5.2 m")
+			mustExec(kb, `MATCH (g:Gauge {name: 'Po-at-Cremona'}) SET g.level = 5.2`)
+		}
+		clock.Advance(24 * time.Hour)
+		if err := kb.Tick(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	alerts, err := kb.Alerts()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== alert log (%d) ==\n", len(alerts))
+	for _, a := range alerts {
+		fmt.Printf("  %s %-20s hub=%-2s %v\n",
+			a.DateTime.Format("Jan 02"), a.Rule, a.Hub, a.Props)
+	}
+
+	// The moving-average machinery works for any domain.
+	mgr, err := kb.Summaries()
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = kb.Store().View(func(tx *reactive.Tx) error {
+		if avg, ok := mgr.MovingAverage(tx, 3, reactive.WindowFilter{
+			Rule: "CR1-extreme-rain", Prop: "mm",
+		}); ok {
+			fmt.Printf("\n3-day moving average of extreme rainfall: %.1f mm\n", avg)
+		}
+		return nil
+	})
+}
+
+func mustExec(kb *reactive.KnowledgeBase, q string) {
+	if _, err := kb.Execute(q, nil); err != nil {
+		log.Fatalf("%s: %v", q, err)
+	}
+}

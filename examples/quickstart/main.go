@@ -1,0 +1,76 @@
+// Quickstart: the smallest useful reactive knowledge base — one hub, one
+// rule, a handful of events, and the alert log.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	reactive "repro"
+)
+
+func main() {
+	// A manual clock makes the run deterministic; production systems omit
+	// Clock and run on wall time.
+	clock := reactive.NewManualClock(time.Date(2023, 4, 1, 9, 0, 0, 0, time.UTC))
+	kb := reactive.New(reactive.Config{Clock: clock})
+
+	// One knowledge hub owning the labels of its partition.
+	if err := kb.DefineHub("A", "analysis hub: viral sequencing", "Sequence", "Lab"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's R2 in miniature: when a new sequence arrives without a
+	// variant assignment, count the unassigned backlog; more than two is
+	// critical and produces an Alert node.
+	if err := kb.InstallRule(reactive.Rule{
+		Name:  "R2",
+		Hub:   "A",
+		Event: reactive.Event{Kind: reactive.CreateNode, Label: "Sequence"},
+		Guard: "NEW.variant IS NULL",
+		Alert: `MATCH (u:Sequence) WHERE u.variant IS NULL
+		        WITH count(u) AS unassigned WHERE unassigned > 2
+		        RETURN unassigned`,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Feed knowledge changes. Each Execute runs in a transaction; rules
+	// fire on the changes before the commit.
+	for i := 1; i <= 4; i++ {
+		query := "CREATE (:Sequence {id: $id, hub: 'A'})"
+		params := reactive.Params(map[string]any{"id": fmt.Sprintf("seq-%d", i)})
+		if i == 2 { // this one is already assigned and never alarms
+			query = "CREATE (:Sequence {id: $id, hub: 'A', variant: 'B.1.1.7'})"
+		}
+		if _, err := kb.Execute(query, params); err != nil {
+			log.Fatal(err)
+		}
+		clock.Advance(10 * time.Minute)
+	}
+
+	// Inspect what the reactive layer produced.
+	alerts, err := kb.Alerts()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d alert(s)\n", len(alerts))
+	for _, a := range alerts {
+		fmt.Printf("  %s  rule=%s hub=%s unassigned=%s\n",
+			a.DateTime.Format("15:04"), a.Rule, a.Hub, a.Props["unassigned"])
+	}
+
+	// The knowledge graph remains a regular graph database.
+	res, err := kb.Query(
+		"MATCH (s:Sequence) RETURN s.variant IS NULL AS unassigned, count(*) AS n ORDER BY unassigned", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sequences by assignment state:")
+	for _, row := range res.Rows {
+		fmt.Printf("  unassigned=%s  n=%s\n", row[0], row[1])
+	}
+}

@@ -1,0 +1,147 @@
+// What-if exploration (§V future work): fork the knowledge base, attach a
+// different reaction strategy to each fork, replay the same event stream,
+// and compare how the knowledge evolves. KnowledgeBase.Fork gives each
+// hypothesis an isolated copy of the graph, the rules and the Essential
+// Summary, so the only difference between time-lines is the rule under
+// test. Here two containment policies for a spreading pathogen are
+// compared: an aggressive strategy restricts a region at 20% day-over-day
+// case growth, a lenient one waits for 60%; restrictions damp subsequent
+// growth in the simulated stream.
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	reactive "repro"
+)
+
+// strategy describes one hypothetical reaction policy.
+type strategy struct {
+	Name      string
+	Threshold float64 // day-over-day growth triggering a restriction
+	Damping   float64 // growth multiplier while restricted
+}
+
+type outcome struct {
+	strategy     strategy
+	totalCases   int
+	peak         int
+	restrictions int
+}
+
+func main() {
+	strategies := []strategy{
+		{Name: "aggressive", Threshold: 0.20, Damping: 0.55},
+		{Name: "lenient", Threshold: 0.60, Damping: 0.55},
+	}
+	const days = 10
+
+	// The shared base knowledge, built once.
+	baseClock := reactive.NewManualClock(time.Date(2023, 4, 1, 0, 0, 0, 0, time.UTC))
+	base := reactive.New(reactive.Config{Clock: baseClock})
+	must(base.DefineHub("C", "clinical", "DayStat"))
+	must(base.DefineHub("R", "regional", "Region", "Restriction"))
+	must(base.CreateIndex("DayStat", "day"))
+	must(base.CreateIndex("Region", "name"))
+	mustExec(base, `CREATE (:Region {name: 'Lombardy', hub: 'R'})`)
+
+	fmt.Printf("forking the knowledge base into %d hypothetical time-lines for %d days\n\n",
+		len(strategies), days)
+	var outcomes []outcome
+	for _, st := range strategies {
+		// Each hypothesis gets its own fork and its own clock.
+		clock := reactive.NewManualClock(baseClock.Now())
+		fork, err := base.Fork(clock)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, replay(fork, clock, st, days))
+	}
+
+	fmt.Printf("%-12s %12s %9s %14s\n", "strategy", "total-cases", "peak/day", "restrictions")
+	for _, o := range outcomes {
+		fmt.Printf("%-12s %12d %9d %14d\n",
+			o.strategy.Name, o.totalCases, o.peak, o.restrictions)
+	}
+
+	// The parent knowledge base is untouched by either time-line.
+	res, err := base.Query("MATCH (d:DayStat) RETURN count(d)", nil)
+	must(err)
+	if v, _ := res.Value(); v.String() == "0" {
+		fmt.Println("\nparent knowledge base is untouched: the forks evolved independently —")
+		fmt.Println("the hypothetical-reasoning infrastructure §V calls for.")
+	}
+}
+
+// replay attaches the strategy's reaction rule to the fork and feeds the
+// outbreak stream.
+func replay(kb *reactive.KnowledgeBase, clock *reactive.ManualClock, st strategy, days int) outcome {
+	o := outcome{strategy: st}
+
+	// The reaction rule IS the what-if variable: above-threshold growth
+	// imposes a restriction — a real side effect on the fork's graph that
+	// the simulation then observes.
+	must(kb.InstallRule(reactive.Rule{
+		Name:  "contain",
+		Hub:   "R",
+		Event: reactive.Event{Kind: reactive.CreateNode, Label: "DayStat"},
+		Guard: "NEW.day > 0",
+		Alert: fmt.Sprintf(`MATCH (y:DayStat {day: NEW.day - 1})
+		        WITH NEW.cases AS today, y.cases AS yesterday, NEW.day AS day
+		        WHERE yesterday > 0 AND toFloat(today - yesterday) / toFloat(yesterday) > %g
+		        MATCH (r:Region {name: 'Lombardy'})
+		        WHERE NOT (r)<-[:AppliesTo]-(:Restriction {active: true})
+		        RETURN day, today, yesterday, r AS region`, st.Threshold),
+		Action: `CREATE (res:Restriction {since: day, active: true, hub: 'R'})
+		         CREATE (res)-[:AppliesTo]->(region)`,
+	}))
+
+	cases := 40.0
+	growth := 1.5
+	for day := 0; day < days; day++ {
+		res, err := kb.Query(
+			`MATCH (:Restriction {active: true})-[:AppliesTo]->(:Region {name: 'Lombardy'})
+			 RETURN count(*)`, nil)
+		must(err)
+		if v, _ := res.Value(); v.String() != "0" {
+			growth = st.Damping // the imposed restriction damps the spread
+		}
+		today := int(math.Round(cases))
+		o.totalCases += today
+		if today > o.peak {
+			o.peak = today
+		}
+		mustExec(kb, fmt.Sprintf(
+			`CREATE (:DayStat {day: %d, cases: %d, hub: 'C'})`, day, today))
+		cases *= growth
+		if cases < 1 {
+			cases = 1
+		}
+		clock.Advance(24 * time.Hour)
+	}
+
+	res, err := kb.Query(`MATCH (r:Restriction) RETURN count(r)`, nil)
+	must(err)
+	if v, ok := res.Value(); ok {
+		n, _ := v.AsInt()
+		o.restrictions = int(n)
+	}
+	return o
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustExec(kb *reactive.KnowledgeBase, q string) {
+	if _, err := kb.Execute(q, nil); err != nil {
+		log.Fatalf("%s: %v", q, err)
+	}
+}

@@ -1,0 +1,523 @@
+// Package core assembles the reactive knowledge management system of the
+// paper: a partitioned property graph (internal/graph + internal/hub)
+// governed by PG-Schema (internal/schema), queried through a Cypher subset
+// (internal/cypher), made reactive by Event–Guard–Alert rules
+// (internal/trigger), and given periodic memory by the Essential Summary
+// (internal/summary + internal/periodic).
+//
+// KnowledgeBase is the type downstream users interact with; the root
+// package of this module re-exports it as the public API.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cypher"
+	"repro/internal/graph"
+	"repro/internal/hub"
+	"repro/internal/periodic"
+	"repro/internal/schema"
+	"repro/internal/summary"
+	"repro/internal/trigger"
+	"repro/internal/value"
+)
+
+// summaryTaskName is the scheduler task that rolls the Essential Summary.
+const summaryTaskName = "essential-summary-rollover"
+
+// ErrSummariesDisabled is returned by summary operations before
+// EnableSummaries.
+var ErrSummariesDisabled = errors.New("core: essential summaries not enabled")
+
+// Config tunes a KnowledgeBase.
+type Config struct {
+	// Clock drives datetime(), alert timestamps and the summary scheduler;
+	// nil means the wall clock. Simulations pass a periodic.ManualClock.
+	Clock periodic.Clock
+	// MaxCascadeDepth bounds cascading rule rounds per transaction
+	// (0 = trigger.DefaultMaxCascadeDepth).
+	MaxCascadeDepth int
+	// StrictTermination rejects rules that make the triggering graph cyclic.
+	StrictTermination bool
+	// EnforceIntraHubGuards rejects rules whose guard provably reads
+	// another hub's knowledge (§III-B's locality requirement for guards).
+	EnforceIntraHubGuards bool
+	// AlertLabel overrides the label of produced alert nodes ("Alert").
+	AlertLabel string
+}
+
+// KnowledgeBase is a reactive knowledge management system instance.
+type KnowledgeBase struct {
+	store     *graph.Store
+	engine    *trigger.Engine
+	hubs      *hub.Registry
+	scheduler *periodic.Scheduler
+	clock     periodic.Clock
+
+	mu        sync.Mutex
+	summaries *summary.Manager
+	schemas   []*schema.GraphType
+	stmtCache map[string]*cypher.Statement
+}
+
+// New creates an empty knowledge base.
+func New(cfg Config) *KnowledgeBase {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = periodic.RealClock{}
+	}
+	kb := &KnowledgeBase{
+		store:     graph.NewStore(),
+		hubs:      hub.NewRegistry(),
+		clock:     clock,
+		stmtCache: make(map[string]*cypher.Statement),
+	}
+	kb.scheduler = periodic.NewScheduler(clock)
+	e := trigger.NewEngine()
+	e.MaxCascadeDepth = cfg.MaxCascadeDepth
+	e.StrictTermination = cfg.StrictTermination
+	e.EnforceIntraHubGuards = cfg.EnforceIntraHubGuards
+	if cfg.AlertLabel != "" {
+		e.AlertLabel = cfg.AlertLabel
+	}
+	e.Clock = clock.Now
+	e.Resolver = kb.hubs.OwnerOfLabel
+	kb.engine = e
+	return kb
+}
+
+// Store exposes the underlying graph store for advanced integrations and
+// tests. Changes made directly through it bypass the rule engine.
+func (kb *KnowledgeBase) Store() *graph.Store { return kb.store }
+
+// Clock returns the knowledge base's clock.
+func (kb *KnowledgeBase) Clock() periodic.Clock { return kb.clock }
+
+// Now returns the current time of the knowledge base's clock.
+func (kb *KnowledgeBase) Now() time.Time { return kb.clock.Now() }
+
+// ---- Hubs ----
+
+// DefineHub registers a knowledge hub and assigns it ownership of the given
+// node labels.
+func (kb *KnowledgeBase) DefineHub(name, description string, labels ...string) error {
+	if _, err := kb.hubs.Define(name, description); err != nil {
+		return err
+	}
+	return kb.hubs.Own(name, labels...)
+}
+
+// Hubs exposes the hub registry.
+func (kb *KnowledgeBase) Hubs() *hub.Registry { return kb.hubs }
+
+// EnforceHubOwnership installs the commit-time validator that requires
+// every node with an owned label to carry the matching hub property.
+func (kb *KnowledgeBase) EnforceHubOwnership() { kb.hubs.Enforce(kb.store) }
+
+// HubStats summarizes the graph partitioning.
+func (kb *KnowledgeBase) HubStats() (hub.Stats, error) {
+	var st hub.Stats
+	err := kb.store.View(func(tx *graph.Tx) error {
+		st = kb.hubs.ComputeStats(tx)
+		return nil
+	})
+	return st, err
+}
+
+// ---- Schema ----
+
+// ApplySchema parses a PG-Schema graph type and binds it to the store.
+func (kb *KnowledgeBase) ApplySchema(src string) (*schema.GraphType, error) {
+	g, err := schema.ParseGraphType(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := kb.ApplyGraphType(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ApplyGraphType binds a programmatically built graph type to the store.
+func (kb *KnowledgeBase) ApplyGraphType(g *schema.GraphType) error {
+	if err := g.Bind(kb.store); err != nil {
+		return err
+	}
+	kb.mu.Lock()
+	kb.schemas = append(kb.schemas, g)
+	kb.mu.Unlock()
+	return nil
+}
+
+// Schemas lists the bound graph types.
+func (kb *KnowledgeBase) Schemas() []*schema.GraphType {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	return append([]*schema.GraphType(nil), kb.schemas...)
+}
+
+// CreateIndex creates a property index usable by equality lookups, count
+// queries and EXCLUSIVE keys.
+func (kb *KnowledgeBase) CreateIndex(label, prop string) error {
+	return kb.store.CreateIndex(label, prop)
+}
+
+// ---- Rules ----
+
+// InstallRule compiles and installs a reactive rule.
+func (kb *KnowledgeBase) InstallRule(r trigger.Rule) error { return kb.engine.Install(r) }
+
+// InstallRuleText parses a PG-Triggers-style CREATE TRIGGER declaration and
+// installs it (see the trigger package for the syntax).
+func (kb *KnowledgeBase) InstallRuleText(src string) (trigger.Rule, error) {
+	return kb.engine.InstallText(src)
+}
+
+// DropRule removes a rule.
+func (kb *KnowledgeBase) DropRule(name string) error { return kb.engine.Drop(name) }
+
+// PauseRule suspends a rule.
+func (kb *KnowledgeBase) PauseRule(name string) error { return kb.engine.Pause(name) }
+
+// ResumeRule reactivates a paused rule.
+func (kb *KnowledgeBase) ResumeRule(name string) error { return kb.engine.Resume(name) }
+
+// Rules lists installed rules with their classifications.
+func (kb *KnowledgeBase) Rules() []trigger.RuleInfo { return kb.engine.Rules() }
+
+// ClassifyRule returns the §III-C classification of one rule.
+func (kb *KnowledgeBase) ClassifyRule(name string) (trigger.Classification, error) {
+	return kb.engine.ClassifyRule(name)
+}
+
+// CheckTermination returns the cycles of the rules' triggering graph.
+func (kb *KnowledgeBase) CheckTermination() [][]string { return kb.engine.CheckTermination() }
+
+// CheckConfluence conservatively reports rule pairs whose outcome may
+// depend on firing order (§III-B's confluence concern).
+func (kb *KnowledgeBase) CheckConfluence() []trigger.ConfluenceWarning {
+	return kb.engine.CheckConfluence()
+}
+
+// TriggeringGraph returns the rules' triggering graph edges.
+func (kb *KnowledgeBase) TriggeringGraph() []trigger.TriggeringEdge {
+	return kb.engine.TriggeringGraph()
+}
+
+// TranslateRulesAPOC renders the installed rules as Neo4j APOC trigger
+// installation calls using the paper's Fig. 6 syntax-directed translation;
+// rules outside the scheme are reported in skipped.
+func (kb *KnowledgeBase) TranslateRulesAPOC(dbName, phase string) (translated, skipped []string) {
+	return kb.engine.TranslateAllAPOC(dbName, phase)
+}
+
+// Engine exposes the rule engine for advanced configuration.
+func (kb *KnowledgeBase) Engine() *trigger.Engine { return kb.engine }
+
+// ---- Statement execution ----
+
+func (kb *KnowledgeBase) parse(query string) (*cypher.Statement, error) {
+	kb.mu.Lock()
+	stmt, ok := kb.stmtCache[query]
+	kb.mu.Unlock()
+	if ok {
+		return stmt, nil
+	}
+	stmt, err := cypher.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	kb.mu.Lock()
+	kb.stmtCache[query] = stmt
+	kb.mu.Unlock()
+	return stmt, nil
+}
+
+// ExplainQuery renders the execution plan of a statement: the clause
+// pipeline and the access path each MATCH anchor would use against the
+// current indexes and statistics.
+func (kb *KnowledgeBase) ExplainQuery(query string) (string, error) {
+	stmt, err := kb.parse(query)
+	if err != nil {
+		return "", err
+	}
+	tx := kb.store.Begin(graph.ReadOnly)
+	defer tx.Rollback()
+	return cypher.Explain(tx, stmt), nil
+}
+
+// Query runs a read-only statement; write clauses fail.
+func (kb *KnowledgeBase) Query(query string, params map[string]value.Value) (*cypher.Result, error) {
+	stmt, err := kb.parse(query)
+	if err != nil {
+		return nil, err
+	}
+	tx := kb.store.Begin(graph.ReadOnly)
+	defer tx.Rollback()
+	return cypher.Execute(tx, stmt, &cypher.Options{Params: params, Now: kb.clock.Now})
+}
+
+// Execute runs a statement in a read-write transaction, fires the reactive
+// rules over its changes (cascading), and commits. On any error — statement,
+// rule, cascade bound, or commit-time schema/hub validation — the whole
+// transaction rolls back.
+func (kb *KnowledgeBase) Execute(query string, params map[string]value.Value) (*cypher.Result, error) {
+	res, _, err := kb.ExecuteReport(query, params)
+	return res, err
+}
+
+// ExecuteReport is Execute plus the rule engine's activation report.
+func (kb *KnowledgeBase) ExecuteReport(query string, params map[string]value.Value) (*cypher.Result, *trigger.Report, error) {
+	stmt, err := kb.parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	var res *cypher.Result
+	var rep *trigger.Report
+	err = kb.writeWithTriggers(func(tx *graph.Tx) error {
+		var err error
+		res, err = cypher.Execute(tx, stmt, &cypher.Options{Params: params, Now: kb.clock.Now})
+		return err
+	}, &rep)
+	if err != nil {
+		return nil, rep, err
+	}
+	return res, rep, nil
+}
+
+// WriteTx runs fn inside a read-write transaction, then fires the reactive
+// rules over fn's changes and commits. It is the programmatic (non-Cypher)
+// write path; bulk loaders use it.
+func (kb *KnowledgeBase) WriteTx(fn func(tx *graph.Tx) error) (*trigger.Report, error) {
+	var rep *trigger.Report
+	err := kb.writeWithTriggers(fn, &rep)
+	return rep, err
+}
+
+func (kb *KnowledgeBase) writeWithTriggers(fn func(tx *graph.Tx) error, repOut **trigger.Report) error {
+	tx := kb.store.Begin(graph.ReadWrite)
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	data := tx.ResetData()
+	data.Compact()
+	rep, err := kb.engine.Process(tx, data)
+	if repOut != nil {
+		*repOut = rep
+	}
+	if err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// ---- Essential Summary ----
+
+// EnableSummaries activates the Essential Summary with the given period of
+// observation: alert nodes are attached to the current summary as they are
+// produced, and a periodic task (driven by Tick or RunScheduler) rolls the
+// summary over when a period elapses, exactly as Fig. 8 does with
+// apoc.periodic.repeat.
+func (kb *KnowledgeBase) EnableSummaries(period time.Duration) error {
+	kb.mu.Lock()
+	if kb.summaries != nil {
+		kb.mu.Unlock()
+		return fmt.Errorf("core: essential summaries already enabled")
+	}
+	mgr := summary.New(period)
+	kb.summaries = mgr
+	kb.mu.Unlock()
+
+	kb.engine.OnAlert = func(tx *graph.Tx, alert graph.NodeID) error {
+		return mgr.AttachAlert(tx, alert, kb.clock.Now())
+	}
+	// Check at a fraction of the period, like Fig. 8's hourly check for a
+	// 24h period; the rollover itself runs through the trigger pipeline so
+	// rules can react to new Summary nodes.
+	check := period / 24
+	if check <= 0 {
+		check = period
+	}
+	return kb.scheduler.Repeat(summaryTaskName, check, func(now time.Time) error {
+		return kb.RolloverIfDue()
+	})
+}
+
+// Summaries exposes the Essential Summary manager.
+func (kb *KnowledgeBase) Summaries() (*summary.Manager, error) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if kb.summaries == nil {
+		return nil, ErrSummariesDisabled
+	}
+	return kb.summaries, nil
+}
+
+// RolloverIfDue closes the current observation period if it has elapsed.
+// Rule events for the created Summary node fire as usual.
+func (kb *KnowledgeBase) RolloverIfDue() error {
+	mgr, err := kb.Summaries()
+	if err != nil {
+		return err
+	}
+	return kb.writeWithTriggers(func(tx *graph.Tx) error {
+		_, _, err := mgr.RolloverIfDue(tx, kb.clock.Now())
+		return err
+	}, nil)
+}
+
+// Rollover unconditionally starts a new observation period.
+func (kb *KnowledgeBase) Rollover() error {
+	mgr, err := kb.Summaries()
+	if err != nil {
+		return err
+	}
+	return kb.writeWithTriggers(func(tx *graph.Tx) error {
+		_, err := mgr.Rollover(tx, kb.clock.Now())
+		return err
+	}, nil)
+}
+
+// Tick runs due scheduler tasks (summary rollovers and any user tasks).
+// Simulations call it after advancing a ManualClock.
+func (kb *KnowledgeBase) Tick() error {
+	_, err := kb.scheduler.Tick()
+	return err
+}
+
+// Scheduler exposes the periodic scheduler for user tasks.
+func (kb *KnowledgeBase) Scheduler() *periodic.Scheduler { return kb.scheduler }
+
+// RunScheduler drives the scheduler against the wall clock until stop is
+// closed.
+func (kb *KnowledgeBase) RunScheduler(stop <-chan struct{}, resolution time.Duration) error {
+	return kb.scheduler.Run(stop, resolution)
+}
+
+// ---- Alerts ----
+
+// Alert is a materialized alert node.
+type Alert struct {
+	ID       graph.NodeID
+	Rule     string
+	Hub      string
+	DateTime time.Time
+	// Props holds the rule-specific payload (the alert query's columns).
+	Props map[string]value.Value
+}
+
+// Alerts lists all alert nodes, oldest first (by dateTime, then id).
+func (kb *KnowledgeBase) Alerts() ([]Alert, error) {
+	label := kb.engine.AlertLabel
+	if label == "" {
+		label = trigger.DefaultAlertLabel
+	}
+	var out []Alert
+	err := kb.store.View(func(tx *graph.Tx) error {
+		for _, id := range tx.NodesByLabel(label) {
+			n, ok := tx.Node(id)
+			if !ok {
+				continue
+			}
+			a := Alert{ID: id, Props: make(map[string]value.Value)}
+			for k, v := range n.Props {
+				switch k {
+				case "rule":
+					a.Rule, _ = v.AsString()
+				case "hub":
+					a.Hub, _ = v.AsString()
+				case "dateTime":
+					a.DateTime, _ = v.AsDateTime()
+				default:
+					a.Props[k] = v
+				}
+			}
+			out = append(out, a)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].DateTime.Equal(out[j].DateTime) {
+			return out[i].DateTime.Before(out[j].DateTime)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// GraphStats returns store-size counters.
+func (kb *KnowledgeBase) GraphStats() graph.Stats { return kb.store.Stats() }
+
+// SaveGraph serializes the knowledge graph (nodes and relationships with
+// full type fidelity) as JSON. Rules, hubs and schemas are configuration
+// and are not part of the document.
+func (kb *KnowledgeBase) SaveGraph(w io.Writer) error { return kb.store.Export(w) }
+
+// LoadGraph restores a SaveGraph document into an empty knowledge base.
+func (kb *KnowledgeBase) LoadGraph(r io.Reader) error { return kb.store.Import(r) }
+
+// ---- What-if forking (§V) ----
+
+// Fork returns an independent copy of the knowledge base for hypothetical
+// reasoning: the graph data, installed rules (with their paused state),
+// summary configuration and engine settings are copied; the hub registry
+// and bound schemas — the shared ontology — are referenced, not copied.
+// clock selects the fork's clock (nil shares the parent's). Changes in the
+// fork never affect the parent, so alternative reaction strategies can be
+// attached to forks and their evolutions compared.
+func (kb *KnowledgeBase) Fork(clock periodic.Clock) (*KnowledgeBase, error) {
+	if clock == nil {
+		clock = kb.clock
+	}
+	nkb := &KnowledgeBase{
+		store:     kb.store.Clone(),
+		hubs:      kb.hubs,
+		clock:     clock,
+		stmtCache: make(map[string]*cypher.Statement),
+	}
+	nkb.scheduler = periodic.NewScheduler(clock)
+
+	e := trigger.NewEngine()
+	e.MaxCascadeDepth = kb.engine.MaxCascadeDepth
+	e.StrictTermination = kb.engine.StrictTermination
+	e.EnforceIntraHubGuards = kb.engine.EnforceIntraHubGuards
+	e.AlertLabel = kb.engine.AlertLabel
+	e.StateLabels = kb.engine.StateLabels
+	e.Clock = clock.Now
+	e.Resolver = nkb.hubs.OwnerOfLabel
+	nkb.engine = e
+	for _, info := range kb.engine.Rules() {
+		if err := e.Install(info.Rule); err != nil {
+			return nil, fmt.Errorf("core: fork rule %s: %w", info.Name, err)
+		}
+		if info.Paused {
+			if err := e.Pause(info.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	kb.mu.Lock()
+	nkb.schemas = append([]*schema.GraphType(nil), kb.schemas...)
+	var period time.Duration
+	if kb.summaries != nil {
+		period = kb.summaries.Period
+	}
+	kb.mu.Unlock()
+	if period > 0 {
+		if err := nkb.EnableSummaries(period); err != nil {
+			return nil, err
+		}
+	}
+	return nkb, nil
+}

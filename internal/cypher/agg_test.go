@@ -1,0 +1,109 @@
+package cypher
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestStdevAggregate(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, "UNWIND [2, 4, 4, 4, 5, 5, 7, 9] AS x RETURN stdev(x)", nil)
+	got, _ := res.Rows[0][0].AsFloat()
+	// Sample standard deviation of the classic data set: ~2.138.
+	if math.Abs(got-2.13809) > 1e-4 {
+		t.Errorf("stdev = %v", got)
+	}
+	// One sample → 0; no samples → null.
+	res = q(t, s, "UNWIND [5] AS x RETURN stdev(x)", nil)
+	if f, _ := res.Rows[0][0].AsFloat(); f != 0 {
+		t.Errorf("stdev of one = %v", res.Rows[0][0])
+	}
+	res = q(t, s, "UNWIND [] AS x RETURN stdev(x)", nil)
+	if !res.Rows[0][0].IsNull() {
+		t.Error("stdev of none is null")
+	}
+	// Nulls are skipped.
+	res = q(t, s, "UNWIND [1, null, 3] AS x RETURN stdev(x)", nil)
+	got, _ = res.Rows[0][0].AsFloat()
+	if math.Abs(got-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stdev skipping nulls = %v", got)
+	}
+	qErr(t, s, "UNWIND ['a'] AS x RETURN stdev(x)")
+}
+
+func TestSumPromotionAndErrors(t *testing.T) {
+	s := graph.NewStore()
+	// All ints → INTEGER.
+	res := q(t, s, "UNWIND [1, 2, 3] AS x RETURN sum(x)", nil)
+	if res.Rows[0][0].Kind().String() != "INTEGER" {
+		t.Errorf("int sum kind: %s", res.Rows[0][0].Kind())
+	}
+	// Any float → FLOAT.
+	res = q(t, s, "UNWIND [1, 2.5] AS x RETURN sum(x)", nil)
+	if res.Rows[0][0].String() != "3.5" {
+		t.Errorf("mixed sum: %s", res.Rows[0][0])
+	}
+	qErr(t, s, "UNWIND ['a'] AS x RETURN sum(x)")
+	qErr(t, s, "UNWIND ['a'] AS x RETURN avg(x)")
+}
+
+func TestMinMaxAcrossKinds(t *testing.T) {
+	s := graph.NewStore()
+	// min/max use the cross-kind total order; strings sort before numbers.
+	res := q(t, s, "UNWIND ['z', 1, 2.5] AS x RETURN min(x), max(x)", nil)
+	if res.Rows[0][0].String() != `"z"` || res.Rows[0][1].String() != "2.5" {
+		t.Errorf("cross-kind min/max: %v", res.Rows[0])
+	}
+	// Nulls ignored entirely.
+	res = q(t, s, "UNWIND [null, null] AS x RETURN min(x), max(x)", nil)
+	if !res.Rows[0][0].IsNull() || !res.Rows[0][1].IsNull() {
+		t.Error("min/max of nulls")
+	}
+}
+
+func TestCollectDistinct(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, "UNWIND [1, 2, 2, null, 1] AS x RETURN collect(DISTINCT x)", nil)
+	l, _ := res.Rows[0][0].AsList()
+	if len(l) != 2 {
+		t.Errorf("collect distinct: %s", res.Rows[0][0])
+	}
+	res = q(t, s, "UNWIND [1, 1, 2] AS x RETURN sum(DISTINCT x), count(DISTINCT x)", nil)
+	if res.Rows[0][0].String() != "3" || res.Rows[0][1].String() != "2" {
+		t.Errorf("distinct aggregates: %v", res.Rows[0])
+	}
+}
+
+func TestAggregateArityError(t *testing.T) {
+	s := graph.NewStore()
+	qErr(t, s, "UNWIND [1] AS x RETURN sum(x, x)")
+	qErr(t, s, "UNWIND [1] AS x RETURN sum()")
+}
+
+func TestGroupingWithNullKeys(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, `UNWIND [{k: 'a'}, {k: null}, {k: 'a'}, {k: null}] AS m
+	               RETURN m.k AS k, count(*) AS n ORDER BY n DESC`, nil)
+	if len(res.Rows) != 2 {
+		t.Fatalf("null keys should group together: %v", res.Rows)
+	}
+	if res.Rows[0][1].String() != "2" || res.Rows[1][1].String() != "2" {
+		t.Errorf("group sizes: %v", res.Rows)
+	}
+}
+
+func TestMultipleAggregatesShareGroups(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, `UNWIND [1, 2, 3, 4] AS x
+	               RETURN x % 2 AS parity, count(*) AS n, sum(x) AS total, avg(x) AS mean
+	               ORDER BY parity`, nil)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	// parity 0: {2,4} → n=2, total=6, mean=3.
+	if res.Rows[0][1].String() != "2" || res.Rows[0][2].String() != "6" || res.Rows[0][3].String() != "3.0" {
+		t.Errorf("even group: %v", res.Rows[0])
+	}
+}

@@ -1,0 +1,569 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// testGraph builds the small social/medical graph used across executor tests.
+//
+//	(alice:Person{name,age:34})-[:KNOWS{since:2010}]->(bob:Person{age:29})
+//	(bob)-[:KNOWS]->(carol:Person{age:41})
+//	(alice)-[:WORKS_AT]->(acme:Company{name:'ACME'})
+//	(carol)-[:WORKS_AT]->(acme)
+//	(dave:Person{age:19}) (isolated)
+func testGraph(t *testing.T) *graph.Store {
+	t.Helper()
+	s := graph.NewStore()
+	err := s.Update(func(tx *graph.Tx) error {
+		alice, _ := tx.CreateNode([]string{"Person"}, map[string]value.Value{
+			"name": value.Str("Alice"), "age": value.Int(34)})
+		bob, _ := tx.CreateNode([]string{"Person"}, map[string]value.Value{
+			"name": value.Str("Bob"), "age": value.Int(29)})
+		carol, _ := tx.CreateNode([]string{"Person"}, map[string]value.Value{
+			"name": value.Str("Carol"), "age": value.Int(41)})
+		_, _ = tx.CreateNode([]string{"Person"}, map[string]value.Value{
+			"name": value.Str("Dave"), "age": value.Int(19)})
+		acme, _ := tx.CreateNode([]string{"Company"}, map[string]value.Value{
+			"name": value.Str("ACME")})
+		if _, err := tx.CreateRel(alice, bob, "KNOWS", map[string]value.Value{"since": value.Int(2010)}); err != nil {
+			return err
+		}
+		if _, err := tx.CreateRel(bob, carol, "KNOWS", nil); err != nil {
+			return err
+		}
+		if _, err := tx.CreateRel(alice, acme, "WORKS_AT", nil); err != nil {
+			return err
+		}
+		_, err := tx.CreateRel(carol, acme, "WORKS_AT", nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// q runs a query in a read-write transaction (committed) and returns the
+// result.
+func q(t *testing.T, s *graph.Store, query string, opts *Options) *Result {
+	t.Helper()
+	tx := s.Begin(graph.ReadWrite)
+	res, err := Run(tx, query, opts)
+	if err != nil {
+		tx.Rollback()
+		t.Fatalf("query %q: %v", query, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	return res
+}
+
+// qErr runs a query expecting an error.
+func qErr(t *testing.T, s *graph.Store, query string) error {
+	t.Helper()
+	tx := s.Begin(graph.ReadWrite)
+	defer tx.Rollback()
+	_, err := Run(tx, query, nil)
+	if err == nil {
+		t.Fatalf("query %q should fail", query)
+	}
+	return err
+}
+
+// col extracts a column of scalar values as strings for compact assertions.
+func col(res *Result, i int) []string {
+	out := make([]string, len(res.Rows))
+	for j, r := range res.Rows {
+		out[j] = r[i].String()
+	}
+	return out
+}
+
+func joined(res *Result, i int) string { return strings.Join(col(res, i), ",") }
+
+func TestMatchAllByLabel(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (p:Person) RETURN p.name ORDER BY p.name", nil)
+	if got := joined(res, 0); got != `"Alice","Bob","Carol","Dave"` {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestMatchWhere(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (p:Person) WHERE p.age >= 30 RETURN p.name ORDER BY p.age DESC", nil)
+	if got := joined(res, 0); got != `"Carol","Alice"` {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestMatchPropertyShortcut(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (p:Person {name: 'Bob'}) RETURN p.age", nil)
+	if got := joined(res, 0); got != "29" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestMatchRelationshipDirection(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (a:Person {name:'Alice'})-[:KNOWS]->(b) RETURN b.name", nil)
+	if got := joined(res, 0); got != `"Bob"` {
+		t.Errorf("outgoing got %s", got)
+	}
+	res = q(t, s, "MATCH (a:Person {name:'Alice'})<-[:KNOWS]-(b) RETURN b.name", nil)
+	if len(res.Rows) != 0 {
+		t.Error("incoming should be empty")
+	}
+	res = q(t, s, "MATCH (b)-[:KNOWS]-(x:Person {name:'Bob'}) RETURN b.name ORDER BY b.name", nil)
+	if got := joined(res, 0); got != `"Alice","Carol"` {
+		t.Errorf("undirected got %s", got)
+	}
+}
+
+func TestMatchChain(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (a:Person {name:'Alice'})-[:KNOWS]->()-[:KNOWS]->(c) RETURN c.name", nil)
+	if got := joined(res, 0); got != `"Carol"` {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestMatchSharedVariableJoin(t *testing.T) {
+	s := testGraph(t)
+	// Colleagues at the same company.
+	res := q(t, s, `MATCH (a:Person)-[:WORKS_AT]->(c:Company), (b:Person)-[:WORKS_AT]->(c)
+	               WHERE a.name < b.name RETURN a.name, b.name`, nil)
+	if len(res.Rows) != 1 || joined(res, 0) != `"Alice"` || joined(res, 1) != `"Carol"` {
+		t.Errorf("rows: %v", res.Rows)
+	}
+}
+
+func TestMatchRelVariableAndType(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (:Person {name:'Alice'})-[r]->(x) RETURN type(r) ORDER BY type(r)", nil)
+	if got := joined(res, 0); got != `"KNOWS","WORKS_AT"` {
+		t.Errorf("got %s", got)
+	}
+	res = q(t, s, "MATCH ()-[r:KNOWS {since: 2010}]->(b) RETURN b.name", nil)
+	if got := joined(res, 0); got != `"Bob"` {
+		t.Errorf("rel props got %s", got)
+	}
+}
+
+func TestMatchVariableLength(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (a:Person {name:'Alice'})-[:KNOWS*1..2]->(b) RETURN b.name ORDER BY b.name", nil)
+	if got := joined(res, 0); got != `"Bob","Carol"` {
+		t.Errorf("got %s", got)
+	}
+	res = q(t, s, "MATCH (a:Person {name:'Alice'})-[:KNOWS*2]->(b) RETURN b.name", nil)
+	if got := joined(res, 0); got != `"Carol"` {
+		t.Errorf("exact hops got %s", got)
+	}
+	// Zero hops binds the node itself.
+	res = q(t, s, "MATCH (a:Person {name:'Alice'})-[:KNOWS*0..1]->(b) RETURN b.name ORDER BY b.name", nil)
+	if got := joined(res, 0); got != `"Alice","Bob"` {
+		t.Errorf("zero hops got %s", got)
+	}
+}
+
+func TestRelationshipUniqueness(t *testing.T) {
+	s := graph.NewStore()
+	_ = s.Update(func(tx *graph.Tx) error {
+		a, _ := tx.CreateNode([]string{"N"}, map[string]value.Value{"name": value.Str("a")})
+		b, _ := tx.CreateNode([]string{"N"}, map[string]value.Value{"name": value.Str("b")})
+		_, err := tx.CreateRel(a, b, "R", nil)
+		return err
+	})
+	// A two-hop pattern cannot reuse the single relationship back and forth.
+	res := q(t, s, "MATCH (x:N {name:'a'})-[:R]-(y)-[:R]-(z) RETURN z.name", nil)
+	if len(res.Rows) != 0 {
+		t.Errorf("relationship uniqueness violated: %v", res.Rows)
+	}
+}
+
+func TestOptionalMatch(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, `MATCH (p:Person) OPTIONAL MATCH (p)-[:WORKS_AT]->(c)
+	               RETURN p.name, c.name ORDER BY p.name`, nil)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if got := joined(res, 1); got != `"ACME",null,"ACME",null` {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestOptionalMatchWhereInsideMatching(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, `MATCH (p:Person {name:'Alice'})
+	               OPTIONAL MATCH (p)-[:KNOWS]->(f) WHERE f.age > 100
+	               RETURN p.name, f`, nil)
+	if len(res.Rows) != 1 || !res.Rows[0][1].IsNull() {
+		t.Errorf("optional with failing where should yield null: %v", res.Rows)
+	}
+}
+
+func TestReturnStarColumns(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (c:Company) RETURN *", nil)
+	if len(res.Columns) != 1 || res.Columns[0] != "c" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Kind() != value.KindNode {
+		t.Error("star should return the node")
+	}
+}
+
+func TestAggregationCountSumAvg(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (p:Person) RETURN count(*), sum(p.age), avg(p.age), min(p.age), max(p.age)", nil)
+	r := res.Rows[0]
+	if r[0].String() != "4" || r[1].String() != "123" || r[3].String() != "19" || r[4].String() != "41" {
+		t.Errorf("aggregates: %v", r)
+	}
+	if f, _ := r[2].AsFloat(); f != 30.75 {
+		t.Errorf("avg = %v", r[2])
+	}
+}
+
+func TestAggregationGrouping(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, `MATCH (p:Person) RETURN p.age >= 30 AS senior, count(*) AS n ORDER BY senior`, nil)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	if res.Rows[0][1].String() != "2" || res.Rows[1][1].String() != "2" {
+		t.Errorf("group counts: %v", res.Rows)
+	}
+}
+
+func TestAggregationCollectAndDistinct(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (:Person)-[:WORKS_AT]->(c) RETURN count(DISTINCT c) AS companies, collect(c.name) AS names", nil)
+	r := res.Rows[0]
+	if r[0].String() != "1" {
+		t.Errorf("distinct count = %s", r[0])
+	}
+	if l, _ := r[1].AsList(); len(l) != 2 {
+		t.Errorf("collect = %s", r[1])
+	}
+}
+
+func TestAggregationEmptyInput(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (x:Nothing) RETURN count(*), sum(x.v), min(x.v), collect(x.v)", nil)
+	if len(res.Rows) != 1 {
+		t.Fatalf("empty aggregate should yield one row")
+	}
+	r := res.Rows[0]
+	if r[0].String() != "0" || r[1].String() != "0" || !r[2].IsNull() || r[3].String() != "[]" {
+		t.Errorf("empty aggregates: %v", r)
+	}
+}
+
+func TestAggregateInExpression(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (p:Person) RETURN toFloat(count(*)) / 2.0 AS half", nil)
+	if f, _ := res.Rows[0][0].AsFloat(); f != 2 {
+		t.Errorf("half = %v", res.Rows[0][0])
+	}
+}
+
+func TestWithPipelineAggregation(t *testing.T) {
+	s := testGraph(t)
+	// The R2-style shape: count then threshold.
+	res := q(t, s, `MATCH (p:Person) WITH count(p) AS n WHERE n > 3 RETURN n`, nil)
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "4" {
+		t.Errorf("with aggregation: %v", res.Rows)
+	}
+	res = q(t, s, `MATCH (p:Person) WITH count(p) AS n WHERE n > 10 RETURN n`, nil)
+	if len(res.Rows) != 0 {
+		t.Error("threshold filter should drop the row")
+	}
+}
+
+func TestUnwind(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, "UNWIND [3, 1, 2] AS x RETURN x ORDER BY x", nil)
+	if got := joined(res, 0); got != "1,2,3" {
+		t.Errorf("got %s", got)
+	}
+	res = q(t, s, "UNWIND [] AS x RETURN x", nil)
+	if len(res.Rows) != 0 {
+		t.Error("unwind of empty list")
+	}
+	res = q(t, s, "UNWIND null AS x RETURN x", nil)
+	if len(res.Rows) != 0 {
+		t.Error("unwind of null")
+	}
+	res = q(t, s, "UNWIND range(1, 4) AS x RETURN sum(x)", nil)
+	if res.Rows[0][0].String() != "10" {
+		t.Error("unwind range sum")
+	}
+}
+
+func TestDistinctRows(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (:Person)-[:WORKS_AT]->(c) RETURN DISTINCT c.name", nil)
+	if len(res.Rows) != 1 {
+		t.Errorf("distinct rows = %d", len(res.Rows))
+	}
+}
+
+func TestSkipLimit(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (p:Person) RETURN p.name ORDER BY p.name SKIP 1 LIMIT 2", nil)
+	if got := joined(res, 0); got != `"Bob","Carol"` {
+		t.Errorf("got %s", got)
+	}
+	res = q(t, s, "MATCH (p:Person) RETURN p.name SKIP 10", nil)
+	if len(res.Rows) != 0 {
+		t.Error("skip past end")
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, `UNWIND [{a:1,b:2},{a:1,b:1},{a:0,b:9}] AS m
+	               RETURN m.a AS a, m.b AS b ORDER BY a, b DESC`, nil)
+	if joined(res, 0) != "0,1,1" || joined(res, 1) != "9,2,1" {
+		t.Errorf("rows: %v", res.Rows)
+	}
+}
+
+func TestParameters(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (p:Person) WHERE p.age > $min RETURN count(*)", &Options{
+		Params: map[string]value.Value{"min": value.Int(30)},
+	})
+	if res.Rows[0][0].String() != "2" {
+		t.Errorf("param query: %v", res.Rows)
+	}
+	tx := s.Begin(graph.ReadOnly)
+	defer tx.Rollback()
+	if _, err := Run(tx, "RETURN $missing", nil); err == nil {
+		t.Error("missing parameter should fail")
+	}
+}
+
+func TestInitialBindings(t *testing.T) {
+	s := testGraph(t)
+	var bobID graph.NodeID
+	_ = s.View(func(tx *graph.Tx) error {
+		for _, id := range tx.NodesByLabel("Person") {
+			if v, _ := tx.NodeProp(id, "name"); v.String() == `"Bob"` {
+				bobID = id
+			}
+		}
+		return nil
+	})
+	res := q(t, s, "MATCH (NEW)-[:KNOWS]->(x) RETURN x.name", &Options{
+		Bindings: map[string]value.Value{"NEW": value.Node(int64(bobID))},
+	})
+	if got := joined(res, 0); got != `"Carol"` {
+		t.Errorf("bound NEW traversal got %s", got)
+	}
+}
+
+func TestPatternPredicateInWhere(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, `MATCH (p:Person) WHERE (p)-[:WORKS_AT]->(:Company) RETURN p.name ORDER BY p.name`, nil)
+	if got := joined(res, 0); got != `"Alice","Carol"` {
+		t.Errorf("got %s", got)
+	}
+	res = q(t, s, `MATCH (p:Person) WHERE NOT (p)-[:WORKS_AT]->() RETURN p.name ORDER BY p.name`, nil)
+	if got := joined(res, 0); got != `"Bob","Dave"` {
+		t.Errorf("negated got %s", got)
+	}
+}
+
+func TestExistsFunction(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, `MATCH (p:Person) WHERE EXISTS((p)-[:KNOWS]->()) RETURN p.name ORDER BY p.name`, nil)
+	if got := joined(res, 0); got != `"Alice","Bob"` {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestTernaryLogicInWhere(t *testing.T) {
+	s := graph.NewStore()
+	_ = s.Update(func(tx *graph.Tx) error {
+		_, _ = tx.CreateNode([]string{"S"}, map[string]value.Value{"v": value.Int(1)})
+		_, _ = tx.CreateNode([]string{"S"}, nil) // v missing → null comparisons unknown
+		return nil
+	})
+	res := q(t, s, "MATCH (s:S) WHERE s.v > 0 RETURN count(*)", nil)
+	if res.Rows[0][0].String() != "1" {
+		t.Error("unknown predicate must not match")
+	}
+	res = q(t, s, "MATCH (s:S) WHERE s.v IS NULL RETURN count(*)", nil)
+	if res.Rows[0][0].String() != "1" {
+		t.Error("IS NULL")
+	}
+}
+
+func TestDateTimeFunctionsWithFixedClock(t *testing.T) {
+	s := graph.NewStore()
+	fixed := time.Date(2023, 4, 1, 10, 0, 0, 0, time.UTC)
+	res := q(t, s, "RETURN datetime(), timestamp(), datetime('2023-03-31').day", &Options{
+		Now: func() time.Time { return fixed },
+	})
+	r := res.Rows[0]
+	if ts, _ := r[0].AsDateTime(); !ts.Equal(fixed) {
+		t.Error("datetime() should use injected clock")
+	}
+	if ms, _ := r[1].AsInt(); ms != fixed.UnixMilli() {
+		t.Error("timestamp()")
+	}
+	if r[2].String() != "31" {
+		t.Error("datetime field access")
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, `MATCH (p:Person) RETURN p.name,
+		CASE WHEN p.age >= 40 THEN 'senior' WHEN p.age >= 25 THEN 'adult' ELSE 'young' END AS band
+		ORDER BY p.name`, nil)
+	if got := joined(res, 1); got != `"adult","adult","senior","young"` {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestListOperations(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, `RETURN size([1,2,3]), head([1,2]), last([1,2]), tail([1,2,3]),
+	                [1,2] + [3], 2 IN [1,2], [x IN [1,2,3] WHERE x > 1 | x * 10]`, nil)
+	r := res.Rows[0]
+	checks := []string{"3", "1", "2", "[2, 3]", "[1, 2, 3]", "true", "[20, 30]"}
+	for i, want := range checks {
+		if r[i].String() != want {
+			t.Errorf("col %d = %s, want %s", i, r[i], want)
+		}
+	}
+}
+
+func TestStringFunctions(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, `RETURN toUpper('ab'), toLower('AB'), trim('  x '), substring('hello', 1, 3),
+	                replace('aaa', 'a', 'b'), split('a,b', ','), left('hello', 2), reverse('abc')`, nil)
+	r := res.Rows[0]
+	checks := []string{`"AB"`, `"ab"`, `"x"`, `"ell"`, `"bbb"`, `["a", "b"]`, `"he"`, `"cba"`}
+	for i, want := range checks {
+		if r[i].String() != want {
+			t.Errorf("col %d = %s, want %s", i, r[i], want)
+		}
+	}
+}
+
+func TestCoalesceAndNullPropagation(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, "RETURN coalesce(null, null, 7), null + 1, toFloat(null)", nil)
+	r := res.Rows[0]
+	if r[0].String() != "7" || !r[1].IsNull() || !r[2].IsNull() {
+		t.Errorf("row: %v", r)
+	}
+}
+
+func TestLabelsAndIdFunctions(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (c:Company) RETURN labels(c), id(c) >= 0", nil)
+	r := res.Rows[0]
+	if r[0].String() != `["Company"]` || r[1].String() != "true" {
+		t.Errorf("row: %v", r)
+	}
+}
+
+func TestStartEndNode(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, `MATCH ()-[r:KNOWS {since: 2010}]->() RETURN startNode(r).name, endNode(r).name`, nil)
+	if res.Rows[0][0].String() != `"Alice"` || res.Rows[0][1].String() != `"Bob"` {
+		t.Errorf("row: %v", res.Rows[0])
+	}
+}
+
+func TestErrorUndefinedVariable(t *testing.T) {
+	s := graph.NewStore()
+	err := qErr(t, s, "RETURN nope")
+	if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error should name the variable: %v", err)
+	}
+}
+
+func TestErrorAggregateInWhere(t *testing.T) {
+	s := graph.NewStore()
+	err := qErr(t, s, "MATCH (n) WHERE count(n) > 1 RETURN n")
+	if !strings.Contains(err.Error(), "aggregate") {
+		t.Errorf("got: %v", err)
+	}
+}
+
+func TestDuplicateColumnError(t *testing.T) {
+	s := graph.NewStore()
+	qErr(t, s, "RETURN 1 AS x, 2 AS x")
+}
+
+func TestUnion(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, `MATCH (p:Person {name:'Alice'}) RETURN p.name AS name
+	               UNION
+	               MATCH (c:Company) RETURN c.name AS name`, nil)
+	if len(res.Columns) != 1 || res.Columns[0] != "name" {
+		t.Fatalf("columns: %v", res.Columns)
+	}
+	if got := joined(res, 0); got != `"Alice","ACME"` {
+		t.Errorf("union rows: %s", got)
+	}
+}
+
+func TestUnionDeduplicates(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, "RETURN 1 AS x UNION RETURN 1 AS x UNION RETURN 2 AS x", nil)
+	if len(res.Rows) != 2 {
+		t.Errorf("UNION should deduplicate: %v", res.Rows)
+	}
+	res = q(t, s, "RETURN 1 AS x UNION ALL RETURN 1 AS x", nil)
+	if len(res.Rows) != 2 {
+		t.Errorf("UNION ALL keeps duplicates: %v", res.Rows)
+	}
+	// Mixed: any non-ALL joint deduplicates the whole result.
+	res = q(t, s, "RETURN 1 AS x UNION ALL RETURN 1 AS x UNION RETURN 1 AS x", nil)
+	if len(res.Rows) != 1 {
+		t.Errorf("mixed union: %v", res.Rows)
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	s := graph.NewStore()
+	qErr(t, s, "RETURN 1 AS x UNION RETURN 1 AS y")         // column mismatch
+	qErr(t, s, "RETURN 1 AS x, 2 AS y UNION RETURN 1 AS x") // arity mismatch
+	if _, err := Parse("RETURN 1 AS x UNION CREATE (:N)"); err == nil {
+		t.Error("union branch must end in RETURN")
+	}
+	if _, err := Parse("CREATE (:N) UNION RETURN 1 AS x"); err == nil {
+		t.Error("first branch must end in RETURN")
+	}
+}
+
+func TestUnionWithWrites(t *testing.T) {
+	// UNION over aggregates drawn from different hubs — the inter-hub
+	// union pattern alert queries need.
+	s := testGraph(t)
+	res := q(t, s, `MATCH (p:Person) RETURN 'people' AS kind, count(p) AS n
+	               UNION ALL
+	               MATCH (c:Company) RETURN 'companies' AS kind, count(c) AS n`, nil)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if res.Rows[0][1].String() != "4" || res.Rows[1][1].String() != "1" {
+		t.Errorf("counts: %v", res.Rows)
+	}
+}

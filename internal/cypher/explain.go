@@ -1,0 +1,161 @@
+package cypher
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Explain renders a static description of how a statement would execute:
+// the clause pipeline, and for each MATCH pattern the access path the
+// matcher would choose for its anchor (index lookup, label scan, or full
+// scan) given the store's current indexes and statistics.
+func Explain(tx *graph.Tx, stmt *Statement) string {
+	ctx := &evalCtx{tx: tx, query: stmt.Query}
+	var sb strings.Builder
+	en := newEnv()
+	for i, cl := range stmt.Clauses {
+		fmt.Fprintf(&sb, "%d. ", i+1)
+		switch c := cl.(type) {
+		case *MatchClause:
+			kw := "MATCH"
+			if c.Optional {
+				kw = "OPTIONAL MATCH"
+			}
+			fmt.Fprintf(&sb, "%s\n", kw)
+			for _, p := range c.Patterns {
+				cp := compilePattern(en, p)
+				m := &matcher{ctx: ctx, en: en, cp: cp}
+				anchor := m.chooseAnchor(make(row, len(en.names)))
+				fmt.Fprintf(&sb, "   pattern %s\n", describePattern(p))
+				fmt.Fprintf(&sb, "   anchor: %s\n", describeAnchor(ctx, p, cp, anchor))
+			}
+			if c.Where != nil {
+				sb.WriteString("   filter: WHERE\n")
+			}
+		case *UnwindClause:
+			fmt.Fprintf(&sb, "UNWIND … AS %s\n", c.Var)
+			en = en.clone()
+			en.add(c.Var)
+		case *WithClause:
+			fmt.Fprintf(&sb, "WITH (%s)\n", describeProjection(c.Items, c.Star, c.Distinct, c.OrderBy != nil))
+			en = projectionEnv(en, c.Items, c.Star)
+		case *ReturnClause:
+			fmt.Fprintf(&sb, "RETURN (%s)\n", describeProjection(c.Items, c.Star, c.Distinct, c.OrderBy != nil))
+		case *CreateClause:
+			fmt.Fprintf(&sb, "CREATE %d pattern(s)\n", len(c.Patterns))
+			for _, p := range c.Patterns {
+				compilePattern(en, p)
+			}
+		case *MergeClause:
+			fmt.Fprintf(&sb, "MERGE %s\n", describePattern(c.Pattern))
+			compilePattern(en, c.Pattern)
+		case *DeleteClause:
+			kw := "DELETE"
+			if c.Detach {
+				kw = "DETACH DELETE"
+			}
+			fmt.Fprintf(&sb, "%s %d expression(s)\n", kw, len(c.Exprs))
+		case *ForeachClause:
+			fmt.Fprintf(&sb, "FOREACH %s IN … (%d update clause(s))\n", c.Var, len(c.Body))
+		case *SetClause:
+			fmt.Fprintf(&sb, "SET %d item(s)\n", len(c.Items))
+		case *RemoveClause:
+			fmt.Fprintf(&sb, "REMOVE %d item(s)\n", len(c.Items))
+		}
+	}
+	for i, b := range stmt.Unions {
+		joint := "UNION"
+		if b.All {
+			joint = "UNION ALL"
+		}
+		fmt.Fprintf(&sb, "%s (branch %d: %d clause(s))\n", joint, i+2, len(b.Clauses))
+	}
+	return sb.String()
+}
+
+func projectionEnv(en *env, items []*ReturnItem, star bool) *env {
+	ne := newEnv()
+	if star {
+		for _, n := range en.names {
+			ne.add(n)
+		}
+	}
+	for _, it := range items {
+		ne.add(itemName(it))
+	}
+	return ne
+}
+
+func describeProjection(items []*ReturnItem, star, distinct, ordered bool) string {
+	var parts []string
+	if distinct {
+		parts = append(parts, "DISTINCT")
+	}
+	if star {
+		parts = append(parts, "*")
+	}
+	parts = append(parts, fmt.Sprintf("%d item(s)", len(items)))
+	if ordered {
+		parts = append(parts, "ORDER BY")
+	}
+	return strings.Join(parts, " ")
+}
+
+func describePattern(p *PatternPart) string {
+	var sb strings.Builder
+	for i, n := range p.Nodes {
+		sb.WriteByte('(')
+		sb.WriteString(n.Var)
+		for _, l := range n.Labels {
+			sb.WriteByte(':')
+			sb.WriteString(l)
+		}
+		sb.WriteByte(')')
+		if i < len(p.Rels) {
+			r := p.Rels[i]
+			arrow := "-"
+			if r.Dir == DirLeft {
+				arrow = "<-"
+			}
+			sb.WriteString(arrow)
+			if len(r.Types) > 0 || r.VarHops {
+				sb.WriteString("[")
+				sb.WriteString(strings.Join(r.Types, "|"))
+				if r.VarHops {
+					sb.WriteString("*")
+				}
+				sb.WriteString("]")
+			}
+			if r.Dir == DirRight {
+				sb.WriteString("->")
+			} else {
+				sb.WriteString("-")
+			}
+		}
+	}
+	return sb.String()
+}
+
+func describeAnchor(ctx *evalCtx, p *PatternPart, cp *compiledPattern, anchor int) string {
+	np := p.Nodes[anchor]
+	pos := fmt.Sprintf("node %d", anchor)
+	for key := range np.Props {
+		for _, l := range np.Labels {
+			if ctx.tx.HasIndex(l, key) {
+				return fmt.Sprintf("%s via index (%s.%s)", pos, l, key)
+			}
+		}
+	}
+	if len(np.Labels) > 0 {
+		best := np.Labels[0]
+		for _, l := range np.Labels[1:] {
+			if ctx.tx.CountByLabel(l) < ctx.tx.CountByLabel(best) {
+				best = l
+			}
+		}
+		return fmt.Sprintf("%s via label scan :%s (%d nodes)", pos, best, ctx.tx.CountByLabel(best))
+	}
+	return fmt.Sprintf("%s via full scan (%d nodes)", pos, ctx.tx.NodeCount())
+}

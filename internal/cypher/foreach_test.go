@@ -1,0 +1,82 @@
+package cypher
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestForeachCreates(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, "FOREACH (i IN range(1, 5) | CREATE (:Item {i: i}))", nil)
+	if res.Stats.NodesCreated != 5 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+	chk := q(t, s, "MATCH (n:Item) RETURN sum(n.i)", nil)
+	if chk.Rows[0][0].String() != "15" {
+		t.Errorf("sum: %v", chk.Rows)
+	}
+}
+
+func TestForeachSetOverMatchedRows(t *testing.T) {
+	s := testGraph(t)
+	// Tag every person once per element; the loop variable scopes the body.
+	q(t, s, `MATCH (p:Person)
+	        FOREACH (tag IN ['checked'] | SET p.status = tag)`, nil)
+	chk := q(t, s, "MATCH (p:Person {status: 'checked'}) RETURN count(p)", nil)
+	if chk.Rows[0][0].String() != "4" {
+		t.Errorf("tagged: %v", chk.Rows)
+	}
+}
+
+func TestForeachNested(t *testing.T) {
+	s := graph.NewStore()
+	q(t, s, `FOREACH (i IN [0, 1] |
+	          FOREACH (j IN [0, 1, 2] |
+	            CREATE (:Cell {key: toString(i) + ':' + toString(j)})))`, nil)
+	chk := q(t, s, "MATCH (c:Cell) RETURN count(c)", nil)
+	if chk.Rows[0][0].String() != "6" {
+		t.Errorf("nested foreach: %v", chk.Rows)
+	}
+}
+
+func TestForeachNullAndScope(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, "FOREACH (x IN null | CREATE (:Never))", nil)
+	if res.Stats.NodesCreated != 0 {
+		t.Error("foreach over null is a no-op")
+	}
+	// The loop variable is not visible after the clause.
+	qErr(t, s, "FOREACH (x IN [1] | CREATE (:N {v: x})) RETURN x")
+	// Non-list errors.
+	qErr(t, s, "FOREACH (x IN 5 | CREATE (:N))")
+	// Read clauses are not allowed in the body.
+	if _, err := Parse("FOREACH (x IN [1] | MATCH (n) RETURN n)"); err == nil {
+		t.Error("MATCH inside FOREACH should fail to parse")
+	}
+	if _, err := Parse("FOREACH (x IN [1] CREATE (:N))"); err == nil {
+		t.Error("missing | should fail")
+	}
+}
+
+func TestForeachMergeIdempotent(t *testing.T) {
+	s := graph.NewStore()
+	for i := 0; i < 2; i++ {
+		q(t, s, "FOREACH (k IN ['a', 'b', 'a'] | MERGE (:Key {k: k}))", nil)
+	}
+	chk := q(t, s, "MATCH (n:Key) RETURN count(n)", nil)
+	if chk.Rows[0][0].String() != "2" {
+		t.Errorf("merge in foreach: %v", chk.Rows)
+	}
+}
+
+func TestForeachInspectFootprint(t *testing.T) {
+	stmt := mustParse(t, "FOREACH (x IN [1] | CREATE (:Made) SET x.p = 1)")
+	info := Inspect(stmt)
+	if len(info.CreatedNodeLabels) != 1 || info.CreatedNodeLabels[0] != "Made" {
+		t.Errorf("created: %v", info.CreatedNodeLabels)
+	}
+	if len(info.SetPropKeys) != 1 || info.SetPropKeys[0] != "p" {
+		t.Errorf("set props: %v", info.SetPropKeys)
+	}
+}

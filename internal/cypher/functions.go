@@ -1,0 +1,599 @@
+package cypher
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// isAggregateFunc reports whether name is an aggregation function handled by
+// the projection machinery rather than by plain evaluation.
+func isAggregateFunc(name string) bool {
+	switch name {
+	case "count", "sum", "avg", "min", "max", "collect", "stdev":
+		return true
+	}
+	return false
+}
+
+func evalFunc(ctx *evalCtx, en *env, r row, call *FuncCall) (value.Value, error) {
+	args := make([]value.Value, len(call.Args))
+	for i, a := range call.Args {
+		v, err := evalExpr(ctx, en, r, a)
+		if err != nil {
+			return value.Null, err
+		}
+		args[i] = v
+	}
+	return applyFunc(ctx, call, args)
+}
+
+func arity(call *FuncCall, args []value.Value, min, max int) error {
+	if len(args) < min || (max >= 0 && len(args) > max) {
+		return fmt.Errorf("cypher: wrong number of arguments to %s()", call.Name)
+	}
+	return nil
+}
+
+func applyFunc(ctx *evalCtx, call *FuncCall, args []value.Value) (value.Value, error) {
+	name := call.Name
+	switch name {
+	case "id":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		id, ok := args[0].EntityID()
+		if !ok {
+			return value.Null, fmt.Errorf("cypher: id() requires a node or relationship")
+		}
+		return value.Int(id), nil
+
+	case "labels":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		if args[0].Kind() != value.KindNode {
+			return value.Null, fmt.Errorf("cypher: labels() requires a node")
+		}
+		id, _ := args[0].EntityID()
+		labels, ok := ctx.tx.NodeLabels(graph.NodeID(id))
+		if !ok {
+			return value.Null, nil
+		}
+		out := make([]value.Value, len(labels))
+		for i, l := range labels {
+			out[i] = value.Str(l)
+		}
+		return value.ListOf(out), nil
+
+	case "type":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		if args[0].Kind() != value.KindRelationship {
+			return value.Null, fmt.Errorf("cypher: type() requires a relationship")
+		}
+		id, _ := args[0].EntityID()
+		typ, _, _, ok := ctx.tx.RelEndpoints(graph.RelID(id))
+		if !ok {
+			return value.Null, nil
+		}
+		return value.Str(typ), nil
+
+	case "startnode", "endnode":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		if args[0].Kind() != value.KindRelationship {
+			return value.Null, fmt.Errorf("cypher: %s() requires a relationship", name)
+		}
+		id, _ := args[0].EntityID()
+		_, start, end, ok := ctx.tx.RelEndpoints(graph.RelID(id))
+		if !ok {
+			return value.Null, nil
+		}
+		if name == "startnode" {
+			return value.Node(int64(start)), nil
+		}
+		return value.Node(int64(end)), nil
+
+	case "properties":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		return propertiesOf(ctx, args[0])
+
+	case "keys":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		return keysOf(ctx, args[0])
+
+	case "size", "length":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		v := args[0]
+		switch v.Kind() {
+		case value.KindNull:
+			return value.Null, nil
+		case value.KindList:
+			l, _ := v.AsList()
+			return value.Int(int64(len(l))), nil
+		case value.KindString:
+			s, _ := v.AsString()
+			return value.Int(int64(len([]rune(s)))), nil
+		case value.KindMap:
+			m, _ := v.AsMap()
+			return value.Int(int64(len(m))), nil
+		default:
+			return value.Null, fmt.Errorf("cypher: %s() of %s", name, v.Kind())
+		}
+
+	case "head":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		return listPick(args[0], 0)
+	case "last":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		return listPick(args[0], -1)
+	case "tail":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		l, ok := args[0].AsList()
+		if !ok {
+			return value.Null, fmt.Errorf("cypher: tail() of %s", args[0].Kind())
+		}
+		if len(l) == 0 {
+			return value.List(), nil
+		}
+		return value.ListOf(append([]value.Value(nil), l[1:]...)), nil
+	case "reverse":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		if s, ok := args[0].AsString(); ok {
+			runes := []rune(s)
+			for i, j := 0, len(runes)-1; i < j; i, j = i+1, j-1 {
+				runes[i], runes[j] = runes[j], runes[i]
+			}
+			return value.Str(string(runes)), nil
+		}
+		l, ok := args[0].AsList()
+		if !ok {
+			return value.Null, fmt.Errorf("cypher: reverse() of %s", args[0].Kind())
+		}
+		out := make([]value.Value, len(l))
+		for i, v := range l {
+			out[len(l)-1-i] = v
+		}
+		return value.ListOf(out), nil
+
+	case "coalesce":
+		for _, v := range args {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return value.Null, nil
+
+	case "abs", "ceil", "floor", "round", "sqrt", "sign":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		return mathFunc(name, args[0])
+
+	case "tofloat":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		return value.ToFloat(args[0])
+	case "tointeger", "toint":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		return value.ToInteger(args[0])
+	case "tostring":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		return value.ToString(args[0])
+	case "toboolean":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		return value.ToBoolean(args[0])
+
+	case "tolower", "toupper", "trim", "ltrim", "rtrim":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		s, ok := args[0].AsString()
+		if !ok {
+			return value.Null, fmt.Errorf("cypher: %s() of %s", name, args[0].Kind())
+		}
+		switch name {
+		case "tolower":
+			return value.Str(strings.ToLower(s)), nil
+		case "toupper":
+			return value.Str(strings.ToUpper(s)), nil
+		case "trim":
+			return value.Str(strings.TrimSpace(s)), nil
+		case "ltrim":
+			return value.Str(strings.TrimLeft(s, " \t\r\n")), nil
+		default:
+			return value.Str(strings.TrimRight(s, " \t\r\n")), nil
+		}
+
+	case "substring":
+		if err := arity(call, args, 2, 3); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		s, ok := args[0].AsString()
+		if !ok {
+			return value.Null, fmt.Errorf("cypher: substring() of %s", args[0].Kind())
+		}
+		start, ok := args[1].AsInt()
+		if !ok {
+			return value.Null, fmt.Errorf("cypher: substring() start must be integer")
+		}
+		runes := []rune(s)
+		if start < 0 || start > int64(len(runes)) {
+			return value.Str(""), nil
+		}
+		end := int64(len(runes))
+		if len(args) == 3 {
+			n, ok := args[2].AsInt()
+			if !ok {
+				return value.Null, fmt.Errorf("cypher: substring() length must be integer")
+			}
+			if start+n < end {
+				end = start + n
+			}
+		}
+		if end < start {
+			end = start
+		}
+		return value.Str(string(runes[start:end])), nil
+
+	case "replace":
+		if err := arity(call, args, 3, 3); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() || args[1].IsNull() || args[2].IsNull() {
+			return value.Null, nil
+		}
+		s, ok1 := args[0].AsString()
+		from, ok2 := args[1].AsString()
+		to, ok3 := args[2].AsString()
+		if !ok1 || !ok2 || !ok3 {
+			return value.Null, fmt.Errorf("cypher: replace() requires strings")
+		}
+		return value.Str(strings.ReplaceAll(s, from, to)), nil
+
+	case "split":
+		if err := arity(call, args, 2, 2); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return value.Null, nil
+		}
+		s, ok1 := args[0].AsString()
+		sep, ok2 := args[1].AsString()
+		if !ok1 || !ok2 {
+			return value.Null, fmt.Errorf("cypher: split() requires strings")
+		}
+		parts := strings.Split(s, sep)
+		out := make([]value.Value, len(parts))
+		for i, p := range parts {
+			out[i] = value.Str(p)
+		}
+		return value.ListOf(out), nil
+
+	case "left", "right":
+		if err := arity(call, args, 2, 2); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		s, ok := args[0].AsString()
+		if !ok {
+			return value.Null, fmt.Errorf("cypher: %s() of %s", name, args[0].Kind())
+		}
+		n, ok := args[1].AsInt()
+		if !ok || n < 0 {
+			return value.Null, fmt.Errorf("cypher: %s() length must be a non-negative integer", name)
+		}
+		runes := []rune(s)
+		if n > int64(len(runes)) {
+			n = int64(len(runes))
+		}
+		if name == "left" {
+			return value.Str(string(runes[:n])), nil
+		}
+		return value.Str(string(runes[len(runes)-int(n):])), nil
+
+	case "datetime":
+		if err := arity(call, args, 0, 1); err != nil {
+			return value.Null, err
+		}
+		if len(args) == 0 {
+			return value.DateTime(ctx.timeNow()), nil
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		if args[0].Kind() == value.KindDateTime {
+			return args[0], nil
+		}
+		s, ok := args[0].AsString()
+		if !ok {
+			return value.Null, fmt.Errorf("cypher: datetime() requires a string")
+		}
+		return value.ParseDateTime(s)
+
+	case "timestamp":
+		if err := arity(call, args, 0, 0); err != nil {
+			return value.Null, err
+		}
+		return value.Int(ctx.timeNow().UnixMilli()), nil
+
+	case "duration":
+		if err := arity(call, args, 1, 1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		if args[0].Kind() == value.KindDuration {
+			return args[0], nil
+		}
+		s, ok := args[0].AsString()
+		if !ok {
+			return value.Null, fmt.Errorf("cypher: duration() requires a string")
+		}
+		return value.ParseDuration(s)
+
+	case "range":
+		if err := arity(call, args, 2, 3); err != nil {
+			return value.Null, err
+		}
+		start, ok1 := args[0].AsInt()
+		end, ok2 := args[1].AsInt()
+		if !ok1 || !ok2 {
+			return value.Null, fmt.Errorf("cypher: range() requires integers")
+		}
+		step := int64(1)
+		if len(args) == 3 {
+			var ok bool
+			step, ok = args[2].AsInt()
+			if !ok || step == 0 {
+				return value.Null, fmt.Errorf("cypher: range() step must be a non-zero integer")
+			}
+		}
+		var out []value.Value
+		if step > 0 {
+			for i := start; i <= end; i += step {
+				out = append(out, value.Int(i))
+			}
+		} else {
+			for i := start; i >= end; i += step {
+				out = append(out, value.Int(i))
+			}
+		}
+		return value.ListOf(out), nil
+
+	case "countnodes":
+		// countNodes(label) or countNodes(label, key, value) — count-store
+		// access: O(1) when a property index exists on (label, key), the
+		// analog of Neo4j's count store. Falls back to a label scan.
+		if err := arity(call, args, 1, 3); err != nil {
+			return value.Null, err
+		}
+		label, ok := args[0].AsString()
+		if !ok {
+			return value.Null, fmt.Errorf("cypher: countNodes() label must be a string")
+		}
+		if len(args) == 1 {
+			return value.Int(int64(ctx.tx.CountByLabel(label))), nil
+		}
+		if len(args) != 3 {
+			return value.Null, fmt.Errorf("cypher: countNodes() takes 1 or 3 arguments")
+		}
+		key, ok := args[1].AsString()
+		if !ok {
+			return value.Null, fmt.Errorf("cypher: countNodes() key must be a string")
+		}
+		if n, indexed := ctx.tx.CountByProp(label, key, args[2]); indexed {
+			return value.Int(int64(n)), nil
+		}
+		var n int64
+		for _, id := range ctx.tx.NodesByLabel(label) {
+			if v, has := ctx.tx.NodeProp(id, key); has {
+				if eq, known := value.Equal(v, args[2]); known && eq {
+					n++
+				}
+			}
+		}
+		return value.Int(n), nil
+
+	case "degree":
+		// degree(node [, type]) — extension used by rule diagnostics.
+		if err := arity(call, args, 1, 2); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		if args[0].Kind() != value.KindNode {
+			return value.Null, fmt.Errorf("cypher: degree() requires a node")
+		}
+		id, _ := args[0].EntityID()
+		if len(args) == 2 {
+			typ, ok := args[1].AsString()
+			if !ok {
+				return value.Null, fmt.Errorf("cypher: degree() type must be a string")
+			}
+			return value.Int(int64(len(ctx.tx.RelsOf(graph.NodeID(id), graph.Both, []string{typ})))), nil
+		}
+		return value.Int(int64(ctx.tx.Degree(graph.NodeID(id), graph.Both))), nil
+
+	default:
+		return value.Null, fmt.Errorf("cypher: unknown function %s()", name)
+	}
+}
+
+func listPick(v value.Value, idx int) (value.Value, error) {
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	l, ok := v.AsList()
+	if !ok {
+		return value.Null, fmt.Errorf("cypher: head()/last() of %s", v.Kind())
+	}
+	if len(l) == 0 {
+		return value.Null, nil
+	}
+	if idx < 0 {
+		return l[len(l)-1], nil
+	}
+	return l[idx], nil
+}
+
+func propertiesOf(ctx *evalCtx, v value.Value) (value.Value, error) {
+	switch v.Kind() {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindMap:
+		return v, nil
+	case value.KindNode:
+		id, _ := v.EntityID()
+		n, ok := ctx.tx.Node(graph.NodeID(id))
+		if !ok {
+			return value.Null, nil
+		}
+		return value.Map(n.Props), nil
+	case value.KindRelationship:
+		id, _ := v.EntityID()
+		r, ok := ctx.tx.Rel(graph.RelID(id))
+		if !ok {
+			return value.Null, nil
+		}
+		return value.Map(r.Props), nil
+	default:
+		return value.Null, fmt.Errorf("cypher: properties() of %s", v.Kind())
+	}
+}
+
+func keysOf(ctx *evalCtx, v value.Value) (value.Value, error) {
+	var keys []string
+	switch v.Kind() {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindMap:
+		m, _ := v.AsMap()
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sortKeys(keys)
+	case value.KindNode:
+		id, _ := v.EntityID()
+		keys = ctx.tx.NodePropKeys(graph.NodeID(id))
+	case value.KindRelationship:
+		id, _ := v.EntityID()
+		keys = ctx.tx.RelPropKeys(graph.RelID(id))
+	default:
+		return value.Null, fmt.Errorf("cypher: keys() of %s", v.Kind())
+	}
+	out := make([]value.Value, len(keys))
+	for i, k := range keys {
+		out[i] = value.Str(k)
+	}
+	return value.ListOf(out), nil
+}
+
+func sortKeys(ks []string) {
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+}
+
+func mathFunc(name string, v value.Value) (value.Value, error) {
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if name == "abs" {
+		if i, ok := v.AsInt(); ok {
+			if i < 0 {
+				i = -i
+			}
+			return value.Int(i), nil
+		}
+	}
+	if name == "sign" {
+		f, ok := v.NumberAsFloat()
+		if !ok {
+			return value.Null, fmt.Errorf("cypher: sign() of %s", v.Kind())
+		}
+		switch {
+		case f > 0:
+			return value.Int(1), nil
+		case f < 0:
+			return value.Int(-1), nil
+		default:
+			return value.Int(0), nil
+		}
+	}
+	f, ok := v.NumberAsFloat()
+	if !ok {
+		return value.Null, fmt.Errorf("cypher: %s() of %s", name, v.Kind())
+	}
+	switch name {
+	case "abs":
+		return value.Float(math.Abs(f)), nil
+	case "ceil":
+		return value.Float(math.Ceil(f)), nil
+	case "floor":
+		return value.Float(math.Floor(f)), nil
+	case "round":
+		return value.Float(math.Round(f)), nil
+	case "sqrt":
+		return value.Float(math.Sqrt(f)), nil
+	default:
+		return value.Null, fmt.Errorf("cypher: unknown math function %s", name)
+	}
+}

@@ -1,0 +1,214 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fnCase asserts one RETURN expression's rendering.
+type fnCase struct {
+	expr string
+	want string
+}
+
+func runCases(t *testing.T, s *graph.Store, cases []fnCase) {
+	t.Helper()
+	for _, c := range cases {
+		res := q(t, s, "RETURN "+c.expr+" AS v", nil)
+		if got := res.Rows[0][0].String(); got != c.want {
+			t.Errorf("%s = %s, want %s", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestMathFunctions(t *testing.T) {
+	s := graph.NewStore()
+	runCases(t, s, []fnCase{
+		{"abs(-5)", "5"},
+		{"abs(-2.5)", "2.5"},
+		{"ceil(1.2)", "2.0"},
+		{"floor(1.8)", "1.0"},
+		{"round(1.5)", "2.0"},
+		{"sqrt(16)", "4.0"},
+		{"sign(-3)", "-1"},
+		{"sign(0)", "0"},
+		{"sign(2.5)", "1"},
+		{"abs(null) IS NULL", "true"},
+	})
+	qErr(t, s, "RETURN sqrt('x')")
+	qErr(t, s, "RETURN sign([1])")
+	qErr(t, s, "RETURN abs(1, 2)")
+}
+
+func TestListFunctions(t *testing.T) {
+	s := graph.NewStore()
+	runCases(t, s, []fnCase{
+		{"head([])", "null"},
+		{"last([])", "null"},
+		{"tail([])", "[]"},
+		{"tail([1,2,3])", "[2, 3]"},
+		{"reverse([1,2,3])", "[3, 2, 1]"},
+		{"size('héllo')", "5"}, // runes, not bytes
+		{"size({a: 1, b: 2})", "2"},
+		{"range(0, 10, 5)", "[0, 5, 10]"},
+		{"range(3, 1, -1)", "[3, 2, 1]"},
+		{"range(5, 4)", "[]"},
+		{"head(null) IS NULL", "true"},
+		{"reverse(null) IS NULL", "true"},
+	})
+	qErr(t, s, "RETURN range(1, 5, 0)")
+	qErr(t, s, "RETURN tail(42)")
+	qErr(t, s, "RETURN size(42)")
+}
+
+func TestStringFunctionEdgeCases(t *testing.T) {
+	s := graph.NewStore()
+	runCases(t, s, []fnCase{
+		{"substring('hello', 0, 0)", `""`},
+		{"substring('hello', 10)", `""`},
+		{"substring('héllo', 1, 2)", `"él"`},
+		{"left('hi', 10)", `"hi"`},
+		{"right('hello', 2)", `"lo"`},
+		{"ltrim('  x  ')", `"x  "`},
+		{"rtrim('  x  ')", `"  x"`},
+		{"split('a', ',')", `["a"]`},
+		{"replace(null, 'a', 'b') IS NULL", "true"},
+		{"toUpper(null) IS NULL", "true"},
+	})
+	qErr(t, s, "RETURN left('x', -1)")
+	qErr(t, s, "RETURN substring(5, 1)")
+}
+
+func TestEntityFunctions(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, `MATCH (p:Person {name: 'Alice'})
+	               RETURN properties(p).name, keys(p), degree(p), degree(p, 'KNOWS')`, nil)
+	r := res.Rows[0]
+	if r[0].String() != `"Alice"` {
+		t.Errorf("properties().name: %s", r[0])
+	}
+	if r[1].String() != `["age", "name"]` {
+		t.Errorf("keys: %s", r[1])
+	}
+	if r[2].String() != "2" || r[3].String() != "1" {
+		t.Errorf("degree: %s / %s", r[2], r[3])
+	}
+	// properties/keys of maps.
+	res = q(t, s, "RETURN keys({b: 1, a: 2}), properties({x: 1})", nil)
+	if res.Rows[0][0].String() != `["a", "b"]` || res.Rows[0][1].String() != "{x: 1}" {
+		t.Errorf("map forms: %v", res.Rows[0])
+	}
+	// Rel properties via the rel value.
+	res = q(t, s, "MATCH ()-[r:KNOWS {since: 2010}]->() RETURN properties(r), keys(r)", nil)
+	if res.Rows[0][0].String() != "{since: 2010}" {
+		t.Errorf("rel properties: %v", res.Rows[0])
+	}
+	qErr(t, s, "RETURN degree(5)")
+	qErr(t, s, "RETURN labels(5)")
+	qErr(t, s, "MATCH (p:Person) RETURN type(p)")
+}
+
+func TestNullPropagationThroughFunctions(t *testing.T) {
+	s := graph.NewStore()
+	runCases(t, s, []fnCase{
+		{"id(null) IS NULL", "true"},
+		{"labels(null) IS NULL", "true"},
+		{"type(null) IS NULL", "true"},
+		{"startNode(null) IS NULL", "true"},
+		{"properties(null) IS NULL", "true"},
+		{"keys(null) IS NULL", "true"},
+		{"size(null) IS NULL", "true"},
+		{"datetime(null) IS NULL", "true"},
+		{"duration(null) IS NULL", "true"},
+		{"toString(null) IS NULL", "true"},
+	})
+}
+
+func TestUnknownFunctionError(t *testing.T) {
+	s := graph.NewStore()
+	err := qErr(t, s, "RETURN frobnicate(1)")
+	if !strings.Contains(err.Error(), "frobnicate") {
+		t.Errorf("error should name the function: %v", err)
+	}
+}
+
+func TestIndexingAndSlicing(t *testing.T) {
+	s := graph.NewStore()
+	runCases(t, s, []fnCase{
+		{"[10,20,30][0]", "10"},
+		{"[10,20,30][-1]", "30"},
+		{"[10,20,30][5]", "null"},
+		{"[10,20,30][1..]", "[20, 30]"},
+		{"[10,20,30][..2]", "[10, 20]"},
+		{"[10,20,30][-2..]", "[20, 30]"},
+		{"[10,20,30][2..1]", "[]"},
+		{"{a: 7}['a']", "7"},
+		{"{a: 7}['b']", "null"},
+		{"null[0] IS NULL", "true"},
+	})
+	qErr(t, s, "RETURN 5[0]")
+	qErr(t, s, "RETURN [1]['x']")
+	qErr(t, s, "RETURN {a:1}[0]")
+	// Indexing into a node by property name.
+	gs := testGraph(t)
+	res := q(t, gs, "MATCH (p:Person {name:'Bob'}) RETURN p['age']", nil)
+	if res.Rows[0][0].String() != "29" {
+		t.Errorf("node indexing: %v", res.Rows[0])
+	}
+}
+
+func TestDateTimePropertiesAndArithmetic(t *testing.T) {
+	s := graph.NewStore()
+	runCases(t, s, []fnCase{
+		{"datetime('2023-04-01T10:30:45Z').year", "2023"},
+		{"datetime('2023-04-01T10:30:45Z').month", "4"},
+		{"datetime('2023-04-01T10:30:45Z').hour", "10"},
+		{"datetime('2023-04-01T10:30:45Z').minute", "30"},
+		{"datetime('2023-04-01T10:30:45Z').second", "45"},
+		{"datetime('2023-04-02') - datetime('2023-04-01')", "24h0m0s"},
+		{"(datetime('2023-04-01') + duration('P1D')).day", "2"},
+		{"duration('PT1H') * 3", "3h0m0s"},
+		{"duration('PT3H') / 3", "1h0m0s"},
+	})
+	qErr(t, s, "RETURN datetime('2023-04-01').weekday")
+}
+
+func TestCaseSimpleForm(t *testing.T) {
+	s := graph.NewStore()
+	runCases(t, s, []fnCase{
+		{"CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' ELSE 'many' END", `"two"`},
+		{"CASE 9 WHEN 1 THEN 'one' END", "null"},
+		{"CASE null WHEN null THEN 'n' ELSE 'x' END", `"x"`}, // null = null is unknown
+	})
+}
+
+func TestXorOperator(t *testing.T) {
+	s := graph.NewStore()
+	runCases(t, s, []fnCase{
+		{"true XOR false", "true"},
+		{"true XOR true", "false"},
+		{"(true XOR null) IS NULL", "true"},
+	})
+}
+
+func TestRegexOperator(t *testing.T) {
+	s := graph.NewStore()
+	runCases(t, s, []fnCase{
+		{"'hello' =~ 'h.*'", "true"},
+		{"'hello' =~ 'ell'", "false"}, // whole-string semantics
+		{"'hello' =~ '.*ell.*'", "true"},
+		{"'S:E484K' =~ 'S:[A-Z]\\\\d+[A-Z]'", "true"},
+		{"('x' =~ null) IS NULL", "true"},
+		{"(null =~ '.*') IS NULL", "true"},
+		{"(5 =~ '.*') IS NULL", "true"},
+	})
+	qErr(t, s, "RETURN 'x' =~ '['")
+	// Regex in a WHERE against graph data.
+	gs := testGraph(t)
+	res := q(t, gs, "MATCH (p:Person) WHERE p.name =~ '[AB].*' RETURN p.name ORDER BY p.name", nil)
+	if joined(res, 0) != `"Alice","Bob"` {
+		t.Errorf("regex where: %v", res.Rows)
+	}
+}

@@ -1,0 +1,244 @@
+package cypher
+
+import "sort"
+
+// StatementInfo summarizes the static read/write footprint of a statement:
+// which labels and relationship types it matches, which it creates, which
+// labels and properties it sets. Rule engines use it to classify rules
+// (intra-hub vs inter-hub, single-state vs multi-state) and to build the
+// triggering graph for termination analysis.
+type StatementInfo struct {
+	MatchedNodeLabels []string
+	MatchedRelTypes   []string
+	CreatedNodeLabels []string
+	CreatedRelTypes   []string
+	SetLabels         []string
+	SetPropKeys       []string
+	RemovedLabels     []string
+	RemovedPropKeys   []string
+	Deletes           bool
+}
+
+// Inspect computes the static footprint of a parsed statement.
+func Inspect(stmt *Statement) *StatementInfo {
+	info := &StatementInfo{}
+	for _, cl := range stmt.Clauses {
+		switch c := cl.(type) {
+		case *MatchClause:
+			for _, p := range c.Patterns {
+				info.addMatchedPattern(p)
+			}
+			if c.Where != nil {
+				info.addExpr(c.Where)
+			}
+		case *WithClause:
+			info.addItems(c.Items)
+			if c.Where != nil {
+				info.addExpr(c.Where)
+			}
+		case *ReturnClause:
+			info.addItems(c.Items)
+		case *UnwindClause:
+			info.addExpr(c.List)
+		case *CreateClause:
+			for _, p := range c.Patterns {
+				info.addCreatedPattern(p)
+			}
+		case *MergeClause:
+			// MERGE both reads and may create its pattern.
+			info.addMatchedPattern(c.Pattern)
+			info.addCreatedPattern(c.Pattern)
+			info.addSetItems(c.OnCreateSet)
+			info.addSetItems(c.OnMatchSet)
+		case *SetClause:
+			info.addSetItems(c.Items)
+		case *RemoveClause:
+			for _, it := range c.Items {
+				if it.Key != "" {
+					info.RemovedPropKeys = append(info.RemovedPropKeys, it.Key)
+				}
+				info.RemovedLabels = append(info.RemovedLabels, it.Labels...)
+			}
+		case *DeleteClause:
+			info.Deletes = true
+		case *ForeachClause:
+			info.addExpr(c.List)
+			sub := Inspect(&Statement{Clauses: c.Body})
+			info.MatchedNodeLabels = append(info.MatchedNodeLabels, sub.MatchedNodeLabels...)
+			info.MatchedRelTypes = append(info.MatchedRelTypes, sub.MatchedRelTypes...)
+			info.CreatedNodeLabels = append(info.CreatedNodeLabels, sub.CreatedNodeLabels...)
+			info.CreatedRelTypes = append(info.CreatedRelTypes, sub.CreatedRelTypes...)
+			info.SetLabels = append(info.SetLabels, sub.SetLabels...)
+			info.SetPropKeys = append(info.SetPropKeys, sub.SetPropKeys...)
+			info.RemovedLabels = append(info.RemovedLabels, sub.RemovedLabels...)
+			info.RemovedPropKeys = append(info.RemovedPropKeys, sub.RemovedPropKeys...)
+			if sub.Deletes {
+				info.Deletes = true
+			}
+		}
+	}
+	info.dedupe()
+	return info
+}
+
+// ResultColumns returns the column names a statement's final RETURN
+// produces, or nil for write-only statements. RETURN * yields nil because
+// the columns depend on runtime bindings.
+func ResultColumns(stmt *Statement) []string {
+	if len(stmt.Clauses) == 0 {
+		return nil
+	}
+	ret, ok := stmt.Clauses[len(stmt.Clauses)-1].(*ReturnClause)
+	if !ok || ret.Star {
+		return nil
+	}
+	cols := make([]string, len(ret.Items))
+	for i, it := range ret.Items {
+		cols[i] = itemName(it)
+	}
+	return cols
+}
+
+// InspectExpr computes the footprint of a standalone expression (pattern
+// predicates contribute matched labels).
+func InspectExpr(e Expr) *StatementInfo {
+	info := &StatementInfo{}
+	info.addExpr(e)
+	info.dedupe()
+	return info
+}
+
+func (info *StatementInfo) addMatchedPattern(p *PatternPart) {
+	for _, n := range p.Nodes {
+		info.MatchedNodeLabels = append(info.MatchedNodeLabels, n.Labels...)
+		for _, e := range n.Props {
+			info.addExpr(e)
+		}
+	}
+	for _, r := range p.Rels {
+		info.MatchedRelTypes = append(info.MatchedRelTypes, r.Types...)
+		for _, e := range r.Props {
+			info.addExpr(e)
+		}
+	}
+}
+
+func (info *StatementInfo) addCreatedPattern(p *PatternPart) {
+	for _, n := range p.Nodes {
+		info.CreatedNodeLabels = append(info.CreatedNodeLabels, n.Labels...)
+	}
+	for _, r := range p.Rels {
+		info.CreatedRelTypes = append(info.CreatedRelTypes, r.Types...)
+	}
+}
+
+func (info *StatementInfo) addSetItems(items []*SetItem) {
+	for _, it := range items {
+		switch it.Kind {
+		case SetProp:
+			info.SetPropKeys = append(info.SetPropKeys, it.Key)
+			info.addExpr(it.Value)
+		case SetLabels:
+			info.SetLabels = append(info.SetLabels, it.Labels...)
+		case SetAllProps, SetMergeProps:
+			info.SetPropKeys = append(info.SetPropKeys, "*")
+			info.addExpr(it.Value)
+		}
+	}
+}
+
+func (info *StatementInfo) addItems(items []*ReturnItem) {
+	for _, it := range items {
+		info.addExpr(it.Expr)
+	}
+}
+
+func (info *StatementInfo) addExpr(e Expr) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *PatternExpr:
+		info.addMatchedPattern(x.Pattern)
+	case *PropAccess:
+		info.addExpr(x.X)
+	case *IndexExpr:
+		info.addExpr(x.X)
+		info.addExpr(x.Idx)
+	case *SliceExpr:
+		info.addExpr(x.X)
+		if x.From != nil {
+			info.addExpr(x.From)
+		}
+		if x.To != nil {
+			info.addExpr(x.To)
+		}
+	case *UnaryOp:
+		info.addExpr(x.X)
+	case *BinaryOp:
+		info.addExpr(x.L)
+		info.addExpr(x.R)
+	case *FuncCall:
+		for _, a := range x.Args {
+			info.addExpr(a)
+		}
+	case *CaseExpr:
+		if x.Test != nil {
+			info.addExpr(x.Test)
+		}
+		for _, w := range x.Whens {
+			info.addExpr(w.Cond)
+			info.addExpr(w.Then)
+		}
+		if x.Else != nil {
+			info.addExpr(x.Else)
+		}
+	case *ListLit:
+		for _, el := range x.Elems {
+			info.addExpr(el)
+		}
+	case *MapLit:
+		for _, v := range x.Vals {
+			info.addExpr(v)
+		}
+	case *ListComp:
+		info.addExpr(x.List)
+		if x.Where != nil {
+			info.addExpr(x.Where)
+		}
+		if x.Proj != nil {
+			info.addExpr(x.Proj)
+		}
+	case *ListPredicate:
+		info.addExpr(x.List)
+		info.addExpr(x.Where)
+	case *ReduceExpr:
+		info.addExpr(x.Init)
+		info.addExpr(x.List)
+		info.addExpr(x.Body)
+	}
+}
+
+func (info *StatementInfo) dedupe() {
+	info.MatchedNodeLabels = uniqSorted(info.MatchedNodeLabels)
+	info.MatchedRelTypes = uniqSorted(info.MatchedRelTypes)
+	info.CreatedNodeLabels = uniqSorted(info.CreatedNodeLabels)
+	info.CreatedRelTypes = uniqSorted(info.CreatedRelTypes)
+	info.SetLabels = uniqSorted(info.SetLabels)
+	info.SetPropKeys = uniqSorted(info.SetPropKeys)
+	info.RemovedLabels = uniqSorted(info.RemovedLabels)
+	info.RemovedPropKeys = uniqSorted(info.RemovedPropKeys)
+}
+
+func uniqSorted(ss []string) []string {
+	if len(ss) == 0 {
+		return nil
+	}
+	sort.Strings(ss)
+	out := ss[:1]
+	for _, s := range ss[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package cypher
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestInspectReadFootprint(t *testing.T) {
+	stmt := mustParse(t, `MATCH (s:Sequence)-[:SequencedAt]->(l:Lab)-[:LocatedIn]->(r:Region)
+	                     WHERE (s)-[:AssignedTo]->(:Variant) AND s.id STARTS WITH 'x'
+	                     RETURN r.name, count(s)`)
+	info := Inspect(stmt)
+	wantLabels := []string{"Lab", "Region", "Sequence", "Variant"}
+	if !reflect.DeepEqual(info.MatchedNodeLabels, wantLabels) {
+		t.Errorf("labels = %v", info.MatchedNodeLabels)
+	}
+	wantRels := []string{"AssignedTo", "LocatedIn", "SequencedAt"}
+	if !reflect.DeepEqual(info.MatchedRelTypes, wantRels) {
+		t.Errorf("rel types = %v", info.MatchedRelTypes)
+	}
+	if len(info.CreatedNodeLabels) != 0 || info.Deletes {
+		t.Error("read-only query should have no write footprint")
+	}
+}
+
+func TestInspectWriteFootprint(t *testing.T) {
+	stmt := mustParse(t, `MATCH (a:A)
+	                     CREATE (a)-[:Linked]->(b:B)
+	                     MERGE (c:Counter {id: 1}) ON CREATE SET c.v = 0 ON MATCH SET c:Seen
+	                     SET a.touched = true, a += {x: 1}
+	                     REMOVE a.old, a:Stale
+	                     DETACH DELETE b`)
+	info := Inspect(stmt)
+	if !reflect.DeepEqual(info.CreatedNodeLabels, []string{"B", "Counter"}) {
+		t.Errorf("created labels = %v", info.CreatedNodeLabels)
+	}
+	if !reflect.DeepEqual(info.CreatedRelTypes, []string{"Linked"}) {
+		t.Errorf("created rels = %v", info.CreatedRelTypes)
+	}
+	if !reflect.DeepEqual(info.SetLabels, []string{"Seen"}) {
+		t.Errorf("set labels = %v", info.SetLabels)
+	}
+	// SetProp keys: touched, v, and "*" from the += form.
+	if !reflect.DeepEqual(info.SetPropKeys, []string{"*", "touched", "v"}) {
+		t.Errorf("set props = %v", info.SetPropKeys)
+	}
+	if !reflect.DeepEqual(info.RemovedPropKeys, []string{"old"}) {
+		t.Errorf("removed props = %v", info.RemovedPropKeys)
+	}
+	if !reflect.DeepEqual(info.RemovedLabels, []string{"Stale"}) {
+		t.Errorf("removed labels = %v", info.RemovedLabels)
+	}
+	if !info.Deletes {
+		t.Error("DELETE not detected")
+	}
+}
+
+func TestInspectExprPatternPredicate(t *testing.T) {
+	e, err := ParseExpr("(NEW)-[:HasEffect]->(:Effect {level: 'critical'}) AND NEW.x IN [1,2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := InspectExpr(e)
+	if !reflect.DeepEqual(info.MatchedNodeLabels, []string{"Effect"}) {
+		t.Errorf("labels = %v", info.MatchedNodeLabels)
+	}
+	if !reflect.DeepEqual(info.MatchedRelTypes, []string{"HasEffect"}) {
+		t.Errorf("rel types = %v", info.MatchedRelTypes)
+	}
+}
+
+func TestInspectNestedExpressions(t *testing.T) {
+	stmt := mustParse(t, `UNWIND [x IN range(1, 3) | x] AS i
+	                     RETURN CASE WHEN (n:Deep) THEN 1 ELSE reduce(a = 0, y IN [1] | a + y) END`)
+	info := Inspect(stmt)
+	if !reflect.DeepEqual(info.MatchedNodeLabels, []string{"Deep"}) {
+		t.Errorf("labels through case/pattern = %v", info.MatchedNodeLabels)
+	}
+	e, err := ParseExpr("all(x IN xs WHERE (x)-[:Rel]->(:Target))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info = InspectExpr(e)
+	if !reflect.DeepEqual(info.MatchedNodeLabels, []string{"Target"}) {
+		t.Errorf("labels through quantifier = %v", info.MatchedNodeLabels)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s := testGraph(t)
+	if err := s.CreateIndex("Person", "name"); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin(graph.ReadOnly)
+	defer tx.Rollback()
+	stmt := mustParse(t, `MATCH (p:Person {name: 'Alice'})-[:KNOWS]->(f)
+	                     WHERE f.age > 20
+	                     WITH f.name AS name ORDER BY name
+	                     RETURN DISTINCT name`)
+	out := Explain(tx, stmt)
+	for _, want := range []string{
+		"MATCH", "via index (Person.name)", "filter: WHERE",
+		"WITH", "ORDER BY", "RETURN (DISTINCT",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// Label scan and full scan paths.
+	stmt = mustParse(t, "MATCH (c:Company) RETURN c")
+	if out := Explain(tx, stmt); !strings.Contains(out, "label scan :Company (1 nodes)") {
+		t.Errorf("label scan:\n%s", out)
+	}
+	stmt = mustParse(t, "MATCH (n) RETURN n")
+	if out := Explain(tx, stmt); !strings.Contains(out, "full scan") {
+		t.Errorf("full scan:\n%s", out)
+	}
+	// Write clauses render too.
+	stmt = mustParse(t, `MATCH (a:Person) CREATE (a)-[:X]->(:Y)
+	                    MERGE (c:Counter {id: 1}) SET c.v = 1 REMOVE c.old DETACH DELETE c`)
+	out = Explain(tx, stmt)
+	for _, want := range []string{"CREATE 1 pattern", "MERGE", "SET 1 item", "REMOVE 1 item", "DETACH DELETE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	stmt = mustParse(t, "UNWIND [1,2] AS x RETURN x")
+	if out := Explain(tx, stmt); !strings.Contains(out, "UNWIND") {
+		t.Errorf("unwind:\n%s", out)
+	}
+}

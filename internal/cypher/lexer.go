@@ -1,0 +1,345 @@
+package cypher
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input eagerly; the parser then walks the slice.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/' && l.peekByteAt(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return errAt(l.src, l.pos, "unterminated block comment")
+			}
+			l.pos += 2 + end + 2
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case '[':
+		l.pos++
+		return token{tokLBracket, "[", start}, nil
+	case ']':
+		l.pos++
+		return token{tokRBracket, "]", start}, nil
+	case '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case ':':
+		l.pos++
+		return token{tokColon, ":", start}, nil
+	case ';':
+		l.pos++
+		return token{tokSemi, ";", start}, nil
+	case '|':
+		l.pos++
+		return token{tokPipe, "|", start}, nil
+	case '.':
+		if l.peekByteAt(1) == '.' {
+			l.pos += 2
+			return token{tokDotDot, "..", start}, nil
+		}
+		if l.peekByteAt(1) >= '0' && l.peekByteAt(1) <= '9' {
+			return l.lexNumber()
+		}
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case '+':
+		if l.peekByteAt(1) == '=' {
+			l.pos += 2
+			return token{tokPlusEq, "+=", start}, nil
+		}
+		l.pos++
+		return token{tokPlus, "+", start}, nil
+	case '-':
+		if l.peekByteAt(1) == '>' {
+			l.pos += 2
+			return token{tokArrowR, "->", start}, nil
+		}
+		l.pos++
+		return token{tokMinus, "-", start}, nil
+	case '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case '/':
+		l.pos++
+		return token{tokSlash, "/", start}, nil
+	case '%':
+		l.pos++
+		return token{tokPercent, "%", start}, nil
+	case '^':
+		l.pos++
+		return token{tokCaret, "^", start}, nil
+	case '=':
+		if l.peekByteAt(1) == '~' {
+			l.pos += 2
+			return token{tokRegexEq, "=~", start}, nil
+		}
+		l.pos++
+		return token{tokEq, "=", start}, nil
+	case '<':
+		switch l.peekByteAt(1) {
+		case '>':
+			l.pos += 2
+			return token{tokNeq, "<>", start}, nil
+		case '=':
+			l.pos += 2
+			return token{tokLte, "<=", start}, nil
+		case '-':
+			l.pos += 2
+			return token{tokArrowL, "<-", start}, nil
+		default:
+			l.pos++
+			return token{tokLt, "<", start}, nil
+		}
+	case '>':
+		if l.peekByteAt(1) == '=' {
+			l.pos += 2
+			return token{tokGte, ">=", start}, nil
+		}
+		l.pos++
+		return token{tokGt, ">", start}, nil
+	case '\'', '"':
+		return l.lexString(c)
+	case '`':
+		return l.lexBacktickIdent()
+	case '$':
+		l.pos++
+		r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentStart(r) {
+			return token{}, errAt(l.src, start, "expected parameter name after $")
+		}
+		name := l.lexIdentText()
+		return token{tokParam, name, start}, nil
+	}
+	if c >= '0' && c <= '9' {
+		return l.lexNumber()
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	if isIdentStart(r) {
+		text := l.lexIdentText()
+		if keywords[strings.ToUpper(text)] {
+			return token{tokKeyword, text, start}, nil
+		}
+		return token{tokIdent, text, start}, nil
+	}
+	return token{}, errAt(l.src, start, "unexpected character %q", string(r))
+}
+
+func (l *lexer) lexIdentText() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexBacktickIdent() (token, error) {
+	start := l.pos
+	l.pos++ // opening backtick
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '`' {
+			if l.peekByteAt(1) == '`' { // escaped backtick
+				sb.WriteByte('`')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{tokIdent, sb.String(), start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, errAt(l.src, start, "unterminated backtick identifier")
+}
+
+func (l *lexer) lexString(quote byte) (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return token{tokString, sb.String(), start}, nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return token{}, errAt(l.src, start, "unterminated string")
+			}
+			esc := l.src[l.pos]
+			l.pos++
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\', '\'', '"', '`':
+				sb.WriteByte(esc)
+			case 'u':
+				if l.pos+4 > len(l.src) {
+					return token{}, errAt(l.src, l.pos, "bad unicode escape")
+				}
+				var r rune
+				for i := 0; i < 4; i++ {
+					d := l.src[l.pos+i]
+					var v rune
+					switch {
+					case d >= '0' && d <= '9':
+						v = rune(d - '0')
+					case d >= 'a' && d <= 'f':
+						v = rune(d-'a') + 10
+					case d >= 'A' && d <= 'F':
+						v = rune(d-'A') + 10
+					default:
+						return token{}, errAt(l.src, l.pos, "bad unicode escape")
+					}
+					r = r*16 + v
+				}
+				l.pos += 4
+				sb.WriteRune(r)
+			default:
+				return token{}, errAt(l.src, l.pos-1, "unknown escape \\%c", esc)
+			}
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, errAt(l.src, start, "unterminated string")
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	isFloat := false
+	// Hex literal.
+	if l.peekByte() == '0' && (l.peekByteAt(1) == 'x' || l.peekByteAt(1) == 'X') {
+		l.pos += 2
+		for isHexDigit(l.peekByte()) {
+			l.pos++
+		}
+		return token{tokInt, l.src[start:l.pos], start}, nil
+	}
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	// Fractional part, but not the range operator "..".
+	if l.peekByte() == '.' && l.peekByteAt(1) != '.' && l.peekByteAt(1) >= '0' && l.peekByteAt(1) <= '9' {
+		isFloat = true
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	if c := l.peekByte(); c == 'e' || c == 'E' {
+		save := l.pos
+		l.pos++
+		if c := l.peekByte(); c == '+' || c == '-' {
+			l.pos++
+		}
+		if d := l.peekByte(); d >= '0' && d <= '9' {
+			isFloat = true
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	kind := tokInt
+	if isFloat {
+		kind = tokFloat
+	}
+	return token{kind, l.src[start:l.pos], start}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

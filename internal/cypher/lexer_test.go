@@ -1,0 +1,151 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []tokenKind {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	out := make([]tokenKind, 0, len(toks)-1)
+	for _, tok := range toks[:len(toks)-1] {
+		out = append(out, tok.kind)
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	got := kinds(t, "MATCH (n:Person {age: 42}) RETURN n.name")
+	want := []tokenKind{tokKeyword, tokLParen, tokIdent, tokColon, tokIdent,
+		tokLBrace, tokIdent, tokColon, tokInt, tokRBrace, tokRParen,
+		tokKeyword, tokIdent, tokDot, tokIdent}
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	got := kinds(t, "<> <= >= < > = - -> <- + += * / % ^ .. | ;")
+	want := []tokenKind{tokNeq, tokLte, tokGte, tokLt, tokGt, tokEq,
+		tokMinus, tokArrowR, tokArrowL, tokPlus, tokPlusEq, tokStar,
+		tokSlash, tokPercent, tokCaret, tokDotDot, tokPipe, tokSemi}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lex("1 42 3.14 1e5 2.5e-3 0x1F .5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKind := []tokenKind{tokInt, tokInt, tokFloat, tokFloat, tokFloat, tokInt, tokFloat}
+	for i, k := range wantKind {
+		if toks[i].kind != k {
+			t.Errorf("token %d (%s) kind = %v, want %v", i, toks[i].text, toks[i].kind, k)
+		}
+	}
+}
+
+func TestLexRangeVsFloat(t *testing.T) {
+	// "1..3" must lex as INT DOTDOT INT, not FLOAT.
+	got := kinds(t, "1..3")
+	want := []tokenKind{tokInt, tokDotDot, tokInt}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("1..3 lexes as %v", got)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := lex(`'single' "double" 'it\'s' "tab\there" "uniA"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"single", "double", "it's", "tab\there", "uniA"}
+	for i, w := range want {
+		if toks[i].kind != tokString || toks[i].text != w {
+			t.Errorf("string %d = %q, want %q", i, toks[i].text, w)
+		}
+	}
+}
+
+func TestLexBacktickIdent(t *testing.T) {
+	toks, err := lex("`weird name` `es``caped`")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokIdent || toks[0].text != "weird name" {
+		t.Errorf("backtick ident = %q", toks[0].text)
+	}
+	if toks[1].text != "es`caped" {
+		t.Errorf("escaped backtick = %q", toks[1].text)
+	}
+}
+
+func TestLexParams(t *testing.T) {
+	toks, err := lex("$name $p_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokParam || toks[0].text != "name" {
+		t.Errorf("param = %v", toks[0])
+	}
+	if toks[1].text != "p_2" {
+		t.Errorf("param2 = %v", toks[1])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	got := kinds(t, "MATCH // a line comment\n (n) /* block\ncomment */ RETURN n")
+	want := []tokenKind{tokKeyword, tokLParen, tokIdent, tokRParen, tokKeyword, tokIdent}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := lex("match MaTcH RETURN return")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if toks[i].kind != tokKeyword {
+			t.Errorf("token %d should be keyword", i)
+		}
+	}
+	if toks[0].text != "match" || toks[3].text != "return" {
+		t.Error("keyword tokens keep their original text")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", "`unterminated", "$", "\"bad\\q\"", "/* unterminated", "@"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) should fail", bad)
+		}
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	_, err := Parse("MATCH (n)\nRETRN n")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should report line 2: %v", err)
+	}
+}

@@ -1,0 +1,481 @@
+package cypher
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// errStop is used internally to abort a match enumeration early (EXISTS).
+var errStop = errors.New("stop iteration")
+
+// compiledPattern pre-resolves the variable slots of one pattern part
+// against an environment.
+type compiledPattern struct {
+	part      *PatternPart
+	nodeSlots []int  // slot per node pattern; -1 for anonymous
+	relSlots  []int  // slot per rel pattern; -1 for anonymous
+	nodePre   []bool // slot existed before this pattern (a reused variable)
+	relPre    []bool
+	pathSlot  int // -1 when the part has no path variable
+}
+
+// compilePattern assigns slots in en (mutating it) for every named variable
+// of the pattern part. Pre-existing names are reused, which is how joins on
+// shared variables happen; whether a slot pre-existed is recorded so the
+// matcher can tell a fresh variable (free to bind) from a variable that an
+// earlier clause bound to NULL (which matches nothing, per Cypher).
+func compilePattern(en *env, part *PatternPart) *compiledPattern {
+	cp := &compiledPattern{part: part, pathSlot: -1}
+	introduced := make(map[string]bool)
+	for _, n := range part.Nodes {
+		if n.Var == "" {
+			cp.nodeSlots = append(cp.nodeSlots, -1)
+			cp.nodePre = append(cp.nodePre, false)
+		} else {
+			_, existed := en.lookup(n.Var)
+			cp.nodeSlots = append(cp.nodeSlots, en.add(n.Var))
+			cp.nodePre = append(cp.nodePre, existed && !introduced[n.Var])
+			introduced[n.Var] = true
+		}
+	}
+	for _, r := range part.Rels {
+		if r.Var == "" {
+			cp.relSlots = append(cp.relSlots, -1)
+			cp.relPre = append(cp.relPre, false)
+		} else {
+			_, existed := en.lookup(r.Var)
+			cp.relSlots = append(cp.relSlots, en.add(r.Var))
+			cp.relPre = append(cp.relPre, existed && !introduced[r.Var])
+			introduced[r.Var] = true
+		}
+	}
+	if part.Var != "" {
+		cp.pathSlot = en.add(part.Var)
+	}
+	return cp
+}
+
+// nullBound reports whether some pattern variable was bound to NULL by an
+// earlier clause, in which case the pattern matches nothing.
+func (cp *compiledPattern) nullBound(r row) bool {
+	for i, slot := range cp.nodeSlots {
+		if slot >= 0 && slot < len(r) && cp.nodePre[i] && r[slot].IsNull() {
+			return true
+		}
+	}
+	for i, slot := range cp.relSlots {
+		if slot >= 0 && slot < len(r) && cp.relPre[i] && r[slot].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeMatches checks labels and property constraints of a node pattern
+// against a concrete node.
+func nodeMatches(ctx *evalCtx, en *env, r row, np *NodePattern, id graph.NodeID) (bool, error) {
+	for _, l := range np.Labels {
+		if !ctx.tx.NodeHasLabel(id, l) {
+			return false, nil
+		}
+	}
+	for key, expr := range np.Props {
+		want, err := evalExpr(ctx, en, r, expr)
+		if err != nil {
+			return false, err
+		}
+		got, ok := ctx.tx.NodeProp(id, key)
+		if !ok {
+			return false, nil
+		}
+		eq, known := value.Equal(got, want)
+		if !known || !eq {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func relMatches(ctx *evalCtx, en *env, r row, rp *RelPattern, h graph.RelHandle) (bool, error) {
+	if len(rp.Types) > 0 {
+		found := false
+		for _, t := range rp.Types {
+			if t == h.Type {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false, nil
+		}
+	}
+	for key, expr := range rp.Props {
+		want, err := evalExpr(ctx, en, r, expr)
+		if err != nil {
+			return false, err
+		}
+		got, ok := ctx.tx.RelProp(h.ID, key)
+		if !ok {
+			return false, nil
+		}
+		eq, known := value.Equal(got, want)
+		if !known || !eq {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// matcher drives the backtracking search for one pattern part on one row.
+type matcher struct {
+	ctx      *evalCtx
+	en       *env
+	cp       *compiledPattern
+	usedRels map[graph.RelID]bool
+	emit     func(row) error
+}
+
+// matchPart enumerates all bindings of cp against base, invoking emit for
+// each complete match. usedRels carries relationship-uniqueness state across
+// pattern parts of the same MATCH clause; pass nil for a fresh scope.
+func matchPart(ctx *evalCtx, en *env, base row, cp *compiledPattern,
+	usedRels map[graph.RelID]bool, emit func(row) error) error {
+	if usedRels == nil {
+		usedRels = make(map[graph.RelID]bool)
+	}
+	if cp.nullBound(base) {
+		return nil // a NULL-bound variable in a pattern matches nothing
+	}
+	m := &matcher{ctx: ctx, en: en, cp: cp, usedRels: usedRels, emit: emit}
+
+	anchor := m.chooseAnchor(base)
+	candidates, err := m.anchorCandidates(base, anchor)
+	if err != nil {
+		return err
+	}
+	for _, id := range candidates {
+		ok, err := nodeMatches(ctx, en, base, cp.part.Nodes[anchor], id)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		r := append(row(nil), base...)
+		if slot := cp.nodeSlots[anchor]; slot >= 0 {
+			if bound := r[slot]; !bound.IsNull() {
+				bid, isEnt := bound.EntityID()
+				if !isEnt || graph.NodeID(bid) != id {
+					continue
+				}
+			}
+			r[slot] = value.Node(int64(id))
+		}
+		if err := m.expandRight(r, anchor, id, anchor, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nodeAt returns the concrete node bound at pattern position i in r, if any.
+func (m *matcher) boundNode(r row, i int) (graph.NodeID, bool) {
+	slot := m.cp.nodeSlots[i]
+	if slot < 0 || slot >= len(r) {
+		return 0, false
+	}
+	v := r[slot]
+	if v.Kind() != value.KindNode {
+		return 0, false
+	}
+	id, _ := v.EntityID()
+	return graph.NodeID(id), true
+}
+
+// chooseAnchor picks the starting node position: a bound variable if any,
+// otherwise the most selective unbound pattern.
+func (m *matcher) chooseAnchor(base row) int {
+	for i := range m.cp.part.Nodes {
+		if _, ok := m.boundNode(base, i); ok {
+			return i
+		}
+	}
+	best, bestCost := 0, int(^uint(0)>>1)
+	for i, np := range m.cp.part.Nodes {
+		cost := m.estimateCost(base, np)
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+func (m *matcher) estimateCost(base row, np *NodePattern) int {
+	// Index-backed equality is cheapest, then label scans, then full scans.
+	for key := range np.Props {
+		for _, l := range np.Labels {
+			if m.ctx.tx.HasIndex(l, key) {
+				return 1
+			}
+		}
+	}
+	if len(np.Labels) > 0 {
+		best := int(^uint(0) >> 1)
+		for _, l := range np.Labels {
+			if c := m.ctx.tx.CountByLabel(l); c < best {
+				best = c
+			}
+		}
+		return 2 + best
+	}
+	return 2 + m.ctx.tx.NodeCount()*2
+}
+
+// anchorCandidates enumerates candidate nodes for the anchor position.
+func (m *matcher) anchorCandidates(base row, anchor int) ([]graph.NodeID, error) {
+	if id, ok := m.boundNode(base, anchor); ok {
+		if !m.ctx.tx.NodeExists(id) {
+			return nil, nil
+		}
+		return []graph.NodeID{id}, nil
+	}
+	np := m.cp.part.Nodes[anchor]
+	// Index-backed equality lookup.
+	for key, expr := range np.Props {
+		for _, l := range np.Labels {
+			if !m.ctx.tx.HasIndex(l, key) {
+				continue
+			}
+			want, err := evalExpr(m.ctx, m.en, base, expr)
+			if err != nil {
+				return nil, err
+			}
+			ids, _ := m.ctx.tx.NodesByProp(l, key, want)
+			return ids, nil
+		}
+	}
+	if len(np.Labels) > 0 {
+		best := np.Labels[0]
+		for _, l := range np.Labels[1:] {
+			if m.ctx.tx.CountByLabel(l) < m.ctx.tx.CountByLabel(best) {
+				best = l
+			}
+		}
+		return m.ctx.tx.NodesByLabel(best), nil
+	}
+	return m.ctx.tx.AllNodes(), nil
+}
+
+// expandRight advances from pattern position i (node bound to id) towards
+// the end of the chain, then hands over to expandLeft from the anchor. The
+// anchor's concrete node is threaded through because anonymous patterns
+// leave no slot to recover it from.
+func (m *matcher) expandRight(r row, i int, id graph.NodeID, anchor int, anchorID graph.NodeID) error {
+	if i == len(m.cp.part.Nodes)-1 {
+		return m.expandLeft(r, anchor, anchorID)
+	}
+	rp := m.cp.part.Rels[i]
+	return m.expandRel(r, rp, m.cp.relSlots[i], id, i+1, false, func(nr row, nextID graph.NodeID) error {
+		return m.expandRight(nr, i+1, nextID, anchor, anchorID)
+	})
+}
+
+// expandLeft advances from pattern position i (node bound to id) towards
+// the start of the chain.
+func (m *matcher) expandLeft(r row, i int, id graph.NodeID) error {
+	if i == 0 {
+		return m.finish(r)
+	}
+	rp := m.cp.part.Rels[i-1]
+	return m.expandRel(r, rp, m.cp.relSlots[i-1], id, i-1, true, func(nr row, nextID graph.NodeID) error {
+		return m.expandLeft(nr, i-1, nextID)
+	})
+}
+
+// expandRel enumerates relationships of pattern rp from node fromID towards
+// pattern node position toIdx. reverse is true when walking right-to-left
+// (the pattern's source node is on the other side).
+func (m *matcher) expandRel(r row, rp *RelPattern, relSlot int, fromID graph.NodeID,
+	toIdx int, reverse bool, cont func(row, graph.NodeID) error) error {
+	if rp.VarHops {
+		return m.expandVarHops(r, rp, relSlot, fromID, toIdx, reverse, cont)
+	}
+	dir := traverseDir(rp.Dir, reverse)
+	for _, h := range m.ctx.tx.RelsOf(fromID, dir, rp.Types) {
+		if m.usedRels[h.ID] {
+			continue
+		}
+		ok, err := relMatches(m.ctx, m.en, r, rp, h)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		otherID := h.Other(fromID)
+		nr, ok, err := m.bindNode(r, toIdx, otherID)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if relSlot >= 0 {
+			if bound := nr[relSlot]; !bound.IsNull() {
+				bid, isEnt := bound.EntityID()
+				if !isEnt || graph.RelID(bid) != h.ID {
+					continue
+				}
+			}
+			nr = append(row(nil), nr...)
+			nr[relSlot] = value.Relationship(int64(h.ID))
+		}
+		m.usedRels[h.ID] = true
+		err = cont(nr, otherID)
+		delete(m.usedRels, h.ID)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func traverseDir(d PatternDirection, reverse bool) graph.Direction {
+	switch d {
+	case DirRight:
+		if reverse {
+			return graph.Incoming
+		}
+		return graph.Outgoing
+	case DirLeft:
+		if reverse {
+			return graph.Outgoing
+		}
+		return graph.Incoming
+	default:
+		return graph.Both
+	}
+}
+
+// bindNode checks pattern constraints of node position idx against id and
+// returns the row with the binding applied (a fresh copy when modified).
+func (m *matcher) bindNode(r row, idx int, id graph.NodeID) (row, bool, error) {
+	np := m.cp.part.Nodes[idx]
+	if bound, ok := m.boundNode(r, idx); ok {
+		if bound != id {
+			return r, false, nil
+		}
+		return r, true, nil
+	}
+	ok, err := nodeMatches(m.ctx, m.en, r, np, id)
+	if err != nil || !ok {
+		return r, ok, err
+	}
+	if slot := m.cp.nodeSlots[idx]; slot >= 0 {
+		nr := append(row(nil), r...)
+		nr[slot] = value.Node(int64(id))
+		return nr, true, nil
+	}
+	return r, true, nil
+}
+
+// expandVarHops performs depth-first variable-length expansion.
+func (m *matcher) expandVarHops(r row, rp *RelPattern, relSlot int, fromID graph.NodeID,
+	toIdx int, reverse bool, cont func(row, graph.NodeID) error) error {
+	dir := traverseDir(rp.Dir, reverse)
+	maxHops := rp.MaxHops
+	var pathRels []value.Value
+
+	var tryTarget func(r row, at graph.NodeID) error
+	tryTarget = func(r row, at graph.NodeID) error {
+		nr, ok, err := m.bindNode(r, toIdx, at)
+		if err != nil || !ok {
+			return err
+		}
+		if relSlot >= 0 {
+			nr = append(row(nil), nr...)
+			nr[relSlot] = value.ListOf(append([]value.Value(nil), pathRels...))
+		}
+		return cont(nr, at)
+	}
+
+	var dfs func(r row, at graph.NodeID, depth int) error
+	dfs = func(r row, at graph.NodeID, depth int) error {
+		if depth >= rp.MinHops {
+			if err := tryTarget(r, at); err != nil {
+				return err
+			}
+		}
+		if maxHops >= 0 && depth >= maxHops {
+			return nil
+		}
+		for _, h := range m.ctx.tx.RelsOf(at, dir, rp.Types) {
+			if m.usedRels[h.ID] {
+				continue
+			}
+			ok, err := relMatches(m.ctx, m.en, r, rp, h)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			m.usedRels[h.ID] = true
+			pathRels = append(pathRels, value.Relationship(int64(h.ID)))
+			err = dfs(r, h.Other(at), depth+1)
+			pathRels = pathRels[:len(pathRels)-1]
+			delete(m.usedRels, h.ID)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return dfs(r, fromID, 0)
+}
+
+// finish completes one match: bind the path variable if requested, then emit.
+func (m *matcher) finish(r row) error {
+	if m.cp.pathSlot >= 0 {
+		var elems []value.Value
+		for i := range m.cp.part.Nodes {
+			if id, ok := m.boundNode(r, i); ok {
+				elems = append(elems, value.Node(int64(id)))
+			} else {
+				elems = append(elems, value.Null)
+			}
+			if i < len(m.cp.part.Rels) {
+				if slot := m.cp.relSlots[i]; slot >= 0 && slot < len(r) {
+					elems = append(elems, r[slot])
+				} else {
+					elems = append(elems, value.Null)
+				}
+			}
+		}
+		nr := append(row(nil), r...)
+		nr[m.cp.pathSlot] = value.ListOf(elems)
+		return m.emit(nr)
+	}
+	return m.emit(r)
+}
+
+// patternExists evaluates a pattern expression as an existential predicate:
+// variables already bound in the row constrain the pattern; fresh variables
+// are matched locally and discarded.
+func patternExists(ctx *evalCtx, en *env, r row, part *PatternPart) (bool, error) {
+	local := en.clone()
+	cp := compilePattern(local, part)
+	base := make(row, len(local.names))
+	copy(base, r)
+	found := false
+	err := matchPart(ctx, local, base, cp, nil, func(row) error {
+		found = true
+		return errStop
+	})
+	if err != nil && !errors.Is(err, errStop) {
+		return false, err
+	}
+	return found, nil
+}

@@ -1,0 +1,393 @@
+package cypher
+
+import (
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseMatchReturn(t *testing.T) {
+	stmt := mustParse(t, "MATCH (n:Person)-[r:KNOWS]->(m) WHERE n.age > 30 RETURN n, m.name AS name")
+	if len(stmt.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(stmt.Clauses))
+	}
+	m := stmt.Clauses[0].(*MatchClause)
+	if m.Optional || len(m.Patterns) != 1 || m.Where == nil {
+		t.Error("match shape")
+	}
+	part := m.Patterns[0]
+	if len(part.Nodes) != 2 || len(part.Rels) != 1 {
+		t.Error("pattern shape")
+	}
+	if part.Nodes[0].Var != "n" || part.Nodes[0].Labels[0] != "Person" {
+		t.Error("first node")
+	}
+	if part.Rels[0].Var != "r" || part.Rels[0].Types[0] != "KNOWS" || part.Rels[0].Dir != DirRight {
+		t.Error("rel pattern")
+	}
+	r := stmt.Clauses[1].(*ReturnClause)
+	if len(r.Items) != 2 || r.Items[1].Alias != "name" {
+		t.Error("return items")
+	}
+}
+
+func TestParseDirections(t *testing.T) {
+	cases := map[string]PatternDirection{
+		"MATCH (a)-[:R]->(b) RETURN a": DirRight,
+		"MATCH (a)<-[:R]-(b) RETURN a": DirLeft,
+		"MATCH (a)-[:R]-(b) RETURN a":  DirBoth,
+		"MATCH (a)-->(b) RETURN a":     DirRight,
+		"MATCH (a)--(b) RETURN a":      DirBoth,
+		"MATCH (a)<--(b) RETURN a":     DirLeft,
+	}
+	for src, want := range cases {
+		stmt := mustParse(t, src)
+		m := stmt.Clauses[0].(*MatchClause)
+		if got := m.Patterns[0].Rels[0].Dir; got != want {
+			t.Errorf("%s: dir = %v, want %v", src, got, want)
+		}
+	}
+	if _, err := Parse("MATCH (a)<-[:R]->(b) RETURN a"); err == nil {
+		t.Error("bidirectional arrow should fail")
+	}
+}
+
+func TestParseRelTypeAlternation(t *testing.T) {
+	stmt := mustParse(t, "MATCH (a)-[:X|Y|:Z]->(b) RETURN a")
+	types := stmt.Clauses[0].(*MatchClause).Patterns[0].Rels[0].Types
+	if len(types) != 3 || types[0] != "X" || types[1] != "Y" || types[2] != "Z" {
+		t.Errorf("types = %v", types)
+	}
+}
+
+func TestParseVarLengthPaths(t *testing.T) {
+	cases := map[string][2]int{
+		"MATCH (a)-[*]->(b) RETURN a":        {1, -1},
+		"MATCH (a)-[*2]->(b) RETURN a":       {2, 2},
+		"MATCH (a)-[*1..3]->(b) RETURN a":    {1, 3},
+		"MATCH (a)-[*..4]->(b) RETURN a":     {0, 4},
+		"MATCH (a)-[*2..]->(b) RETURN a":     {2, -1},
+		"MATCH (a)-[r:T*1..2]->(b) RETURN a": {1, 2},
+	}
+	for src, want := range cases {
+		stmt := mustParse(t, src)
+		rel := stmt.Clauses[0].(*MatchClause).Patterns[0].Rels[0]
+		if !rel.VarHops || rel.MinHops != want[0] || rel.MaxHops != want[1] {
+			t.Errorf("%s: hops = %d..%d varhops=%v", src, rel.MinHops, rel.MaxHops, rel.VarHops)
+		}
+	}
+}
+
+func TestParseMultiplePatterns(t *testing.T) {
+	stmt := mustParse(t, "MATCH (a:X), (b:Y)-[:R]->(c) RETURN a, b, c")
+	m := stmt.Clauses[0].(*MatchClause)
+	if len(m.Patterns) != 2 {
+		t.Fatalf("patterns = %d", len(m.Patterns))
+	}
+}
+
+func TestParseCreateSetDelete(t *testing.T) {
+	stmt := mustParse(t, `
+		MATCH (a:Person {name: 'x'})
+		CREATE (a)-[:OWNS]->(c:Car {brand: 'Fiat'})
+		SET a.updated = true, a:Driver, c += {color: 'red'}
+		DETACH DELETE a`)
+	if len(stmt.Clauses) != 4 {
+		t.Fatalf("clauses = %d", len(stmt.Clauses))
+	}
+	set := stmt.Clauses[2].(*SetClause)
+	if len(set.Items) != 3 {
+		t.Fatalf("set items = %d", len(set.Items))
+	}
+	if set.Items[0].Kind != SetProp || set.Items[1].Kind != SetLabels || set.Items[2].Kind != SetMergeProps {
+		t.Error("set item kinds")
+	}
+	del := stmt.Clauses[3].(*DeleteClause)
+	if !del.Detach || len(del.Exprs) != 1 {
+		t.Error("delete shape")
+	}
+}
+
+func TestParseMergeWithActions(t *testing.T) {
+	stmt := mustParse(t, `MERGE (n:Counter {id: 1}) ON CREATE SET n.v = 0 ON MATCH SET n.v = n.v + 1`)
+	m := stmt.Clauses[0].(*MergeClause)
+	if len(m.OnCreateSet) != 1 || len(m.OnMatchSet) != 1 {
+		t.Error("merge actions")
+	}
+}
+
+func TestParseUnwindWithOrder(t *testing.T) {
+	stmt := mustParse(t, "UNWIND [3,1,2] AS x WITH x ORDER BY x DESC SKIP 1 LIMIT 1 WHERE x > 0 RETURN x")
+	u := stmt.Clauses[0].(*UnwindClause)
+	if u.Var != "x" {
+		t.Error("unwind var")
+	}
+	w := stmt.Clauses[1].(*WithClause)
+	if len(w.OrderBy) != 1 || !w.OrderBy[0].Desc || w.Skip == nil || w.Limit == nil || w.Where == nil {
+		t.Error("with modifiers")
+	}
+}
+
+func TestParseReturnStar(t *testing.T) {
+	stmt := mustParse(t, "MATCH (n) RETURN *")
+	r := stmt.Clauses[1].(*ReturnClause)
+	if !r.Star {
+		t.Error("return star")
+	}
+	stmt = mustParse(t, "MATCH (n) WITH *, n.x AS x RETURN x")
+	w := stmt.Clauses[1].(*WithClause)
+	if !w.Star || len(w.Items) != 1 {
+		t.Error("with star plus items")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	add, ok := e.(*BinaryOp)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("top op should be +: %T", e)
+	}
+	mul, ok := add.R.(*BinaryOp)
+	if !ok || mul.Op != OpMul {
+		t.Error("* should bind tighter than +")
+	}
+}
+
+func TestParsePowerRightAssoc(t *testing.T) {
+	e, err := ParseExpr("2 ^ 3 ^ 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pow := e.(*BinaryOp)
+	if _, ok := pow.R.(*BinaryOp); !ok {
+		t.Error("^ should be right-associative")
+	}
+}
+
+func TestParseBooleanPrecedence(t *testing.T) {
+	e, err := ParseExpr("a OR b AND c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or := e.(*BinaryOp)
+	if or.Op != OpOr {
+		t.Fatal("top should be OR")
+	}
+	and, ok := or.R.(*BinaryOp)
+	if !ok || and.Op != OpAnd {
+		t.Error("AND should bind tighter than OR")
+	}
+}
+
+func TestParseChainedComparison(t *testing.T) {
+	e, err := ParseExpr("1 < 2 < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := e.(*BinaryOp)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("chained comparison should desugar to AND, got %T", e)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	for _, src := range []string{
+		"x IS NULL", "x IS NOT NULL", "x IN [1,2]", "s STARTS WITH 'a'",
+		"s ENDS WITH 'b'", "s CONTAINS 'c'",
+	} {
+		if _, err := ParseExpr(src); err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	e, err := ParseExpr("CASE WHEN x > 0 THEN 'pos' WHEN x < 0 THEN 'neg' ELSE 'zero' END")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.(*CaseExpr)
+	if c.Test != nil || len(c.Whens) != 2 || c.Else == nil {
+		t.Error("searched case shape")
+	}
+	e, err = ParseExpr("CASE x WHEN 1 THEN 'one' END")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = e.(*CaseExpr)
+	if c.Test == nil || len(c.Whens) != 1 || c.Else != nil {
+		t.Error("simple case shape")
+	}
+}
+
+func TestParseListComprehension(t *testing.T) {
+	e, err := ParseExpr("[x IN [1,2,3] WHERE x > 1 | x * 10]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := e.(*ListComp)
+	if lc.Var != "x" || lc.Where == nil || lc.Proj == nil {
+		t.Error("list comp shape")
+	}
+	e, err = ParseExpr("[x IN xs]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc = e.(*ListComp)
+	if lc.Where != nil || lc.Proj != nil {
+		t.Error("bare list comp")
+	}
+}
+
+func TestParsePatternExpression(t *testing.T) {
+	e, err := ParseExpr("(n)-[:HasEffect]->(:Effect {level: 'critical'})")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, ok := e.(*PatternExpr)
+	if !ok {
+		t.Fatalf("expected PatternExpr, got %T", e)
+	}
+	if len(pe.Pattern.Rels) != 1 {
+		t.Error("pattern shape")
+	}
+	// A bare parenthesized variable is NOT a pattern.
+	e, err = ParseExpr("(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*Variable); !ok {
+		t.Errorf("(x) should be a variable, got %T", e)
+	}
+	// Labeled single node is an existence test.
+	e, err = ParseExpr("(n:Person)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*PatternExpr); !ok {
+		t.Errorf("(n:Person) should be a pattern, got %T", e)
+	}
+}
+
+func TestParseExists(t *testing.T) {
+	e, err := ParseExpr("EXISTS((n)-[:R]->())")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*PatternExpr); !ok {
+		t.Errorf("EXISTS(pattern) should be PatternExpr, got %T", e)
+	}
+	e, err = ParseExpr("exists(n.prop)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := e.(*UnaryOp)
+	if !ok || u.Op != OpIsNotNull {
+		t.Errorf("exists(prop) should be IS NOT NULL, got %T", e)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	e, err := ParseExpr("count(*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.(*FuncCall)
+	if !c.Star || c.Name != "count" {
+		t.Error("count(*)")
+	}
+	e, err = ParseExpr("count(DISTINCT x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = e.(*FuncCall)
+	if !c.Distinct || len(c.Args) != 1 {
+		t.Error("count(DISTINCT x)")
+	}
+}
+
+func TestParseMapAndListLiterals(t *testing.T) {
+	e, err := ParseExpr("{a: 1, 'b c': [1, 2], d: {e: null}}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.(*MapLit)
+	if len(m.Keys) != 3 || m.Keys[1] != "b c" {
+		t.Error("map literal")
+	}
+}
+
+func TestParseIndexAndSlice(t *testing.T) {
+	for _, src := range []string{"xs[0]", "xs[-1]", "xs[1..3]", "xs[..2]", "xs[2..]", "m['key']"} {
+		if _, err := ParseExpr(src); err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseNegativeLiteralFold(t *testing.T) {
+	e, err := ParseExpr("-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*Literal); !ok {
+		t.Errorf("-5 should fold to a literal, got %T", e)
+	}
+}
+
+func TestParseKeywordAsPropertyKey(t *testing.T) {
+	// "end", "in", "set" are keywords but must work as property names.
+	for _, src := range []string{"n.end", "n.in", "n.set", "n.match"} {
+		if _, err := ParseExpr(src); err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+		}
+	}
+	if _, err := Parse("MATCH (n:SET) RETURN n"); err != nil {
+		t.Errorf("keyword as label: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"RETURN",
+		"MATCH (n RETURN n",
+		"MATCH (n) RETURN n MATCH (m) RETURN m",
+		"MATCH (a)-[:R->(b) RETURN a",
+		"FOO (n)",
+		"MATCH (n) RETURN n; MATCH (m) RETURN m",
+		"CASE END",
+		"MATCH (n) SET n",
+		"MATCH (n) REMOVE n",
+		"UNWIND [1] x",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseReturnNotLast(t *testing.T) {
+	if _, err := Parse("RETURN 1 MATCH (n) RETURN n"); err == nil {
+		t.Error("RETURN before other clauses should fail")
+	}
+}
+
+func TestParsePathVariable(t *testing.T) {
+	stmt := mustParse(t, "MATCH p = (a)-[:R]->(b) RETURN p")
+	m := stmt.Clauses[0].(*MatchClause)
+	if m.Patterns[0].Var != "p" {
+		t.Error("path variable")
+	}
+}

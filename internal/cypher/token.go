@@ -1,0 +1,114 @@
+// Package cypher implements a query language over the property-graph store:
+// a practical subset of Cypher/GQL sufficient for the reactive knowledge
+// rules of the paper (guards, alerts, summary maintenance) and for general
+// graph querying.
+//
+// Supported clauses: MATCH / OPTIONAL MATCH, WHERE, WITH, RETURN, UNWIND,
+// CREATE, MERGE, DELETE / DETACH DELETE, SET, REMOVE, ORDER BY, SKIP, LIMIT,
+// DISTINCT. Expressions cover boolean logic with ternary (three-valued)
+// semantics, comparisons, arithmetic, string predicates, IN, IS NULL, list
+// and map literals, indexing, parameters ($name), function calls with
+// aggregation (count, sum, avg, min, max, collect), CASE, list
+// comprehensions, and pattern predicates usable inside WHERE.
+package cypher
+
+import "fmt"
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokParam // $name
+
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokLBrace   // {
+	tokRBrace   // }
+	tokComma    // ,
+	tokColon    // :
+	tokSemi     // ;
+	tokDot      // .
+	tokDotDot   // ..
+	tokPlus     // +
+	tokPlusEq   // +=
+	tokMinus    // -
+	tokStar     // *
+	tokSlash    // /
+	tokPercent  // %
+	tokCaret    // ^
+	tokEq       // =
+	tokNeq      // <>
+	tokLt       // <
+	tokGt       // >
+	tokLte      // <=
+	tokGte      // >=
+	tokArrowR   // ->
+	tokArrowL   // <-
+	tokPipe     // |
+	tokRegexEq  // =~
+)
+
+type token struct {
+	kind tokenKind
+	text string // raw text, original case (keywords match case-insensitively)
+	pos  int    // byte offset in the input
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	case tokParam:
+		return "$" + t.text
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// keywords recognized case-insensitively. Identifiers matching a keyword are
+// still usable as property keys after a dot and as labels after a colon.
+var keywords = map[string]bool{
+	"MATCH": true, "OPTIONAL": true, "WHERE": true, "WITH": true,
+	"RETURN": true, "CREATE": true, "MERGE": true, "DELETE": true,
+	"DETACH": true, "SET": true, "REMOVE": true, "UNWIND": true,
+	"AS": true, "ORDER": true, "BY": true, "ASC": true, "ASCENDING": true,
+	"DESC": true, "DESCENDING": true, "SKIP": true, "LIMIT": true,
+	"DISTINCT": true, "AND": true, "OR": true, "XOR": true, "NOT": true,
+	"IN": true, "STARTS": true, "ENDS": true, "CONTAINS": true, "IS": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "FOREACH": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "EXISTS": true, "ON": true,
+	"UNION": true,
+}
+
+// Error reports a parse or runtime error with its position in the query.
+type Error struct {
+	Query string
+	Pos   int
+	Msg   string
+}
+
+func (e *Error) Error() string {
+	line, col := 1, 1
+	for i := 0; i < e.Pos && i < len(e.Query); i++ {
+		if e.Query[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("cypher: %s (line %d, column %d)", e.Msg, line, col)
+}
+
+func errAt(query string, pos int, format string, args ...any) error {
+	return &Error{Query: query, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

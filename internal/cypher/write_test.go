@@ -1,0 +1,284 @@
+package cypher
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+func TestCreateSingleNode(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, "CREATE (n:Person {name: 'Zed', age: 20}) RETURN n.name", nil)
+	if res.Stats.NodesCreated != 1 || res.Stats.PropsSet != 2 || res.Stats.LabelsAdded != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+	if joined(res, 0) != `"Zed"` {
+		t.Errorf("return: %v", res.Rows)
+	}
+	if s.Stats().Nodes != 1 {
+		t.Error("node not persisted")
+	}
+}
+
+func TestCreatePath(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, "CREATE (a:A)-[:R {w: 1}]->(b:B)<-[:S]-(c:C) RETURN id(a) >= 0", nil)
+	if res.Stats.NodesCreated != 3 || res.Stats.RelsCreated != 2 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+	chk := q(t, s, "MATCH (a:A)-[:R]->(b:B)<-[:S]-(c:C) RETURN count(*)", nil)
+	if chk.Rows[0][0].String() != "1" {
+		t.Error("created path should match")
+	}
+}
+
+func TestCreateReusesBoundVariable(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, `MATCH (a:Person {name:'Alice'}), (b:Person {name:'Dave'})
+	               CREATE (a)-[:MENTORS]->(b)`, nil)
+	if res.Stats.NodesCreated != 0 || res.Stats.RelsCreated != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+	chk := q(t, s, "MATCH (:Person {name:'Alice'})-[:MENTORS]->(d) RETURN d.name", nil)
+	if joined(chk, 0) != `"Dave"` {
+		t.Error("relationship endpoints")
+	}
+}
+
+func TestCreatePerRow(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, "UNWIND range(1, 5) AS i CREATE (n:Row {i: i})", nil)
+	if res.Stats.NodesCreated != 5 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+	chk := q(t, s, "MATCH (n:Row) RETURN sum(n.i)", nil)
+	if chk.Rows[0][0].String() != "15" {
+		t.Error("per-row creation")
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	s := testGraph(t)
+	qErr(t, s, "MATCH (a:Person {name:'Alice'}) CREATE (a:Extra)")
+	qErr(t, s, "CREATE (a)-[:R]-(b)")      // undirected
+	qErr(t, s, "CREATE (a)-[:R|S]->(b)")   // multiple types
+	qErr(t, s, "CREATE (a)-[*]->(b)")      // variable length
+	qErr(t, s, "CREATE p = (a)-[:R]->(b)") // path variable
+}
+
+func TestMergeCreatesWhenAbsent(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, "MERGE (c:Counter {name: 'x'}) ON CREATE SET c.v = 1 ON MATCH SET c.v = c.v + 1 RETURN c.v", nil)
+	if res.Rows[0][0].String() != "1" || res.Stats.NodesCreated != 1 {
+		t.Errorf("first merge: %v %+v", res.Rows, res.Stats)
+	}
+	res = q(t, s, "MERGE (c:Counter {name: 'x'}) ON CREATE SET c.v = 1 ON MATCH SET c.v = c.v + 1 RETURN c.v", nil)
+	if res.Rows[0][0].String() != "2" || res.Stats.NodesCreated != 0 {
+		t.Errorf("second merge: %v %+v", res.Rows, res.Stats)
+	}
+	if s.Stats().Nodes != 1 {
+		t.Error("merge must not duplicate")
+	}
+}
+
+func TestMergeRelationship(t *testing.T) {
+	s := testGraph(t)
+	for i := 0; i < 2; i++ {
+		q(t, s, `MATCH (a:Person {name:'Alice'}), (b:Person {name:'Bob'})
+		        MERGE (a)-[:COLLEAGUE]->(b)`, nil)
+	}
+	chk := q(t, s, "MATCH (:Person {name:'Alice'})-[r:COLLEAGUE]->() RETURN count(r)", nil)
+	if chk.Rows[0][0].String() != "1" {
+		t.Error("merge should not duplicate relationships")
+	}
+}
+
+func TestDeleteNodeAndRel(t *testing.T) {
+	s := testGraph(t)
+	// Plain DELETE of a connected node must fail.
+	qErr(t, s, "MATCH (p:Person {name:'Alice'}) DELETE p")
+	res := q(t, s, "MATCH (p:Person {name:'Alice'}) DETACH DELETE p", nil)
+	if res.Stats.NodesDeleted != 1 || res.Stats.RelsDeleted != 2 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+	chk := q(t, s, "MATCH (p:Person) RETURN count(*)", nil)
+	if chk.Rows[0][0].String() != "3" {
+		t.Error("node should be gone")
+	}
+}
+
+func TestDeleteRelationshipOnly(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, "MATCH (:Person {name:'Alice'})-[r:KNOWS]->() DELETE r", nil)
+	if res.Stats.RelsDeleted != 1 || res.Stats.NodesDeleted != 0 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+}
+
+func TestDeleteNullIsNoop(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, `MATCH (p:Person {name:'Dave'}) OPTIONAL MATCH (p)-[r:KNOWS]->() DELETE r`, nil)
+	if res.Stats.RelsDeleted != 0 {
+		t.Error("deleting null should be a no-op")
+	}
+}
+
+func TestSetProperty(t *testing.T) {
+	s := testGraph(t)
+	q(t, s, "MATCH (p:Person {name:'Bob'}) SET p.age = p.age + 1, p.checked = true", nil)
+	chk := q(t, s, "MATCH (p:Person {name:'Bob'}) RETURN p.age, p.checked", nil)
+	if chk.Rows[0][0].String() != "30" || chk.Rows[0][1].String() != "true" {
+		t.Errorf("row: %v", chk.Rows[0])
+	}
+}
+
+func TestSetLabelAndRemove(t *testing.T) {
+	s := testGraph(t)
+	q(t, s, "MATCH (p:Person {name:'Carol'}) SET p:Senior:Manager", nil)
+	chk := q(t, s, "MATCH (p:Senior:Manager) RETURN p.name", nil)
+	if joined(chk, 0) != `"Carol"` {
+		t.Error("labels set")
+	}
+	res := q(t, s, "MATCH (p:Senior) REMOVE p:Manager, p.age", nil)
+	if res.Stats.LabelsRemoved != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+	chk = q(t, s, "MATCH (p:Manager) RETURN count(*)", nil)
+	if chk.Rows[0][0].String() != "0" {
+		t.Error("label removed")
+	}
+	chk = q(t, s, "MATCH (p:Senior) RETURN p.age", nil)
+	if !chk.Rows[0][0].IsNull() {
+		t.Error("property removed")
+	}
+}
+
+func TestSetNullRemovesProperty(t *testing.T) {
+	s := testGraph(t)
+	q(t, s, "MATCH (p:Person {name:'Dave'}) SET p.age = null", nil)
+	chk := q(t, s, "MATCH (p:Person {name:'Dave'}) RETURN p.age IS NULL", nil)
+	if chk.Rows[0][0].String() != "true" {
+		t.Error("SET = null should remove")
+	}
+}
+
+func TestSetMergeProps(t *testing.T) {
+	s := testGraph(t)
+	q(t, s, "MATCH (p:Person {name:'Dave'}) SET p += {hobby: 'chess', age: 20}", nil)
+	chk := q(t, s, "MATCH (p:Person {name:'Dave'}) RETURN p.hobby, p.age, p.name", nil)
+	r := chk.Rows[0]
+	if r[0].String() != `"chess"` || r[1].String() != "20" || r[2].String() != `"Dave"` {
+		t.Errorf("row: %v", r)
+	}
+}
+
+func TestSetAllPropsReplaces(t *testing.T) {
+	s := testGraph(t)
+	q(t, s, "MATCH (p:Person {name:'Dave'}) SET p = {label: 'fresh'}", nil)
+	chk := q(t, s, "MATCH (p:Person) WHERE p.label = 'fresh' RETURN p.name IS NULL, p.age IS NULL", nil)
+	if chk.Rows[0][0].String() != "true" || chk.Rows[0][1].String() != "true" {
+		t.Error("SET = map should replace all properties")
+	}
+}
+
+func TestSetOnNullIsNoop(t *testing.T) {
+	s := testGraph(t)
+	res := q(t, s, `MATCH (p:Person {name:'Dave'}) OPTIONAL MATCH (p)-[:KNOWS]->(f)
+	               SET f.touched = true`, nil)
+	if res.Stats.PropsSet != 0 {
+		t.Error("SET on null target should be skipped")
+	}
+}
+
+func TestSetRelProperty(t *testing.T) {
+	s := testGraph(t)
+	q(t, s, "MATCH ()-[r:KNOWS {since: 2010}]->() SET r.strength = 0.9", nil)
+	chk := q(t, s, "MATCH ()-[r:KNOWS {since: 2010}]->() RETURN r.strength", nil)
+	if chk.Rows[0][0].String() != "0.9" {
+		t.Error("rel property")
+	}
+}
+
+func TestWriteThenReadInSameStatement(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, `CREATE (a:City {name: 'Milan'})
+	               CREATE (b:City {name: 'Rome'})
+	               CREATE (a)-[:ROAD {km: 570}]->(b)
+	               RETURN a.name, b.name`, nil)
+	if res.Rows[0][0].String() != `"Milan"` {
+		t.Error("multi-create")
+	}
+	chk := q(t, s, "MATCH (:City {name:'Milan'})-[r:ROAD]->(c) RETURN r.km, c.name", nil)
+	if chk.Rows[0][0].String() != "570" {
+		t.Error("follow-up read")
+	}
+}
+
+func TestRollbackDiscardsQueryWrites(t *testing.T) {
+	s := graph.NewStore()
+	tx := s.Begin(graph.ReadWrite)
+	if _, err := Run(tx, "CREATE (:Temp)", nil); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+	if s.Stats().Nodes != 0 {
+		t.Error("rollback should discard query writes")
+	}
+}
+
+func TestUpdateStatsAdd(t *testing.T) {
+	a := UpdateStats{NodesCreated: 1, PropsSet: 2}
+	b := UpdateStats{NodesCreated: 3, RelsDeleted: 1, LabelsAdded: 4}
+	a.Add(b)
+	if a.NodesCreated != 4 || a.PropsSet != 2 || a.RelsDeleted != 1 || a.LabelsAdded != 4 {
+		t.Errorf("sum: %+v", a)
+	}
+}
+
+func TestResultValue(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, "RETURN 42", nil)
+	v, ok := res.Value()
+	if !ok || !value.SameValue(v, value.Int(42)) {
+		t.Error("Result.Value single")
+	}
+	res = q(t, s, "UNWIND [1,2] AS x RETURN x", nil)
+	if _, ok := res.Value(); ok {
+		t.Error("Result.Value on multi-row should fail")
+	}
+}
+
+func TestMergeWithBoundVariable(t *testing.T) {
+	s := testGraph(t)
+	// MERGE with a bound endpoint creates only the missing parts.
+	for i := 0; i < 2; i++ {
+		q(t, s, `MATCH (a:Person {name:'Alice'}) MERGE (a)-[:BADGE]->(b:Badge {kind: 'gold'})`, nil)
+	}
+	chk := q(t, s, "MATCH (:Person {name:'Alice'})-[:BADGE]->(b:Badge) RETURN count(b)", nil)
+	if chk.Rows[0][0].String() != "1" {
+		t.Errorf("merge with bound var duplicated: %v", chk.Rows)
+	}
+}
+
+func TestMergeOnNullBoundVariableErrors(t *testing.T) {
+	s := testGraph(t)
+	// Dave has no KNOWS edges; the OPTIONAL MATCH leaves f null, so the
+	// MERGE must fail rather than silently rebinding f.
+	qErr(t, s, `MATCH (p:Person {name:'Dave'})
+	           OPTIONAL MATCH (p)-[:KNOWS]->(f)
+	           MERGE (f)-[:TAGGED]->(:T)`)
+}
+
+func TestCreateWithRelBoundVariableErrors(t *testing.T) {
+	s := testGraph(t)
+	qErr(t, s, `MATCH ()-[r:KNOWS]->() CREATE (r)-[:X]->(:Y)`)
+}
+
+func TestUnwindScalarBehavesAsSingleton(t *testing.T) {
+	s := graph.NewStore()
+	res := q(t, s, "UNWIND 5 AS x RETURN x", nil)
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "5" {
+		t.Errorf("scalar unwind: %v", res.Rows)
+	}
+}

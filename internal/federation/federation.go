@@ -1,0 +1,226 @@
+// Package federation prototypes the distributed deployment the paper's
+// discussion (§V) projects: each knowledge hub (or group of hubs) runs its
+// own KnowledgeBase on its own infrastructure, and selected knowledge —
+// here, alert nodes, the paper's primary cross-hub currency — propagates
+// between participants through explicit subscriptions.
+//
+// Replicated alerts materialize in the target knowledge base as nodes
+// labeled RemoteAlert carrying the origin participant, the original rule,
+// hub, timestamp and payload. Because replication runs through the normal
+// reactive write path, rules in the target that watch RemoteAlert creation
+// fire — one organization's alerts can trigger another organization's
+// reactions, the paper's "reactive interaction of several knowledge hubs".
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// RemoteAlertLabel is the label of replicated alert nodes.
+const RemoteAlertLabel = "RemoteAlert"
+
+// Errors reported by the federation.
+var (
+	ErrNodeExists   = errors.New("federation: participant already joined")
+	ErrNodeNotFound = errors.New("federation: participant not found")
+	ErrSelfLink     = errors.New("federation: cannot subscribe a participant to itself")
+)
+
+// Participant is one organization's knowledge base inside the federation.
+type Participant struct {
+	Name string
+	KB   *core.KnowledgeBase
+}
+
+// subscription links a source participant's alerts to a target.
+type subscription struct {
+	from, to string
+	rules    map[string]bool // empty = all rules
+	// highWater is the largest source alert node id already replicated.
+	highWater graph.NodeID
+}
+
+// Federation coordinates participants and alert propagation. All methods
+// are safe for concurrent use.
+type Federation struct {
+	mu   sync.Mutex
+	prts map[string]*Participant
+	subs []*subscription
+}
+
+// New returns an empty federation.
+func New() *Federation {
+	return &Federation{prts: make(map[string]*Participant)}
+}
+
+// Join adds a participant.
+func (f *Federation) Join(name string, kb *core.KnowledgeBase) (*Participant, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.prts[name]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrNodeExists, name)
+	}
+	p := &Participant{Name: name, KB: kb}
+	f.prts[name] = p
+	return p, nil
+}
+
+// Participants lists the joined participants sorted by name.
+func (f *Federation) Participants() []*Participant {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Participant, 0, len(f.prts))
+	for _, p := range f.prts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Subscribe propagates alerts produced in from to the knowledge base of to.
+// With rule names given, only those rules' alerts replicate.
+func (f *Federation) Subscribe(from, to string, rules ...string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if from == to {
+		return ErrSelfLink
+	}
+	if _, ok := f.prts[from]; !ok {
+		return fmt.Errorf("%w: %s", ErrNodeNotFound, from)
+	}
+	if _, ok := f.prts[to]; !ok {
+		return fmt.Errorf("%w: %s", ErrNodeNotFound, to)
+	}
+	sub := &subscription{from: from, to: to, rules: make(map[string]bool)}
+	for _, r := range rules {
+		sub.rules[r] = true
+	}
+	f.subs = append(f.subs, sub)
+	return nil
+}
+
+// Sync propagates all new alerts along every subscription and returns the
+// number of alerts replicated. Replication is idempotent per subscription
+// (a high-water mark tracks what the target has seen) and runs through the
+// targets' reactive pipelines, so RemoteAlert rules fire.
+func (f *Federation) Sync() (int, error) {
+	f.mu.Lock()
+	subs := append([]*subscription(nil), f.subs...)
+	prts := make(map[string]*Participant, len(f.prts))
+	for k, v := range f.prts {
+		prts[k] = v
+	}
+	f.mu.Unlock()
+
+	total := 0
+	for _, sub := range subs {
+		n, err := f.syncOne(prts, sub)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("federation: %s→%s: %w", sub.from, sub.to, err)
+		}
+	}
+	return total, nil
+}
+
+func (f *Federation) syncOne(prts map[string]*Participant, sub *subscription) (int, error) {
+	src := prts[sub.from]
+	dst := prts[sub.to]
+	alerts, err := src.KB.Alerts()
+	if err != nil {
+		return 0, err
+	}
+	var fresh []core.Alert
+	maxID := sub.highWater
+	for _, a := range alerts {
+		if a.ID <= sub.highWater {
+			continue
+		}
+		if len(sub.rules) > 0 && !sub.rules[a.Rule] {
+			if a.ID > maxID {
+				maxID = a.ID
+			}
+			continue
+		}
+		fresh = append(fresh, a)
+		if a.ID > maxID {
+			maxID = a.ID
+		}
+	}
+	if len(fresh) == 0 {
+		sub.advance(maxID)
+		return 0, nil
+	}
+	_, err = dst.KB.WriteTx(func(tx *graph.Tx) error {
+		for _, a := range fresh {
+			props := map[string]value.Value{
+				"origin":   value.Str(src.Name),
+				"rule":     value.Str(a.Rule),
+				"hub":      value.Str(a.Hub),
+				"dateTime": value.DateTime(a.DateTime),
+				"originId": value.Int(int64(a.ID)),
+			}
+			for k, v := range a.Props {
+				if _, taken := props[k]; !taken {
+					props[k] = v
+				}
+			}
+			if _, err := tx.CreateNode([]string{RemoteAlertLabel}, props); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	sub.advance(maxID)
+	return len(fresh), nil
+}
+
+func (sub *subscription) advance(id graph.NodeID) {
+	if id > sub.highWater {
+		sub.highWater = id
+	}
+}
+
+// RemoteAlerts lists the replicated alerts present in a participant's
+// knowledge base, sorted by origin alert id.
+func RemoteAlerts(kb *core.KnowledgeBase) ([]core.Alert, error) {
+	var out []core.Alert
+	err := kb.Store().View(func(tx *graph.Tx) error {
+		for _, id := range tx.NodesByLabel(RemoteAlertLabel) {
+			n, ok := tx.Node(id)
+			if !ok {
+				continue
+			}
+			a := core.Alert{ID: id, Props: make(map[string]value.Value)}
+			for k, v := range n.Props {
+				switch k {
+				case "rule":
+					a.Rule, _ = v.AsString()
+				case "hub":
+					a.Hub, _ = v.AsString()
+				case "dateTime":
+					a.DateTime, _ = v.AsDateTime()
+				default:
+					a.Props[k] = v
+				}
+			}
+			out = append(out, a)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package federation
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/periodic"
+	"repro/internal/trigger"
+)
+
+var fedStart = time.Date(2023, 4, 1, 8, 0, 0, 0, time.UTC)
+
+func newKB() *core.KnowledgeBase {
+	return core.New(core.Config{Clock: periodic.NewManualClock(fedStart)})
+}
+
+// clinicalKB produces alerts on ICU admissions.
+func clinicalKB(t *testing.T) *core.KnowledgeBase {
+	t.Helper()
+	kb := newKB()
+	if err := kb.InstallRule(trigger.Rule{
+		Name:  "icu",
+		Hub:   "C",
+		Event: trigger.Event{Kind: trigger.CreateNode, Label: "IcuPatient"},
+		Alert: "RETURN NEW.region AS region",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return kb
+}
+
+func admit(t *testing.T, kb *core.KnowledgeBase, region string) {
+	t.Helper()
+	if _, err := kb.Execute(
+		"CREATE (:IcuPatient {region: '"+region+"', hub: 'C'})", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinAndSubscribeValidation(t *testing.T) {
+	f := New()
+	if _, err := f.Join("clinic", newKB()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Join("clinic", newKB()); !errors.Is(err, ErrNodeExists) {
+		t.Error("duplicate join")
+	}
+	if err := f.Subscribe("clinic", "clinic"); !errors.Is(err, ErrSelfLink) {
+		t.Error("self link")
+	}
+	if err := f.Subscribe("clinic", "ghost"); !errors.Is(err, ErrNodeNotFound) {
+		t.Error("unknown target")
+	}
+	if err := f.Subscribe("ghost", "clinic"); !errors.Is(err, ErrNodeNotFound) {
+		t.Error("unknown source")
+	}
+	if got := len(f.Participants()); got != 1 {
+		t.Errorf("participants = %d", got)
+	}
+}
+
+func TestSyncReplicatesAlerts(t *testing.T) {
+	f := New()
+	clinic := clinicalKB(t)
+	region := newKB()
+	_, _ = f.Join("clinic", clinic)
+	_, _ = f.Join("region", region)
+	if err := f.Subscribe("clinic", "region"); err != nil {
+		t.Fatal(err)
+	}
+
+	admit(t, clinic, "Lombardy")
+	admit(t, clinic, "Veneto")
+	n, err := f.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("replicated = %d", n)
+	}
+	remote, err := RemoteAlerts(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != 2 {
+		t.Fatalf("remote alerts = %d", len(remote))
+	}
+	if remote[0].Rule != "icu" || remote[0].Hub != "C" {
+		t.Errorf("remote alert: %+v", remote[0])
+	}
+	if origin, _ := remote[0].Props["origin"].AsString(); origin != "clinic" {
+		t.Errorf("origin: %v", remote[0].Props)
+	}
+	// Sync is idempotent.
+	if n, _ := f.Sync(); n != 0 {
+		t.Errorf("second sync replicated %d", n)
+	}
+	// New alerts after the high-water mark replicate.
+	admit(t, clinic, "Lombardy")
+	if n, _ := f.Sync(); n != 1 {
+		t.Errorf("incremental sync replicated %d", n)
+	}
+}
+
+func TestRuleFilteredSubscription(t *testing.T) {
+	f := New()
+	src := clinicalKB(t)
+	if err := src.InstallRule(trigger.Rule{
+		Name:  "noise",
+		Event: trigger.Event{Kind: trigger.CreateNode, Label: "Misc"},
+		Alert: "RETURN 1 AS one",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dst := newKB()
+	_, _ = f.Join("src", src)
+	_, _ = f.Join("dst", dst)
+	if err := f.Subscribe("src", "dst", "icu"); err != nil {
+		t.Fatal(err)
+	}
+	admit(t, src, "Lombardy")
+	if _, err := src.Execute("CREATE (:Misc)", nil); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("filtered sync replicated %d", n)
+	}
+	remote, _ := RemoteAlerts(dst)
+	if len(remote) != 1 || remote[0].Rule != "icu" {
+		t.Errorf("remote: %+v", remote)
+	}
+	// The skipped alert does not reappear on later syncs (high-water mark
+	// advanced past it).
+	if n, _ := f.Sync(); n != 0 {
+		t.Errorf("skipped alert resurfaced: %d", n)
+	}
+}
+
+func TestRemoteAlertsTriggerTargetRules(t *testing.T) {
+	// The cross-organization reaction: the regional KB reacts to the
+	// clinical KB's replicated alerts.
+	f := New()
+	clinic := clinicalKB(t)
+	region := newKB()
+	if err := region.InstallRule(trigger.Rule{
+		Name:   "escalate",
+		Hub:    "R",
+		Event:  trigger.Event{Kind: trigger.CreateNode, Label: RemoteAlertLabel},
+		Guard:  "NEW.origin = 'clinic'",
+		Action: "CREATE (:PolicyReview {region: NEW.region, hub: 'R'})",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = f.Join("clinic", clinic)
+	_, _ = f.Join("region", region)
+	_ = f.Subscribe("clinic", "region")
+
+	admit(t, clinic, "Lombardy")
+	if _, err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := region.Query("MATCH (p:PolicyReview) RETURN p.region", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != `"Lombardy"` {
+		t.Errorf("cross-organization reaction: %v", res.Rows)
+	}
+}
+
+func TestBidirectionalSubscriptions(t *testing.T) {
+	f := New()
+	a := clinicalKB(t)
+	b := clinicalKB(t)
+	_, _ = f.Join("a", a)
+	_, _ = f.Join("b", b)
+	_ = f.Subscribe("a", "b")
+	_ = f.Subscribe("b", "a")
+	admit(t, a, "north")
+	admit(t, b, "south")
+	n, err := f.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("bidirectional sync = %d", n)
+	}
+	ra, _ := RemoteAlerts(a)
+	rb, _ := RemoteAlerts(b)
+	if len(ra) != 1 || len(rb) != 1 {
+		t.Errorf("remote counts: a=%d b=%d", len(ra), len(rb))
+	}
+}

@@ -1,0 +1,307 @@
+// Package graph implements an in-memory transactional property-graph store.
+//
+// The store follows the property-graph data model used by the paper: nodes
+// and directed relationships carry labels (a set, for nodes; a single type,
+// for relationships) and typed properties. Transactions capture every change
+// they make (creation and deletion of nodes and relationships, assignment
+// and removal of labels and properties) into a TxData record — the same
+// shape of transaction event data that Neo4j exposes to APOC triggers — so a
+// reactive-rule engine can be layered on top without the store knowing about
+// rules.
+//
+// Concurrency: the store is a single-writer, multi-reader structure guarded
+// by an RWMutex. A read-write transaction holds the write lock from Begin
+// until Commit or Rollback; read-only transactions share the read lock.
+// Changes are applied eagerly and undone on rollback, so a transaction
+// always reads its own writes.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// NodeID identifies a node within a store.
+type NodeID int64
+
+// RelID identifies a relationship within a store.
+type RelID int64
+
+// Direction selects which relationships of a node to traverse.
+type Direction int
+
+// Traversal directions.
+const (
+	Outgoing Direction = iota
+	Incoming
+	Both
+)
+
+// Errors returned by store operations.
+var (
+	ErrNodeNotFound  = errors.New("graph: node not found")
+	ErrRelNotFound   = errors.New("graph: relationship not found")
+	ErrHasRels       = errors.New("graph: cannot delete node with relationships (use detach)")
+	ErrTxDone        = errors.New("graph: transaction already finished")
+	ErrReadOnly      = errors.New("graph: write in read-only transaction")
+	ErrIndexExists   = errors.New("graph: index already exists")
+	ErrIndexNotFound = errors.New("graph: index not found")
+)
+
+// Node is an immutable snapshot of a node.
+type Node struct {
+	ID     NodeID
+	Labels []string
+	Props  map[string]value.Value
+}
+
+// HasLabel reports whether the snapshot carries the label.
+func (n Node) HasLabel(label string) bool {
+	for _, l := range n.Labels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Rel is an immutable snapshot of a relationship.
+type Rel struct {
+	ID    RelID
+	Type  string
+	Start NodeID
+	End   NodeID
+	Props map[string]value.Value
+}
+
+// Other returns the endpoint of r opposite to id.
+func (r Rel) Other(id NodeID) NodeID {
+	if r.Start == id {
+		return r.End
+	}
+	return r.Start
+}
+
+type nodeRec struct {
+	id     NodeID
+	labels map[string]struct{}
+	props  map[string]value.Value
+	out    map[RelID]*relRec
+	in     map[RelID]*relRec
+}
+
+type relRec struct {
+	id    RelID
+	typ   string
+	start *nodeRec
+	end   *nodeRec
+	props map[string]value.Value
+}
+
+// Validator is invoked at commit time with the committing transaction; a
+// non-nil error aborts the commit and rolls the transaction back. Schema and
+// key constraints plug in here.
+type Validator func(tx *Tx) error
+
+// Store is an in-memory property-graph database.
+type Store struct {
+	mu         sync.RWMutex
+	nodes      map[NodeID]*nodeRec
+	rels       map[RelID]*relRec
+	byLabel    map[string]map[NodeID]struct{}
+	byRelType  map[string]map[RelID]struct{}
+	indexes    map[indexKey]*propIndex
+	nextNode   NodeID
+	nextRel    RelID
+	validators []Validator
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		nodes:     make(map[NodeID]*nodeRec),
+		rels:      make(map[RelID]*relRec),
+		byLabel:   make(map[string]map[NodeID]struct{}),
+		byRelType: make(map[string]map[RelID]struct{}),
+		indexes:   make(map[indexKey]*propIndex),
+	}
+}
+
+// AddValidator registers a commit-time validator. Not safe to call
+// concurrently with open transactions.
+func (s *Store) AddValidator(v Validator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.validators = append(s.validators, v)
+}
+
+// Mode selects the access mode of a transaction.
+type Mode int
+
+// Transaction modes.
+const (
+	ReadOnly Mode = iota
+	ReadWrite
+)
+
+// Begin starts a transaction. A ReadWrite transaction holds the store's
+// write lock until Commit or Rollback; callers must always finish it.
+func (s *Store) Begin(mode Mode) *Tx {
+	if mode == ReadWrite {
+		s.mu.Lock()
+	} else {
+		s.mu.RLock()
+	}
+	return &Tx{s: s, mode: mode, data: &TxData{}}
+}
+
+// View runs fn inside a read-only transaction.
+func (s *Store) View(fn func(tx *Tx) error) error {
+	tx := s.Begin(ReadOnly)
+	defer tx.Rollback()
+	return fn(tx)
+}
+
+// Update runs fn inside a read-write transaction, committing on success and
+// rolling back if fn or a commit validator fails.
+func (s *Store) Update(fn func(tx *Tx) error) error {
+	tx := s.Begin(ReadWrite)
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Clone returns a deep copy of the store's data (nodes, relationships,
+// labels, properties, indexes, identifier counters). Validators are shared:
+// they are closures over schema and hub definitions, which forks are meant
+// to keep. Clone is the substrate for what-if forking (§V of the paper).
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ns := NewStore()
+	ns.nextNode = s.nextNode
+	ns.nextRel = s.nextRel
+	ns.validators = append([]Validator(nil), s.validators...)
+	for id, rec := range s.nodes {
+		nrec := &nodeRec{
+			id:     rec.id,
+			labels: make(map[string]struct{}, len(rec.labels)),
+			props:  make(map[string]value.Value, len(rec.props)),
+			out:    make(map[RelID]*relRec, len(rec.out)),
+			in:     make(map[RelID]*relRec, len(rec.in)),
+		}
+		for l := range rec.labels {
+			nrec.labels[l] = struct{}{}
+			ns.labelSet(l)[id] = struct{}{}
+		}
+		for k, v := range rec.props {
+			nrec.props[k] = v // values are immutable
+		}
+		ns.nodes[id] = nrec
+	}
+	for id, rec := range s.rels {
+		nrec := &relRec{
+			id:    rec.id,
+			typ:   rec.typ,
+			start: ns.nodes[rec.start.id],
+			end:   ns.nodes[rec.end.id],
+			props: make(map[string]value.Value, len(rec.props)),
+		}
+		for k, v := range rec.props {
+			nrec.props[k] = v
+		}
+		ns.rels[id] = nrec
+		nrec.start.out[id] = nrec
+		nrec.end.in[id] = nrec
+		ns.relTypeSet(rec.typ)[id] = struct{}{}
+	}
+	for key, idx := range s.indexes {
+		nidx := &propIndex{byValue: make(map[string]map[NodeID]struct{}, len(idx.byValue))}
+		for hk, set := range idx.byValue {
+			nset := make(map[NodeID]struct{}, len(set))
+			for id := range set {
+				nset[id] = struct{}{}
+			}
+			nidx.byValue[hk] = nset
+		}
+		ns.indexes[key] = nidx
+	}
+	return ns
+}
+
+// Stats reports the current size of the store.
+type Stats struct {
+	Nodes         int
+	Relationships int
+	Labels        int
+	RelTypes      int
+	Indexes       int
+}
+
+// Stats returns a snapshot of store-size counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Nodes:         len(s.nodes),
+		Relationships: len(s.rels),
+		Labels:        len(s.byLabel),
+		RelTypes:      len(s.byRelType),
+		Indexes:       len(s.indexes),
+	}
+}
+
+func (s *Store) labelSet(label string) map[NodeID]struct{} {
+	set, ok := s.byLabel[label]
+	if !ok {
+		set = make(map[NodeID]struct{})
+		s.byLabel[label] = set
+	}
+	return set
+}
+
+func (s *Store) relTypeSet(typ string) map[RelID]struct{} {
+	set, ok := s.byRelType[typ]
+	if !ok {
+		set = make(map[RelID]struct{})
+		s.byRelType[typ] = set
+	}
+	return set
+}
+
+func snapshotNode(n *nodeRec) Node {
+	labels := make([]string, 0, len(n.labels))
+	for l := range n.labels {
+		labels = append(labels, l)
+	}
+	sortStrings(labels)
+	props := make(map[string]value.Value, len(n.props))
+	for k, v := range n.props {
+		props[k] = v
+	}
+	return Node{ID: n.id, Labels: labels, Props: props}
+}
+
+func snapshotRel(r *relRec) Rel {
+	props := make(map[string]value.Value, len(r.props))
+	for k, v := range r.props {
+		props[k] = v
+	}
+	return Rel{ID: r.id, Type: r.typ, Start: r.start.id, End: r.end.id, Props: props}
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+func fmtErrNode(id NodeID) error { return fmt.Errorf("%w: %d", ErrNodeNotFound, id) }
+func fmtErrRel(id RelID) error   { return fmt.Errorf("%w: %d", ErrRelNotFound, id) }

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+type indexKey struct {
+	label string
+	prop  string
+}
+
+// propIndex maps a property value (by hash key) to the set of nodes of the
+// indexed label carrying that value.
+type propIndex struct {
+	byValue map[string]map[NodeID]struct{}
+}
+
+// CreateIndex creates a property index on (label, prop) and populates it
+// from the existing nodes. Equality lookups by the query planner and key
+// constraints use it. Not safe to call while transactions are open.
+func (s *Store) CreateIndex(label, prop string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := indexKey{label, prop}
+	if _, exists := s.indexes[key]; exists {
+		return fmt.Errorf("%w: %s.%s", ErrIndexExists, label, prop)
+	}
+	idx := &propIndex{byValue: make(map[string]map[NodeID]struct{})}
+	s.indexes[key] = idx
+	for id := range s.byLabel[label] {
+		rec := s.nodes[id]
+		if v, ok := rec.props[prop]; ok {
+			idx.insert(v, id)
+		}
+	}
+	return nil
+}
+
+// DropIndex removes a property index.
+func (s *Store) DropIndex(label, prop string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := indexKey{label, prop}
+	if _, exists := s.indexes[key]; !exists {
+		return fmt.Errorf("%w: %s.%s", ErrIndexNotFound, label, prop)
+	}
+	delete(s.indexes, key)
+	return nil
+}
+
+// HasIndex reports whether an index exists on (label, prop). The caller
+// must hold a transaction (any mode).
+func (tx *Tx) HasIndex(label, prop string) bool {
+	_, ok := tx.s.indexes[indexKey{label, prop}]
+	return ok
+}
+
+// NodesByProp returns the nodes of the given label whose property equals v,
+// using the property index. The second result is false when no index exists
+// on (label, prop), in which case the caller must fall back to a scan.
+func (tx *Tx) NodesByProp(label, prop string, v value.Value) ([]NodeID, bool) {
+	idx, ok := tx.s.indexes[indexKey{label, prop}]
+	if !ok {
+		return nil, false
+	}
+	set := idx.byValue[v.HashKey()]
+	out := make([]NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	return out, true
+}
+
+// CountByProp returns the number of nodes of the given label whose property
+// equals v, in O(1) via the property index — the analog of a graph
+// database's count store. The second result is false when no index exists.
+func (tx *Tx) CountByProp(label, prop string, v value.Value) (int, bool) {
+	idx, ok := tx.s.indexes[indexKey{label, prop}]
+	if !ok {
+		return 0, false
+	}
+	return len(idx.byValue[v.HashKey()]), true
+}
+
+func (idx *propIndex) insert(v value.Value, id NodeID) {
+	k := v.HashKey()
+	set, ok := idx.byValue[k]
+	if !ok {
+		set = make(map[NodeID]struct{})
+		idx.byValue[k] = set
+	}
+	set[id] = struct{}{}
+}
+
+func (idx *propIndex) remove(v value.Value, id NodeID) {
+	k := v.HashKey()
+	if set, ok := idx.byValue[k]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(idx.byValue, k)
+		}
+	}
+}
+
+// indexInsertNode updates all indexes matching any of the node's labels for
+// property (key, v).
+func (s *Store) indexInsertNode(rec *nodeRec, key string, v value.Value) {
+	for label := range rec.labels {
+		if idx, ok := s.indexes[indexKey{label, key}]; ok {
+			idx.insert(v, rec.id)
+		}
+	}
+}
+
+func (s *Store) indexRemoveNode(rec *nodeRec, key string, v value.Value) {
+	for label := range rec.labels {
+		if idx, ok := s.indexes[indexKey{label, key}]; ok {
+			idx.remove(v, rec.id)
+		}
+	}
+}
+
+func (s *Store) indexInsertNodeForLabel(rec *nodeRec, label, key string, v value.Value) {
+	if idx, ok := s.indexes[indexKey{label, key}]; ok {
+		idx.insert(v, rec.id)
+	}
+}
+
+func (s *Store) indexRemoveNodeForLabel(rec *nodeRec, label, key string, v value.Value) {
+	if idx, ok := s.indexes[indexKey{label, key}]; ok {
+		idx.remove(v, rec.id)
+	}
+}

@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestIndexCreateAndLookup(t *testing.T) {
+	s := NewStore()
+	var ids []NodeID
+	_ = s.Update(func(tx *Tx) error {
+		for i := 0; i < 10; i++ {
+			id := mustCreateNode(t, tx, []string{"Region"},
+				map[string]value.Value{"name": value.Str(string(rune('a' + i)))})
+			ids = append(ids, id)
+		}
+		return nil
+	})
+	if err := s.CreateIndex("Region", "name"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.View(func(tx *Tx) error {
+		if !tx.HasIndex("Region", "name") {
+			t.Error("HasIndex")
+		}
+		got, ok := tx.NodesByProp("Region", "name", value.Str("c"))
+		if !ok || len(got) != 1 || got[0] != ids[2] {
+			t.Errorf("lookup = %v ok=%v", got, ok)
+		}
+		if got, ok := tx.NodesByProp("Region", "name", value.Str("zz")); !ok || len(got) != 0 {
+			t.Error("lookup of absent value should be empty but indexed")
+		}
+		if _, ok := tx.NodesByProp("Region", "other", value.Str("c")); ok {
+			t.Error("unindexed prop should report no index")
+		}
+		return nil
+	})
+}
+
+func TestIndexMaintainedOnMutations(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateIndex("P", "k"); err != nil {
+		t.Fatal(err)
+	}
+	var id NodeID
+	lookup := func(v value.Value) int {
+		var n int
+		_ = s.View(func(tx *Tx) error {
+			got, _ := tx.NodesByProp("P", "k", v)
+			n = len(got)
+			return nil
+		})
+		return n
+	}
+	// Created after the index exists.
+	_ = s.Update(func(tx *Tx) error {
+		id = mustCreateNode(t, tx, []string{"P"}, map[string]value.Value{"k": value.Int(1)})
+		return nil
+	})
+	if lookup(value.Int(1)) != 1 {
+		t.Error("insert should index")
+	}
+	// Property update moves the entry.
+	_ = s.Update(func(tx *Tx) error { return tx.SetNodeProp(id, "k", value.Int(2)) })
+	if lookup(value.Int(1)) != 0 || lookup(value.Int(2)) != 1 {
+		t.Error("update should move index entry")
+	}
+	// Property removal clears it.
+	_ = s.Update(func(tx *Tx) error { return tx.RemoveNodeProp(id, "k") })
+	if lookup(value.Int(2)) != 0 {
+		t.Error("removal should unindex")
+	}
+	// Re-add, then delete the node.
+	_ = s.Update(func(tx *Tx) error { return tx.SetNodeProp(id, "k", value.Int(3)) })
+	_ = s.Update(func(tx *Tx) error { return tx.DeleteNode(id, false) })
+	if lookup(value.Int(3)) != 0 {
+		t.Error("node delete should unindex")
+	}
+}
+
+func TestIndexMaintainedOnLabelChanges(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateIndex("L", "k"); err != nil {
+		t.Fatal(err)
+	}
+	var id NodeID
+	_ = s.Update(func(tx *Tx) error {
+		id = mustCreateNode(t, tx, []string{"Other"}, map[string]value.Value{"k": value.Int(7)})
+		return nil
+	})
+	count := func() int {
+		var n int
+		_ = s.View(func(tx *Tx) error {
+			got, _ := tx.NodesByProp("L", "k", value.Int(7))
+			n = len(got)
+			return nil
+		})
+		return n
+	}
+	if count() != 0 {
+		t.Error("node without label must not be indexed")
+	}
+	_ = s.Update(func(tx *Tx) error { return tx.SetLabel(id, "L") })
+	if count() != 1 {
+		t.Error("gaining the label should index existing property")
+	}
+	_ = s.Update(func(tx *Tx) error { return tx.RemoveLabel(id, "L") })
+	if count() != 0 {
+		t.Error("losing the label should unindex")
+	}
+}
+
+func TestIndexRollback(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateIndex("L", "k"); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin(ReadWrite)
+	id, _ := tx.CreateNode([]string{"L"}, map[string]value.Value{"k": value.Int(5)})
+	_ = id
+	tx.Rollback()
+	_ = s.View(func(tx *Tx) error {
+		got, _ := tx.NodesByProp("L", "k", value.Int(5))
+		if len(got) != 0 {
+			t.Error("rollback must clean index entries")
+		}
+		return nil
+	})
+}
+
+func TestIndexDuplicateAndDrop(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateIndex("A", "p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("A", "p"); !errors.Is(err, ErrIndexExists) {
+		t.Errorf("duplicate index: %v", err)
+	}
+	if err := s.DropIndex("A", "p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropIndex("A", "p"); !errors.Is(err, ErrIndexNotFound) {
+		t.Errorf("drop missing index: %v", err)
+	}
+}
+
+func TestIndexBackfillsExistingNodes(t *testing.T) {
+	s := NewStore()
+	_ = s.Update(func(tx *Tx) error {
+		for i := 0; i < 5; i++ {
+			mustCreateNode(t, tx, []string{"B"}, map[string]value.Value{"v": value.Int(int64(i % 2))})
+		}
+		return nil
+	})
+	if err := s.CreateIndex("B", "v"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.View(func(tx *Tx) error {
+		zeros, _ := tx.NodesByProp("B", "v", value.Int(0))
+		ones, _ := tx.NodesByProp("B", "v", value.Int(1))
+		if len(zeros) != 3 || len(ones) != 2 {
+			t.Errorf("backfill: zeros=%d ones=%d", len(zeros), len(ones))
+		}
+		return nil
+	})
+}
+
+// Property: after an arbitrary sequence of set/remove operations, an index
+// lookup agrees with a full scan.
+func TestPropIndexAgreesWithScan(t *testing.T) {
+	type op struct {
+		Node uint8
+		Val  int8
+		Del  bool
+	}
+	f := func(ops []op) bool {
+		s := NewStore()
+		if err := s.CreateIndex("N", "v"); err != nil {
+			return false
+		}
+		ids := make(map[uint8]NodeID)
+		err := s.Update(func(tx *Tx) error {
+			for _, o := range ops {
+				id, ok := ids[o.Node%8]
+				if !ok {
+					var err error
+					id, err = tx.CreateNode([]string{"N"}, nil)
+					if err != nil {
+						return err
+					}
+					ids[o.Node%8] = id
+				}
+				if o.Del {
+					if err := tx.RemoveNodeProp(id, "v"); err != nil {
+						return err
+					}
+				} else if err := tx.SetNodeProp(id, "v", value.Int(int64(o.Val%4))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		ok := true
+		_ = s.View(func(tx *Tx) error {
+			for v := int64(-4); v <= 4; v++ {
+				indexed, has := tx.NodesByProp("N", "v", value.Int(v))
+				if !has {
+					ok = false
+					return nil
+				}
+				var scanned int
+				for _, id := range tx.NodesByLabel("N") {
+					if pv, got := tx.NodeProp(id, "v"); got && value.SameValue(pv, value.Int(v)) {
+						scanned++
+					}
+				}
+				if len(indexed) != scanned {
+					ok = false
+					return nil
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

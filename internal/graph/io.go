@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// exportDoc is the on-disk JSON document shape.
+type exportDoc struct {
+	Format   string       `json:"format"`
+	Nodes    []exportNode `json:"nodes"`
+	Rels     []exportRel  `json:"relationships"`
+	NextNode int64        `json:"nextNode"`
+	NextRel  int64        `json:"nextRel"`
+}
+
+type exportNode struct {
+	ID     int64          `json:"id"`
+	Labels []string       `json:"labels,omitempty"`
+	Props  map[string]any `json:"props,omitempty"`
+}
+
+type exportRel struct {
+	ID    int64          `json:"id"`
+	Type  string         `json:"type"`
+	Start int64          `json:"start"`
+	End   int64          `json:"end"`
+	Props map[string]any `json:"props,omitempty"`
+}
+
+// exportFormat tags the document version.
+const exportFormat = "reactive-graph/v1"
+
+// Export writes the store's content (nodes, relationships, identifier
+// counters — not indexes or validators, which are configuration) as JSON.
+func (s *Store) Export(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	doc := exportDoc{
+		Format:   exportFormat,
+		NextNode: int64(s.nextNode),
+		NextRel:  int64(s.nextRel),
+	}
+	nodeIDs := make([]NodeID, 0, len(s.nodes))
+	for id := range s.nodes {
+		nodeIDs = append(nodeIDs, id)
+	}
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+	for _, id := range nodeIDs {
+		rec := s.nodes[id]
+		en := exportNode{ID: int64(id)}
+		for l := range rec.labels {
+			en.Labels = append(en.Labels, l)
+		}
+		sortStrings(en.Labels)
+		if len(rec.props) > 0 {
+			en.Props = make(map[string]any, len(rec.props))
+			for k, v := range rec.props {
+				en.Props[k] = value.ToJSON(v)
+			}
+		}
+		doc.Nodes = append(doc.Nodes, en)
+	}
+	relIDs := make([]RelID, 0, len(s.rels))
+	for id := range s.rels {
+		relIDs = append(relIDs, id)
+	}
+	sort.Slice(relIDs, func(i, j int) bool { return relIDs[i] < relIDs[j] })
+	for _, id := range relIDs {
+		rec := s.rels[id]
+		er := exportRel{
+			ID: int64(id), Type: rec.typ,
+			Start: int64(rec.start.id), End: int64(rec.end.id),
+		}
+		if len(rec.props) > 0 {
+			er.Props = make(map[string]any, len(rec.props))
+			for k, v := range rec.props {
+				er.Props[k] = value.ToJSON(v)
+			}
+		}
+		doc.Rels = append(doc.Rels, er)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// Import loads a document produced by Export into the store, which must be
+// empty. Identifiers are preserved; indexes already created on the store
+// are populated as nodes arrive. Validators do NOT run during import (the
+// data was valid when exported); subsequent transactions are validated as
+// usual.
+func (s *Store) Import(r io.Reader) error {
+	var doc exportDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("graph: import: %w", err)
+	}
+	if doc.Format != exportFormat {
+		return fmt.Errorf("graph: import: unknown format %q", doc.Format)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.nodes) != 0 || len(s.rels) != 0 {
+		return fmt.Errorf("graph: import requires an empty store")
+	}
+	for _, en := range doc.Nodes {
+		rec := &nodeRec{
+			id:     NodeID(en.ID),
+			labels: make(map[string]struct{}, len(en.Labels)),
+			props:  make(map[string]value.Value, len(en.Props)),
+			out:    make(map[RelID]*relRec),
+			in:     make(map[RelID]*relRec),
+		}
+		for _, l := range en.Labels {
+			rec.labels[l] = struct{}{}
+			s.labelSet(l)[rec.id] = struct{}{}
+		}
+		for k, raw := range en.Props {
+			v, err := value.FromJSON(raw)
+			if err != nil {
+				return fmt.Errorf("graph: import node %d prop %s: %w", en.ID, k, err)
+			}
+			if !v.IsNull() {
+				rec.props[k] = v
+			}
+		}
+		s.nodes[rec.id] = rec
+		for k, v := range rec.props {
+			s.indexInsertNode(rec, k, v)
+		}
+	}
+	for _, er := range doc.Rels {
+		start, ok := s.nodes[NodeID(er.Start)]
+		if !ok {
+			return fmt.Errorf("graph: import rel %d: start node %d missing", er.ID, er.Start)
+		}
+		end, ok := s.nodes[NodeID(er.End)]
+		if !ok {
+			return fmt.Errorf("graph: import rel %d: end node %d missing", er.ID, er.End)
+		}
+		rec := &relRec{
+			id: RelID(er.ID), typ: er.Type, start: start, end: end,
+			props: make(map[string]value.Value, len(er.Props)),
+		}
+		for k, raw := range er.Props {
+			v, err := value.FromJSON(raw)
+			if err != nil {
+				return fmt.Errorf("graph: import rel %d prop %s: %w", er.ID, k, err)
+			}
+			if !v.IsNull() {
+				rec.props[k] = v
+			}
+		}
+		s.rels[rec.id] = rec
+		start.out[rec.id] = rec
+		end.in[rec.id] = rec
+		s.relTypeSet(rec.typ)[rec.id] = struct{}{}
+	}
+	s.nextNode = NodeID(doc.NextNode)
+	s.nextRel = RelID(doc.NextRel)
+	for _, en := range doc.Nodes {
+		if NodeID(en.ID) > s.nextNode {
+			s.nextNode = NodeID(en.ID)
+		}
+	}
+	for _, er := range doc.Rels {
+		if RelID(er.ID) > s.nextRel {
+			s.nextRel = RelID(er.ID)
+		}
+	}
+	return nil
+}

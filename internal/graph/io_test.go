@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/value"
+)
+
+func buildRichStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	err := s.Update(func(tx *Tx) error {
+		a, _ := tx.CreateNode([]string{"Person", "Patient"}, map[string]value.Value{
+			"name":  value.Str("Ada"),
+			"age":   value.Int(36),
+			"score": value.Float(0.75),
+			"tags":  value.List(value.Str("x"), value.Int(1)),
+			"meta":  value.Map(map[string]value.Value{"k": value.Bool(true)}),
+			"since": value.DateTime(time.Date(2023, 4, 1, 12, 0, 0, 0, time.UTC)),
+			"wait":  value.Duration(90 * time.Minute),
+		})
+		b, _ := tx.CreateNode([]string{"Hospital"}, nil)
+		_, err := tx.CreateRel(a, b, "TreatedAt", map[string]value.Value{"ward": value.Str("ICU")})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	s := buildRichStore(t)
+	var buf bytes.Buffer
+	if err := s.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	if err := restored.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats().Nodes != 2 || restored.Stats().Relationships != 1 {
+		t.Fatalf("stats: %+v", restored.Stats())
+	}
+	_ = restored.View(func(tx *Tx) error {
+		ids := tx.NodesByLabel("Person")
+		if len(ids) != 1 {
+			t.Fatal("label index rebuilt")
+		}
+		n, _ := tx.Node(ids[0])
+		if !value.SameValue(n.Props["age"], value.Int(36)) {
+			t.Errorf("age kind lost: %s (%s)", n.Props["age"], n.Props["age"].Kind())
+		}
+		if !value.SameValue(n.Props["score"], value.Float(0.75)) {
+			t.Error("float lost")
+		}
+		if n.Props["since"].Kind() != value.KindDateTime {
+			t.Error("datetime kind lost")
+		}
+		if d, _ := n.Props["wait"].AsDuration(); d != 90*time.Minute {
+			t.Error("duration lost")
+		}
+		if l, _ := n.Props["tags"].AsList(); len(l) != 2 || l[1].Kind() != value.KindInt {
+			t.Error("list element kinds lost")
+		}
+		rels := tx.RelsOf(ids[0], Outgoing, []string{"TreatedAt"})
+		if len(rels) != 1 {
+			t.Fatal("relationship lost")
+		}
+		if v, _ := tx.RelProp(rels[0].ID, "ward"); !value.SameValue(v, value.Str("ICU")) {
+			t.Error("rel prop lost")
+		}
+		return nil
+	})
+	// New ids continue past the imported ones.
+	_ = restored.Update(func(tx *Tx) error {
+		id, _ := tx.CreateNode(nil, nil)
+		if id <= 2 {
+			t.Errorf("id counter not restored: %d", id)
+		}
+		return nil
+	})
+}
+
+func TestImportPopulatesExistingIndexes(t *testing.T) {
+	s := buildRichStore(t)
+	var buf bytes.Buffer
+	if err := s.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	if err := restored.CreateIndex("Person", "name"); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_ = restored.View(func(tx *Tx) error {
+		ids, ok := tx.NodesByProp("Person", "name", value.Str("Ada"))
+		if !ok || len(ids) != 1 {
+			t.Error("index not populated during import")
+		}
+		return nil
+	})
+}
+
+func TestImportErrors(t *testing.T) {
+	s := NewStore()
+	if err := s.Import(strings.NewReader("not json")); err == nil {
+		t.Error("bad json")
+	}
+	if err := s.Import(strings.NewReader(`{"format":"other/v9"}`)); err == nil {
+		t.Error("unknown format")
+	}
+	// Non-empty store.
+	_ = s.Update(func(tx *Tx) error {
+		_, err := tx.CreateNode(nil, nil)
+		return err
+	})
+	if err := s.Import(strings.NewReader(`{"format":"reactive-graph/v1"}`)); err == nil {
+		t.Error("non-empty store")
+	}
+	// Dangling endpoints.
+	fresh := NewStore()
+	doc := `{"format":"reactive-graph/v1","nodes":[],"relationships":[{"id":1,"type":"R","start":1,"end":2}]}`
+	if err := fresh.Import(strings.NewReader(doc)); err == nil {
+		t.Error("dangling endpoints")
+	}
+}
+
+func TestValueJSONRoundTripProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool) bool {
+		vals := []value.Value{
+			value.Null, value.Bool(b), value.Int(i), value.Float(fl), value.Str(s),
+			value.List(value.Int(i), value.Str(s), value.Null),
+			value.Map(map[string]value.Value{"a": value.Int(i), "$int": value.Str(s)}),
+			value.DateTime(time.Unix(i%1e9, 0).UTC()),
+			value.Duration(time.Duration(i % 1e12)),
+			value.Node(i), value.Relationship(i),
+		}
+		for _, v := range vals {
+			got, err := value.FromJSON(value.ToJSON(v))
+			if err != nil {
+				return false
+			}
+			if !value.SameValue(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueJSONThroughEncoding(t *testing.T) {
+	// The full path: ToJSON → encoding/json → FromJSON must preserve
+	// integer width beyond float64 precision.
+	big := value.Int(1<<62 + 12345)
+	data, err := json.Marshal(value.ToJSON(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	got, err := value.FromJSON(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.SameValue(got, big) {
+		t.Errorf("big int mangled: %s", got)
+	}
+}

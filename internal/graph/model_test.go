@@ -1,0 +1,259 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// modelNode mirrors a store node in plain maps, for model-based testing.
+type modelNode struct {
+	labels map[string]bool
+	props  map[string]value.Value
+}
+
+type modelRel struct {
+	typ        string
+	start, end NodeID
+}
+
+// model is a reference implementation of the store's semantics.
+type model struct {
+	nodes map[NodeID]*modelNode
+	rels  map[RelID]*modelRel
+}
+
+func newModel() *model {
+	return &model{nodes: make(map[NodeID]*modelNode), rels: make(map[RelID]*modelRel)}
+}
+
+// TestStoreAgainstModel drives a long random operation sequence against
+// both the store and a trivial reference model, checking agreement after
+// every committed transaction — including transactions that roll back,
+// which must leave the store exactly where the model says it was.
+func TestStoreAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := NewStore()
+	if err := s.CreateIndex("L0", "p0"); err != nil {
+		t.Fatal(err)
+	}
+	m := newModel()
+
+	labels := []string{"L0", "L1", "L2"}
+	props := []string{"p0", "p1"}
+	relTypes := []string{"R0", "R1"}
+
+	nodeIDs := func(mm *model) []NodeID {
+		out := make([]NodeID, 0, len(mm.nodes))
+		for id := range mm.nodes {
+			out = append(out, id)
+		}
+		return out
+	}
+	pick := func(ids []NodeID) NodeID { return ids[rng.Intn(len(ids))] }
+
+	for round := 0; round < 300; round++ {
+		rollback := rng.Intn(5) == 0
+		// Snapshot the model for rollback rounds.
+		shadow := newModel()
+		for id, n := range m.nodes {
+			cn := &modelNode{labels: map[string]bool{}, props: map[string]value.Value{}}
+			for l := range n.labels {
+				cn.labels[l] = true
+			}
+			for k, v := range n.props {
+				cn.props[k] = v
+			}
+			shadow.nodes[id] = cn
+		}
+		for id, r := range m.rels {
+			shadow.rels[id] = &modelRel{typ: r.typ, start: r.start, end: r.end}
+		}
+
+		tx := s.Begin(ReadWrite)
+		for op := 0; op < 1+rng.Intn(6); op++ {
+			switch rng.Intn(7) {
+			case 0: // create node
+				l := labels[rng.Intn(len(labels))]
+				p := props[rng.Intn(len(props))]
+				v := value.Int(int64(rng.Intn(4)))
+				id, err := tx.CreateNode([]string{l}, map[string]value.Value{p: v})
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.nodes[id] = &modelNode{
+					labels: map[string]bool{l: true},
+					props:  map[string]value.Value{p: v},
+				}
+			case 1: // detach delete node
+				ids := nodeIDs(m)
+				if len(ids) == 0 {
+					continue
+				}
+				id := pick(ids)
+				if err := tx.DeleteNode(id, true); err != nil {
+					t.Fatal(err)
+				}
+				delete(m.nodes, id)
+				for rid, r := range m.rels {
+					if r.start == id || r.end == id {
+						delete(m.rels, rid)
+					}
+				}
+			case 2: // create rel
+				ids := nodeIDs(m)
+				if len(ids) == 0 {
+					continue
+				}
+				a, b := pick(ids), pick(ids)
+				typ := relTypes[rng.Intn(len(relTypes))]
+				rid, err := tx.CreateRel(a, b, typ, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.rels[rid] = &modelRel{typ: typ, start: a, end: b}
+			case 3: // delete rel
+				for rid := range m.rels {
+					if err := tx.DeleteRel(rid); err != nil {
+						t.Fatal(err)
+					}
+					delete(m.rels, rid)
+					break
+				}
+			case 4: // set prop
+				ids := nodeIDs(m)
+				if len(ids) == 0 {
+					continue
+				}
+				id := pick(ids)
+				p := props[rng.Intn(len(props))]
+				v := value.Int(int64(rng.Intn(4)))
+				if err := tx.SetNodeProp(id, p, v); err != nil {
+					t.Fatal(err)
+				}
+				m.nodes[id].props[p] = v
+			case 5: // set label
+				ids := nodeIDs(m)
+				if len(ids) == 0 {
+					continue
+				}
+				id := pick(ids)
+				l := labels[rng.Intn(len(labels))]
+				if err := tx.SetLabel(id, l); err != nil {
+					t.Fatal(err)
+				}
+				m.nodes[id].labels[l] = true
+			case 6: // remove label
+				ids := nodeIDs(m)
+				if len(ids) == 0 {
+					continue
+				}
+				id := pick(ids)
+				l := labels[rng.Intn(len(labels))]
+				if err := tx.RemoveLabel(id, l); err != nil {
+					t.Fatal(err)
+				}
+				delete(m.nodes[id].labels, l)
+			}
+		}
+		if rollback {
+			tx.Rollback()
+			m = shadow
+		} else if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstModel(t, s, m, round)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+func checkAgainstModel(t *testing.T, s *Store, m *model, round int) {
+	t.Helper()
+	_ = s.View(func(tx *Tx) error {
+		if tx.NodeCount() != len(m.nodes) {
+			t.Errorf("round %d: nodes %d != model %d", round, tx.NodeCount(), len(m.nodes))
+		}
+		if tx.RelCount() != len(m.rels) {
+			t.Errorf("round %d: rels %d != model %d", round, tx.RelCount(), len(m.rels))
+		}
+		// Per-node agreement.
+		for id, mn := range m.nodes {
+			labels, ok := tx.NodeLabels(id)
+			if !ok {
+				t.Errorf("round %d: node %d missing", round, id)
+				continue
+			}
+			if len(labels) != len(mn.labels) {
+				t.Errorf("round %d: node %d labels %v != model %v", round, id, labels, mn.labels)
+			}
+			for _, l := range labels {
+				if !mn.labels[l] {
+					t.Errorf("round %d: node %d extra label %s", round, id, l)
+				}
+			}
+			for k, want := range mn.props {
+				got, has := tx.NodeProp(id, k)
+				if !has || !value.SameValue(got, want) {
+					t.Errorf("round %d: node %d prop %s = %s, want %s", round, id, k, got, want)
+				}
+			}
+		}
+		// Label index agreement.
+		for _, l := range []string{"L0", "L1", "L2"} {
+			indexed := tx.NodesByLabel(l)
+			count := 0
+			for _, mn := range m.nodes {
+				if mn.labels[l] {
+					count++
+				}
+			}
+			if len(indexed) != count {
+				t.Errorf("round %d: label index %s has %d, model %d", round, l, len(indexed), count)
+			}
+		}
+		// Property index agreement for the indexed (L0, p0).
+		for v := int64(0); v < 4; v++ {
+			indexed, ok := tx.NodesByProp("L0", "p0", value.Int(v))
+			if !ok {
+				t.Errorf("round %d: index vanished", round)
+				break
+			}
+			count := 0
+			for _, mn := range m.nodes {
+				if mn.labels["L0"] {
+					if pv, has := mn.props["p0"]; has && value.SameValue(pv, value.Int(v)) {
+						count++
+					}
+				}
+			}
+			if len(indexed) != count {
+				t.Errorf("round %d: prop index p0=%d has %d, model %d", round, v, len(indexed), count)
+			}
+		}
+		// Adjacency agreement.
+		for rid, mr := range m.rels {
+			typ, start, end, ok := tx.RelEndpoints(rid)
+			if !ok || typ != mr.typ || start != mr.start || end != mr.end {
+				t.Errorf("round %d: rel %d mismatch", round, rid)
+			}
+		}
+		for id := range m.nodes {
+			deg := 0
+			for _, mr := range m.rels {
+				if mr.start == id {
+					deg++
+				}
+				if mr.end == id && mr.start != id {
+					deg++
+				}
+			}
+			if got := tx.Degree(id, Both); got != deg {
+				t.Errorf("round %d: node %d degree %d != model %d", round, id, got, deg)
+			}
+		}
+		return nil
+	})
+}

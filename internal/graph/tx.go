@@ -1,0 +1,644 @@
+package graph
+
+import (
+	"repro/internal/value"
+)
+
+// Tx is a transaction over a Store. Read methods are valid in both modes;
+// write methods fail with ErrReadOnly in a read-only transaction. A
+// transaction must be finished with Commit or Rollback exactly once;
+// Rollback after Commit is a no-op, which makes `defer tx.Rollback()` safe.
+type Tx struct {
+	s    *Store
+	mode Mode
+	done bool
+	data *TxData
+	undo []func()
+}
+
+// Data exposes the changes made so far by this transaction. The caller must
+// not mutate the returned record.
+func (tx *Tx) Data() *TxData { return tx.data }
+
+// ResetData replaces the change record with an empty one and returns the
+// previous record. Rule engines use this to process changes in rounds while
+// the transaction stays open.
+func (tx *Tx) ResetData() *TxData {
+	old := tx.data
+	tx.data = &TxData{}
+	return old
+}
+
+// MergeData folds a previously extracted change record back into the
+// transaction, so commit-time validators observe the full set of changes
+// even after rule engines processed them in rounds via ResetData.
+func (tx *Tx) MergeData(d *TxData) {
+	d.Merge(tx.data)
+	tx.data = d
+}
+
+// Commit runs the store validators and publishes the transaction. If a
+// validator fails, the transaction is rolled back and the error returned.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.mode == ReadWrite {
+		for _, v := range tx.s.validators {
+			if err := v(tx); err != nil {
+				tx.rollbackLocked()
+				return err
+			}
+		}
+	}
+	tx.done = true
+	tx.unlock()
+	return nil
+}
+
+// Rollback undoes all changes made by the transaction. Calling it after
+// Commit (or twice) is a no-op.
+func (tx *Tx) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.rollbackLocked()
+}
+
+func (tx *Tx) rollbackLocked() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i]()
+	}
+	tx.undo = nil
+	tx.done = true
+	tx.unlock()
+}
+
+func (tx *Tx) unlock() {
+	if tx.mode == ReadWrite {
+		tx.s.mu.Unlock()
+	} else {
+		tx.s.mu.RUnlock()
+	}
+}
+
+func (tx *Tx) writable() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.mode != ReadWrite {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// ---- Write operations ----
+
+// CreateNode creates a node with the given labels and properties and
+// returns its identifier. NULL-valued properties are not stored.
+func (tx *Tx) CreateNode(labels []string, props map[string]value.Value) (NodeID, error) {
+	if err := tx.writable(); err != nil {
+		return 0, err
+	}
+	s := tx.s
+	s.nextNode++
+	id := s.nextNode
+	rec := &nodeRec{
+		id:     id,
+		labels: make(map[string]struct{}, len(labels)),
+		props:  make(map[string]value.Value, len(props)),
+		out:    make(map[RelID]*relRec),
+		in:     make(map[RelID]*relRec),
+	}
+	for _, l := range labels {
+		rec.labels[l] = struct{}{}
+	}
+	for k, v := range props {
+		if !v.IsNull() {
+			rec.props[k] = v
+		}
+	}
+	s.nodes[id] = rec
+	for l := range rec.labels {
+		s.labelSet(l)[id] = struct{}{}
+	}
+	for k, v := range rec.props {
+		s.indexInsertNode(rec, k, v)
+	}
+	tx.data.CreatedNodes = append(tx.data.CreatedNodes, id)
+	tx.undo = append(tx.undo, func() {
+		for l := range rec.labels {
+			delete(s.byLabel[l], id)
+		}
+		for k, v := range rec.props {
+			s.indexRemoveNode(rec, k, v)
+		}
+		delete(s.nodes, id)
+	})
+	return id, nil
+}
+
+// DeleteNode removes a node. If the node still has relationships the call
+// fails with ErrHasRels unless detach is true, in which case all incident
+// relationships are deleted first (DETACH DELETE).
+func (tx *Tx) DeleteNode(id NodeID, detach bool) error {
+	if err := tx.writable(); err != nil {
+		return err
+	}
+	s := tx.s
+	rec, ok := s.nodes[id]
+	if !ok {
+		return fmtErrNode(id)
+	}
+	if len(rec.out) > 0 || len(rec.in) > 0 {
+		if !detach {
+			return ErrHasRels
+		}
+		for rid := range rec.out {
+			if err := tx.DeleteRel(rid); err != nil {
+				return err
+			}
+		}
+		for rid := range rec.in {
+			if err := tx.DeleteRel(rid); err != nil {
+				return err
+			}
+		}
+	}
+	snap := snapshotNode(rec)
+	for l := range rec.labels {
+		delete(s.byLabel[l], id)
+	}
+	for k, v := range rec.props {
+		s.indexRemoveNode(rec, k, v)
+	}
+	delete(s.nodes, id)
+	tx.data.DeletedNodes = append(tx.data.DeletedNodes, snap)
+	tx.undo = append(tx.undo, func() {
+		s.nodes[id] = rec
+		for l := range rec.labels {
+			s.labelSet(l)[id] = struct{}{}
+		}
+		for k, v := range rec.props {
+			s.indexInsertNode(rec, k, v)
+		}
+	})
+	return nil
+}
+
+// CreateRel creates a relationship of the given type from start to end.
+func (tx *Tx) CreateRel(start, end NodeID, typ string, props map[string]value.Value) (RelID, error) {
+	if err := tx.writable(); err != nil {
+		return 0, err
+	}
+	s := tx.s
+	sRec, ok := s.nodes[start]
+	if !ok {
+		return 0, fmtErrNode(start)
+	}
+	eRec, ok := s.nodes[end]
+	if !ok {
+		return 0, fmtErrNode(end)
+	}
+	s.nextRel++
+	id := s.nextRel
+	rec := &relRec{id: id, typ: typ, start: sRec, end: eRec,
+		props: make(map[string]value.Value, len(props))}
+	for k, v := range props {
+		if !v.IsNull() {
+			rec.props[k] = v
+		}
+	}
+	s.rels[id] = rec
+	sRec.out[id] = rec
+	eRec.in[id] = rec
+	s.relTypeSet(typ)[id] = struct{}{}
+	tx.data.CreatedRels = append(tx.data.CreatedRels, id)
+	tx.undo = append(tx.undo, func() {
+		delete(s.rels, id)
+		delete(sRec.out, id)
+		delete(eRec.in, id)
+		delete(s.byRelType[typ], id)
+	})
+	return id, nil
+}
+
+// DeleteRel removes a relationship.
+func (tx *Tx) DeleteRel(id RelID) error {
+	if err := tx.writable(); err != nil {
+		return err
+	}
+	s := tx.s
+	rec, ok := s.rels[id]
+	if !ok {
+		return fmtErrRel(id)
+	}
+	snap := snapshotRel(rec)
+	delete(s.rels, id)
+	delete(rec.start.out, id)
+	delete(rec.end.in, id)
+	delete(s.byRelType[rec.typ], id)
+	tx.data.DeletedRels = append(tx.data.DeletedRels, snap)
+	tx.undo = append(tx.undo, func() {
+		s.rels[id] = rec
+		rec.start.out[id] = rec
+		rec.end.in[id] = rec
+		s.relTypeSet(rec.typ)[id] = struct{}{}
+	})
+	return nil
+}
+
+// SetLabel adds a label to a node; adding a label the node already carries
+// is a no-op that records no change.
+func (tx *Tx) SetLabel(id NodeID, label string) error {
+	if err := tx.writable(); err != nil {
+		return err
+	}
+	s := tx.s
+	rec, ok := s.nodes[id]
+	if !ok {
+		return fmtErrNode(id)
+	}
+	if _, has := rec.labels[label]; has {
+		return nil
+	}
+	rec.labels[label] = struct{}{}
+	s.labelSet(label)[id] = struct{}{}
+	for k, v := range rec.props {
+		s.indexInsertNodeForLabel(rec, label, k, v)
+	}
+	tx.data.AssignedLabels = append(tx.data.AssignedLabels, LabelChange{Node: id, Label: label})
+	tx.undo = append(tx.undo, func() {
+		delete(rec.labels, label)
+		delete(s.byLabel[label], id)
+		for k, v := range rec.props {
+			s.indexRemoveNodeForLabel(rec, label, k, v)
+		}
+	})
+	return nil
+}
+
+// RemoveLabel removes a label from a node; removing an absent label is a
+// no-op that records no change.
+func (tx *Tx) RemoveLabel(id NodeID, label string) error {
+	if err := tx.writable(); err != nil {
+		return err
+	}
+	s := tx.s
+	rec, ok := s.nodes[id]
+	if !ok {
+		return fmtErrNode(id)
+	}
+	if _, has := rec.labels[label]; !has {
+		return nil
+	}
+	delete(rec.labels, label)
+	delete(s.byLabel[label], id)
+	for k, v := range rec.props {
+		s.indexRemoveNodeForLabel(rec, label, k, v)
+	}
+	tx.data.RemovedLabels = append(tx.data.RemovedLabels, LabelChange{Node: id, Label: label})
+	tx.undo = append(tx.undo, func() {
+		rec.labels[label] = struct{}{}
+		s.labelSet(label)[id] = struct{}{}
+		for k, v := range rec.props {
+			s.indexInsertNodeForLabel(rec, label, k, v)
+		}
+	})
+	return nil
+}
+
+// SetNodeProp assigns a property on a node. Assigning NULL removes the
+// property (Cypher SET semantics).
+func (tx *Tx) SetNodeProp(id NodeID, key string, v value.Value) error {
+	if err := tx.writable(); err != nil {
+		return err
+	}
+	s := tx.s
+	rec, ok := s.nodes[id]
+	if !ok {
+		return fmtErrNode(id)
+	}
+	old, had := rec.props[key]
+	if v.IsNull() {
+		if !had {
+			return nil
+		}
+		delete(rec.props, key)
+		s.indexRemoveNode(rec, key, old)
+		tx.data.RemovedProps = append(tx.data.RemovedProps,
+			PropChange{Kind: NodeEntity, Node: id, Key: key, Old: old, New: value.Null})
+		tx.undo = append(tx.undo, func() {
+			rec.props[key] = old
+			s.indexInsertNode(rec, key, old)
+		})
+		return nil
+	}
+	rec.props[key] = v
+	if had {
+		s.indexRemoveNode(rec, key, old)
+	}
+	s.indexInsertNode(rec, key, v)
+	oldRecorded := value.Null
+	if had {
+		oldRecorded = old
+	}
+	tx.data.AssignedProps = append(tx.data.AssignedProps,
+		PropChange{Kind: NodeEntity, Node: id, Key: key, Old: oldRecorded, New: v})
+	tx.undo = append(tx.undo, func() {
+		s.indexRemoveNode(rec, key, v)
+		if had {
+			rec.props[key] = old
+			s.indexInsertNode(rec, key, old)
+		} else {
+			delete(rec.props, key)
+		}
+	})
+	return nil
+}
+
+// RemoveNodeProp removes a property from a node; removing an absent
+// property is a no-op.
+func (tx *Tx) RemoveNodeProp(id NodeID, key string) error {
+	return tx.SetNodeProp(id, key, value.Null)
+}
+
+// SetRelProp assigns a property on a relationship; assigning NULL removes it.
+func (tx *Tx) SetRelProp(id RelID, key string, v value.Value) error {
+	if err := tx.writable(); err != nil {
+		return err
+	}
+	rec, ok := tx.s.rels[id]
+	if !ok {
+		return fmtErrRel(id)
+	}
+	old, had := rec.props[key]
+	if v.IsNull() {
+		if !had {
+			return nil
+		}
+		delete(rec.props, key)
+		tx.data.RemovedProps = append(tx.data.RemovedProps,
+			PropChange{Kind: RelEntity, Rel: id, Key: key, Old: old, New: value.Null})
+		tx.undo = append(tx.undo, func() { rec.props[key] = old })
+		return nil
+	}
+	rec.props[key] = v
+	oldRecorded := value.Null
+	if had {
+		oldRecorded = old
+	}
+	tx.data.AssignedProps = append(tx.data.AssignedProps,
+		PropChange{Kind: RelEntity, Rel: id, Key: key, Old: oldRecorded, New: v})
+	tx.undo = append(tx.undo, func() {
+		if had {
+			rec.props[key] = old
+		} else {
+			delete(rec.props, key)
+		}
+	})
+	return nil
+}
+
+// RemoveRelProp removes a property from a relationship.
+func (tx *Tx) RemoveRelProp(id RelID, key string) error {
+	return tx.SetRelProp(id, key, value.Null)
+}
+
+// ---- Read operations ----
+
+// NodeExists reports whether the node is present.
+func (tx *Tx) NodeExists(id NodeID) bool {
+	_, ok := tx.s.nodes[id]
+	return ok
+}
+
+// Node returns a snapshot of the node.
+func (tx *Tx) Node(id NodeID) (Node, bool) {
+	rec, ok := tx.s.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return snapshotNode(rec), true
+}
+
+// Rel returns a snapshot of the relationship.
+func (tx *Tx) Rel(id RelID) (Rel, bool) {
+	rec, ok := tx.s.rels[id]
+	if !ok {
+		return Rel{}, false
+	}
+	return snapshotRel(rec), true
+}
+
+// NodeLabels returns the labels of a node, sorted.
+func (tx *Tx) NodeLabels(id NodeID) ([]string, bool) {
+	rec, ok := tx.s.nodes[id]
+	if !ok {
+		return nil, false
+	}
+	labels := make([]string, 0, len(rec.labels))
+	for l := range rec.labels {
+		labels = append(labels, l)
+	}
+	sortStrings(labels)
+	return labels, true
+}
+
+// NodeHasLabel reports whether the node carries the label.
+func (tx *Tx) NodeHasLabel(id NodeID, label string) bool {
+	rec, ok := tx.s.nodes[id]
+	if !ok {
+		return false
+	}
+	_, has := rec.labels[label]
+	return has
+}
+
+// NodeProp returns a node property value; the second result is false if the
+// node does not exist or lacks the property.
+func (tx *Tx) NodeProp(id NodeID, key string) (value.Value, bool) {
+	rec, ok := tx.s.nodes[id]
+	if !ok {
+		return value.Null, false
+	}
+	v, has := rec.props[key]
+	return v, has
+}
+
+// NodePropKeys returns the property keys of a node, sorted.
+func (tx *Tx) NodePropKeys(id NodeID) []string {
+	rec, ok := tx.s.nodes[id]
+	if !ok {
+		return nil
+	}
+	keys := make([]string, 0, len(rec.props))
+	for k := range rec.props {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+// RelProp returns a relationship property value.
+func (tx *Tx) RelProp(id RelID, key string) (value.Value, bool) {
+	rec, ok := tx.s.rels[id]
+	if !ok {
+		return value.Null, false
+	}
+	v, has := rec.props[key]
+	return v, has
+}
+
+// RelPropKeys returns the property keys of a relationship, sorted.
+func (tx *Tx) RelPropKeys(id RelID) []string {
+	rec, ok := tx.s.rels[id]
+	if !ok {
+		return nil
+	}
+	keys := make([]string, 0, len(rec.props))
+	for k := range rec.props {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+// RelEndpoints returns the type, start and end of a relationship without
+// copying its properties.
+func (tx *Tx) RelEndpoints(id RelID) (typ string, start, end NodeID, ok bool) {
+	rec, found := tx.s.rels[id]
+	if !found {
+		return "", 0, 0, false
+	}
+	return rec.typ, rec.start.id, rec.end.id, true
+}
+
+// RelHandle is a lightweight relationship descriptor used during traversal.
+type RelHandle struct {
+	ID    RelID
+	Type  string
+	Start NodeID
+	End   NodeID
+}
+
+// Other returns the endpoint opposite to id.
+func (r RelHandle) Other(id NodeID) NodeID {
+	if r.Start == id {
+		return r.End
+	}
+	return r.Start
+}
+
+// RelsOf returns the relationships incident to a node in the given
+// direction, optionally filtered to a set of types (nil means all types).
+// For Direction Both, self-loops are reported once.
+func (tx *Tx) RelsOf(id NodeID, dir Direction, types []string) []RelHandle {
+	rec, ok := tx.s.nodes[id]
+	if !ok {
+		return nil
+	}
+	match := func(typ string) bool {
+		if len(types) == 0 {
+			return true
+		}
+		for _, t := range types {
+			if t == typ {
+				return true
+			}
+		}
+		return false
+	}
+	var out []RelHandle
+	appendRel := func(r *relRec) {
+		out = append(out, RelHandle{ID: r.id, Type: r.typ, Start: r.start.id, End: r.end.id})
+	}
+	if dir == Outgoing || dir == Both {
+		for _, r := range rec.out {
+			if match(r.typ) {
+				appendRel(r)
+			}
+		}
+	}
+	if dir == Incoming || dir == Both {
+		for _, r := range rec.in {
+			if match(r.typ) && r.start != r.end { // self-loop already reported
+				appendRel(r)
+			}
+		}
+	}
+	return out
+}
+
+// Degree returns the number of relationships incident to a node in the
+// given direction.
+func (tx *Tx) Degree(id NodeID, dir Direction) int {
+	rec, ok := tx.s.nodes[id]
+	if !ok {
+		return 0
+	}
+	switch dir {
+	case Outgoing:
+		return len(rec.out)
+	case Incoming:
+		return len(rec.in)
+	default:
+		n := len(rec.out) + len(rec.in)
+		for _, r := range rec.out {
+			if r.start == r.end {
+				n--
+			}
+		}
+		return n
+	}
+}
+
+// NodesByLabel returns the identifiers of all nodes carrying the label.
+func (tx *Tx) NodesByLabel(label string) []NodeID {
+	set := tx.s.byLabel[label]
+	out := make([]NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	return out
+}
+
+// CountByLabel returns the number of nodes carrying the label without
+// materializing their identifiers.
+func (tx *Tx) CountByLabel(label string) int {
+	return len(tx.s.byLabel[label])
+}
+
+// AllNodes returns the identifiers of every node.
+func (tx *Tx) AllNodes() []NodeID {
+	out := make([]NodeID, 0, len(tx.s.nodes))
+	for id := range tx.s.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// AllRels returns the identifiers of every relationship.
+func (tx *Tx) AllRels() []RelID {
+	out := make([]RelID, 0, len(tx.s.rels))
+	for id := range tx.s.rels {
+		out = append(out, id)
+	}
+	return out
+}
+
+// RelsByType returns the identifiers of all relationships of the type.
+func (tx *Tx) RelsByType(typ string) []RelID {
+	set := tx.s.byRelType[typ]
+	out := make([]RelID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	return out
+}
+
+// NodeCount returns the number of nodes.
+func (tx *Tx) NodeCount() int { return len(tx.s.nodes) }
+
+// RelCount returns the number of relationships.
+func (tx *Tx) RelCount() int { return len(tx.s.rels) }

@@ -1,0 +1,161 @@
+package graph
+
+import "repro/internal/value"
+
+// EntityKind distinguishes node and relationship targets in change records.
+type EntityKind int
+
+// Entity kinds.
+const (
+	NodeEntity EntityKind = iota
+	RelEntity
+)
+
+// LabelChange records a label assigned to or removed from a node.
+type LabelChange struct {
+	Node  NodeID
+	Label string
+}
+
+// PropChange records a property assignment or removal on a node or
+// relationship. For assignments Old is the previous value (NULL if the
+// property was absent) and New the value written; for removals New is NULL.
+type PropChange struct {
+	Kind EntityKind
+	Node NodeID // valid when Kind == NodeEntity
+	Rel  RelID  // valid when Kind == RelEntity
+	Key  string
+	Old  value.Value
+	New  value.Value
+}
+
+// TxData accumulates the changes made by a transaction, in the shape that
+// graph databases expose to trigger frameworks: created/deleted entities and
+// label/property transitions. Deleted entities are recorded as snapshots so
+// that rules can still inspect the OLD state.
+type TxData struct {
+	CreatedNodes   []NodeID
+	DeletedNodes   []Node
+	CreatedRels    []RelID
+	DeletedRels    []Rel
+	AssignedLabels []LabelChange
+	RemovedLabels  []LabelChange
+	AssignedProps  []PropChange
+	RemovedProps   []PropChange
+}
+
+// Empty reports whether the transaction made no changes.
+func (d *TxData) Empty() bool {
+	return len(d.CreatedNodes) == 0 && len(d.DeletedNodes) == 0 &&
+		len(d.CreatedRels) == 0 && len(d.DeletedRels) == 0 &&
+		len(d.AssignedLabels) == 0 && len(d.RemovedLabels) == 0 &&
+		len(d.AssignedProps) == 0 && len(d.RemovedProps) == 0
+}
+
+// Merge appends the changes of other into d. Used by rule engines that
+// accumulate the effects of cascading rule executions.
+func (d *TxData) Merge(other *TxData) {
+	d.CreatedNodes = append(d.CreatedNodes, other.CreatedNodes...)
+	d.DeletedNodes = append(d.DeletedNodes, other.DeletedNodes...)
+	d.CreatedRels = append(d.CreatedRels, other.CreatedRels...)
+	d.DeletedRels = append(d.DeletedRels, other.DeletedRels...)
+	d.AssignedLabels = append(d.AssignedLabels, other.AssignedLabels...)
+	d.RemovedLabels = append(d.RemovedLabels, other.RemovedLabels...)
+	d.AssignedProps = append(d.AssignedProps, other.AssignedProps...)
+	d.RemovedProps = append(d.RemovedProps, other.RemovedProps...)
+}
+
+// Compact removes records that cancel out within the same transaction:
+// nodes and relationships both created and deleted disappear entirely
+// (together with their label and property changes), and label or property
+// changes on deleted pre-existing entities are dropped because the deletion
+// snapshot already captures the final OLD state.
+func (d *TxData) Compact() {
+	createdNodes := make(map[NodeID]bool, len(d.CreatedNodes))
+	for _, id := range d.CreatedNodes {
+		createdNodes[id] = true
+	}
+	createdRels := make(map[RelID]bool, len(d.CreatedRels))
+	for _, id := range d.CreatedRels {
+		createdRels[id] = true
+	}
+	deletedNodes := make(map[NodeID]bool, len(d.DeletedNodes))
+	for _, n := range d.DeletedNodes {
+		deletedNodes[n.ID] = true
+	}
+	deletedRels := make(map[RelID]bool, len(d.DeletedRels))
+	for _, r := range d.DeletedRels {
+		deletedRels[r.ID] = true
+	}
+
+	d.CreatedNodes = filterNodeIDs(d.CreatedNodes, func(id NodeID) bool { return !deletedNodes[id] })
+	d.CreatedRels = filterRelIDs(d.CreatedRels, func(id RelID) bool { return !deletedRels[id] })
+
+	keepDeletedNodes := d.DeletedNodes[:0]
+	for _, n := range d.DeletedNodes {
+		if !createdNodes[n.ID] {
+			keepDeletedNodes = append(keepDeletedNodes, n)
+		}
+	}
+	d.DeletedNodes = keepDeletedNodes
+
+	keepDeletedRels := d.DeletedRels[:0]
+	for _, r := range d.DeletedRels {
+		if !createdRels[r.ID] {
+			keepDeletedRels = append(keepDeletedRels, r)
+		}
+	}
+	d.DeletedRels = keepDeletedRels
+
+	nodeGone := func(id NodeID) bool { return deletedNodes[id] }
+	relGone := func(id RelID) bool { return deletedRels[id] }
+
+	d.AssignedLabels = filterLabelChanges(d.AssignedLabels, nodeGone)
+	d.RemovedLabels = filterLabelChanges(d.RemovedLabels, nodeGone)
+	d.AssignedProps = filterPropChanges(d.AssignedProps, nodeGone, relGone)
+	d.RemovedProps = filterPropChanges(d.RemovedProps, nodeGone, relGone)
+}
+
+func filterNodeIDs(ids []NodeID, keep func(NodeID) bool) []NodeID {
+	out := ids[:0]
+	for _, id := range ids {
+		if keep(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func filterRelIDs(ids []RelID, keep func(RelID) bool) []RelID {
+	out := ids[:0]
+	for _, id := range ids {
+		if keep(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func filterLabelChanges(cs []LabelChange, gone func(NodeID) bool) []LabelChange {
+	out := cs[:0]
+	for _, c := range cs {
+		if !gone(c.Node) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func filterPropChanges(cs []PropChange, nodeGone func(NodeID) bool, relGone func(RelID) bool) []PropChange {
+	out := cs[:0]
+	for _, c := range cs {
+		if c.Kind == NodeEntity && nodeGone(c.Node) {
+			continue
+		}
+		if c.Kind == RelEntity && relGone(c.Rel) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}

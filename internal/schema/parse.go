@@ -1,0 +1,414 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseGraphType parses the paper's textual PG-Schema syntax (see the
+// package comment for an example). The grammar subset:
+//
+//	graphType  := CREATE GRAPH TYPE name (STRICT|LOOSE) { element (',' element)* }
+//	element    := nodeDecl | edgeDecl | keyDecl
+//	nodeDecl   := '(' alias ':' base ('&' label)* props? ')'
+//	base       := label | previously-declared-alias (inherits labels+props)
+//	props      := '{' (propSpec (',' propSpec)*)? (',' OPEN)? '}'
+//	propSpec   := [OPTIONAL] name type | OPEN
+//	edgeDecl   := '(' ':' alias ')' '-' '[' alias ':' relType props? ']' '->' '(' ':' alias ')'
+//	keyDecl    := FOR '(' var ':' alias ')' EXCLUSIVE MANDATORY SINGLETON var '.' prop
+//
+// Comments starting with // run to end of line.
+func ParseGraphType(src string) (*GraphType, error) {
+	p := &sparser{toks: stokenize(src)}
+	if err := p.expectWords("CREATE", "GRAPH", "TYPE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	g := &GraphType{Name: name}
+	switch {
+	case p.acceptWord("STRICT"):
+		g.Strict = true
+	case p.acceptWord("LOOSE"):
+		g.Strict = false
+	default:
+		g.Strict = true // the paper's examples default to STRICT
+	}
+	if !p.accept("{") {
+		return nil, p.errf("expected '{'")
+	}
+	for !p.accept("}") {
+		if p.eof() {
+			return nil, p.errf("unterminated graph type body")
+		}
+		if p.accept(",") {
+			continue
+		}
+		switch {
+		case p.peekWord("FOR"):
+			if err := p.parseKey(g); err != nil {
+				return nil, err
+			}
+		case p.peek() == "(":
+			if err := p.parseNodeOrEdge(g); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected %q in graph type body", p.peek())
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustParseGraphType panics on error; for package-level schema constants.
+func MustParseGraphType(src string) *GraphType {
+	g, err := ParseGraphType(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type sparser struct {
+	toks []string
+	pos  int
+}
+
+func stokenize(src string) []string {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.ContainsRune("(){}[]:,&.", rune(c)):
+			toks = append(toks, string(c))
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, "->")
+			i += 2
+		case c == '<' && i+1 < len(src) && src[i+1] == '-':
+			toks = append(toks, "<-")
+			i += 2
+		case c == '-':
+			toks = append(toks, "-")
+			i++
+		default:
+			start := i
+			for i < len(src) && (src[i] == '_' || unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i]))) {
+				i++
+			}
+			if i == start {
+				toks = append(toks, string(c))
+				i++
+			} else {
+				toks = append(toks, src[start:i])
+			}
+		}
+	}
+	return toks
+}
+
+func (p *sparser) eof() bool { return p.pos >= len(p.toks) }
+func (p *sparser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *sparser) peekWord(w string) bool {
+	return strings.EqualFold(p.peek(), w)
+}
+
+func (p *sparser) accept(tok string) bool {
+	if p.peek() == tok {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sparser) acceptWord(w string) bool {
+	if p.peekWord(w) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sparser) expectWords(ws ...string) error {
+	for _, w := range ws {
+		if !p.acceptWord(w) {
+			return p.errf("expected %s", w)
+		}
+	}
+	return nil
+}
+
+func (p *sparser) ident() (string, error) {
+	t := p.peek()
+	if t == "" || strings.ContainsAny(t, "(){}[]:,&.") {
+		return "", p.errf("expected identifier, found %q", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *sparser) errf(format string, args ...any) error {
+	return fmt.Errorf("pg-schema: %s (token %d)", fmt.Sprintf(format, args...), p.pos)
+}
+
+// parseNodeOrEdge handles both "(alias: ... )" node declarations and
+// "(:from)-[alias: type]->(:to)" edge declarations.
+func (p *sparser) parseNodeOrEdge(g *GraphType) error {
+	if !p.accept("(") {
+		return p.errf("expected '('")
+	}
+	if p.accept(":") {
+		// Edge declaration: (:from)-[alias: type props]->(:to)
+		from, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if !p.accept(")") {
+			return p.errf("expected ')' after edge source")
+		}
+		if !p.accept("-") {
+			return p.errf("expected '-' in edge declaration")
+		}
+		if !p.accept("[") {
+			return p.errf("expected '[' in edge declaration")
+		}
+		alias, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if !p.accept(":") {
+			return p.errf("expected ':' after edge alias")
+		}
+		relType, err := p.ident()
+		if err != nil {
+			return err
+		}
+		et := &EdgeType{Name: alias, Type: relType, From: from}
+		if p.peek() == "{" {
+			props, open, err := p.parseProps()
+			if err != nil {
+				return err
+			}
+			et.Props, et.Open = props, open
+		}
+		if !p.accept("]") {
+			return p.errf("expected ']' in edge declaration")
+		}
+		if !p.accept("->") {
+			return p.errf("expected '->' in edge declaration")
+		}
+		if !p.accept("(") || !p.accept(":") {
+			return p.errf("expected '(:' for edge target")
+		}
+		to, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if !p.accept(")") {
+			return p.errf("expected ')' after edge target")
+		}
+		et.To = to
+		g.Edges = append(g.Edges, et)
+		return nil
+	}
+
+	// Node declaration: (alias: Base (& Label)* props?)
+	alias, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if !p.accept(":") {
+		return p.errf("expected ':' after node type alias")
+	}
+	base, err := p.ident()
+	if err != nil {
+		return err
+	}
+	nt := &NodeType{Name: alias}
+	// The base may reference an earlier alias, inheriting labels and props.
+	if parent := findType(g, base); parent != nil {
+		nt.Labels = append(nt.Labels, parent.Labels...)
+		nt.Props = append(nt.Props, parent.Props...)
+		nt.Open = parent.Open
+	} else {
+		nt.Labels = append(nt.Labels, base)
+	}
+	for p.accept("&") {
+		extra, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if parent := findType(g, extra); parent != nil {
+			nt.Labels = append(nt.Labels, parent.Labels...)
+			nt.Props = append(nt.Props, parent.Props...)
+			if parent.Open {
+				nt.Open = true
+			}
+		} else {
+			nt.Labels = append(nt.Labels, extra)
+		}
+	}
+	if p.peek() == "{" {
+		props, open, err := p.parseProps()
+		if err != nil {
+			return err
+		}
+		nt.Props = append(nt.Props, props...)
+		if open {
+			nt.Open = true
+		}
+	}
+	if !p.accept(")") {
+		return p.errf("expected ')' after node declaration")
+	}
+	g.Nodes = append(g.Nodes, nt)
+	return nil
+}
+
+func findType(g *GraphType, name string) *NodeType {
+	for _, nt := range g.Nodes {
+		if nt.Name == name {
+			return nt
+		}
+	}
+	return nil
+}
+
+func (p *sparser) parseProps() ([]PropSpec, bool, error) {
+	if !p.accept("{") {
+		return nil, false, p.errf("expected '{'")
+	}
+	var props []PropSpec
+	open := false
+	for !p.accept("}") {
+		if p.eof() {
+			return nil, false, p.errf("unterminated property list")
+		}
+		if p.accept(",") {
+			continue
+		}
+		if p.acceptWord("OPEN") {
+			open = true
+			continue
+		}
+		optional := p.acceptWord("OPTIONAL")
+		name, err := p.ident()
+		if err != nil {
+			return nil, false, err
+		}
+		typeName, err := p.ident()
+		if err != nil {
+			return nil, false, err
+		}
+		pt, err := parsePropType(typeName)
+		if err != nil {
+			return nil, false, err
+		}
+		props = append(props, PropSpec{Name: name, Type: pt, Optional: optional})
+	}
+	return props, open, nil
+}
+
+func parsePropType(name string) (PropType, error) {
+	switch strings.ToUpper(name) {
+	case "STRING", "STR":
+		return TypeString, nil
+	case "INT", "INTEGER":
+		return TypeInt, nil
+	case "FLOAT", "DOUBLE":
+		return TypeFloat, nil
+	case "BOOL", "BOOLEAN":
+		return TypeBool, nil
+	case "DATE", "DATETIME", "TIMESTAMP":
+		return TypeDateTime, nil
+	case "DURATION":
+		return TypeDuration, nil
+	case "ANY":
+		return TypeAny, nil
+	default:
+		return TypeAny, fmt.Errorf("pg-schema: unknown property type %s", name)
+	}
+}
+
+// parseKey parses FOR (x:alias) EXCLUSIVE MANDATORY SINGLETON x.prop.
+// Any subset of the three facet keywords is accepted, in any order.
+func (p *sparser) parseKey(g *GraphType) error {
+	if !p.acceptWord("FOR") {
+		return p.errf("expected FOR")
+	}
+	if !p.accept("(") {
+		return p.errf("expected '(' after FOR")
+	}
+	varName, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if !p.accept(":") {
+		return p.errf("expected ':' in FOR binding")
+	}
+	typeName, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if !p.accept(")") {
+		return p.errf("expected ')' after FOR binding")
+	}
+	key := Key{}
+	for {
+		switch {
+		case p.acceptWord("EXCLUSIVE"):
+			key.Exclusive = true
+			continue
+		case p.acceptWord("MANDATORY"):
+			key.Mandatory = true
+			continue
+		case p.acceptWord("SINGLETON"):
+			key.Singleton = true
+			continue
+		}
+		break
+	}
+	if !key.Exclusive && !key.Mandatory && !key.Singleton {
+		return p.errf("key constraint requires at least one of EXCLUSIVE/MANDATORY/SINGLETON")
+	}
+	v, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if v != varName {
+		return p.errf("key references %s, but FOR bound %s", v, varName)
+	}
+	if !p.accept(".") {
+		return p.errf("expected '.' in key property reference")
+	}
+	prop, err := p.ident()
+	if err != nil {
+		return err
+	}
+	key.Prop = prop
+	nt := findType(g, typeName)
+	if nt == nil {
+		return fmt.Errorf("%w: %s (in FOR)", ErrUnknownType, typeName)
+	}
+	nt.Keys = append(nt.Keys, key)
+	return nil
+}

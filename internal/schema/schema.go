@@ -1,0 +1,469 @@
+// Package schema implements PG-Schema for the property-graph store: typed
+// node and edge declarations, STRICT/LOOSE graph types, OPEN types, and
+// PG-Key constraints (EXCLUSIVE MANDATORY SINGLETON), following the
+// PG-Schema proposal the paper builds on (Fig. 2 and Fig. 4).
+//
+// A GraphType can be authored programmatically or parsed from the paper's
+// textual syntax:
+//
+//	CREATE GRAPH TYPE EssentialSummary STRICT {
+//	  (summaryType: Summary {date DATE}),
+//	  (alertType: Alert {rule STRING, hub STRING, dateTime DATETIME, OPEN}),
+//	  (currentType: summaryType & Current),
+//	  (:summaryType)-[nextType: next]->(:summaryType),
+//	  (:summaryType)-[hasType: has]->(:alertType)
+//	  FOR (x:summaryType) EXCLUSIVE MANDATORY SINGLETON x.date,
+//	  FOR (x:alertType) EXCLUSIVE MANDATORY SINGLETON x.dateTime
+//	}
+//
+// Bind attaches the graph type to a store as a commit-time validator and
+// creates the property indexes that back EXCLUSIVE keys.
+package schema
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// PropType is the declared type of a property.
+type PropType int
+
+// Property types supported by PG-Schema declarations.
+const (
+	TypeAny PropType = iota
+	TypeString
+	TypeInt
+	TypeFloat
+	TypeBool
+	TypeDateTime
+	TypeDuration
+)
+
+// String returns the schema-syntax name of the type.
+func (t PropType) String() string {
+	switch t {
+	case TypeString:
+		return "STRING"
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeBool:
+		return "BOOL"
+	case TypeDateTime:
+		return "DATETIME"
+	case TypeDuration:
+		return "DURATION"
+	default:
+		return "ANY"
+	}
+}
+
+// Accepts reports whether a concrete value conforms to the declared type.
+func (t PropType) Accepts(v value.Value) bool {
+	switch t {
+	case TypeAny:
+		return true
+	case TypeString:
+		return v.Kind() == value.KindString
+	case TypeInt:
+		return v.Kind() == value.KindInt
+	case TypeFloat:
+		return v.Kind() == value.KindFloat || v.Kind() == value.KindInt
+	case TypeBool:
+		return v.Kind() == value.KindBool
+	case TypeDateTime:
+		return v.Kind() == value.KindDateTime || v.Kind() == value.KindString
+	case TypeDuration:
+		return v.Kind() == value.KindDuration
+	default:
+		return true
+	}
+}
+
+// PropSpec declares one property of a node or edge type.
+type PropSpec struct {
+	Name     string
+	Type     PropType
+	Optional bool
+}
+
+// Key is a PG-Key constraint on a node type. In the paper's syntax every
+// key is EXCLUSIVE MANDATORY SINGLETON; the three facets can be toggled
+// individually here.
+type Key struct {
+	Prop      string
+	Exclusive bool // no two nodes of the type share the value
+	Mandatory bool // every node of the type carries the property
+	Singleton bool // the property holds a single (non-list) value
+}
+
+// NodeType declares a typed class of nodes identified by a label set.
+type NodeType struct {
+	Name   string // type alias, e.g. "summaryType"
+	Labels []string
+	Props  []PropSpec
+	Open   bool // extra properties allowed
+	Keys   []Key
+}
+
+// primaryLabel returns the first (defining) label of the type.
+func (nt *NodeType) primaryLabel() string {
+	if len(nt.Labels) == 0 {
+		return ""
+	}
+	return nt.Labels[0]
+}
+
+// EdgeType declares a relationship type with endpoint node types.
+type EdgeType struct {
+	Name  string // type alias, e.g. "nextType"
+	Type  string // relationship type, e.g. "next"
+	From  string // node type name
+	To    string // node type name
+	Props []PropSpec
+	Open  bool
+}
+
+// GraphType is a complete PG-Schema graph type.
+type GraphType struct {
+	Name   string
+	Strict bool
+	Nodes  []*NodeType
+	Edges  []*EdgeType
+
+	byName  map[string]*NodeType
+	byLabel map[string][]*NodeType
+}
+
+// Violation describes one schema or key violation found at commit time.
+type Violation struct {
+	Entity string // "node" or "edge"
+	ID     int64
+	Msg    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s %d: %s", v.Entity, v.ID, v.Msg)
+}
+
+// ErrViolations wraps the violations that aborted a commit.
+type ErrViolations struct {
+	GraphType string
+	List      []Violation
+}
+
+func (e *ErrViolations) Error() string {
+	msgs := make([]string, len(e.List))
+	for i, v := range e.List {
+		msgs[i] = v.String()
+	}
+	return fmt.Sprintf("schema %s: %d violation(s): %s",
+		e.GraphType, len(e.List), strings.Join(msgs, "; "))
+}
+
+// ErrUnknownType is returned for dangling node-type references.
+var ErrUnknownType = errors.New("schema: unknown node type")
+
+// Finalize resolves internal lookup tables and validates the declaration
+// itself (duplicate names, dangling edge endpoints). It must be called
+// before Bind or Check; the parser calls it automatically.
+func (g *GraphType) Finalize() error {
+	g.byName = make(map[string]*NodeType, len(g.Nodes))
+	g.byLabel = make(map[string][]*NodeType)
+	for _, nt := range g.Nodes {
+		if nt.Name != "" {
+			if _, dup := g.byName[nt.Name]; dup {
+				return fmt.Errorf("schema: duplicate node type %s", nt.Name)
+			}
+			g.byName[nt.Name] = nt
+		}
+		if len(nt.Labels) == 0 {
+			return fmt.Errorf("schema: node type %s has no labels", nt.Name)
+		}
+		g.byLabel[nt.primaryLabel()] = append(g.byLabel[nt.primaryLabel()], nt)
+		for _, k := range nt.Keys {
+			found := false
+			for _, p := range nt.Props {
+				if p.Name == k.Prop {
+					found = true
+					break
+				}
+			}
+			if !found && !nt.Open {
+				return fmt.Errorf("schema: key %s.%s not among declared properties", nt.Name, k.Prop)
+			}
+		}
+	}
+	for _, et := range g.Edges {
+		if _, ok := g.byName[et.From]; !ok {
+			return fmt.Errorf("%w: %s (edge %s)", ErrUnknownType, et.From, et.Type)
+		}
+		if _, ok := g.byName[et.To]; !ok {
+			return fmt.Errorf("%w: %s (edge %s)", ErrUnknownType, et.To, et.Type)
+		}
+	}
+	return nil
+}
+
+// NodeTypeFor returns the node type whose label set is carried by the given
+// labels (most specific match: the type with the largest matching label
+// set wins).
+func (g *GraphType) NodeTypeFor(labels []string) (*NodeType, bool) {
+	set := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		set[l] = true
+	}
+	var best *NodeType
+	for _, nt := range g.Nodes {
+		all := true
+		for _, l := range nt.Labels {
+			if !set[l] {
+				all = false
+				break
+			}
+		}
+		if all && (best == nil || len(nt.Labels) > len(best.Labels)) {
+			best = nt
+		}
+	}
+	return best, best != nil
+}
+
+// edgeTypesFor returns the declared edge types with the given relationship
+// type name.
+func (g *GraphType) edgeTypesFor(relType string) []*EdgeType {
+	var out []*EdgeType
+	for _, et := range g.Edges {
+		if et.Type == relType {
+			out = append(out, et)
+		}
+	}
+	return out
+}
+
+// Bind installs the graph type on a store: EXCLUSIVE keys get property
+// indexes, and a commit-time validator enforces the schema on every
+// transaction from now on.
+func (g *GraphType) Bind(s *graph.Store) error {
+	if g.byName == nil {
+		if err := g.Finalize(); err != nil {
+			return err
+		}
+	}
+	for _, nt := range g.Nodes {
+		for _, k := range nt.Keys {
+			if !k.Exclusive {
+				continue
+			}
+			err := s.CreateIndex(nt.primaryLabel(), k.Prop)
+			if err != nil && !errors.Is(err, graph.ErrIndexExists) {
+				return err
+			}
+		}
+	}
+	s.AddValidator(func(tx *graph.Tx) error {
+		violations := g.Check(tx)
+		if len(violations) == 0 {
+			return nil
+		}
+		return &ErrViolations{GraphType: g.Name, List: violations}
+	})
+	return nil
+}
+
+// Check validates the changes of the transaction against the graph type and
+// returns all violations found. Only entities touched by the transaction
+// are inspected, so validation cost is proportional to the change set.
+func (g *GraphType) Check(tx *graph.Tx) []Violation {
+	var out []Violation
+	data := tx.Data()
+
+	touchedNodes := make(map[graph.NodeID]bool)
+	for _, id := range data.CreatedNodes {
+		touchedNodes[id] = true
+	}
+	for _, lc := range data.AssignedLabels {
+		touchedNodes[lc.Node] = true
+	}
+	for _, lc := range data.RemovedLabels {
+		touchedNodes[lc.Node] = true
+	}
+	for _, pc := range data.AssignedProps {
+		if pc.Kind == graph.NodeEntity {
+			touchedNodes[pc.Node] = true
+		}
+	}
+	for _, pc := range data.RemovedProps {
+		if pc.Kind == graph.NodeEntity {
+			touchedNodes[pc.Node] = true
+		}
+	}
+
+	ids := make([]graph.NodeID, 0, len(touchedNodes))
+	for id := range touchedNodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, id := range ids {
+		n, ok := tx.Node(id)
+		if !ok {
+			continue // deleted later in the same transaction
+		}
+		out = append(out, g.checkNode(tx, n)...)
+	}
+
+	for _, rid := range data.CreatedRels {
+		r, ok := tx.Rel(rid)
+		if !ok {
+			continue
+		}
+		out = append(out, g.checkEdge(tx, r)...)
+	}
+	return out
+}
+
+func (g *GraphType) checkNode(tx *graph.Tx, n graph.Node) []Violation {
+	var out []Violation
+	nt, ok := g.NodeTypeFor(n.Labels)
+	if !ok {
+		if g.Strict {
+			out = append(out, Violation{Entity: "node", ID: int64(n.ID),
+				Msg: fmt.Sprintf("labels %v match no declared node type", n.Labels)})
+		}
+		return out
+	}
+	declared := make(map[string]PropSpec, len(nt.Props))
+	for _, p := range nt.Props {
+		declared[p.Name] = p
+	}
+	for _, p := range nt.Props {
+		v, has := n.Props[p.Name]
+		if !has {
+			if !p.Optional {
+				out = append(out, Violation{Entity: "node", ID: int64(n.ID),
+					Msg: fmt.Sprintf("missing mandatory property %s (type %s)", p.Name, nt.Name)})
+			}
+			continue
+		}
+		if !p.Type.Accepts(v) {
+			out = append(out, Violation{Entity: "node", ID: int64(n.ID),
+				Msg: fmt.Sprintf("property %s has kind %s, want %s", p.Name, v.Kind(), p.Type)})
+		}
+	}
+	if !nt.Open {
+		keys := make([]string, 0, len(n.Props))
+		for k := range n.Props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if _, ok := declared[k]; !ok {
+				out = append(out, Violation{Entity: "node", ID: int64(n.ID),
+					Msg: fmt.Sprintf("undeclared property %s on closed type %s", k, nt.Name)})
+			}
+		}
+	}
+	for _, key := range nt.Keys {
+		v, has := n.Props[key.Prop]
+		if !has {
+			if key.Mandatory {
+				out = append(out, Violation{Entity: "node", ID: int64(n.ID),
+					Msg: fmt.Sprintf("missing mandatory key %s.%s", nt.Name, key.Prop)})
+			}
+			continue
+		}
+		if key.Singleton && v.Kind() == value.KindList {
+			out = append(out, Violation{Entity: "node", ID: int64(n.ID),
+				Msg: fmt.Sprintf("key %s.%s must be a singleton value", nt.Name, key.Prop)})
+		}
+		if key.Exclusive {
+			if cnt, ok := tx.CountByProp(nt.primaryLabel(), key.Prop, v); ok && cnt > 1 {
+				out = append(out, Violation{Entity: "node", ID: int64(n.ID),
+					Msg: fmt.Sprintf("key %s.%s value %s is not exclusive (%d holders)",
+						nt.Name, key.Prop, v, cnt)})
+			}
+		}
+	}
+	return out
+}
+
+func (g *GraphType) checkEdge(tx *graph.Tx, r graph.Rel) []Violation {
+	var out []Violation
+	ets := g.edgeTypesFor(r.Type)
+	if len(ets) == 0 {
+		if g.Strict {
+			out = append(out, Violation{Entity: "edge", ID: int64(r.ID),
+				Msg: fmt.Sprintf("relationship type %s is not declared", r.Type)})
+		}
+		return out
+	}
+	start, ok1 := tx.Node(r.Start)
+	end, ok2 := tx.Node(r.End)
+	if !ok1 || !ok2 {
+		return out
+	}
+	for _, et := range ets {
+		fromT := g.byName[et.From]
+		toT := g.byName[et.To]
+		if nodeHasAllLabels(start, fromT.Labels) && nodeHasAllLabels(end, toT.Labels) {
+			// Endpoint typing satisfied; validate the declared properties.
+			out = append(out, g.checkEdgeProps(r, et)...)
+			return out
+		}
+	}
+	out = append(out, Violation{Entity: "edge", ID: int64(r.ID),
+		Msg: fmt.Sprintf("endpoints of %s do not satisfy any declaration", r.Type)})
+	return out
+}
+
+func (g *GraphType) checkEdgeProps(r graph.Rel, et *EdgeType) []Violation {
+	var out []Violation
+	declared := make(map[string]PropSpec, len(et.Props))
+	for _, p := range et.Props {
+		declared[p.Name] = p
+	}
+	for _, p := range et.Props {
+		v, has := r.Props[p.Name]
+		if !has {
+			if !p.Optional {
+				out = append(out, Violation{Entity: "edge", ID: int64(r.ID),
+					Msg: fmt.Sprintf("missing mandatory property %s (edge type %s)", p.Name, et.Name)})
+			}
+			continue
+		}
+		if !p.Type.Accepts(v) {
+			out = append(out, Violation{Entity: "edge", ID: int64(r.ID),
+				Msg: fmt.Sprintf("property %s has kind %s, want %s", p.Name, v.Kind(), p.Type)})
+		}
+	}
+	if !et.Open {
+		keys := make([]string, 0, len(r.Props))
+		for k := range r.Props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if _, ok := declared[k]; !ok {
+				out = append(out, Violation{Entity: "edge", ID: int64(r.ID),
+					Msg: fmt.Sprintf("undeclared property %s on closed edge type %s", k, et.Name)})
+			}
+		}
+	}
+	return out
+}
+
+func nodeHasAllLabels(n graph.Node, labels []string) bool {
+	for _, l := range labels {
+		if !n.HasLabel(l) {
+			return false
+		}
+	}
+	return true
+}

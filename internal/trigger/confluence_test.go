@@ -1,0 +1,156 @@
+package trigger
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfluenceAlertOnlyRulesAreSafe(t *testing.T) {
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:  "A",
+		Event: Event{Kind: CreateNode, Label: "X"},
+		Alert: "RETURN NEW.v AS v",
+	})
+	_ = e.Install(Rule{
+		Name:  "B",
+		Event: Event{Kind: CreateNode, Label: "X"},
+		Alert: "MATCH (y:Other) RETURN y.v AS v",
+	})
+	if warns := e.CheckConfluence(); len(warns) != 0 {
+		t.Errorf("alert-only rules reported non-confluent: %v", warns)
+	}
+}
+
+func TestConfluenceDetectsSharedPropertyWrite(t *testing.T) {
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:   "SetterA",
+		Event:  Event{Kind: CreateNode, Label: "Case"},
+		Action: "MATCH (r:Region) SET r.level = 'high'",
+	})
+	_ = e.Install(Rule{
+		Name:   "SetterB",
+		Event:  Event{Kind: CreateNode, Label: "Case"},
+		Action: "MATCH (r:Region) SET r.level = 'low'",
+	})
+	warns := e.CheckConfluence()
+	if len(warns) != 1 {
+		t.Fatalf("warnings: %v", warns)
+	}
+	if !strings.Contains(warns[0].String(), ".level") {
+		t.Errorf("warning should name the property: %s", warns[0])
+	}
+}
+
+func TestConfluenceDetectsWriterReaderConflict(t *testing.T) {
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:   "Writer",
+		Event:  Event{Kind: CreateNode, Label: "Case"},
+		Action: "CREATE (:Flag)",
+	})
+	_ = e.Install(Rule{
+		Name:  "Reader",
+		Event: Event{Kind: CreateNode, Label: "Case"},
+		Alert: "MATCH (f:Flag) RETURN count(f) AS flags",
+	})
+	warns := e.CheckConfluence()
+	if len(warns) != 1 {
+		t.Fatalf("warnings: %v", warns)
+	}
+	if !strings.Contains(warns[0].Why, ":Flag") {
+		t.Errorf("why: %s", warns[0].Why)
+	}
+}
+
+func TestConfluenceDisjointEventsDoNotConflict(t *testing.T) {
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:   "OnX",
+		Event:  Event{Kind: CreateNode, Label: "X"},
+		Action: "MATCH (r:Region) SET r.level = 1",
+	})
+	_ = e.Install(Rule{
+		Name:   "OnY",
+		Event:  Event{Kind: CreateNode, Label: "Y"},
+		Action: "MATCH (r:Region) SET r.level = 2",
+	})
+	if warns := e.CheckConfluence(); len(warns) != 0 {
+		t.Errorf("rules on disjoint events cannot race: %v", warns)
+	}
+}
+
+func TestConfluenceWildcardPropAndDeletes(t *testing.T) {
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:   "Replacer",
+		Event:  Event{Kind: CreateNode},
+		Action: "MATCH (r:Region) SET r += {a: 1}",
+	})
+	_ = e.Install(Rule{
+		Name:   "Tweaker",
+		Event:  Event{Kind: CreateNode, Label: "Z"},
+		Action: "MATCH (r:Region) SET r.b = 2",
+	})
+	warns := e.CheckConfluence()
+	if len(warns) != 1 {
+		t.Fatalf("wildcard prop writes should conflict: %v", warns)
+	}
+	e2 := newTestEngine()
+	_ = e2.Install(Rule{
+		Name:   "Deleter",
+		Event:  Event{Kind: CreateNode, Label: "Z"},
+		Action: "MATCH (o:Old) DETACH DELETE o",
+	})
+	_ = e2.Install(Rule{
+		Name:  "Scanner",
+		Event: Event{Kind: CreateNode, Label: "Z"},
+		Alert: "MATCH (o:Old) RETURN count(o) AS n",
+	})
+	if warns := e2.CheckConfluence(); len(warns) != 1 {
+		t.Fatalf("delete/read should conflict: %v", warns)
+	}
+}
+
+func TestEventOverlap(t *testing.T) {
+	cases := []struct {
+		a, b Event
+		want bool
+	}{
+		{Event{Kind: CreateNode, Label: "X"}, Event{Kind: CreateNode, Label: "X"}, true},
+		{Event{Kind: CreateNode, Label: "X"}, Event{Kind: CreateNode}, true},
+		{Event{Kind: CreateNode, Label: "X"}, Event{Kind: CreateNode, Label: "Y"}, false},
+		{Event{Kind: CreateNode}, Event{Kind: DeleteNode}, false},
+		{Event{Kind: SetProperty, PropKey: "a"}, Event{Kind: SetProperty, PropKey: "b"}, false},
+		{Event{Kind: SetProperty, PropKey: "a"}, Event{Kind: SetProperty}, true},
+	}
+	for _, c := range cases {
+		if got := eventOverlap(c.a, c.b); got != c.want {
+			t.Errorf("overlap(%v, %v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestConfluenceAlertReaderConflictsWithProducer(t *testing.T) {
+	e := newTestEngine()
+	// R5-style producer and an R4-style rule reading Alert nodes on the
+	// same event: firing order within a round is observable.
+	_ = e.Install(Rule{
+		Name:  "producer",
+		Event: Event{Kind: CreateNode, Label: "IcuPatient"},
+		Alert: "RETURN NEW.region AS Region",
+	})
+	_ = e.Install(Rule{
+		Name:  "reader",
+		Event: Event{Kind: CreateNode, Label: "IcuPatient"},
+		Alert: "MATCH (a:Alert {rule: 'producer'}) RETURN max(a.Region) AS prev",
+	})
+	warns := e.CheckConfluence()
+	if len(warns) != 1 {
+		t.Fatalf("alert reader should be flagged: %v", warns)
+	}
+	if !strings.Contains(warns[0].Why, ":Alert") {
+		t.Errorf("why: %s", warns[0].Why)
+	}
+}

@@ -1,0 +1,225 @@
+package trigger
+
+// A PG-Triggers-style textual syntax for reactive rules. The paper (§II)
+// positions its rules as an application of the authors' PG-Triggers
+// proposal for standard triggers on property graphs; this file implements
+// a declaration syntax in that spirit so rules can be shipped as text
+// (shell scripts, HTTP payloads, config files) rather than Go structs:
+//
+//	CREATE TRIGGER R2 ON HUB A
+//	AFTER CREATE OF NODE Sequence
+//	WHEN NEW.variant IS NULL
+//	ALERT
+//	  MATCH (u:Sequence)-[:SequencedAt]->(:Lab)-[:LocatedIn]->(r:Region)
+//	  WHERE u.variant IS NULL
+//	  WITH r.name AS region, count(u) AS counter WHERE counter > 100
+//	  RETURN region, counter
+//
+// Sections are introduced by keywords at the start of a line (case
+// insensitive): the header (CREATE TRIGGER … [ON HUB …]), the event
+// (AFTER …), then optionally WHEN (guard), ALERT (alert query) and DO
+// (action statement). The guard ends where the next section begins, so
+// multi-line guards and alerts need no delimiters.
+//
+// Event forms:
+//
+//	AFTER CREATE OF NODE [Label]
+//	AFTER DELETE OF NODE [Label]
+//	AFTER CREATE OF RELATIONSHIP [Type]
+//	AFTER DELETE OF RELATIONSHIP [Type]
+//	AFTER SET OF LABEL Label
+//	AFTER REMOVE OF LABEL Label
+//	AFTER SET OF PROPERTY [Label.]key | AFTER SET OF PROPERTY [Label]
+//	AFTER REMOVE OF PROPERTY [Label.]key
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseRule parses one CREATE TRIGGER declaration into a Rule. The result
+// still needs Engine.Install (which compiles the embedded Cypher).
+func ParseRule(src string) (Rule, error) {
+	var r Rule
+	sections, err := splitSections(src)
+	if err != nil {
+		return r, err
+	}
+	if err := parseHeader(sections.header, &r); err != nil {
+		return r, err
+	}
+	if sections.event == "" {
+		return r, fmt.Errorf("trigger dsl: missing AFTER event clause")
+	}
+	ev, err := parseEventClause(sections.event)
+	if err != nil {
+		return r, err
+	}
+	r.Event = ev
+	r.Guard = strings.TrimSpace(sections.when)
+	r.Alert = strings.TrimSpace(sections.alert)
+	r.Action = strings.TrimSpace(sections.do)
+	if r.Guard == "" && r.Alert == "" && r.Action == "" {
+		return r, fmt.Errorf("trigger dsl: trigger %s needs WHEN, ALERT or DO", r.Name)
+	}
+	return r, nil
+}
+
+// IsTriggerStatement reports whether src looks like a CREATE TRIGGER
+// declaration (so shells and servers can route it away from the query
+// engine).
+func IsTriggerStatement(src string) bool {
+	fields := strings.Fields(src)
+	return len(fields) >= 2 &&
+		strings.EqualFold(fields[0], "CREATE") &&
+		strings.EqualFold(fields[1], "TRIGGER")
+}
+
+type ruleSections struct {
+	header string
+	event  string
+	when   string
+	alert  string
+	do     string
+}
+
+// splitSections cuts the source into sections at lines beginning with the
+// section keywords.
+func splitSections(src string) (ruleSections, error) {
+	var out ruleSections
+	section := "header"
+	var bufs = map[string]*strings.Builder{
+		"header": {}, "event": {}, "when": {}, "alert": {}, "do": {},
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		first := ""
+		if f := strings.Fields(trimmed); len(f) > 0 {
+			first = strings.ToUpper(f[0])
+		}
+		switch first {
+		case "AFTER":
+			section = "event"
+		case "WHEN":
+			section = "when"
+			trimmed = strings.TrimSpace(trimmed[len("WHEN"):])
+			line = trimmed
+		case "ALERT":
+			section = "alert"
+			trimmed = strings.TrimSpace(trimmed[len("ALERT"):])
+			line = trimmed
+		case "DO":
+			section = "do"
+			trimmed = strings.TrimSpace(trimmed[len("DO"):])
+			line = trimmed
+		}
+		if first == "AFTER" || first == "WHEN" || first == "ALERT" || first == "DO" {
+			if seen[section] {
+				return out, fmt.Errorf("trigger dsl: duplicate %s section", strings.ToUpper(section))
+			}
+			seen[section] = true
+		}
+		bufs[section].WriteString(line)
+		bufs[section].WriteByte('\n')
+	}
+	out.header = strings.TrimSpace(bufs["header"].String())
+	out.event = strings.TrimSpace(bufs["event"].String())
+	out.when = strings.TrimSpace(bufs["when"].String())
+	out.alert = strings.TrimSpace(bufs["alert"].String())
+	out.do = strings.TrimSpace(bufs["do"].String())
+	return out, nil
+}
+
+func parseHeader(header string, r *Rule) error {
+	fields := strings.Fields(header)
+	if len(fields) < 3 || !strings.EqualFold(fields[0], "CREATE") ||
+		!strings.EqualFold(fields[1], "TRIGGER") {
+		return fmt.Errorf("trigger dsl: expected CREATE TRIGGER <name>")
+	}
+	r.Name = fields[2]
+	rest := fields[3:]
+	if len(rest) == 0 {
+		return nil
+	}
+	if len(rest) >= 3 && strings.EqualFold(rest[0], "ON") && strings.EqualFold(rest[1], "HUB") {
+		r.Hub = rest[2]
+		rest = rest[3:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("trigger dsl: unexpected %q after trigger header", strings.Join(rest, " "))
+	}
+	return nil
+}
+
+func parseEventClause(clause string) (Event, error) {
+	fields := strings.Fields(clause)
+	if len(fields) < 4 || !strings.EqualFold(fields[0], "AFTER") {
+		return Event{}, fmt.Errorf("trigger dsl: expected AFTER <verb> OF <target>")
+	}
+	verb := strings.ToUpper(fields[1])
+	if !strings.EqualFold(fields[2], "OF") {
+		return Event{}, fmt.Errorf("trigger dsl: expected OF after %s", verb)
+	}
+	target := strings.ToUpper(fields[3])
+	selector := ""
+	if len(fields) >= 5 {
+		selector = fields[4]
+	}
+	if len(fields) > 5 {
+		return Event{}, fmt.Errorf("trigger dsl: unexpected %q in event clause",
+			strings.Join(fields[5:], " "))
+	}
+
+	switch target {
+	case "NODE":
+		switch verb {
+		case "CREATE":
+			return Event{Kind: CreateNode, Label: selector}, nil
+		case "DELETE":
+			return Event{Kind: DeleteNode, Label: selector}, nil
+		}
+	case "RELATIONSHIP", "EDGE":
+		switch verb {
+		case "CREATE":
+			return Event{Kind: CreateRelationship, Label: selector}, nil
+		case "DELETE":
+			return Event{Kind: DeleteRelationship, Label: selector}, nil
+		}
+	case "LABEL":
+		if selector == "" {
+			return Event{}, fmt.Errorf("trigger dsl: SET/REMOVE OF LABEL needs a label name")
+		}
+		switch verb {
+		case "SET":
+			return Event{Kind: SetLabel, Label: selector}, nil
+		case "REMOVE":
+			return Event{Kind: RemoveLabel, Label: selector}, nil
+		}
+	case "PROPERTY":
+		label, key := "", ""
+		if selector != "" {
+			if i := strings.IndexByte(selector, '.'); i >= 0 {
+				label, key = selector[:i], selector[i+1:]
+			} else {
+				key = selector
+			}
+		}
+		switch verb {
+		case "SET":
+			return Event{Kind: SetProperty, Label: label, PropKey: key}, nil
+		case "REMOVE":
+			return Event{Kind: RemoveProperty, Label: label, PropKey: key}, nil
+		}
+	}
+	return Event{}, fmt.Errorf("trigger dsl: unsupported event AFTER %s OF %s", verb, target)
+}
+
+// InstallText parses a CREATE TRIGGER declaration and installs it.
+func (e *Engine) InstallText(src string) (Rule, error) {
+	r, err := ParseRule(src)
+	if err != nil {
+		return r, err
+	}
+	return r, e.Install(r)
+}

@@ -1,0 +1,139 @@
+package trigger
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestParseRuleFull(t *testing.T) {
+	src := `CREATE TRIGGER R2 ON HUB A
+AFTER CREATE OF NODE Sequence
+WHEN NEW.variant IS NULL
+ALERT
+  MATCH (u:Sequence) WHERE u.variant IS NULL
+  WITH count(u) AS unassigned WHERE unassigned > 2
+  RETURN unassigned`
+	r, err := ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "R2" || r.Hub != "A" {
+		t.Errorf("header: %+v", r)
+	}
+	if r.Event.Kind != CreateNode || r.Event.Label != "Sequence" {
+		t.Errorf("event: %+v", r.Event)
+	}
+	if r.Guard != "NEW.variant IS NULL" {
+		t.Errorf("guard: %q", r.Guard)
+	}
+	if !strings.Contains(r.Alert, "RETURN unassigned") {
+		t.Errorf("alert: %q", r.Alert)
+	}
+	if r.Action != "" {
+		t.Errorf("action: %q", r.Action)
+	}
+}
+
+func TestParseRuleEventForms(t *testing.T) {
+	cases := []struct {
+		clause string
+		want   Event
+	}{
+		{"AFTER CREATE OF NODE Patient", Event{Kind: CreateNode, Label: "Patient"}},
+		{"AFTER CREATE OF NODE", Event{Kind: CreateNode}},
+		{"AFTER DELETE OF NODE Doc", Event{Kind: DeleteNode, Label: "Doc"}},
+		{"AFTER CREATE OF RELATIONSHIP LINKS", Event{Kind: CreateRelationship, Label: "LINKS"}},
+		{"AFTER DELETE OF EDGE LINKS", Event{Kind: DeleteRelationship, Label: "LINKS"}},
+		{"AFTER SET OF LABEL Escalated", Event{Kind: SetLabel, Label: "Escalated"}},
+		{"AFTER REMOVE OF LABEL Escalated", Event{Kind: RemoveLabel, Label: "Escalated"}},
+		{"AFTER SET OF PROPERTY Case.status", Event{Kind: SetProperty, Label: "Case", PropKey: "status"}},
+		{"AFTER SET OF PROPERTY status", Event{Kind: SetProperty, PropKey: "status"}},
+		{"AFTER REMOVE OF PROPERTY Case.status", Event{Kind: RemoveProperty, Label: "Case", PropKey: "status"}},
+	}
+	for _, c := range cases {
+		r, err := ParseRule("CREATE TRIGGER T\n" + c.clause + "\nWHEN true")
+		if err != nil {
+			t.Errorf("%s: %v", c.clause, err)
+			continue
+		}
+		if r.Event != c.want {
+			t.Errorf("%s: got %+v, want %+v", c.clause, r.Event, c.want)
+		}
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"CREATE RULE x\nAFTER CREATE OF NODE\nWHEN true",
+		"CREATE TRIGGER\nAFTER CREATE OF NODE\nWHEN true",
+		"CREATE TRIGGER x EXTRA\nAFTER CREATE OF NODE\nWHEN true",
+		"CREATE TRIGGER x",                                   // no event
+		"CREATE TRIGGER x\nAFTER CREATE OF NODE",             // no body
+		"CREATE TRIGGER x\nAFTER EXPLODE OF NODE\nWHEN true", // bad verb
+		"CREATE TRIGGER x\nAFTER CREATE NODE\nWHEN true",     // missing OF
+		"CREATE TRIGGER x\nAFTER SET OF LABEL\nWHEN true",    // label required
+		"CREATE TRIGGER x\nAFTER CREATE OF NODE A B\nWHEN true",
+		"CREATE TRIGGER x\nAFTER CREATE OF NODE\nWHEN true\nWHEN false",
+	}
+	for _, src := range bad {
+		if _, err := ParseRule(src); err == nil {
+			t.Errorf("ParseRule(%q) should fail", src)
+		}
+	}
+}
+
+func TestIsTriggerStatement(t *testing.T) {
+	if !IsTriggerStatement("  create trigger X\nAFTER CREATE OF NODE") {
+		t.Error("case-insensitive detection")
+	}
+	if IsTriggerStatement("CREATE (:Trigger)") {
+		t.Error("node creation is not a trigger statement")
+	}
+	if IsTriggerStatement("MATCH (n) RETURN n") {
+		t.Error("query is not a trigger statement")
+	}
+}
+
+func TestInstallTextEndToEnd(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	r, err := e.InstallText(`CREATE TRIGGER watcher ON HUB E
+AFTER CREATE OF NODE Mutation
+WHEN NEW.severity = 'high'
+ALERT RETURN NEW.id AS mid
+DO CREATE (:Escalation {mutation: mid, hub: 'E'})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "watcher" || r.Action == "" {
+		t.Errorf("parsed rule: %+v", r)
+	}
+	rep := run(t, s, e, "CREATE (:Mutation {id: 'M1', severity: 'high'})")
+	if rep.GuardPasses != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if n := count(t, s, "MATCH (e:Escalation {mutation: 'M1'}) RETURN count(e)"); n != 1 {
+		t.Errorf("action did not run: %d", n)
+	}
+	// A DSL rule with broken Cypher fails at install, not at fire time.
+	if _, err := e.InstallText("CREATE TRIGGER broken\nAFTER CREATE OF NODE X\nWHEN ((("); err == nil {
+		t.Error("broken guard should fail installation")
+	}
+}
+
+func TestInstallTextSingleLineSections(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	if _, err := e.InstallText(`CREATE TRIGGER oneliner
+AFTER CREATE OF NODE Thing
+ALERT RETURN NEW.v AS v`); err != nil {
+		t.Fatal(err)
+	}
+	rep := run(t, s, e, "CREATE (:Thing {v: 7})")
+	if rep.AlertNodes != 1 {
+		t.Errorf("report: %+v", rep)
+	}
+}

@@ -1,0 +1,368 @@
+package trigger
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cypher"
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// DefaultAlertLabel is the label of produced alert nodes.
+const DefaultAlertLabel = "Alert"
+
+// DefaultMaxCascadeDepth bounds cascading rule rounds within one
+// transaction.
+const DefaultMaxCascadeDepth = 16
+
+// AlertHook is invoked for every alert node the engine creates, within the
+// same transaction; the Essential Summary manager uses it to attach alerts
+// to the current summary node.
+type AlertHook func(tx *graph.Tx, alert graph.NodeID) error
+
+// Engine manages reactive rules and fires them against transaction change
+// records, the role apoc.trigger plays in the paper's Neo4j prototype.
+type Engine struct {
+	mu sync.RWMutex
+
+	rules   map[string]*compiledRule
+	nextSeq int
+
+	// MaxCascadeDepth bounds rounds of cascading activations per
+	// transaction (0 means DefaultMaxCascadeDepth).
+	MaxCascadeDepth int
+	// StrictTermination makes Install reject rules that introduce a cycle
+	// into the triggering graph.
+	StrictTermination bool
+	// EnforceIntraHubGuards makes Install reject rules whose guard
+	// provably reads knowledge owned by a hub other than the rule's own —
+	// the paper's requirement that guards be evaluated within a single hub
+	// (§III-B). Requires a Resolver; unresolvable labels are allowed.
+	EnforceIntraHubGuards bool
+	// AlertLabel is the default label for alert nodes ("Alert").
+	AlertLabel string
+	// Clock supplies the timestamp recorded on alert nodes; nil = time.Now.
+	Clock func() time.Time
+	// OnAlert is called for each created alert node.
+	OnAlert AlertHook
+	// Resolver maps labels to hubs for rule classification; may be nil.
+	Resolver LabelHubResolver
+	// StateLabels overrides the labels treated as historical state in
+	// classification; nil = {Summary, Current, Alert}.
+	StateLabels map[string]bool
+}
+
+// NewEngine returns an engine with default settings.
+func NewEngine() *Engine {
+	return &Engine{
+		rules:      make(map[string]*compiledRule),
+		AlertLabel: DefaultAlertLabel,
+	}
+}
+
+func (e *Engine) alertLabel() string {
+	if e.AlertLabel == "" {
+		return DefaultAlertLabel
+	}
+	return e.AlertLabel
+}
+
+func (e *Engine) maxDepth() int {
+	if e.MaxCascadeDepth <= 0 {
+		return DefaultMaxCascadeDepth
+	}
+	return e.MaxCascadeDepth
+}
+
+func (e *Engine) now() time.Time {
+	if e.Clock != nil {
+		return e.Clock()
+	}
+	return time.Now()
+}
+
+// Install compiles and registers a rule. With StrictTermination set, the
+// rule is rejected if it would make the triggering graph cyclic.
+func (e *Engine) Install(r Rule) error {
+	cr, err := compileRule(r, e.alertLabel())
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.rules[r.Name]; dup {
+		return fmt.Errorf("%w: %s", ErrRuleExists, r.Name)
+	}
+	if e.StrictTermination {
+		candidate := append(e.ruleListLocked(), cr)
+		if cycles := findCycles(candidate); len(cycles) > 0 {
+			return fmt.Errorf("%w: %s (cycle: %v)", ErrNonTerminating, r.Name, cycles[0])
+		}
+	}
+	if e.EnforceIntraHubGuards && cr.guard != nil && e.Resolver != nil {
+		state := e.StateLabels
+		if state == nil {
+			state = defaultStateLabels
+		}
+		info := cypher.InspectExpr(cr.guard)
+		for _, l := range info.MatchedNodeLabels {
+			if state[l] || l == cr.AlertLabel {
+				continue
+			}
+			if owner, ok := e.Resolver(l); ok && owner != cr.Hub {
+				return fmt.Errorf("%w: %s guard reads :%s (hub %s)",
+					ErrGuardNotIntraHub, r.Name, l, owner)
+			}
+		}
+	}
+	cr.seq = e.nextSeq
+	e.nextSeq++
+	e.rules[r.Name] = cr
+	return nil
+}
+
+// Drop removes a rule.
+func (e *Engine) Drop(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.rules[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrRuleNotFound, name)
+	}
+	delete(e.rules, name)
+	return nil
+}
+
+// Pause suspends a rule without removing it (apoc.trigger.pause).
+func (e *Engine) Pause(name string) error { return e.setPaused(name, true) }
+
+// Resume reactivates a paused rule (apoc.trigger.resume).
+func (e *Engine) Resume(name string) error { return e.setPaused(name, false) }
+
+func (e *Engine) setPaused(name string, paused bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cr, ok := e.rules[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrRuleNotFound, name)
+	}
+	cr.paused = paused
+	return nil
+}
+
+// RuleStats counts a rule's lifetime firing activity.
+type RuleStats struct {
+	GuardChecks int64 // event occurrences evaluated
+	Activations int64 // guard passes
+	AlertNodes  int64 // alert nodes produced
+}
+
+// RuleInfo describes an installed rule.
+type RuleInfo struct {
+	Rule
+	Paused         bool
+	Classification Classification
+	Stats          RuleStats
+}
+
+// Rules lists installed rules in installation order.
+func (e *Engine) Rules() []RuleInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]RuleInfo, 0, len(e.rules))
+	for _, cr := range e.ruleListLocked() {
+		out = append(out, RuleInfo{
+			Rule:           cr.Rule,
+			Paused:         cr.paused,
+			Classification: Classify(cr, e.Resolver, e.StateLabels),
+			Stats: RuleStats{
+				GuardChecks: cr.nChecks.Load(),
+				Activations: cr.nActivations.Load(),
+				AlertNodes:  cr.nAlertNodes.Load(),
+			},
+		})
+	}
+	return out
+}
+
+// ClassifyRule returns the classification of one installed rule.
+func (e *Engine) ClassifyRule(name string) (Classification, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	cr, ok := e.rules[name]
+	if !ok {
+		return Classification{}, fmt.Errorf("%w: %s", ErrRuleNotFound, name)
+	}
+	return Classify(cr, e.Resolver, e.StateLabels), nil
+}
+
+func (e *Engine) ruleListLocked() []*compiledRule {
+	out := make([]*compiledRule, 0, len(e.rules))
+	for _, cr := range e.rules {
+		out = append(out, cr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Activation records one rule firing.
+type Activation struct {
+	Rule   string
+	Round  int
+	Alerts []graph.NodeID // alert nodes created by this activation
+}
+
+// Report summarizes one Process invocation.
+type Report struct {
+	Rounds      int
+	GuardChecks int
+	GuardPasses int
+	AlertRuns   int
+	AlertNodes  int
+	Activations []Activation
+}
+
+// Process fires the installed rules against the changes in data, cascading
+// over the changes the rules themselves make until quiescence or the depth
+// bound. It must be called with the transaction's change record already
+// extracted (tx.ResetData()); on return the transaction's record again
+// contains every change, so commit-time validators see the full picture.
+func (e *Engine) Process(tx *graph.Tx, data *graph.TxData) (*Report, error) {
+	e.mu.RLock()
+	rules := e.ruleListLocked()
+	e.mu.RUnlock()
+
+	report := &Report{}
+	total := data
+	cur := data
+	for round := 0; ; round++ {
+		if cur.Empty() {
+			break
+		}
+		if round >= e.maxDepth() {
+			tx.MergeData(total)
+			return report, fmt.Errorf("%w (%d rounds)", ErrCascadeDepth, round)
+		}
+		report.Rounds = round + 1
+		for _, cr := range rules {
+			if cr.paused {
+				continue
+			}
+			if err := e.fireRule(tx, cr, cur, round, report); err != nil {
+				tx.MergeData(total)
+				return report, err
+			}
+		}
+		next := tx.ResetData()
+		total.Merge(next)
+		cur = next
+	}
+	tx.MergeData(total)
+	return report, nil
+}
+
+func (e *Engine) fireRule(tx *graph.Tx, cr *compiledRule, data *graph.TxData,
+	round int, report *Report) error {
+	occ := cr.Event.occurrences(tx, data)
+	if len(occ) == 0 {
+		return nil
+	}
+	now := e.now()
+	for _, bind := range occ {
+		report.GuardChecks++
+		cr.nChecks.Add(1)
+		if cr.guard != nil {
+			ok, err := cypher.EvalPredicate(tx, cr.guard, &cypher.Options{
+				Bindings: bind,
+				Now:      func() time.Time { return now },
+			})
+			if err != nil {
+				return fmt.Errorf("trigger: rule %s guard: %w", cr.Name, err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		report.GuardPasses++
+		cr.nActivations.Add(1)
+		act := Activation{Rule: cr.Name, Round: round}
+
+		var rows [][]value.Value
+		var cols []string
+		if cr.alert != nil {
+			report.AlertRuns++
+			res, err := cypher.Execute(tx, cr.alert, &cypher.Options{
+				Bindings: bind,
+				Now:      func() time.Time { return now },
+			})
+			if err != nil {
+				return fmt.Errorf("trigger: rule %s alert: %w", cr.Name, err)
+			}
+			rows, cols = res.Rows, res.Columns
+		} else {
+			// No alert query: a passing guard is itself critical.
+			rows = [][]value.Value{nil}
+		}
+
+		for _, rowVals := range rows {
+			if cr.action != nil {
+				actBind := make(Binding, len(bind)+len(rowVals))
+				for k, v := range bind {
+					actBind[k] = v
+				}
+				for i, c := range cols {
+					actBind[c] = rowVals[i]
+				}
+				if _, err := cypher.Execute(tx, cr.action, &cypher.Options{
+					Bindings: actBind,
+					Now:      func() time.Time { return now },
+				}); err != nil {
+					return fmt.Errorf("trigger: rule %s action: %w", cr.Name, err)
+				}
+				continue
+			}
+			id, err := e.createAlertNode(tx, cr, now, cols, rowVals)
+			if err != nil {
+				return fmt.Errorf("trigger: rule %s: %w", cr.Name, err)
+			}
+			act.Alerts = append(act.Alerts, id)
+			report.AlertNodes++
+			cr.nAlertNodes.Add(1)
+		}
+		if cr.alert != nil || cr.action != nil || len(act.Alerts) > 0 {
+			report.Activations = append(report.Activations, act)
+		}
+	}
+	return nil
+}
+
+// createAlertNode materializes one alert node with the mandatory rule, hub
+// and dateTime properties (§III-B) plus the alert query's columns.
+func (e *Engine) createAlertNode(tx *graph.Tx, cr *compiledRule, now time.Time,
+	cols []string, rowVals []value.Value) (graph.NodeID, error) {
+	props := map[string]value.Value{
+		"rule":     value.Str(cr.Name),
+		"hub":      value.Str(cr.Hub),
+		"dateTime": value.DateTime(now),
+	}
+	for i, c := range cols {
+		v := rowVals[i]
+		// Entity references are stored by identifier.
+		if id, ok := v.EntityID(); ok {
+			v = value.Int(id)
+		}
+		props[c] = v
+	}
+	id, err := tx.CreateNode([]string{cr.AlertLabel}, props)
+	if err != nil {
+		return 0, err
+	}
+	if e.OnAlert != nil {
+		if err := e.OnAlert(tx, id); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}

@@ -1,0 +1,679 @@
+package trigger
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cypher"
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+var fixedNow = time.Date(2023, 4, 1, 12, 0, 0, 0, time.UTC)
+
+// run executes a write statement and fires the engine, committing on
+// success; it returns the engine's report.
+func run(t *testing.T, s *graph.Store, e *Engine, query string) *Report {
+	t.Helper()
+	rep, err := runErr(s, e, query)
+	if err != nil {
+		t.Fatalf("run %q: %v", query, err)
+	}
+	return rep
+}
+
+func runErr(s *graph.Store, e *Engine, query string) (*Report, error) {
+	tx := s.Begin(graph.ReadWrite)
+	if _, err := cypher.Run(tx, query, nil); err != nil {
+		tx.Rollback()
+		return nil, err
+	}
+	data := tx.ResetData()
+	rep, err := e.Process(tx, data)
+	if err != nil {
+		tx.Rollback()
+		return rep, err
+	}
+	if err := tx.Commit(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+func count(t *testing.T, s *graph.Store, query string) int64 {
+	t.Helper()
+	var n int64
+	err := s.View(func(tx *graph.Tx) error {
+		res, err := cypher.Run(tx, query, nil)
+		if err != nil {
+			return err
+		}
+		v, ok := res.Value()
+		if !ok {
+			return errors.New("expected single value")
+		}
+		n, _ = v.AsInt()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("count %q: %v", query, err)
+	}
+	return n
+}
+
+func newTestEngine() *Engine {
+	e := NewEngine()
+	e.Clock = func() time.Time { return fixedNow }
+	return e
+}
+
+func TestSimpleCreateNodeRule(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	err := e.Install(Rule{
+		Name:  "R0",
+		Hub:   "E",
+		Event: Event{Kind: CreateNode, Label: "Mutation"},
+		Guard: "NEW.severity = 'high'",
+		Alert: "RETURN NEW.id AS mutation",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := run(t, s, e, "CREATE (:Mutation {id: 'M1', severity: 'high'})")
+	if rep.GuardChecks != 1 || rep.GuardPasses != 1 || rep.AlertNodes != 1 {
+		t.Errorf("report: %+v", rep)
+	}
+	if n := count(t, s, "MATCH (a:Alert) RETURN count(a)"); n != 1 {
+		t.Fatalf("alerts = %d", n)
+	}
+	// Alert node carries mandatory props + columns.
+	_ = s.View(func(tx *graph.Tx) error {
+		res, _ := cypher.Run(tx, "MATCH (a:Alert) RETURN a.rule, a.hub, a.dateTime, a.mutation", nil)
+		r := res.Rows[0]
+		if r[0].String() != `"R0"` || r[1].String() != `"E"` || r[3].String() != `"M1"` {
+			t.Errorf("alert props: %v", r)
+		}
+		if ts, _ := r[2].AsDateTime(); !ts.Equal(fixedNow) {
+			t.Error("dateTime should use engine clock")
+		}
+		return nil
+	})
+	// A non-matching event does not fire.
+	rep = run(t, s, e, "CREATE (:Mutation {id: 'M2', severity: 'low'})")
+	if rep.GuardPasses != 0 || rep.AlertNodes != 0 {
+		t.Errorf("low severity fired: %+v", rep)
+	}
+	// A different label does not even check the guard.
+	rep = run(t, s, e, "CREATE (:Sequence {id: 'S1'})")
+	if rep.GuardChecks != 0 {
+		t.Errorf("wrong label checked: %+v", rep)
+	}
+}
+
+func TestGuardlessRule(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:  "All",
+		Event: Event{Kind: CreateNode, Label: "X"},
+		Alert: "RETURN 1 AS one",
+	})
+	rep := run(t, s, e, "CREATE (:X), (:X), (:Y)")
+	if rep.AlertNodes != 2 {
+		t.Errorf("alert nodes = %d, want 2 (one per created :X node)", rep.AlertNodes)
+	}
+}
+
+func TestAlertRowsProduceMultipleAlertNodes(t *testing.T) {
+	s := graph.NewStore()
+	_ = s.Update(func(tx *graph.Tx) error {
+		for i := 0; i < 3; i++ {
+			if _, err := tx.CreateNode([]string{"Region"},
+				map[string]value.Value{"name": value.Str(string(rune('a' + i))), "critical": value.Bool(true)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:  "PerRegion",
+		Event: Event{Kind: CreateNode, Label: "Patient"},
+		Alert: "MATCH (r:Region {critical: true}) RETURN r.name AS region",
+	})
+	rep := run(t, s, e, "CREATE (:Patient {id: 1})")
+	if rep.AlertNodes != 3 {
+		t.Errorf("alert nodes = %d, want 3", rep.AlertNodes)
+	}
+}
+
+func TestEmptyAlertRowsMeansNotCritical(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:  "NeverCritical",
+		Event: Event{Kind: CreateNode, Label: "X"},
+		Alert: "MATCH (z:Zilch) RETURN z",
+	})
+	rep := run(t, s, e, "CREATE (:X)")
+	if rep.AlertRuns != 1 || rep.AlertNodes != 0 {
+		t.Errorf("report: %+v", rep)
+	}
+}
+
+func TestDeleteNodeEventBindsOld(t *testing.T) {
+	s := graph.NewStore()
+	_ = s.Update(func(tx *graph.Tx) error {
+		_, err := tx.CreateNode([]string{"Doc"}, map[string]value.Value{"title": value.Str("T")})
+		return err
+	})
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:  "OnDelete",
+		Event: Event{Kind: DeleteNode, Label: "Doc"},
+		Guard: "OLD.title IS NOT NULL",
+		Alert: "RETURN OLD.title AS title",
+	})
+	rep := run(t, s, e, "MATCH (d:Doc) DELETE d")
+	if rep.AlertNodes != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	_ = s.View(func(tx *graph.Tx) error {
+		res, _ := cypher.Run(tx, "MATCH (a:Alert) RETURN a.title", nil)
+		if res.Rows[0][0].String() != `"T"` {
+			t.Errorf("OLD binding: %v", res.Rows)
+		}
+		return nil
+	})
+}
+
+func TestRelationshipEvents(t *testing.T) {
+	s := graph.NewStore()
+	_ = s.Update(func(tx *graph.Tx) error {
+		_, _ = tx.CreateNode([]string{"A"}, nil)
+		_, _ = tx.CreateNode([]string{"B"}, nil)
+		return nil
+	})
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:  "OnLink",
+		Event: Event{Kind: CreateRelationship, Label: "LINKS"},
+		Alert: "RETURN type(NEW) AS t",
+	})
+	rep := run(t, s, e, "MATCH (a:A), (b:B) CREATE (a)-[:LINKS]->(b)")
+	if rep.AlertNodes != 1 {
+		t.Fatalf("create rel: %+v", rep)
+	}
+	_ = e.Install(Rule{
+		Name:  "OnUnlink",
+		Event: Event{Kind: DeleteRelationship, Label: "LINKS"},
+		Guard: "OLDTYPE = 'LINKS'",
+		Alert: "RETURN 1 AS gone",
+	})
+	rep = run(t, s, e, "MATCH ()-[r:LINKS]->() DELETE r")
+	if rep.AlertNodes != 1 {
+		t.Fatalf("delete rel: %+v", rep)
+	}
+}
+
+func TestLabelAndPropertyEvents(t *testing.T) {
+	s := graph.NewStore()
+	_ = s.Update(func(tx *graph.Tx) error {
+		_, err := tx.CreateNode([]string{"Case"}, map[string]value.Value{"status": value.Str("open")})
+		return err
+	})
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:  "OnEscalate",
+		Event: Event{Kind: SetLabel, Label: "Escalated"},
+		Alert: "RETURN LABEL AS label",
+	})
+	_ = e.Install(Rule{
+		Name:  "OnStatusChange",
+		Event: Event{Kind: SetProperty, Label: "Case", PropKey: "status"},
+		Guard: "OLDVALUE = 'open' AND NEWVALUE = 'closed'",
+		Alert: "RETURN KEY AS k",
+	})
+	_ = e.Install(Rule{
+		Name:  "OnStatusRemoved",
+		Event: Event{Kind: RemoveProperty, PropKey: "status"},
+		Alert: "RETURN 1 AS removed",
+	})
+	rep := run(t, s, e, "MATCH (c:Case) SET c:Escalated, c.status = 'closed'")
+	if rep.AlertNodes != 2 {
+		t.Fatalf("set events: %+v", rep)
+	}
+	rep = run(t, s, e, "MATCH (c:Case) REMOVE c.status")
+	if rep.AlertNodes != 1 {
+		t.Fatalf("remove property: %+v", rep)
+	}
+}
+
+func TestCascadingRules(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	// Seed → Derived via action; a second rule watches Derived.
+	_ = e.Install(Rule{
+		Name:   "Derive",
+		Event:  Event{Kind: CreateNode, Label: "Seed"},
+		Action: "CREATE (:Derived {from: NEW.id})",
+	})
+	_ = e.Install(Rule{
+		Name:  "WatchDerived",
+		Event: Event{Kind: CreateNode, Label: "Derived"},
+		Alert: "RETURN NEW.from AS origin",
+	})
+	rep := run(t, s, e, "CREATE (:Seed {id: 7})")
+	if rep.Rounds < 2 {
+		t.Errorf("expected cascade, rounds = %d", rep.Rounds)
+	}
+	if n := count(t, s, "MATCH (a:Alert) RETURN count(a)"); n != 1 {
+		t.Errorf("alerts = %d", n)
+	}
+	if n := count(t, s, "MATCH (d:Derived {from: 7}) RETURN count(d)"); n != 1 {
+		t.Errorf("derived nodes = %d", n)
+	}
+}
+
+func TestCascadeDepthBound(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	e.MaxCascadeDepth = 4
+	// Self-perpetuating rule.
+	_ = e.Install(Rule{
+		Name:   "Loop",
+		Event:  Event{Kind: CreateNode, Label: "Ping"},
+		Action: "CREATE (:Ping)",
+	})
+	_, err := runErr(s, e, "CREATE (:Ping)")
+	if !errors.Is(err, ErrCascadeDepth) {
+		t.Fatalf("expected depth error, got %v", err)
+	}
+	// The failed transaction must leave nothing behind.
+	if got := s.Stats().Nodes; got != 0 {
+		t.Errorf("store has %d nodes after aborted cascade", got)
+	}
+}
+
+func TestStrictTerminationRejectsCycle(t *testing.T) {
+	e := newTestEngine()
+	e.StrictTermination = true
+	if err := e.Install(Rule{
+		Name:   "SelfLoop",
+		Event:  Event{Kind: CreateNode, Label: "Ping"},
+		Action: "CREATE (:Ping)",
+	}); !errors.Is(err, ErrNonTerminating) {
+		t.Errorf("self-triggering rule should be rejected: %v", err)
+	}
+	// Alert-node rules watching the alert label also cycle.
+	if err := e.Install(Rule{
+		Name:  "AlertWatcher",
+		Event: Event{Kind: CreateNode, Label: "Alert"},
+		Alert: "RETURN 1 AS x",
+	}); !errors.Is(err, ErrNonTerminating) {
+		t.Errorf("alert-on-alert should be rejected: %v", err)
+	}
+	// A benign rule passes.
+	if err := e.Install(Rule{
+		Name:  "Fine",
+		Event: Event{Kind: CreateNode, Label: "Patient"},
+		Alert: "RETURN 1 AS x",
+	}); err != nil {
+		t.Errorf("benign rule rejected: %v", err)
+	}
+}
+
+func TestTerminationAnalysis(t *testing.T) {
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:   "AtoB",
+		Event:  Event{Kind: CreateNode, Label: "A"},
+		Action: "CREATE (:B)",
+	})
+	_ = e.Install(Rule{
+		Name:   "BtoA",
+		Event:  Event{Kind: CreateNode, Label: "B"},
+		Action: "CREATE (:A)",
+	})
+	cycles := e.CheckTermination()
+	if len(cycles) == 0 {
+		t.Fatal("A→B→A cycle not detected")
+	}
+	edges := e.TriggeringGraph()
+	if len(edges) != 2 {
+		t.Errorf("triggering graph edges = %d, want 2 (%+v)", len(edges), edges)
+	}
+}
+
+func TestPauseResumeDropList(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	_ = e.Install(Rule{Name: "P", Event: Event{Kind: CreateNode, Label: "X"}, Alert: "RETURN 1 AS x"})
+	if err := e.Pause("P"); err != nil {
+		t.Fatal(err)
+	}
+	rep := run(t, s, e, "CREATE (:X)")
+	if rep.AlertNodes != 0 {
+		t.Error("paused rule fired")
+	}
+	if err := e.Resume("P"); err != nil {
+		t.Fatal(err)
+	}
+	rep = run(t, s, e, "CREATE (:X)")
+	if rep.AlertNodes != 1 {
+		t.Error("resumed rule did not fire")
+	}
+	infos := e.Rules()
+	if len(infos) != 1 || infos[0].Name != "P" || infos[0].Paused {
+		t.Errorf("rules: %+v", infos)
+	}
+	if err := e.Drop("P"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drop("P"); !errors.Is(err, ErrRuleNotFound) {
+		t.Error("double drop")
+	}
+	if err := e.Pause("P"); !errors.Is(err, ErrRuleNotFound) {
+		t.Error("pause missing")
+	}
+}
+
+func TestInstallErrors(t *testing.T) {
+	e := newTestEngine()
+	if err := e.Install(Rule{Name: "", Alert: "RETURN 1"}); err == nil {
+		t.Error("nameless rule")
+	}
+	if err := e.Install(Rule{Name: "Empty", Event: Event{Kind: CreateNode}}); !errors.Is(err, ErrEmptyRule) {
+		t.Error("empty rule")
+	}
+	if err := e.Install(Rule{Name: "BadGuard", Guard: "((", Event: Event{Kind: CreateNode}}); err == nil {
+		t.Error("bad guard should fail to compile")
+	}
+	if err := e.Install(Rule{Name: "BadAlert", Alert: "MATCHX", Event: Event{Kind: CreateNode}}); err == nil {
+		t.Error("bad alert should fail to compile")
+	}
+	_ = e.Install(Rule{Name: "Dup", Alert: "RETURN 1 AS x", Event: Event{Kind: CreateNode}})
+	if err := e.Install(Rule{Name: "Dup", Alert: "RETURN 1 AS x", Event: Event{Kind: CreateNode}}); !errors.Is(err, ErrRuleExists) {
+		t.Error("duplicate install")
+	}
+}
+
+func TestActionReceivesAlertColumns(t *testing.T) {
+	s := graph.NewStore()
+	_ = s.Update(func(tx *graph.Tx) error {
+		_, err := tx.CreateNode([]string{"Region"}, map[string]value.Value{"name": value.Str("lom")})
+		return err
+	})
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:   "Tag",
+		Event:  Event{Kind: CreateNode, Label: "Patient"},
+		Alert:  "MATCH (r:Region) RETURN r AS region, r.name AS rname",
+		Action: "SET region.flagged = rname",
+	})
+	run(t, s, e, "CREATE (:Patient)")
+	_ = s.View(func(tx *graph.Tx) error {
+		res, _ := cypher.Run(tx, "MATCH (r:Region) RETURN r.flagged", nil)
+		if res.Rows[0][0].String() != `"lom"` {
+			t.Errorf("action binding: %v", res.Rows)
+		}
+		return nil
+	})
+}
+
+func TestOnAlertHook(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	var hooked []graph.NodeID
+	e.OnAlert = func(tx *graph.Tx, alert graph.NodeID) error {
+		hooked = append(hooked, alert)
+		return nil
+	}
+	_ = e.Install(Rule{Name: "H", Event: Event{Kind: CreateNode, Label: "X"}, Alert: "RETURN 1 AS x"})
+	run(t, s, e, "CREATE (:X)")
+	if len(hooked) != 1 {
+		t.Errorf("hook calls = %d", len(hooked))
+	}
+}
+
+func TestEntityColumnStoredAsID(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:  "Ent",
+		Event: Event{Kind: CreateNode, Label: "X"},
+		Alert: "RETURN NEW AS theNode",
+	})
+	run(t, s, e, "CREATE (:X)")
+	_ = s.View(func(tx *graph.Tx) error {
+		res, _ := cypher.Run(tx, "MATCH (a:Alert) RETURN a.theNode", nil)
+		if res.Rows[0][0].Kind() != value.KindInt {
+			t.Errorf("entity column should be stored as id, got %s", res.Rows[0][0].Kind())
+		}
+		return nil
+	})
+}
+
+func TestClassification(t *testing.T) {
+	e := newTestEngine()
+	e.Resolver = func(label string) (string, bool) {
+		switch label {
+		case "Mutation", "Effect":
+			return "E", true
+		case "Sequence", "Lab":
+			return "A", true
+		case "Region":
+			return "R", true
+		}
+		return "", false
+	}
+	// R1: intra-hub, single-state (mutation + effect, both hub E).
+	_ = e.Install(Rule{
+		Name:  "R1",
+		Hub:   "E",
+		Event: Event{Kind: CreateNode, Label: "Mutation"},
+		Alert: "MATCH (NEW)-[:HasEffect]->(ef:Effect {level: 'critical'}) RETURN ef",
+	})
+	// R2: inter-hub (lab in A, region in R), single-state.
+	_ = e.Install(Rule{
+		Name:  "R2",
+		Hub:   "A",
+		Event: Event{Kind: CreateNode, Label: "Sequence"},
+		Guard: "NEW.variant IS NULL",
+		Alert: `MATCH (u:Sequence)-[:SequencedAt]->(:Lab)-[:LocatedIn]->(r:Region)
+		        WHERE u.variant IS NULL
+		        WITH r, count(u) AS unassigned WHERE unassigned > 100
+		        RETURN r.name AS region, unassigned`,
+	})
+	// R4-style: multi-state (touches Summary/Current).
+	_ = e.Install(Rule{
+		Name:  "R4",
+		Hub:   "C",
+		Event: Event{Kind: CreateNode, Label: "Sequence"},
+		Alert: `MATCH (a:Alert {rule: 'R5'})-[:has]-(:Summary)-[:next]-(:Current)
+		        RETURN a.IcuPatients AS prev`,
+	})
+	c1, _ := e.ClassifyRule("R1")
+	if c1.Scope != IntraHub || c1.State != SingleState {
+		t.Errorf("R1: %+v", c1)
+	}
+	c2, _ := e.ClassifyRule("R2")
+	if c2.Scope != InterHub || c2.State != SingleState {
+		t.Errorf("R2: %+v", c2)
+	}
+	if len(c2.Hubs) != 2 {
+		t.Errorf("R2 hubs: %v", c2.Hubs)
+	}
+	c4, _ := e.ClassifyRule("R4")
+	if c4.State != MultiState {
+		t.Errorf("R4: %+v", c4)
+	}
+	if _, err := e.ClassifyRule("nope"); !errors.Is(err, ErrRuleNotFound) {
+		t.Error("classify missing rule")
+	}
+	// String renderings.
+	if IntraHub.String() != "intra-hub" || InterHub.String() != "inter-hub" ||
+		SingleState.String() != "single-state" || MultiState.String() != "multi-state" {
+		t.Error("enum strings")
+	}
+	if !strings.Contains(Event{Kind: SetProperty, Label: "Case", PropKey: "s"}.String(), "Case.s") {
+		t.Error("event string")
+	}
+}
+
+func TestValidatorSeesMergedChanges(t *testing.T) {
+	s := graph.NewStore()
+	// A validator that rejects any transaction creating more than 2 nodes
+	// must also see nodes created by cascaded rules.
+	boom := errors.New("too many")
+	s.AddValidator(func(tx *graph.Tx) error {
+		if len(tx.Data().CreatedNodes) > 2 {
+			return boom
+		}
+		return nil
+	})
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:   "Fanout",
+		Event:  Event{Kind: CreateNode, Label: "Seed"},
+		Action: "CREATE (:Leaf), (:Leaf)",
+	})
+	_, err := runErr(s, e, "CREATE (:Seed)")
+	if !errors.Is(err, boom) {
+		t.Fatalf("validator should see rule-created nodes: %v", err)
+	}
+	if s.Stats().Nodes != 0 {
+		t.Error("aborted transaction left nodes behind")
+	}
+}
+
+func TestPerRuleStats(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:  "counted",
+		Event: Event{Kind: CreateNode, Label: "X"},
+		Guard: "NEW.fire = true",
+		Alert: "RETURN 1 AS one",
+	})
+	run(t, s, e, "CREATE (:X {fire: true}), (:X {fire: false}), (:X {fire: true})")
+	infos := e.Rules()
+	if len(infos) != 1 {
+		t.Fatal("rules")
+	}
+	st := infos[0].Stats
+	if st.GuardChecks != 3 || st.Activations != 2 || st.AlertNodes != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+	run(t, s, e, "CREATE (:X {fire: true})")
+	st = e.Rules()[0].Stats
+	if st.GuardChecks != 4 || st.AlertNodes != 3 {
+		t.Errorf("stats accumulate: %+v", st)
+	}
+}
+
+func TestEnforceIntraHubGuards(t *testing.T) {
+	e := newTestEngine()
+	e.EnforceIntraHubGuards = true
+	e.Resolver = func(label string) (string, bool) {
+		switch label {
+		case "Sequence", "Lab":
+			return "A", true
+		case "Region":
+			return "R", true
+		}
+		return "", false
+	}
+	// A guard staying inside the rule's hub installs fine.
+	if err := e.Install(Rule{
+		Name:  "local",
+		Hub:   "A",
+		Event: Event{Kind: CreateNode, Label: "Sequence"},
+		Guard: "NEW.variant IS NULL AND (NEW)-[:SequencedAt]->(:Lab)",
+		Alert: "RETURN 1 AS x",
+	}); err != nil {
+		t.Fatalf("intra-hub guard rejected: %v", err)
+	}
+	// A guard traversing into another hub is rejected.
+	if err := e.Install(Rule{
+		Name:  "leaky",
+		Hub:   "A",
+		Event: Event{Kind: CreateNode, Label: "Sequence"},
+		Guard: "(NEW)-[:SequencedAt]->(:Lab)-[:LocatedIn]->(:Region)",
+		Alert: "RETURN 1 AS x",
+	}); !errors.Is(err, ErrGuardNotIntraHub) {
+		t.Fatalf("cross-hub guard accepted: %v", err)
+	}
+	// Unresolvable labels stay permitted (conservative).
+	if err := e.Install(Rule{
+		Name:  "unknownLabel",
+		Hub:   "A",
+		Event: Event{Kind: CreateNode, Label: "Sequence"},
+		Guard: "(NEW)-[:X]->(:SomethingElse)",
+		Alert: "RETURN 1 AS x",
+	}); err != nil {
+		t.Fatalf("unresolvable label rejected: %v", err)
+	}
+	// The ALERT may reach anywhere — only guards are constrained.
+	if err := e.Install(Rule{
+		Name:  "globalAlert",
+		Hub:   "A",
+		Event: Event{Kind: CreateNode, Label: "Sequence"},
+		Guard: "NEW.variant IS NULL",
+		Alert: "MATCH (:Lab)-[:LocatedIn]->(r:Region) RETURN r.name AS region",
+	}); err != nil {
+		t.Fatalf("inter-hub alert rejected: %v", err)
+	}
+}
+
+func BenchmarkGuardEvaluation(b *testing.B) {
+	s := graph.NewStore()
+	e := NewEngine()
+	_ = e.Install(Rule{
+		Name:  "bench",
+		Event: Event{Kind: CreateNode, Label: "P"},
+		Guard: "NEW.v > 10 AND NEW.kind = 'x'",
+		Alert: "RETURN NEW.v AS v",
+	})
+	tx := s.Begin(graph.ReadWrite)
+	defer tx.Rollback()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cypher.Run(tx, "CREATE (:P {v: 5, kind: 'x'})", nil); err != nil {
+			b.Fatal(err)
+		}
+		data := tx.ResetData()
+		if _, err := e.Process(tx, data); err != nil {
+			b.Fatal(err)
+		}
+		// Process restores the merged change record for commit validators;
+		// drain it so the next iteration only sees its own event.
+		tx.ResetData()
+	}
+}
+
+func BenchmarkAlertNodeProduction(b *testing.B) {
+	s := graph.NewStore()
+	e := NewEngine()
+	_ = e.Install(Rule{
+		Name:  "bench",
+		Event: Event{Kind: CreateNode, Label: "P"},
+		Alert: "RETURN NEW.v AS v",
+	})
+	tx := s.Begin(graph.ReadWrite)
+	defer tx.Rollback()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cypher.Run(tx, "CREATE (:P {v: 5})", nil); err != nil {
+			b.Fatal(err)
+		}
+		data := tx.ResetData()
+		if _, err := e.Process(tx, data); err != nil {
+			b.Fatal(err)
+		}
+		tx.ResetData()
+	}
+}

@@ -1,0 +1,195 @@
+// Package trigger implements the paper's reactive rules for knowledge
+// graphs (§III-B): Event–Guard–Alert quadruples evaluated over the change
+// records of graph transactions, with Alert-node production, cascade
+// control, rule classification (§III-C) and conservative termination
+// analysis in the tradition of active databases.
+package trigger
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// EventKind enumerates the graph-change events a rule can monitor —
+// creation/deletion of nodes and relationships and setting/removal of
+// labels and properties, exactly the event taxonomy of §III-B.
+type EventKind int
+
+// Event kinds.
+const (
+	CreateNode EventKind = iota
+	DeleteNode
+	CreateRelationship
+	DeleteRelationship
+	SetLabel
+	RemoveLabel
+	SetProperty
+	RemoveProperty
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case CreateNode:
+		return "CREATE NODE"
+	case DeleteNode:
+		return "DELETE NODE"
+	case CreateRelationship:
+		return "CREATE RELATIONSHIP"
+	case DeleteRelationship:
+		return "DELETE RELATIONSHIP"
+	case SetLabel:
+		return "SET LABEL"
+	case RemoveLabel:
+		return "REMOVE LABEL"
+	case SetProperty:
+		return "SET PROPERTY"
+	case RemoveProperty:
+		return "REMOVE PROPERTY"
+	default:
+		return fmt.Sprintf("EVENT(%d)", int(k))
+	}
+}
+
+// Event selects the graph changes that activate a rule. Label restricts
+// node events to nodes carrying the label (like relational triggers
+// targeting a table, as the paper prescribes) and relationship events to
+// the relationship type; for SetLabel/RemoveLabel it names the label
+// assigned or removed. PropKey optionally narrows property events to one
+// key. Empty selectors match everything of the kind.
+type Event struct {
+	Kind    EventKind
+	Label   string
+	PropKey string
+}
+
+// String renders the event selector.
+func (e Event) String() string {
+	s := e.Kind.String()
+	if e.Label != "" {
+		s += " " + e.Label
+	}
+	if e.PropKey != "" {
+		s += "." + e.PropKey
+	}
+	return s
+}
+
+// Binding carries the transition variables made visible to a rule's guard
+// and alert for one event occurrence: NEW for the affected live entity,
+// OLD for deleted snapshots and previous property values, plus KEY / LABEL
+// metadata where applicable.
+type Binding map[string]value.Value
+
+// occurrences enumerates the bindings for every change in data matching
+// the event selector. Entities deleted later in the same round are skipped.
+func (e Event) occurrences(tx *graph.Tx, data *graph.TxData) []Binding {
+	var out []Binding
+	switch e.Kind {
+	case CreateNode:
+		for _, id := range data.CreatedNodes {
+			if !tx.NodeExists(id) {
+				continue
+			}
+			if e.Label != "" && !tx.NodeHasLabel(id, e.Label) {
+				continue
+			}
+			out = append(out, Binding{"NEW": value.Node(int64(id))})
+		}
+	case DeleteNode:
+		for _, snap := range data.DeletedNodes {
+			if e.Label != "" && !snap.HasLabel(e.Label) {
+				continue
+			}
+			out = append(out, Binding{
+				"NEW":       value.Null,
+				"OLD":       value.Map(snap.Props),
+				"OLDLABELS": labelList(snap.Labels),
+			})
+		}
+	case CreateRelationship:
+		for _, id := range data.CreatedRels {
+			typ, _, _, ok := tx.RelEndpoints(id)
+			if !ok {
+				continue
+			}
+			if e.Label != "" && typ != e.Label {
+				continue
+			}
+			out = append(out, Binding{"NEW": value.Relationship(int64(id))})
+		}
+	case DeleteRelationship:
+		for _, snap := range data.DeletedRels {
+			if e.Label != "" && snap.Type != e.Label {
+				continue
+			}
+			out = append(out, Binding{
+				"NEW":     value.Null,
+				"OLD":     value.Map(snap.Props),
+				"OLDTYPE": value.Str(snap.Type),
+			})
+		}
+	case SetLabel, RemoveLabel:
+		changes := data.AssignedLabels
+		if e.Kind == RemoveLabel {
+			changes = data.RemovedLabels
+		}
+		for _, lc := range changes {
+			if e.Label != "" && lc.Label != e.Label {
+				continue
+			}
+			if !tx.NodeExists(lc.Node) {
+				continue
+			}
+			out = append(out, Binding{
+				"NEW":   value.Node(int64(lc.Node)),
+				"LABEL": value.Str(lc.Label),
+			})
+		}
+	case SetProperty, RemoveProperty:
+		changes := data.AssignedProps
+		if e.Kind == RemoveProperty {
+			changes = data.RemovedProps
+		}
+		for _, pc := range changes {
+			if e.PropKey != "" && pc.Key != e.PropKey {
+				continue
+			}
+			b := Binding{
+				"KEY":      value.Str(pc.Key),
+				"OLDVALUE": pc.Old,
+				"NEWVALUE": pc.New,
+			}
+			if pc.Kind == graph.NodeEntity {
+				if !tx.NodeExists(pc.Node) {
+					continue
+				}
+				if e.Label != "" && !tx.NodeHasLabel(pc.Node, e.Label) {
+					continue
+				}
+				b["NEW"] = value.Node(int64(pc.Node))
+			} else {
+				typ, _, _, ok := tx.RelEndpoints(pc.Rel)
+				if !ok {
+					continue
+				}
+				if e.Label != "" && typ != e.Label {
+					continue
+				}
+				b["NEW"] = value.Relationship(int64(pc.Rel))
+			}
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func labelList(labels []string) value.Value {
+	out := make([]value.Value, len(labels))
+	for i, l := range labels {
+		out[i] = value.Str(l)
+	}
+	return value.ListOf(out)
+}

@@ -1,0 +1,274 @@
+package trigger
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/cypher"
+)
+
+// Errors reported by rule compilation and the engine.
+var (
+	ErrRuleExists       = errors.New("trigger: rule already installed")
+	ErrRuleNotFound     = errors.New("trigger: rule not found")
+	ErrEmptyRule        = errors.New("trigger: rule needs a guard, an alert or an action")
+	ErrCascadeDepth     = errors.New("trigger: cascade depth limit exceeded")
+	ErrNonTerminating   = errors.New("trigger: rule introduces a triggering cycle")
+	ErrGuardNotIntraHub = errors.New("trigger: guard reaches outside the rule's hub")
+)
+
+// Rule is the paper's reactive-rule quadruple <Event, Guard, Alert,
+// AlertNode>, plus an optional fully reactive Action (the generalization
+// §V discusses).
+//
+//   - Event selects the graph changes that activate the rule.
+//   - Guard is a Cypher expression evaluated with the transition variables
+//     (NEW, OLD, …) bound; it should be a cheap, intra-hub check. Empty
+//     means "always true".
+//   - Alert is a Cypher query, arbitrarily complex and possibly inter-hub;
+//     each row it returns denotes a critical situation.
+//   - For every critical row the engine creates an Alert node labeled
+//     AlertLabel carrying the mandatory properties rule, hub and dateTime
+//     plus one property per result column — unless Action is set, in which
+//     case the engine runs Action instead, with the row's columns and the
+//     transition variables bound.
+type Rule struct {
+	// Name identifies the rule (unique within an engine).
+	Name string
+	// Hub is the knowledge hub that owns (authored) the rule.
+	Hub string
+	// Event selects the activating graph changes.
+	Event Event
+	// Guard is an optional Cypher predicate over the transition variables.
+	Guard string
+	// Alert is an optional Cypher query; rows denote critical situations.
+	Alert string
+	// AlertLabel overrides the label of produced alert nodes ("Alert").
+	AlertLabel string
+	// Action, when set, replaces alert-node creation with a Cypher write
+	// statement executed once per critical row (or once per activation if
+	// Alert is empty).
+	Action string
+}
+
+type compiledRule struct {
+	Rule
+	guard  cypher.Expr
+	alert  *cypher.Statement
+	action *cypher.Statement
+	paused bool
+	seq    int
+
+	// firing statistics, updated atomically outside the engine lock
+	nChecks      atomic.Int64
+	nActivations atomic.Int64
+	nAlertNodes  atomic.Int64
+}
+
+func compileRule(r Rule, defaultAlertLabel string) (*compiledRule, error) {
+	if r.Name == "" {
+		return nil, fmt.Errorf("trigger: rule needs a name")
+	}
+	if r.Guard == "" && r.Alert == "" && r.Action == "" {
+		return nil, fmt.Errorf("%w: %s", ErrEmptyRule, r.Name)
+	}
+	if r.AlertLabel == "" {
+		r.AlertLabel = defaultAlertLabel
+	}
+	cr := &compiledRule{Rule: r}
+	if r.Guard != "" {
+		g, err := cypher.ParseExpr(r.Guard)
+		if err != nil {
+			return nil, fmt.Errorf("trigger: rule %s guard: %w", r.Name, err)
+		}
+		cr.guard = g
+	}
+	if r.Alert != "" {
+		stmt, err := cypher.Parse(r.Alert)
+		if err != nil {
+			return nil, fmt.Errorf("trigger: rule %s alert: %w", r.Name, err)
+		}
+		cr.alert = stmt
+	}
+	if r.Action != "" {
+		stmt, err := cypher.Parse(r.Action)
+		if err != nil {
+			return nil, fmt.Errorf("trigger: rule %s action: %w", r.Name, err)
+		}
+		cr.action = stmt
+	}
+	return cr, nil
+}
+
+// footprint summarizes what the rule can read and write, for
+// classification and termination analysis.
+type footprint struct {
+	readLabels   []string
+	readRelTypes []string
+	created      []string // node labels the actions may create
+	createdRels  []string
+	setsLabels   []string
+	setsProps    []string
+	removesProps []string
+	deletes      bool
+}
+
+func (cr *compiledRule) footprint() footprint {
+	var fp footprint
+	add := func(info *cypher.StatementInfo, write bool) {
+		fp.readLabels = append(fp.readLabels, info.MatchedNodeLabels...)
+		fp.readRelTypes = append(fp.readRelTypes, info.MatchedRelTypes...)
+		if write {
+			fp.created = append(fp.created, info.CreatedNodeLabels...)
+			fp.createdRels = append(fp.createdRels, info.CreatedRelTypes...)
+			fp.setsLabels = append(fp.setsLabels, info.SetLabels...)
+			fp.setsProps = append(fp.setsProps, info.SetPropKeys...)
+			fp.removesProps = append(fp.removesProps, info.RemovedPropKeys...)
+			if info.Deletes {
+				fp.deletes = true
+			}
+		}
+	}
+	if cr.guard != nil {
+		add(cypher.InspectExpr(cr.guard), false)
+	}
+	if cr.alert != nil {
+		// The alert query may itself contain write clauses in action-less
+		// mode (discouraged but possible), so treat it as read+write.
+		add(cypher.Inspect(cr.alert), true)
+	}
+	if cr.action != nil {
+		add(cypher.Inspect(cr.action), true)
+	}
+	if cr.action == nil {
+		// Alert-node mode always creates a node with the alert label.
+		fp.created = append(fp.created, cr.AlertLabel)
+	}
+	// The event selector is also part of the read set.
+	if cr.Event.Label != "" {
+		switch cr.Event.Kind {
+		case CreateRelationship, DeleteRelationship:
+			fp.readRelTypes = append(fp.readRelTypes, cr.Event.Label)
+		default:
+			fp.readLabels = append(fp.readLabels, cr.Event.Label)
+		}
+	}
+	return fp
+}
+
+// RuleScope classifies the reach of a rule across hubs (§III-C).
+type RuleScope int
+
+// Rule scopes.
+const (
+	ScopeUnknown RuleScope = iota
+	IntraHub
+	InterHub
+)
+
+func (s RuleScope) String() string {
+	switch s {
+	case IntraHub:
+		return "intra-hub"
+	case InterHub:
+		return "inter-hub"
+	default:
+		return "unknown"
+	}
+}
+
+// RuleState classifies whether a rule consults one or several states of the
+// knowledge graph (§III-C).
+type RuleState int
+
+// Rule state classes.
+const (
+	StateUnknown RuleState = iota
+	SingleState
+	MultiState
+)
+
+func (s RuleState) String() string {
+	switch s {
+	case SingleState:
+		return "single-state"
+	case MultiState:
+		return "multi-state"
+	default:
+		return "unknown"
+	}
+}
+
+// Classification is the two-axis rule taxonomy of §III-C.
+type Classification struct {
+	Scope RuleScope
+	State RuleState
+	// Hubs lists the hubs whose knowledge the rule touches.
+	Hubs []string
+}
+
+// LabelHubResolver maps a node label to its owning hub.
+type LabelHubResolver func(label string) (hubName string, ok bool)
+
+// defaultStateLabels are the labels whose presence in a rule body indicates
+// consultation of historical state (the Essential Summary machinery).
+var defaultStateLabels = map[string]bool{
+	"Summary": true,
+	"Current": true,
+	"Alert":   true,
+}
+
+// Classify computes the scope and state class of a rule by static analysis
+// of its guard, alert and action. resolve maps labels to hubs; nil means no
+// hub information (scope stays unknown unless only the rule's own hub is
+// involved). stateLabels overrides the default {Summary, Current, Alert}.
+func Classify(cr *compiledRule, resolve LabelHubResolver, stateLabels map[string]bool) Classification {
+	if stateLabels == nil {
+		stateLabels = defaultStateLabels
+	}
+	fp := cr.footprint()
+	hubs := map[string]bool{}
+	if cr.Hub != "" {
+		hubs[cr.Hub] = true
+	}
+	unresolved := false
+	state := SingleState
+	for _, l := range fp.readLabels {
+		if stateLabels[l] || l == cr.AlertLabel {
+			state = MultiState
+			continue // summary structures are shared, not hub knowledge
+		}
+		if resolve == nil {
+			unresolved = true
+			continue
+		}
+		if h, ok := resolve(l); ok {
+			hubs[h] = true
+		} else {
+			unresolved = true
+		}
+	}
+	cls := Classification{State: state}
+	for h := range hubs {
+		cls.Hubs = append(cls.Hubs, h)
+	}
+	sortStrings(cls.Hubs)
+	switch {
+	case len(hubs) > 1:
+		cls.Scope = InterHub
+	case unresolved:
+		cls.Scope = ScopeUnknown
+	default:
+		cls.Scope = IntraHub
+	}
+	return cls
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package value
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestToJSONShapes(t *testing.T) {
+	if ToJSON(Null) != nil {
+		t.Error("null")
+	}
+	if ToJSON(Bool(true)) != true {
+		t.Error("bool")
+	}
+	if ToJSON(Str("x")) != "x" {
+		t.Error("string")
+	}
+	m := ToJSON(Int(42)).(map[string]any)
+	if m["$int"] != "42" {
+		t.Errorf("int tag: %v", m)
+	}
+	m = ToJSON(Float(2.5)).(map[string]any)
+	if m["$float"] != 2.5 {
+		t.Errorf("float tag: %v", m)
+	}
+	// Non-finite floats go through strings.
+	m = ToJSON(Float(math.Inf(1))).(map[string]any)
+	if _, isStr := m["$float"].(string); !isStr {
+		t.Errorf("inf tag: %v", m)
+	}
+	l := ToJSON(List(Int(1), Null)).([]any)
+	if len(l) != 2 || l[1] != nil {
+		t.Errorf("list: %v", l)
+	}
+	mm := ToJSON(Map(map[string]Value{"a": Int(1)})).(map[string]any)
+	if _, ok := mm["$map"]; !ok {
+		t.Errorf("map tag: %v", mm)
+	}
+	if ToJSON(Node(7)).(map[string]any)["$node"] != "7" {
+		t.Error("node tag")
+	}
+	if ToJSON(Relationship(8)).(map[string]any)["$rel"] != "8" {
+		t.Error("rel tag")
+	}
+	if ToJSON(Duration(time.Hour)).(map[string]any)["$duration"] != "1h0m0s" {
+		t.Error("duration tag")
+	}
+}
+
+func TestFromJSONPlainValues(t *testing.T) {
+	// Hand-written JSON uses plain numbers: integral → INTEGER.
+	v, err := FromJSON(float64(5))
+	if err != nil || v.Kind() != KindInt {
+		t.Errorf("plain int: %s %v", v.Kind(), err)
+	}
+	v, _ = FromJSON(float64(5.5))
+	if v.Kind() != KindFloat {
+		t.Errorf("plain float: %s", v.Kind())
+	}
+	// Untagged object → MAP.
+	v, err = FromJSON(map[string]any{"a": float64(1), "b": "x"})
+	if err != nil || v.Kind() != KindMap {
+		t.Errorf("plain map: %s %v", v.Kind(), err)
+	}
+	m, _ := v.AsMap()
+	if m["a"].Kind() != KindInt {
+		t.Error("nested plain int")
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	bad := []any{
+		map[string]any{"$int": 5},             // payload must be string
+		map[string]any{"$int": "abc"},         // unparsable
+		map[string]any{"$float": true},        // bad payload
+		map[string]any{"$datetime": 42},       // bad payload
+		map[string]any{"$datetime": "junk"},   // unparsable
+		map[string]any{"$duration": "junk"},   // unparsable
+		map[string]any{"$duration": 1.0},      // bad payload
+		map[string]any{"$map": "not-a-map"},   // bad payload
+		map[string]any{"$node": true},         // bad id
+		[]any{map[string]any{"$int": "bad-"}}, // nested failure propagates
+		struct{}{},                            // unknown Go type
+	}
+	for i, in := range bad {
+		if _, err := FromJSON(in); err == nil {
+			t.Errorf("case %d should fail: %v", i, in)
+		}
+	}
+	// $float accepts string payloads (non-finite round trip).
+	v, err := FromJSON(map[string]any{"$float": "+Inf"})
+	if err != nil || v.Kind() != KindFloat {
+		t.Errorf("string float: %v %v", v, err)
+	}
+	// Entity ids accept numbers for hand-written files.
+	v, err = FromJSON(map[string]any{"$node": float64(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := v.EntityID(); id != 3 {
+		t.Errorf("numeric node id: %v", v)
+	}
+}
+
+func TestErrTypeMessages(t *testing.T) {
+	_, err := Add(Bool(true), Int(1))
+	if err == nil || !strings.Contains(err.Error(), "BOOLEAN") {
+		t.Errorf("binary type error: %v", err)
+	}
+	_, err = Neg(Str("x"))
+	if err == nil || !strings.Contains(err.Error(), "STRING") {
+		t.Errorf("unary type error: %v", err)
+	}
+}
+
+func TestCompareAllKindPairs(t *testing.T) {
+	vals := []Value{
+		Map(map[string]Value{"a": Int(1)}),
+		Map(map[string]Value{"b": Int(1)}),
+		Map(map[string]Value{"a": Int(2)}),
+		Map(map[string]Value{"a": Int(1), "b": Int(2)}),
+		Node(1), Node(2), Relationship(1),
+		List(Int(1)), List(Int(2)),
+		Str("a"), Bool(false), Bool(true), Int(1), Float(1.5),
+		DateTime(time.Unix(0, 0)), DateTime(time.Unix(1, 0)),
+		Duration(time.Second), Duration(time.Minute), Null,
+	}
+	// Total order sanity: antisymmetry and reflexivity across every pair.
+	for _, a := range vals {
+		if Compare(a, a) != 0 {
+			t.Errorf("Compare(%s, %s) != 0", a, a)
+		}
+		for _, b := range vals {
+			if Compare(a, b) != -Compare(b, a) {
+				t.Errorf("antisymmetry violated for %s vs %s", a, b)
+			}
+		}
+	}
+	// Kind ranking spot checks (openCypher order).
+	ordered := []Value{
+		Map(map[string]Value{}), Node(1), Relationship(1), List(Int(1)),
+		Str("z"), Bool(true), Int(999), DateTime(time.Unix(0, 0)),
+		Duration(time.Second), Null,
+	}
+	for i := 1; i < len(ordered); i++ {
+		if Compare(ordered[i-1], ordered[i]) >= 0 {
+			t.Errorf("kind order broken between %s and %s", ordered[i-1], ordered[i])
+		}
+	}
+}
+
+func TestDivDurationAndErrors(t *testing.T) {
+	v, err := Div(Duration(time.Hour), Int(2))
+	if err != nil || !SameValue(v, Duration(30*time.Minute)) {
+		t.Errorf("duration/int: %v %v", v, err)
+	}
+	if _, err := Div(Duration(time.Hour), Int(0)); err == nil {
+		t.Error("duration/0")
+	}
+	if _, err := Div(Str("x"), Int(1)); err == nil {
+		t.Error("string division")
+	}
+}
+
+func TestToStringAllKinds(t *testing.T) {
+	cases := map[string]Value{
+		"true":   Bool(true),
+		"7":      Int(7),
+		"2.5":    Float(2.5),
+		"1h0m0s": Duration(time.Hour),
+	}
+	for want, in := range cases {
+		v, err := ToString(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s, _ := v.AsString(); s != want {
+			t.Errorf("ToString(%s) = %q, want %q", in, s, want)
+		}
+	}
+	v, _ := ToString(DateTime(time.Date(2023, 4, 1, 0, 0, 0, 0, time.UTC)))
+	if s, _ := v.AsString(); !strings.HasPrefix(s, "2023-04-01") {
+		t.Errorf("ToString(datetime) = %q", s)
+	}
+	if _, err := ToString(List()); err == nil {
+		t.Error("ToString(list) should error")
+	}
+}
+
+func TestToBooleanAndToIntegerEdges(t *testing.T) {
+	if v, _ := ToBoolean(Bool(true)); !SameValue(v, Bool(true)) {
+		t.Error("bool passthrough")
+	}
+	if _, err := ToBoolean(List()); err == nil {
+		t.Error("ToBoolean(list)")
+	}
+	if _, err := ToInteger(List()); err == nil {
+		t.Error("ToInteger(list)")
+	}
+	if v, _ := ToInteger(Str("  junk  ")); !v.IsNull() {
+		t.Error("ToInteger(junk) is null")
+	}
+}
+
+func TestKindStringUnknown(t *testing.T) {
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind: %s", got)
+	}
+}

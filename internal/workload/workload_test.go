@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/periodic"
+	"repro/internal/trigger"
+	"repro/internal/value"
+)
+
+func newKB() *core.KnowledgeBase {
+	return core.New(core.Config{
+		Clock: periodic.NewManualClock(time.Date(2023, 4, 1, 0, 0, 0, 0, time.UTC)),
+	})
+}
+
+func TestBuildBaseGraph(t *testing.T) {
+	kb := newKB()
+	sc, err := Build(kb, Config{Seed: 1, Regions: 5, HospitalsPerRegion: 2, LabsPerRegion: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Regions()) != 5 {
+		t.Errorf("regions = %d", len(sc.Regions()))
+	}
+	st := kb.GraphStats()
+	// 5 regions + 10 hospitals + 5 labs.
+	if st.Nodes != 20 {
+		t.Errorf("nodes = %d, want 20", st.Nodes)
+	}
+	if st.Relationships != 15 {
+		t.Errorf("rels = %d, want 15", st.Relationships)
+	}
+	res, err := kb.Query("MATCH (:Hospital)-[:LocatedIn]->(r:Region {name: 'region-00'}) RETURN count(*)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Value(); v.String() != "2" {
+		t.Errorf("hospitals in region-00: %s", v)
+	}
+}
+
+func TestAdmissionsDeterministic(t *testing.T) {
+	kb1 := newKB()
+	sc1, _ := Build(kb1, Config{Seed: 7, Regions: 3})
+	kb2 := newKB()
+	sc2, _ := Build(kb2, Config{Seed: 7, Regions: 3})
+	a1 := sc1.Admissions(50, 0)
+	a2 := sc2.Admissions(50, 0)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("admission %d differs: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+	if a1[0].RegionDay != RegionDayKey(a1[0].Region, 0) {
+		t.Error("regionDay composite")
+	}
+}
+
+func TestAdmitWritesPatients(t *testing.T) {
+	kb := newKB()
+	sc, _ := Build(kb, Config{Seed: 1, Regions: 4})
+	adms := sc.Admissions(40, 0)
+	if err := sc.Admit(kb, adms, AdmitOptions{Batch: 8, LinkHospital: true}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := kb.Query("MATCH (p:Patient) RETURN count(p)", nil)
+	if v, _ := res.Value(); v.String() != "40" {
+		t.Errorf("patients: %s", v)
+	}
+	res, _ = kb.Query("MATCH (:Patient)-[:TreatedAt]->(h:Hospital) RETURN count(*)", nil)
+	if v, _ := res.Value(); v.String() != "40" {
+		t.Errorf("treatedAt edges: %s", v)
+	}
+	// Indexed per-region-day count matches a scan.
+	res, _ = kb.Query("MATCH (p:Patient {regionDay: $k}) RETURN count(p)",
+		map[string]value.Value{"k": value.Str(RegionDayKey(sc.Regions()[0], 0))})
+	fast, _ := res.Value()
+	res, _ = kb.Query("MATCH (p:Patient) WHERE p.region = $r AND p.day = 0 RETURN count(p)",
+		map[string]value.Value{"r": value.Str(sc.Regions()[0])})
+	slow, _ := res.Value()
+	if !value.SameValue(fast, slow) {
+		t.Errorf("indexed count %s != scan %s", fast, slow)
+	}
+}
+
+func TestStatsMaintenance(t *testing.T) {
+	kb := newKB()
+	sc, _ := Build(kb, Config{Seed: 2, Regions: 2})
+	adms := sc.Admissions(30, 0)
+	if err := sc.Admit(kb, adms, AdmitOptions{MaintainStats: true, Batch: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Every admission incremented exactly one RegionStat; totals match.
+	res, _ := kb.Query("MATCH (s:RegionStat) RETURN sum(s.patients)", nil)
+	if v, _ := res.Value(); v.String() != "30" {
+		t.Errorf("stat total: %s", v)
+	}
+	// Closing the day materializes DailyRegionStat per active region.
+	if err := sc.CloseDay(kb, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = kb.Query("MATCH (d:DailyRegionStat {day: 0}) RETURN sum(d.patients)", nil)
+	if v, _ := res.Value(); v.String() != "30" {
+		t.Errorf("daily stat total: %s", v)
+	}
+	// Closing a day with no admissions creates nothing.
+	if err := sc.CloseDay(kb, 5); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = kb.Query("MATCH (d:DailyRegionStat {day: 5}) RETURN count(d)", nil)
+	if v, _ := res.Value(); v.String() != "0" {
+		t.Errorf("empty day stats: %s", v)
+	}
+}
+
+func TestNaiveRuleFiresOnGrowth(t *testing.T) {
+	kb := newKB()
+	sc, err := Build(kb, Config{Seed: 3, Regions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, guard, alert := NaiveRuleSpec()
+	if err := kb.InstallRule(trigger.Rule{
+		Name:  name,
+		Event: trigger.Event{Kind: trigger.CreateNode, Label: "Patient"},
+		Guard: guard,
+		Alert: alert,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Day 0: 5 patients; day 1: 10 patients → 50% growth, alerts fire for
+	// the day-1 insertions once yesterday>0 and growth>10%.
+	if err := sc.Admit(kb, sc.Admissions(5, 0), AdmitOptions{LinkHospital: true}); err != nil {
+		t.Fatal(err)
+	}
+	alerts, _ := kb.Alerts()
+	if len(alerts) != 0 {
+		t.Fatalf("no alert should fire on day 0, got %d", len(alerts))
+	}
+	if err := sc.Admit(kb, sc.Admissions(10, 1), AdmitOptions{LinkHospital: true}); err != nil {
+		t.Fatal(err)
+	}
+	alerts, _ = kb.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("day-1 growth should raise alerts")
+	}
+	a := alerts[len(alerts)-1]
+	today, _ := a.Props["today"].AsInt()
+	yesterday, _ := a.Props["yesterday"].AsInt()
+	if today != 10 || yesterday != 5 {
+		t.Errorf("alert counters: today=%d yesterday=%d", today, yesterday)
+	}
+}
+
+func TestSummaryRuleFiresOncePerRegion(t *testing.T) {
+	kb := newKB()
+	sc, err := Build(kb, Config{Seed: 4, Regions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, guard, alert := SummaryRuleSpec()
+	if err := kb.InstallRule(trigger.Rule{
+		Name:  name,
+		Event: trigger.Event{Kind: trigger.CreateNode, Label: "DailyRegionStat"},
+		Guard: guard,
+		Alert: alert,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	opt := AdmitOptions{MaintainStats: true, Batch: 10}
+	if err := sc.Admit(kb, sc.Admissions(30, 0), opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.CloseDay(kb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Admit(kb, sc.Admissions(90, 1), opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.CloseDay(kb, 1); err != nil {
+		t.Fatal(err)
+	}
+	alerts, _ := kb.Alerts()
+	if len(alerts) == 0 || len(alerts) > 3 {
+		t.Fatalf("summary alerts = %d, want 1..3 (at most one per region)", len(alerts))
+	}
+	// The summary design and the naive design agree on who is critical.
+	for _, a := range alerts {
+		today, _ := a.Props["today"].AsInt()
+		yesterday, _ := a.Props["yesterday"].AsInt()
+		if yesterday == 0 || float64(today-yesterday)/float64(today) <= NaiveRuleThreshold {
+			t.Errorf("non-critical alert: %+v", a.Props)
+		}
+	}
+}
+
+func TestSkewedRegions(t *testing.T) {
+	kb := newKB()
+	sc, _ := Build(kb, Config{Seed: 5, Regions: 10, SkewedRegions: true})
+	adms := sc.Admissions(1000, 0)
+	counts := map[string]int{}
+	for _, a := range adms {
+		counts[a.Region]++
+	}
+	if counts[RegionName(0)] <= counts[RegionName(9)] {
+		t.Errorf("skew should favor low-rank regions: r0=%d r9=%d",
+			counts[RegionName(0)], counts[RegionName(9)])
+	}
+}
+
+func TestEquivalenceNaiveVsSummaryAlerts(t *testing.T) {
+	// Both designs must flag the same critical regions (the paper claims
+	// "the same semantics"). Build identical streams, run both, compare the
+	// sets of flagged regions on day 1.
+	stream := func() (*core.KnowledgeBase, *Scenario) {
+		kb := newKB()
+		sc, err := Build(kb, Config{Seed: 42, Regions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return kb, sc
+	}
+
+	// Naive.
+	kbN, scN := stream()
+	nName, nGuard, nAlert := NaiveRuleSpec()
+	_ = kbN.InstallRule(trigger.Rule{
+		Name: nName, Event: trigger.Event{Kind: trigger.CreateNode, Label: "Patient"},
+		Guard: nGuard, Alert: nAlert,
+	})
+	_ = scN.Admit(kbN, scN.Admissions(40, 0), AdmitOptions{})
+	_ = scN.Admit(kbN, scN.Admissions(120, 1), AdmitOptions{})
+	naiveRegions := map[string]bool{}
+	alertsN, _ := kbN.Alerts()
+	for _, a := range alertsN {
+		r, _ := a.Props["region"].AsString()
+		naiveRegions[r] = true
+	}
+
+	// Summary.
+	kbS, scS := stream()
+	sName, sGuard, sAlert := SummaryRuleSpec()
+	_ = kbS.InstallRule(trigger.Rule{
+		Name: sName, Event: trigger.Event{Kind: trigger.CreateNode, Label: "DailyRegionStat"},
+		Guard: sGuard, Alert: sAlert,
+	})
+	_ = scS.Admit(kbS, scS.Admissions(40, 0), AdmitOptions{MaintainStats: true})
+	_ = scS.CloseDay(kbS, 0)
+	_ = scS.Admit(kbS, scS.Admissions(120, 1), AdmitOptions{MaintainStats: true})
+	_ = scS.CloseDay(kbS, 1)
+	summaryRegions := map[string]bool{}
+	alertsS, _ := kbS.Alerts()
+	for _, a := range alertsS {
+		r, _ := a.Props["region"].AsString()
+		summaryRegions[r] = true
+	}
+
+	// The summary design evaluates end-of-day totals; every region it
+	// flags must also have been flagged (at some intra-day point) by the
+	// naive design.
+	for r := range summaryRegions {
+		if !naiveRegions[r] {
+			t.Errorf("summary flagged %s but naive did not", r)
+		}
+	}
+	if len(summaryRegions) == 0 {
+		t.Error("3x growth must flag at least one region")
+	}
+}
+
+func TestBumpStatDirect(t *testing.T) {
+	kb := newKB()
+	sc, _ := Build(kb, Config{Seed: 6, Regions: 1})
+	_, err := kb.WriteTx(func(tx *graph.Tx) error {
+		for i := 0; i < 3; i++ {
+			if err := sc.bumpStat(tx, RegionName(0), 7); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := kb.Query("MATCH (s:RegionStat {key: $k}) RETURN s.patients",
+		map[string]value.Value{"k": value.Str(RegionDayKey(RegionName(0), 7))})
+	if v, _ := res.Value(); v.String() != "3" {
+		t.Errorf("bumped stat = %s", v)
+	}
+}

@@ -1,0 +1,188 @@
+// Package reactive is a reactive knowledge management system in pure Go: a
+// from-scratch reproduction of "Reactive Knowledge Management" (Ceri,
+// Bernasconi, Gagliardi — ICDE 2024).
+//
+// A KnowledgeBase holds a property graph partitioned into knowledge hubs,
+// optionally governed by a PG-Schema graph type, queried and updated
+// through a Cypher subset, and made *reactive* by Event–Guard–Alert rules:
+// graph changes (events) are filtered by cheap intra-hub guards; when a
+// guard passes, an arbitrarily complex alert query inspects the situation
+// and, if critical, produces Alert nodes that are logged period-by-period
+// in the Essential Summary structure.
+//
+// Quick start:
+//
+//	kb := reactive.New(reactive.Config{})
+//	_ = kb.DefineHub("A", "analysis hub", "Sequence", "Lab")
+//	_ = kb.InstallRule(reactive.Rule{
+//	    Name:  "R2",
+//	    Hub:   "A",
+//	    Event: reactive.Event{Kind: reactive.CreateNode, Label: "Sequence"},
+//	    Guard: "NEW.variant IS NULL",
+//	    Alert: `MATCH (u:Sequence) WHERE u.variant IS NULL
+//	            WITH count(u) AS unassigned WHERE unassigned > 100
+//	            RETURN unassigned`,
+//	})
+//	_, _ = kb.Execute("CREATE (:Sequence {id: 'S1'})", nil)
+//	alerts, _ := kb.Alerts()
+//
+// See the examples directory for complete scenarios (the paper's four-hub
+// COVID-19 running example, a climate-crisis transfer, and what-if
+// exploration) and DESIGN.md for the system inventory.
+package reactive
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cypher"
+	"repro/internal/federation"
+	"repro/internal/graph"
+	"repro/internal/hub"
+	"repro/internal/periodic"
+	"repro/internal/schema"
+	"repro/internal/summary"
+	"repro/internal/trigger"
+	"repro/internal/value"
+)
+
+// KnowledgeBase is a reactive knowledge management system instance.
+type KnowledgeBase = core.KnowledgeBase
+
+// Config tunes a KnowledgeBase.
+type Config = core.Config
+
+// Alert is a materialized alert node.
+type Alert = core.Alert
+
+// New creates an empty knowledge base.
+func New(cfg Config) *KnowledgeBase { return core.New(cfg) }
+
+// Rule is the reactive-rule quadruple <Event, Guard, Alert, AlertNode>.
+type Rule = trigger.Rule
+
+// Event selects the graph changes that activate a rule.
+type Event = trigger.Event
+
+// EventKind enumerates monitorable graph changes.
+type EventKind = trigger.EventKind
+
+// Event kinds (create/delete of nodes and relationships, set/removal of
+// labels and properties).
+const (
+	CreateNode         = trigger.CreateNode
+	DeleteNode         = trigger.DeleteNode
+	CreateRelationship = trigger.CreateRelationship
+	DeleteRelationship = trigger.DeleteRelationship
+	SetLabel           = trigger.SetLabel
+	RemoveLabel        = trigger.RemoveLabel
+	SetProperty        = trigger.SetProperty
+	RemoveProperty     = trigger.RemoveProperty
+)
+
+// RuleInfo describes an installed rule and its §III-C classification.
+type RuleInfo = trigger.RuleInfo
+
+// Classification is the scope × state taxonomy of rules.
+type Classification = trigger.Classification
+
+// Rule scope and state classes.
+const (
+	IntraHub    = trigger.IntraHub
+	InterHub    = trigger.InterHub
+	SingleState = trigger.SingleState
+	MultiState  = trigger.MultiState
+)
+
+// Report summarizes rule processing for one transaction.
+type Report = trigger.Report
+
+// IsTriggerStatement reports whether src is a PG-Triggers-style CREATE
+// TRIGGER declaration (for routing text to InstallRuleText instead of
+// Execute).
+func IsTriggerStatement(src string) bool { return trigger.IsTriggerStatement(src) }
+
+// ParseRule parses a CREATE TRIGGER declaration without installing it.
+func ParseRule(src string) (Rule, error) { return trigger.ParseRule(src) }
+
+// ConfluenceWarning reports a potentially order-dependent rule pair.
+type ConfluenceWarning = trigger.ConfluenceWarning
+
+// Result is the outcome of a query: columns, rows and update counters.
+type Result = cypher.Result
+
+// Value is a dynamically typed graph value.
+type Value = value.Value
+
+// Params builds a typed parameter map from native Go values.
+func Params(m map[string]any) map[string]Value {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]Value, len(m))
+	for k, v := range m {
+		out[k] = value.FromGo(v)
+	}
+	return out
+}
+
+// V converts a native Go value into a graph Value.
+func V(x any) Value { return value.FromGo(x) }
+
+// Clock abstracts time for deterministic simulations.
+type Clock = periodic.Clock
+
+// ManualClock is an explicitly advanced clock.
+type ManualClock = periodic.ManualClock
+
+// NewManualClock returns a manual clock set to start.
+func NewManualClock(start time.Time) *ManualClock { return periodic.NewManualClock(start) }
+
+// RealClock reads the wall clock.
+type RealClock = periodic.RealClock
+
+// GraphType is a PG-Schema graph type.
+type GraphType = schema.GraphType
+
+// ParseGraphType parses the paper's textual PG-Schema syntax.
+func ParseGraphType(src string) (*GraphType, error) { return schema.ParseGraphType(src) }
+
+// HubStats summarizes the partitioning of the knowledge graph.
+type HubStats = hub.Stats
+
+// SummaryManager maintains the Essential Summary structure.
+type SummaryManager = summary.Manager
+
+// WindowFilter selects alerts for Essential Summary window queries.
+type WindowFilter = summary.WindowFilter
+
+// Federation coordinates several knowledge bases run by distinct
+// organizations and propagates alerts along subscriptions (§V's federated
+// deployment).
+type Federation = federation.Federation
+
+// Participant is one organization's knowledge base inside a federation.
+type Participant = federation.Participant
+
+// RemoteAlertLabel is the label of alerts replicated from other federation
+// participants.
+const RemoteAlertLabel = federation.RemoteAlertLabel
+
+// NewFederation returns an empty federation.
+func NewFederation() *Federation { return federation.New() }
+
+// RemoteAlerts lists the alerts replicated into kb from other participants.
+func RemoteAlerts(kb *KnowledgeBase) ([]Alert, error) { return federation.RemoteAlerts(kb) }
+
+// Store is the underlying transactional property-graph store.
+type Store = graph.Store
+
+// Tx is a graph transaction (used with KnowledgeBase.WriteTx and
+// Store.View for programmatic access).
+type Tx = graph.Tx
+
+// NodeID identifies a node.
+type NodeID = graph.NodeID
+
+// RelID identifies a relationship.
+type RelID = graph.RelID
