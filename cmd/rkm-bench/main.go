@@ -6,6 +6,7 @@
 //	rkm-bench -fig 9                 # Fig. 9: naive per-patient triggers
 //	rkm-bench -fig 10                # Fig. 10: summary-based design
 //	rkm-bench -fig ablation          # naive vs summary across region counts
+//	rkm-bench -fig wal               # durable vs in-memory ingest overhead
 //	rkm-bench -fig all               # everything
 //	rkm-bench -fig 9 -full           # paper-scale sweep (up to 10^6 patients)
 //	rkm-bench -fig 9 -patients 500,5000 -regions 10
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, all")
 		patients = flag.String("patients", "", "comma-separated patient counts (overrides defaults)")
 		regions  = flag.Int("regions", 20, "number of regions")
 		days     = flag.Int("days", 2, "days the admissions are spread over")
@@ -69,6 +70,8 @@ func main() {
 		runAblation(cfg)
 	case "rules":
 		runRuleScaling(cfg)
+	case "wal":
+		runWAL(cfg)
 	case "all":
 		runFig9(cfg)
 		fmt.Println()
@@ -77,8 +80,10 @@ func main() {
 		runAblation(cfg)
 		fmt.Println()
 		runRuleScaling(cfg)
+		fmt.Println()
+		runWAL(cfg)
 	default:
-		fatalf("unknown -fig %q (want 9, 10, ablation, rules or all)", *fig)
+		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal or all)", *fig)
 	}
 }
 
@@ -120,6 +125,19 @@ func runRuleScaling(cfg bench.Config) {
 		fatalf("rule scaling: %v", err)
 	}
 	bench.WriteRuleScaling(os.Stdout, pts)
+}
+
+func runWAL(cfg bench.Config) {
+	// The default sweep is sized down: fsync-per-commit at 10k patients is
+	// all disk latency and teaches nothing new over 1k.
+	if len(cfg.PatientCounts) == 3 && cfg.PatientCounts[2] == 10000 {
+		cfg.PatientCounts = cfg.PatientCounts[:2]
+	}
+	pts, err := bench.RunWALOverhead(cfg)
+	if err != nil {
+		fatalf("wal: %v", err)
+	}
+	bench.WriteWAL(os.Stdout, pts)
 }
 
 func fatalf(format string, args ...any) {

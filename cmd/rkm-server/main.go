@@ -15,15 +15,27 @@
 //	GET  /hubs                                         hubs and owned labels
 //	GET  /stats                                        graph + hub statistics
 //	POST /tick     {"hours": 24}                       advance demo clock
+//	POST /checkpoint                                   snapshot + compact the WAL
+//
+// With -data-dir the knowledge base is durable: committed transactions are
+// appended to a write-ahead log under that directory and the pre-crash state
+// is recovered on startup. -fsync picks the log's durability/latency
+// trade-off. SIGINT/SIGTERM shut the server down gracefully: in-flight
+// requests drain, the periodic scheduler stops, and a final checkpoint
+// compacts the log before exit.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	reactive "repro"
@@ -37,29 +49,101 @@ type server struct {
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		demo = flag.Bool("demo", false, "load the four-hub COVID-19 demo (uses a simulated clock)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		demo    = flag.Bool("demo", false, "load the four-hub COVID-19 demo (uses a simulated clock)")
+		dataDir = flag.String("data-dir", "", "persist the graph under this directory (empty = in-memory)")
+		fsync   = flag.String("fsync", "always", "WAL fsync policy: always, interval or none")
 	)
 	flag.Parse()
 
 	srv := &server{}
+	cfg := reactive.Config{}
 	if *demo {
 		srv.clock = reactive.NewManualClock(time.Date(2023, 4, 1, 8, 0, 0, 0, time.UTC))
-		srv.kb = reactive.New(reactive.Config{Clock: srv.clock})
+		cfg.Clock = srv.clock
+	}
+	recovered := false
+	if *dataDir != "" {
+		policy, err := reactive.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("-fsync: %v", err)
+		}
+		kb, info, err := reactive.OpenDurable(*dataDir, cfg, reactive.WALOptions{Fsync: policy})
+		if err != nil {
+			log.Fatalf("open %s: %v", *dataDir, err)
+		}
+		srv.kb = kb
+		recovered = info.LastSeq > 0
+		log.Printf("recovered %s: snapshot seq %d, %d records replayed, last seq %d",
+			*dataDir, info.SnapshotSeq, info.RecordsReplayed, info.LastSeq)
+		if info.DiscardedBytes > 0 {
+			log.Printf("discarded %d bytes of torn log tail at %s",
+				info.DiscardedBytes, info.DiscardedPath)
+		}
+	} else {
+		srv.kb = reactive.New(cfg)
+	}
+	if *demo {
 		if err := democovid.Setup(srv.kb); err != nil {
 			log.Fatalf("demo setup: %v", err)
 		}
-		if err := democovid.Seed(srv.kb); err != nil {
-			log.Fatalf("demo seed: %v", err)
+		// Seed data is regular graph content: after a recovery it is already
+		// there (and re-seeding would duplicate it). Setup above is pure
+		// configuration (hubs, schema, rules) and always reapplies.
+		if !recovered {
+			if err := democovid.Seed(srv.kb); err != nil {
+				log.Fatalf("demo seed: %v", err)
+			}
 		}
-	} else {
-		srv.kb = reactive.New(reactive.Config{})
 	}
 
 	mux := http.NewServeMux()
 	srv.register(mux)
-	log.Printf("rkm-server listening on %s (demo=%v)", *addr, *demo)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	hs := &http.Server{Addr: *addr, Handler: mux}
+
+	// On the wall clock the summary scheduler needs a driver; with -demo the
+	// clock is manual and /tick drives it instead.
+	stopSched := make(chan struct{})
+	schedDone := make(chan struct{})
+	if srv.clock == nil {
+		go func() {
+			defer close(schedDone)
+			if err := srv.kb.Scheduler().Run(stopSched, time.Second); err != nil {
+				log.Printf("scheduler: %v", err)
+			}
+		}()
+	} else {
+		close(schedDone)
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	log.Printf("rkm-server listening on %s (demo=%v, durable=%v)", *addr, *demo, srv.kb.Durable())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	case sig := <-sigCh:
+		log.Printf("%s received, shutting down", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	close(stopSched)
+	<-schedDone
+	if srv.kb.Durable() {
+		if err := srv.kb.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		}
+		if err := srv.kb.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}
 }
 
 func (s *server) register(mux *http.ServeMux) {
@@ -72,6 +156,7 @@ func (s *server) register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /hubs", s.handleHubs)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /tick", s.handleTick)
+	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /rules/apoc", s.handleRulesAPOC)
 }
 
@@ -343,6 +428,21 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"intraHubEdges": hs.IntraEdges,
 		"interHubEdges": hs.InterEdges,
 		"time":          s.kb.Now().Format(time.RFC3339),
+	})
+}
+
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !s.kb.Durable() {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("checkpoint requires -data-dir (durable mode)"))
+		return
+	}
+	if err := s.kb.Checkpoint(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"checkpointed": true,
+		"lastSeq":      s.kb.WAL().LastSeq(),
 	})
 }
 

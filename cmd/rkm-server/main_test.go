@@ -239,6 +239,58 @@ func TestRulesAPOCEndpoint(t *testing.T) {
 	}
 }
 
+func TestCheckpointEndpoint(t *testing.T) {
+	// In-memory servers reject /checkpoint.
+	s := &server{kb: reactive.New(reactive.Config{})}
+	mux := http.NewServeMux()
+	s.register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	resp, _ := postJSON(t, ts.URL+"/checkpoint", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("checkpoint on in-memory server: %d, want 400", resp.StatusCode)
+	}
+
+	// A durable server checkpoints, and a fresh process recovers the writes.
+	dir := t.TempDir()
+	kb, _, err := reactive.OpenDurable(dir, reactive.Config{}, reactive.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := &server{kb: kb}
+	dmux := http.NewServeMux()
+	ds.register(dmux)
+	dts := httptest.NewServer(dmux)
+	defer dts.Close()
+
+	resp, out := postJSON(t, dts.URL+"/execute", map[string]any{
+		"query": "CREATE (:City {name: 'Milan'})",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("execute: %d %v", resp.StatusCode, out)
+	}
+	resp, out = postJSON(t, dts.URL+"/checkpoint", nil)
+	if resp.StatusCode != http.StatusOK || out["checkpointed"] != true {
+		t.Fatalf("checkpoint: %d %v", resp.StatusCode, out)
+	}
+	if err := kb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kb2, info, err := reactive.OpenDurable(dir, reactive.Config{}, reactive.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kb2.Close()
+	if info.SnapshotSeq == 0 {
+		t.Errorf("no snapshot after checkpoint: %+v", info)
+	}
+	res, err := kb2.Query("MATCH (c:City) RETURN c.name", nil)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("recovered query: %v rows=%v", err, res)
+	}
+}
+
 func TestRuleInstallViaText(t *testing.T) {
 	_, ts := newTestServer(t)
 	resp, out := postJSON(t, ts.URL+"/rules", map[string]any{

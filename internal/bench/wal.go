@@ -1,0 +1,124 @@
+package bench
+
+// Durable-ingest series: the same admission workload run against an
+// in-memory knowledge base and against durable ones under each fsync
+// policy, reporting the write-ahead-log overhead as a ratio over the
+// in-memory baseline.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/periodic"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// WALPoint is one (patients, mode) ingest measurement.
+type WALPoint struct {
+	Patients int
+	Mode     string        // "memory", "wal-none", "wal-interval", "wal-always"
+	Elapsed  time.Duration // total ingest time
+	PerTx    time.Duration // Elapsed / transactions
+	Overhead float64       // Elapsed / the in-memory Elapsed at the same N
+}
+
+// walModes orders the series from baseline to safest.
+var walModes = []struct {
+	name  string
+	fsync wal.FsyncPolicy
+	inMem bool
+}{
+	{"memory", 0, true},
+	{"wal-none", wal.FsyncNone, false},
+	{"wal-interval", wal.FsyncInterval, false},
+	{"wal-always", wal.FsyncAlways, false},
+}
+
+// RunWALOverhead ingests the admission workload once per (N, mode) pair.
+// Durable runs write under a fresh temporary directory that is removed
+// afterwards.
+func RunWALOverhead(cfg Config) ([]WALPoint, error) {
+	cfg = cfg.withDefaults()
+	var out []WALPoint
+	for _, n := range cfg.PatientCounts {
+		var baseline time.Duration
+		for _, mode := range walModes {
+			var elapsed []time.Duration
+			for rep := 0; rep < cfg.Reps; rep++ {
+				d, err := runWALOnce(cfg, n, mode.inMem, mode.fsync)
+				if err != nil {
+					return nil, err
+				}
+				elapsed = append(elapsed, d)
+			}
+			med := medianDuration(elapsed)
+			if mode.inMem {
+				baseline = med
+			}
+			p := WALPoint{Patients: n, Mode: mode.name, Elapsed: med}
+			txs := n / cfg.Batch
+			if txs > 0 {
+				p.PerTx = med / time.Duration(txs)
+			}
+			if baseline > 0 {
+				p.Overhead = float64(med) / float64(baseline)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func runWALOnce(cfg Config, n int, inMem bool, fsync wal.FsyncPolicy) (time.Duration, error) {
+	var kb *core.KnowledgeBase
+	if inMem {
+		kb = newKB()
+	} else {
+		dir, err := os.MkdirTemp("", "rkm-bench-wal-*")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		kb, _, err = core.OpenDurable(dir,
+			core.Config{Clock: periodic.NewManualClock(simStart)},
+			wal.Options{Fsync: fsync})
+		if err != nil {
+			return 0, err
+		}
+		defer kb.Close()
+	}
+	sc, err := workload.Build(kb, workload.Config{Seed: cfg.Seed, Regions: cfg.Regions})
+	if err != nil {
+		return 0, err
+	}
+	counts := dayCounts(n, cfg.Days, cfg.Growth)
+	runtime.GC()
+	start := time.Now()
+	for day, count := range counts {
+		adms := sc.Admissions(count, day)
+		if err := sc.Admit(kb, adms, workload.AdmitOptions{
+			Batch:        cfg.Batch,
+			LinkHospital: true,
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// WriteWAL renders the series as a table.
+func WriteWAL(w io.Writer, pts []WALPoint) {
+	fmt.Fprintln(w, "WAL ingest overhead (durable vs in-memory)")
+	fmt.Fprintf(w, "%10s  %-12s  %12s  %12s  %9s\n",
+		"patients", "mode", "elapsed", "per-tx", "overhead")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%10d  %-12s  %12s  %12s  %8.2fx\n",
+			p.Patients, p.Mode, p.Elapsed.Round(time.Microsecond),
+			p.PerTx.Round(time.Nanosecond), p.Overhead)
+	}
+}

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWALOverheadSmall(t *testing.T) {
+	cfg := Config{PatientCounts: []int{40}, Regions: 3, Days: 2, Seed: 1, Batch: 4}
+	pts, err := RunWALOverhead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(walModes) {
+		t.Fatalf("points = %d, want %d", len(pts), len(walModes))
+	}
+	if pts[0].Mode != "memory" || pts[0].Overhead != 1.0 {
+		t.Errorf("baseline point: %+v", pts[0])
+	}
+	for _, p := range pts {
+		if p.Elapsed <= 0 || p.PerTx <= 0 {
+			t.Errorf("non-positive timing: %+v", p)
+		}
+		if p.Overhead <= 0 {
+			t.Errorf("missing overhead ratio: %+v", p)
+		}
+	}
+	var b strings.Builder
+	WriteWAL(&b, pts)
+	out := b.String()
+	for _, want := range []string{"memory", "wal-none", "wal-interval", "wal-always", "overhead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/summary"
 	"repro/internal/trigger"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // summaryTaskName is the scheduler task that rolls the Essential Summary.
@@ -58,6 +59,11 @@ type KnowledgeBase struct {
 	hubs      *hub.Registry
 	scheduler *periodic.Scheduler
 	clock     periodic.Clock
+
+	// wal is the write-ahead log of a durable knowledge base (see
+	// durable.go); nil for the in-memory KnowledgeBases New returns.
+	wal    *wal.Log
+	ckptMu sync.Mutex
 
 	mu        sync.Mutex
 	summaries *summary.Manager

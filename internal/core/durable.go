@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+
+	"repro/internal/graph"
+	"repro/internal/wal"
+)
+
+// ErrNotDurable is returned by durability operations on an in-memory
+// knowledge base.
+var ErrNotDurable = errors.New("core: knowledge base is not durable")
+
+// OpenDurable opens (or creates) a knowledge base whose graph is persisted
+// under dir: committed transactions append to a write-ahead log, Checkpoint
+// compacts the log into a snapshot, and OpenDurable itself recovers the
+// pre-crash committed state by replaying the newest snapshot and then the
+// log, stopping at (and discarding) a torn tail.
+//
+// Recovery replays raw graph changes with rule triggering suppressed:
+// alerts and other rule effects produced before the crash were committed
+// transactions themselves and are therefore already in the log. Rules,
+// schemas, hubs and indexes are configuration, not data — the caller
+// re-installs them after OpenDurable returns, exactly as with New, and only
+// transactions committed after that are logged.
+func OpenDurable(dir string, cfg Config, wopts wal.Options) (*KnowledgeBase, *wal.RecoveryInfo, error) {
+	l, store, info, err := wal.Open(dir, wopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	kb := New(cfg)
+	kb.store = store
+	kb.wal = l
+	store.SetCommitHook(func(tx *graph.Tx) error {
+		rec := wal.RecordFromTx(tx)
+		if rec == nil {
+			return nil
+		}
+		_, err := l.Append(rec)
+		return err
+	})
+	return kb, info, nil
+}
+
+// Durable reports whether the knowledge base persists to a write-ahead log.
+func (kb *KnowledgeBase) Durable() bool { return kb.wal != nil }
+
+// WAL exposes the write-ahead log of a durable knowledge base (nil for
+// in-memory ones); tests and diagnostics use it.
+func (kb *KnowledgeBase) WAL() *wal.Log { return kb.wal }
+
+// Checkpoint writes a snapshot of the current graph and compacts the
+// write-ahead log down to it. The snapshot is captured under the store's
+// read lock, so it is consistent with the log position: every record up to
+// the cut is in the snapshot, every later commit stays in the log. Reads
+// proceed during the capture; writes wait only for the in-memory export,
+// not for the disk I/O.
+func (kb *KnowledgeBase) Checkpoint() error {
+	if kb.wal == nil {
+		return ErrNotDurable
+	}
+	kb.ckptMu.Lock()
+	defer kb.ckptMu.Unlock()
+	var buf bytes.Buffer
+	var seq uint64
+	err := kb.store.View(func(tx *graph.Tx) error {
+		var err error
+		if seq, err = kb.wal.Cut(); err != nil {
+			return err
+		}
+		return tx.Export(&buf)
+	})
+	if err != nil {
+		return err
+	}
+	return kb.wal.Checkpoint(seq, buf.Bytes())
+}
+
+// Close flushes and closes the write-ahead log. It does not checkpoint;
+// callers wanting a compact restart run Checkpoint first. Closing an
+// in-memory knowledge base is a no-op.
+func (kb *KnowledgeBase) Close() error {
+	if kb.wal == nil {
+		return nil
+	}
+	return kb.wal.Close()
+}

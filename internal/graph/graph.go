@@ -106,6 +106,14 @@ type relRec struct {
 // key constraints plug in here.
 type Validator func(tx *Tx) error
 
+// CommitHook is invoked when a read-write transaction commits, after every
+// validator has passed and while the transaction (and the store's write
+// lock) is still live. A non-nil error aborts the commit and rolls the
+// transaction back. The write-ahead log plugs in here: it reads the final
+// state of the transaction's changes and appends them as one durable
+// record, so a transaction is either fully logged or fully rolled back.
+type CommitHook func(tx *Tx) error
+
 // Store is an in-memory property-graph database.
 type Store struct {
 	mu         sync.RWMutex
@@ -117,6 +125,7 @@ type Store struct {
 	nextNode   NodeID
 	nextRel    RelID
 	validators []Validator
+	commitHook CommitHook
 }
 
 // NewStore returns an empty store.
@@ -136,6 +145,16 @@ func (s *Store) AddValidator(v Validator) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.validators = append(s.validators, v)
+}
+
+// SetCommitHook installs (or, with nil, removes) the commit hook. At most
+// one hook is supported; it is not copied by Clone, so forks of a durable
+// store are purely in-memory. Not safe to call concurrently with open
+// transactions.
+func (s *Store) SetCommitHook(h CommitHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commitHook = h
 }
 
 // Mode selects the access mode of a transaction.

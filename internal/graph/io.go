@@ -37,9 +37,27 @@ const exportFormat = "reactive-graph/v1"
 
 // Export writes the store's content (nodes, relationships, identifier
 // counters — not indexes or validators, which are configuration) as JSON.
+// The output is deterministic: entities are ordered by identifier and keys
+// sort lexicographically, so two stores with equal content export
+// byte-identical documents.
 func (s *Store) Export(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.exportLocked(w)
+}
+
+// Export writes the store's content as seen by the transaction. It is the
+// in-transaction variant of Store.Export, used by checkpointing to snapshot
+// the store consistently with the write-ahead-log position while the
+// transaction's lock excludes concurrent commits.
+func (tx *Tx) Export(w io.Writer) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	return tx.s.exportLocked(w)
+}
+
+func (s *Store) exportLocked(w io.Writer) error {
 	doc := exportDoc{
 		Format:   exportFormat,
 		NextNode: int64(s.nextNode),

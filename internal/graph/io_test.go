@@ -87,6 +87,97 @@ func TestExportImportRoundTrip(t *testing.T) {
 	})
 }
 
+// TestExportImportNestedAndTemporal pins down the encodings most likely to
+// be lossy: datetimes with sub-second precision and zone offsets, negative
+// durations, values nested several levels deep, and falsy values (false,
+// "", 0) that a careless omitempty would drop. Export must also be
+// byte-deterministic — the durability layer compares recovered stores by
+// their export bytes.
+func TestExportImportNestedAndTemporal(t *testing.T) {
+	zone := time.FixedZone("UTC+5:30", 5*3600+1800)
+	props := map[string]value.Value{
+		"nanos":  value.DateTime(time.Date(2023, 4, 1, 23, 59, 59, 987654321, time.UTC)),
+		"offset": value.DateTime(time.Date(2023, 4, 1, 6, 30, 0, 123000000, zone)),
+		"negdur": value.Duration(-90*time.Minute - 250*time.Millisecond),
+		"falsy":  value.Bool(false),
+		"empty":  value.Str(""),
+		"zero":   value.Int(0),
+		"deep": value.List(
+			value.Map(map[string]value.Value{
+				"when": value.DateTime(time.Date(2020, 2, 29, 12, 0, 0, 1, time.UTC)),
+				"inner": value.List(
+					value.Duration(time.Nanosecond),
+					value.Map(map[string]value.Value{"$int": value.Str("not a tag")}),
+				),
+			}),
+			value.List(value.List(value.Null)),
+		),
+	}
+	s := NewStore()
+	err := s.Update(func(tx *Tx) error {
+		_, err := tx.CreateNode([]string{"T"}, props)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var first, second bytes.Buffer
+	if err := s.Export(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Export(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatal("Export is not deterministic")
+	}
+
+	restored := NewStore()
+	if err := restored.Import(bytes.NewReader(first.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	_ = restored.View(func(tx *Tx) error {
+		ids := tx.NodesByLabel("T")
+		if len(ids) != 1 {
+			t.Fatal("node lost")
+		}
+		n, _ := tx.Node(ids[0])
+		for k, want := range props {
+			got, ok := n.Props[k]
+			if !ok {
+				t.Errorf("prop %q lost entirely", k)
+				continue
+			}
+			if !value.SameValue(got, want) {
+				t.Errorf("prop %q changed: %s -> %s", k, want, got)
+			}
+		}
+		// Instants survive exactly, including sub-second precision and the
+		// zone offset (RFC3339Nano keeps the offset, not the zone name).
+		in, _ := n.Props["offset"].AsDateTime()
+		orig, _ := props["offset"].AsDateTime()
+		if !in.Equal(orig) {
+			t.Errorf("offset instant changed: %s -> %s", orig, in)
+		}
+		_, origOff := orig.Zone()
+		_, inOff := in.Zone()
+		if origOff != inOff {
+			t.Errorf("zone offset changed: %d -> %d", origOff, inOff)
+		}
+		return nil
+	})
+
+	// Re-exporting the imported store reproduces the original bytes.
+	var again bytes.Buffer
+	if err := restored.Export(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != first.String() {
+		t.Fatal("export → import → export is not a fixed point")
+	}
+}
+
 func TestImportPopulatesExistingIndexes(t *testing.T) {
 	s := buildRichStore(t)
 	var buf bytes.Buffer

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"fmt"
+
 	"repro/internal/value"
 )
 
@@ -37,8 +39,9 @@ func (tx *Tx) MergeData(d *TxData) {
 	tx.data = d
 }
 
-// Commit runs the store validators and publishes the transaction. If a
-// validator fails, the transaction is rolled back and the error returned.
+// Commit runs the store validators and the commit hook, then publishes the
+// transaction. If a validator or the hook fails, the transaction is rolled
+// back and the error returned.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
@@ -48,6 +51,12 @@ func (tx *Tx) Commit() error {
 			if err := v(tx); err != nil {
 				tx.rollbackLocked()
 				return err
+			}
+		}
+		if h := tx.s.commitHook; h != nil {
+			if err := h(tx); err != nil {
+				tx.rollbackLocked()
+				return fmt.Errorf("graph: commit hook: %w", err)
 			}
 		}
 	}
@@ -403,6 +412,132 @@ func (tx *Tx) SetRelProp(id RelID, key string, v value.Value) error {
 // RemoveRelProp removes a property from a relationship.
 func (tx *Tx) RemoveRelProp(id RelID, key string) error {
 	return tx.SetRelProp(id, key, value.Null)
+}
+
+// ---- Replay operations ----
+//
+// Write-ahead-log recovery must reproduce the exact identifiers the
+// pre-crash run allocated, so it cannot go through CreateNode/CreateRel
+// (which draw fresh identifiers). The WithID variants below are the replay
+// primitives; they fail if the identifier is already in use and advance the
+// allocation counters past the replayed identifier.
+
+// CreateNodeWithID creates a node under a caller-chosen identifier.
+func (tx *Tx) CreateNodeWithID(id NodeID, labels []string, props map[string]value.Value) error {
+	if err := tx.writable(); err != nil {
+		return err
+	}
+	s := tx.s
+	if _, exists := s.nodes[id]; exists {
+		return fmt.Errorf("graph: node %d already exists", id)
+	}
+	prevNext := s.nextNode
+	if id > s.nextNode {
+		s.nextNode = id
+	}
+	rec := &nodeRec{
+		id:     id,
+		labels: make(map[string]struct{}, len(labels)),
+		props:  make(map[string]value.Value, len(props)),
+		out:    make(map[RelID]*relRec),
+		in:     make(map[RelID]*relRec),
+	}
+	for _, l := range labels {
+		rec.labels[l] = struct{}{}
+	}
+	for k, v := range props {
+		if !v.IsNull() {
+			rec.props[k] = v
+		}
+	}
+	s.nodes[id] = rec
+	for l := range rec.labels {
+		s.labelSet(l)[id] = struct{}{}
+	}
+	for k, v := range rec.props {
+		s.indexInsertNode(rec, k, v)
+	}
+	tx.data.CreatedNodes = append(tx.data.CreatedNodes, id)
+	tx.undo = append(tx.undo, func() {
+		for l := range rec.labels {
+			delete(s.byLabel[l], id)
+		}
+		for k, v := range rec.props {
+			s.indexRemoveNode(rec, k, v)
+		}
+		delete(s.nodes, id)
+		s.nextNode = prevNext
+	})
+	return nil
+}
+
+// CreateRelWithID creates a relationship under a caller-chosen identifier.
+func (tx *Tx) CreateRelWithID(id RelID, start, end NodeID, typ string, props map[string]value.Value) error {
+	if err := tx.writable(); err != nil {
+		return err
+	}
+	s := tx.s
+	if _, exists := s.rels[id]; exists {
+		return fmt.Errorf("graph: relationship %d already exists", id)
+	}
+	sRec, ok := s.nodes[start]
+	if !ok {
+		return fmtErrNode(start)
+	}
+	eRec, ok := s.nodes[end]
+	if !ok {
+		return fmtErrNode(end)
+	}
+	prevNext := s.nextRel
+	if id > s.nextRel {
+		s.nextRel = id
+	}
+	rec := &relRec{id: id, typ: typ, start: sRec, end: eRec,
+		props: make(map[string]value.Value, len(props))}
+	for k, v := range props {
+		if !v.IsNull() {
+			rec.props[k] = v
+		}
+	}
+	s.rels[id] = rec
+	sRec.out[id] = rec
+	eRec.in[id] = rec
+	s.relTypeSet(typ)[id] = struct{}{}
+	tx.data.CreatedRels = append(tx.data.CreatedRels, id)
+	tx.undo = append(tx.undo, func() {
+		delete(s.rels, id)
+		delete(sRec.out, id)
+		delete(eRec.in, id)
+		delete(s.byRelType[typ], id)
+		s.nextRel = prevNext
+	})
+	return nil
+}
+
+// Counters returns the identifier-allocation counters (the identifiers of
+// the most recently created node and relationship).
+func (tx *Tx) Counters() (NodeID, RelID) { return tx.s.nextNode, tx.s.nextRel }
+
+// EnsureCounters raises the identifier-allocation counters to at least the
+// given values. Replay uses it so that a recovered store allocates the same
+// identifiers the pre-crash run would have, even when the final replayed
+// transaction created and then deleted the highest-numbered entities.
+func (tx *Tx) EnsureCounters(nextNode NodeID, nextRel RelID) error {
+	if err := tx.writable(); err != nil {
+		return err
+	}
+	s := tx.s
+	prevNode, prevRel := s.nextNode, s.nextRel
+	if nextNode > s.nextNode {
+		s.nextNode = nextNode
+	}
+	if nextRel > s.nextRel {
+		s.nextRel = nextRel
+	}
+	tx.undo = append(tx.undo, func() {
+		s.nextNode, s.nextRel = prevNode, prevRel
+	})
+	return nil
 }
 
 // ---- Read operations ----

@@ -1,0 +1,180 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// On-disk layout of a log directory:
+//
+//	wal-<firstSeq, 16 hex digits>.seg    log segments, first record's seq in the name
+//	snapshot-<seq, 16 hex digits>.json   graph.Export documents covering records ≤ seq
+//	*.tmp                                in-flight snapshot writes, discarded on open
+//
+// A segment starts with an 8-byte magic string, followed by framed records:
+//
+//	+----------------------+----------------------+------------------+
+//	| length uint32 LE     | CRC32-C uint32 LE    | payload (JSON)   |
+//	+----------------------+----------------------+------------------+
+//
+// The CRC covers the payload. A record whose frame extends past the end of
+// the file, whose length is implausible, or whose CRC does not match marks
+// the torn tail: everything from that point on is discarded at recovery.
+
+const (
+	segMagic      = "RKMWAL1\n"
+	frameHdrSize  = 8
+	maxRecordSize = 1 << 30
+
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	snapPrefix = "snapshot-"
+	snapSuffix = ".json"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstSeq, segSuffix)
+}
+
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix)
+}
+
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hexPart := name[len(prefix) : len(name)-len(suffix)]
+	if len(hexPart) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// frame appends the length/CRC header and payload to buf.
+func frame(buf, payload []byte) []byte {
+	var hdr [frameHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// scanResult is the outcome of walking one segment file.
+type scanResult struct {
+	records []*Record
+	// goodLen is the byte offset just past the last intact record; anything
+	// beyond it is the torn tail.
+	goodLen int64
+	// torn reports whether the file ends in a corrupt or truncated record.
+	torn bool
+	// tornReason describes the first corruption encountered.
+	tornReason string
+}
+
+// scanSegment decodes every intact record of a segment file, stopping at
+// the first corrupt or truncated one.
+func scanSegment(path string) (scanResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return scanResult{}, err
+	}
+	res := scanResult{}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		res.torn = true
+		res.tornReason = "bad segment header"
+		return res, nil
+	}
+	off := int64(len(segMagic))
+	res.goodLen = off
+	for {
+		rest := int64(len(data)) - off
+		if rest == 0 {
+			return res, nil
+		}
+		if rest < frameHdrSize {
+			res.torn = true
+			res.tornReason = "truncated record header"
+			return res, nil
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length > maxRecordSize || rest-frameHdrSize < length {
+			res.torn = true
+			res.tornReason = "truncated record payload"
+			return res, nil
+		}
+		payload := data[off+frameHdrSize : off+frameHdrSize+length]
+		if crc32.Checksum(payload, crcTable) != sum {
+			res.torn = true
+			res.tornReason = "checksum mismatch"
+			return res, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			res.torn = true
+			res.tornReason = "undecodable record payload"
+			return res, nil
+		}
+		off += frameHdrSize + length
+		res.goodLen = off
+		res.records = append(res.records, &rec)
+	}
+}
+
+// fileRef is a directory entry carrying the sequence number encoded in its
+// name.
+type fileRef struct {
+	path string
+	seq  uint64
+}
+
+// scanDir lists the segments (ascending by first sequence) and snapshots
+// (descending by covered sequence) of a log directory, removing stale
+// temporary files left by an interrupted checkpoint.
+func scanDir(dir string) (segments, snapshots []fileRef, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if seq, ok := parseSeqName(name, segPrefix, segSuffix); ok {
+			segments = append(segments, fileRef{filepath.Join(dir, name), seq})
+		} else if seq, ok := parseSeqName(name, snapPrefix, snapSuffix); ok {
+			snapshots = append(snapshots, fileRef{filepath.Join(dir, name), seq})
+		}
+	}
+	sort.Slice(segments, func(i, j int) bool { return segments[i].seq < segments[j].seq })
+	sort.Slice(snapshots, func(i, j int) bool { return snapshots[i].seq > snapshots[j].seq })
+	return segments, snapshots, nil
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

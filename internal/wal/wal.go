@@ -1,0 +1,471 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// FsyncPolicy selects when appended records are forced to stable storage.
+type FsyncPolicy int
+
+// Fsync policies. Always fsyncs after every committed transaction (no
+// committed work is ever lost, slowest). Interval fsyncs on a background
+// ticker (bounded loss window, near-in-memory throughput). None leaves
+// flushing to the operating system (fastest; loss window is the OS page
+// cache).
+const (
+	FsyncAlways FsyncPolicy = iota
+	FsyncInterval
+	FsyncNone
+)
+
+// String returns the flag spelling of the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy parses the flag spelling of a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "none":
+		return FsyncNone, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or none)", s)
+	}
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultFsyncInterval = 100 * time.Millisecond
+	DefaultSegmentSize   = 16 << 20
+)
+
+// Options tunes a log.
+type Options struct {
+	// Fsync selects the durability/throughput trade-off (FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the ticker period under FsyncInterval
+	// (DefaultFsyncInterval when zero).
+	FsyncInterval time.Duration
+	// SegmentSize is the rotation threshold in bytes (DefaultSegmentSize
+	// when zero).
+	SegmentSize int64
+	// Logf receives recovery and compaction notices (discarded torn tails,
+	// unreadable snapshots); nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = DefaultFsyncInterval
+	}
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = DefaultSegmentSize
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// RecoveryInfo reports what Open found and replayed.
+type RecoveryInfo struct {
+	// SnapshotSeq is the sequence number covered by the snapshot the store
+	// was restored from (0 = no snapshot, recovery started empty).
+	SnapshotSeq uint64
+	// SnapshotPath is the snapshot file used ("" when none).
+	SnapshotPath string
+	// RecordsReplayed counts WAL records applied on top of the snapshot.
+	RecordsReplayed int
+	// SegmentsScanned counts segment files read.
+	SegmentsScanned int
+	// DiscardedBytes is the size of the torn tail dropped at the first
+	// corrupt record, 0 when the log was clean.
+	DiscardedBytes int64
+	// DiscardedPath is the segment file the torn tail was found in.
+	DiscardedPath string
+	// LastSeq is the sequence number recovery ended on; appends continue
+	// from LastSeq+1.
+	LastSeq uint64
+}
+
+// Log is an append-only write-ahead log over a directory. Appends are
+// serialized by the committing store's write lock in normal operation, but
+// the log carries its own mutex so checkpoints and background fsyncs are
+// safe against concurrent commits.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File      // active segment, nil until the first append after open/cut
+	w        *bufio.Writer // buffers writes to f
+	size     int64         // bytes written to the active segment
+	lastSeq  uint64
+	dirty    bool // unflushed or unsynced appends under FsyncInterval
+	closed   bool
+	stopSync chan struct{} // closes the background fsync goroutine
+	syncDone chan struct{}
+}
+
+// Open recovers the state persisted in dir — newest loadable snapshot, then
+// every intact WAL record after it — into a fresh graph store, and returns
+// the log ready for appends together with the recovered store. A torn or
+// truncated record ends replay: the tail from that point on is discarded
+// (reported via RecoveryInfo and Options.Logf), the torn segment is
+// truncated to its last intact record, and later segments are removed,
+// because their transactions depend on the discarded ones. Opening a
+// nonexistent or empty directory yields an empty store.
+func Open(dir string, opts Options) (*Log, *graph.Store, *RecoveryInfo, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	segments, snapshots, err := scanDir(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	info := &RecoveryInfo{}
+
+	// Restore the newest snapshot that loads; an unreadable one (e.g. the
+	// machine died while a checkpoint was finalizing) falls back to the
+	// previous snapshot plus the still-present WAL segments.
+	store := graph.NewStore()
+	for _, snap := range snapshots {
+		f, err := os.Open(snap.path)
+		if err != nil {
+			opts.Logf("wal: skipping snapshot %s: %v", snap.path, err)
+			continue
+		}
+		err = store.Import(f)
+		f.Close()
+		if err != nil {
+			opts.Logf("wal: skipping snapshot %s: %v", snap.path, err)
+			store = graph.NewStore()
+			continue
+		}
+		info.SnapshotSeq = snap.seq
+		info.SnapshotPath = snap.path
+		break
+	}
+	info.LastSeq = info.SnapshotSeq
+
+	// Replay segments in order, skipping records the snapshot already
+	// covers, stopping at the first corruption.
+	for i, seg := range segments {
+		res, err := scanSegment(seg.path)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("wal: open: %w", err)
+		}
+		info.SegmentsScanned++
+		for _, rec := range res.records {
+			if rec.Seq <= info.SnapshotSeq {
+				continue
+			}
+			if rec.Seq != info.LastSeq+1 {
+				opts.Logf("wal: %s: sequence gap (want %d, got %d); discarding from there",
+					seg.path, info.LastSeq+1, rec.Seq)
+				res.torn = true
+				res.tornReason = "sequence gap"
+				break
+			}
+			tx := store.Begin(graph.ReadWrite)
+			if err := ApplyRecord(tx, rec); err != nil {
+				tx.Rollback()
+				return nil, nil, nil, fmt.Errorf("wal: open: replay: %w", err)
+			}
+			if err := tx.Commit(); err != nil {
+				return nil, nil, nil, fmt.Errorf("wal: open: replay: %w", err)
+			}
+			info.RecordsReplayed++
+			info.LastSeq = rec.Seq
+		}
+		if res.torn {
+			st, err := os.Stat(seg.path)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("wal: open: %w", err)
+			}
+			info.DiscardedBytes = st.Size() - res.goodLen
+			info.DiscardedPath = seg.path
+			for _, later := range segments[i+1:] {
+				st, err := os.Stat(later.path)
+				if err == nil {
+					info.DiscardedBytes += st.Size()
+				}
+				if err := os.Remove(later.path); err != nil {
+					return nil, nil, nil, fmt.Errorf("wal: open: drop %s: %w", later.path, err)
+				}
+			}
+			opts.Logf("wal: %s: %s at offset %d; discarded %d byte(s) of torn tail",
+				seg.path, res.tornReason, res.goodLen, info.DiscardedBytes)
+			if res.goodLen <= int64(len(segMagic)) {
+				if err := os.Remove(seg.path); err != nil {
+					return nil, nil, nil, fmt.Errorf("wal: open: drop %s: %w", seg.path, err)
+				}
+			} else if err := os.Truncate(seg.path, res.goodLen); err != nil {
+				return nil, nil, nil, fmt.Errorf("wal: open: truncate %s: %w", seg.path, err)
+			}
+			break
+		}
+	}
+
+	l := &Log{dir: dir, opts: opts, lastSeq: info.LastSeq}
+	if opts.Fsync == FsyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, store, info, nil
+}
+
+// LastSeq returns the sequence number of the most recently appended (or
+// recovered) record.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Append assigns the next sequence number to rec and writes it to the
+// active segment, rotating first if the segment is full. Under FsyncAlways
+// the record is on stable storage when Append returns; a write error leaves
+// the record unassigned so the caller can abort the commit.
+func (l *Log) Append(rec *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	rec.Seq = l.lastSeq + 1
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		rec.Seq = 0
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if l.f == nil || l.size >= l.opts.SegmentSize {
+		if err := l.openSegmentLocked(rec.Seq); err != nil {
+			rec.Seq = 0
+			return 0, err
+		}
+	}
+	buf := frame(nil, payload)
+	if _, err := l.w.Write(buf); err != nil {
+		rec.Seq = 0
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(buf))
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		if err := l.flushLocked(true); err != nil {
+			rec.Seq = 0
+			return 0, err
+		}
+	case FsyncInterval:
+		l.dirty = true
+	}
+	l.lastSeq = rec.Seq
+	return rec.Seq, nil
+}
+
+// Cut closes the active segment, so the next append starts a fresh one, and
+// returns the last appended sequence number. Checkpointing calls it while
+// holding the store's read lock: with no commit in flight, the returned
+// sequence number is exactly the state a simultaneous export captures.
+func (l *Log) Cut() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if err := l.closeSegmentLocked(); err != nil {
+		return 0, err
+	}
+	return l.lastSeq, nil
+}
+
+// Checkpoint durably installs snapshot (a graph.Export document covering
+// all records up to and including seq) and compacts the log: the snapshot
+// is written to a temporary file, fsynced, renamed into place, and only
+// then are the segments and snapshots it supersedes deleted. A crash at any
+// point leaves either the old snapshot with the full log, or the new
+// snapshot with any not-yet-deleted (and then skipped) old segments — both
+// recover to the same state.
+func (l *Log) Checkpoint(seq uint64, snapshot []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.mu.Unlock()
+
+	final := filepath.Join(l.dir, snapshotName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := f.Write(snapshot); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+
+	// The snapshot is durable; everything it covers can go. Segments whose
+	// first record is newer than seq hold post-checkpoint commits and stay.
+	segments, snapshots, err := scanDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	for _, seg := range segments {
+		if seg.seq <= seq {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("wal: checkpoint: %w", err)
+			}
+		}
+	}
+	for _, snap := range snapshots {
+		if snap.seq < seq {
+			if err := os.Remove(snap.path); err != nil {
+				return fmt.Errorf("wal: checkpoint: %w", err)
+			}
+		}
+	}
+	if err := syncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and fsyncs the active segment and stops the background
+// fsync goroutine. The log cannot be used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	err := l.closeSegmentLocked()
+	l.mu.Unlock()
+	if l.stopSync != nil {
+		close(l.stopSync)
+		<-l.syncDone
+	}
+	return err
+}
+
+// Sync forces buffered appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return nil
+	}
+	return l.flushLocked(true)
+}
+
+func (l *Log) openSegmentLocked(firstSeq uint64) error {
+	if err := l.closeSegmentLocked(); err != nil {
+		return err
+	}
+	path := filepath.Join(l.dir, segmentName(firstSeq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: segment: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 64<<10)
+	if _, err := w.WriteString(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment: %w", err)
+	}
+	l.f, l.w, l.size = f, w, int64(len(segMagic))
+	return nil
+}
+
+func (l *Log) closeSegmentLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.flushLocked(true)
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f, l.w, l.size, l.dirty = nil, nil, 0, false
+	return err
+}
+
+func (l *Log) flushLocked(sync bool) error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	l.dirty = false
+	return nil
+}
+
+// syncLoop is the FsyncInterval background flusher.
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	ticker := time.NewTicker(l.opts.FsyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stopSync:
+			return
+		case <-ticker.C:
+			l.mu.Lock()
+			if !l.closed && l.dirty && l.f != nil {
+				if err := l.flushLocked(true); err != nil {
+					l.opts.Logf("wal: background fsync: %v", err)
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}

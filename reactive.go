@@ -44,6 +44,7 @@ import (
 	"repro/internal/summary"
 	"repro/internal/trigger"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // KnowledgeBase is a reactive knowledge management system instance.
@@ -57,6 +58,34 @@ type Alert = core.Alert
 
 // New creates an empty knowledge base.
 func New(cfg Config) *KnowledgeBase { return core.New(cfg) }
+
+// WALOptions tunes the write-ahead log of a durable knowledge base.
+type WALOptions = wal.Options
+
+// FsyncPolicy selects when log appends reach stable storage.
+type FsyncPolicy = wal.FsyncPolicy
+
+// Fsync policies, from safest to fastest.
+const (
+	FsyncAlways   = wal.FsyncAlways
+	FsyncInterval = wal.FsyncInterval
+	FsyncNone     = wal.FsyncNone
+)
+
+// ParseFsyncPolicy parses "always", "interval" or "none".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return wal.ParseFsyncPolicy(s) }
+
+// RecoveryInfo reports what OpenDurable recovered.
+type RecoveryInfo = wal.RecoveryInfo
+
+// OpenDurable opens (or creates) a durable knowledge base persisted under
+// dir: committed transactions append to a write-ahead log,
+// KnowledgeBase.Checkpoint compacts it into a snapshot, and OpenDurable
+// recovers the pre-crash committed state on startup. Rules, schemas, hubs
+// and indexes are configuration: re-install them after OpenDurable returns.
+func OpenDurable(dir string, cfg Config, wopts WALOptions) (*KnowledgeBase, *RecoveryInfo, error) {
+	return core.OpenDurable(dir, cfg, wopts)
+}
 
 // Rule is the reactive-rule quadruple <Event, Guard, Alert, AlertNode>.
 type Rule = trigger.Rule
