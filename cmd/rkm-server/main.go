@@ -16,6 +16,12 @@
 //	GET  /stats                                        graph + hub statistics
 //	POST /tick     {"hours": 24}                       advance demo clock
 //	POST /checkpoint                                   snapshot + compact the WAL
+//	GET  /metrics                                      Prometheus text exposition
+//	GET  /healthz                                      503 until recovery + seed done, then 200
+//
+// With -pprof the stdlib profiling endpoints are additionally served under
+// /debug/pprof/ (heap, CPU profile, goroutines, execution trace). See
+// OBSERVABILITY.md for the metric catalog and worked scrape examples.
 //
 // With -data-dir the knowledge base is durable: committed transactions are
 // appended to a write-ahead log under that directory and the pre-crash state
@@ -32,9 +38,11 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -45,14 +53,19 @@ import (
 type server struct {
 	kb    *reactive.KnowledgeBase
 	clock *reactive.ManualClock // nil when running on the wall clock
+	// ready flips to true once recovery and demo seeding have completed;
+	// /healthz reports 503 until then — the readiness signal orchestrators
+	// and load balancers gate traffic on.
+	ready atomic.Bool
 }
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		demo    = flag.Bool("demo", false, "load the four-hub COVID-19 demo (uses a simulated clock)")
-		dataDir = flag.String("data-dir", "", "persist the graph under this directory (empty = in-memory)")
-		fsync   = flag.String("fsync", "always", "WAL fsync policy: always, interval or none")
+		addr      = flag.String("addr", ":8080", "listen address")
+		demo      = flag.Bool("demo", false, "load the four-hub COVID-19 demo (uses a simulated clock)")
+		dataDir   = flag.String("data-dir", "", "persist the graph under this directory (empty = in-memory)")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always, interval or none")
+		withPprof = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -97,8 +110,13 @@ func main() {
 		}
 	}
 
+	srv.ready.Store(true) // recovery and seeding are done; serving can begin
+
 	mux := http.NewServeMux()
 	srv.register(mux)
+	if *withPprof {
+		registerPprof(mux)
+	}
 	hs := &http.Server{Addr: *addr, Handler: mux}
 
 	// On the wall clock the summary scheduler needs a driver; with -demo the
@@ -158,6 +176,19 @@ func (s *server) register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /tick", s.handleTick)
 	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /rules/apoc", s.handleRulesAPOC)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// registerPprof exposes the stdlib profiling handlers; pprof.Index serves
+// the profile directory and the name-addressed profiles (heap, goroutine,
+// block, mutex), the rest need dedicated routes.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 type statementRequest struct {
@@ -429,6 +460,25 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"interHubEdges": hs.InterEdges,
 		"time":          s.kb.Now().Format(time.RFC3339),
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition of every registered
+// metric (see OBSERVABILITY.md for the catalog).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.kb.Metrics().WritePrometheus(w); err != nil {
+		log.Printf("metrics: %v", err)
+	}
+}
+
+// handleHealthz is the readiness probe: 503 until recovery and seeding have
+// completed, 200 once the server is accepting meaningful traffic.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {

@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -24,6 +27,7 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	if err := democovid.Seed(s.kb); err != nil {
 		t.Fatal(err)
 	}
+	s.ready.Store(true)
 	mux := http.NewServeMux()
 	s.register(mux)
 	ts := httptest.NewServer(mux)
@@ -288,6 +292,153 @@ func TestCheckpointEndpoint(t *testing.T) {
 	res, err := kb2.Query("MATCH (c:City) RETURN c.name", nil)
 	if err != nil || len(res.Rows) != 1 {
 		t.Fatalf("recovered query: %v rows=%v", err, res)
+	}
+}
+
+// parsePrometheus runs a minimal syntax check over a text exposition and
+// returns the set of sample names (histogram series collapse to the family
+// name, labels and the _bucket/_sum/_count suffixes stripped).
+func parsePrometheus(t *testing.T, body string) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		// name{labels} value  |  name value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suf)
+		}
+		names[name] = true
+	}
+	return names
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Seed a write so trigger and graph counters are nonzero.
+	resp, out := postJSON(t, ts.URL+"/execute", map[string]any{
+		"query": `MATCH (ef:Effect {level: 'critical'})
+		         CREATE (:Mutation {id: $id, hub: 'E'})-[:HasEffect]->(ef)`,
+		"params": map[string]any{"id": "S:E484K"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("execute: %d %v", resp.StatusCode, out)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type: %q", ct)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := parsePrometheus(t, string(raw))
+	for _, want := range []string{
+		"rkm_graph_tx_commits_total",
+		"rkm_graph_nodes",
+		"rkm_trigger_rule_fired_total",
+		"rkm_trigger_alerts_created_total",
+	} {
+		if !names[want] {
+			t.Errorf("metric %s missing from /metrics output", want)
+		}
+	}
+	if !strings.Contains(string(raw), `rkm_trigger_rule_fired_total{rule="R1"} 1`) {
+		t.Errorf("per-rule fire count missing:\n%s", raw)
+	}
+}
+
+func TestMetricsEndpointDurable(t *testing.T) {
+	kb, _, err := reactive.OpenDurable(t.TempDir(), reactive.Config{}, reactive.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kb.Close() })
+	s := &server{kb: kb}
+	s.ready.Store(true)
+	mux := http.NewServeMux()
+	s.register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp, out := postJSON(t, ts.URL+"/execute", map[string]any{
+		"query": "CREATE (:City {name: 'Milan'})",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("execute: %d %v", resp.StatusCode, out)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, _ := io.ReadAll(mresp.Body)
+	names := parsePrometheus(t, string(raw))
+	for _, want := range []string{
+		"rkm_wal_records_appended_total",
+		"rkm_wal_bytes_appended_total",
+		"rkm_wal_fsync_seconds",
+		"rkm_wal_last_seq",
+	} {
+		if !names[want] {
+			t.Errorf("metric %s missing from durable /metrics output", want)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := &server{kb: reactive.New(reactive.Config{})}
+	mux := http.NewServeMux()
+	s.register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("before ready: %d, want 503", resp.StatusCode)
+	}
+	s.ready.Store(true)
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("after ready: %d %v", resp.StatusCode, body)
 	}
 }
 

@@ -184,6 +184,7 @@ func meta(kb *reactive.KnowledgeBase, clock *reactive.ManualClock, cmd string) b
 			fmt.Printf("per-hub: %v (unassigned %d); intra=%d inter=%d edges\n",
 				hs.NodesPerHub, hs.Unassigned, hs.IntraEdges, hs.InterEdges)
 		}
+		printMetrics(kb)
 	case ":hubs":
 		for _, h := range kb.Hubs().Hubs() {
 			fmt.Printf("%-4s %-30s labels: %v\n", h.Name, h.Description,
@@ -279,6 +280,36 @@ func meta(kb *reactive.KnowledgeBase, clock *reactive.ManualClock, cmd string) b
 		fmt.Printf("unknown meta command %s (:help)\n", fields[0])
 	}
 	return true
+}
+
+// printMetrics prints the nonzero instrumentation of this session: counters
+// with their label values, and histogram summaries (count/mean/quantiles).
+// Gauges are skipped — :stats already reports the graph cardinalities they
+// mirror.
+func printMetrics(kb *reactive.KnowledgeBase) {
+	printed := false
+	for _, fam := range kb.Metrics().Gather() {
+		for _, s := range fam.Samples {
+			var line string
+			switch {
+			case fam.Type == "histogram" && s.Hist != nil && s.Hist.Count > 0:
+				line = s.Hist.Summary()
+			case fam.Type == "counter" && s.Value > 0:
+				line = strconv.FormatFloat(s.Value, 'g', -1, 64)
+			default:
+				continue
+			}
+			if !printed {
+				fmt.Println("metrics (nonzero):")
+				printed = true
+			}
+			name := fam.Name
+			if fam.Label != "" {
+				name += "{" + fam.Label + "=" + strconv.Quote(s.LabelValue) + "}"
+			}
+			fmt.Printf("  %-50s %s\n", name, line)
+		}
+	}
 }
 
 // splitStatements splits a script on ';' terminators. Comment-only lines

@@ -119,6 +119,25 @@ func newKB() *core.KnowledgeBase {
 	return core.New(core.Config{Clock: periodic.NewManualClock(simStart)})
 }
 
+// histSummary returns the count/mean/quantile summary of the named latency
+// histogram from kb's metrics registry, or "" when it is absent or empty.
+// The bench reports these alongside the figure tables: the table gives the
+// paper's aggregate axes, the histogram shows the per-operation distribution
+// behind them.
+func histSummary(kb *core.KnowledgeBase, name string) string {
+	for _, fam := range kb.Metrics().Gather() {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Samples {
+			if s.Hist != nil && s.Hist.Count > 0 {
+				return s.Hist.Summary()
+			}
+		}
+	}
+	return ""
+}
+
 // Fig9Point is one measurement of the naive design.
 type Fig9Point struct {
 	Patients    int
@@ -126,6 +145,7 @@ type Fig9Point struct {
 	PerTrigger  time.Duration // Elapsed / Patients
 	GuardChecks int
 	Alerts      int
+	AlertQuery  string // rkm_trigger_alert_query_seconds summary (last rep)
 }
 
 // RunFig9 measures the naive design: a rule whose guard is the creation of
@@ -194,6 +214,7 @@ func runFig9Once(cfg Config, n int) (Fig9Point, error) {
 	}
 	point.Alerts = len(alerts)
 	point.GuardChecks = n
+	point.AlertQuery = histSummary(kb, "rkm_trigger_alert_query_seconds")
 	return point, nil
 }
 
@@ -204,6 +225,7 @@ type Fig10Point struct {
 	TriggerTime time.Duration // closing each day and firing per-region rules
 	Triggers    int           // rule activations (regions × days with data)
 	Alerts      int
+	AlertQuery  string // rkm_trigger_alert_query_seconds summary (last rep)
 }
 
 // RunFig10 measures the redesigned rules: patient creation maintains
@@ -278,6 +300,7 @@ func runFig10Once(cfg Config, n int) (Fig10Point, error) {
 		return point, err
 	}
 	point.Alerts = len(alerts)
+	point.AlertQuery = histSummary(kb, "rkm_trigger_alert_query_seconds")
 	return point, nil
 }
 
@@ -459,7 +482,8 @@ func WriteRuleScaling(w io.Writer, pts []RuleScalingPoint) {
 }
 
 // WriteFig9 prints the Fig. 9 series in the paper's axes (patients,
-// trigger execution time).
+// trigger execution time), then the alert-query latency distribution behind
+// each row.
 func WriteFig9(w io.Writer, pts []Fig9Point) {
 	fmt.Fprintln(w, "Figure 9 — execution time for triggers enacted at each new patient")
 	fmt.Fprintf(w, "%12s  %14s  %14s  %8s\n", "patients", "total", "per-trigger", "alerts")
@@ -467,6 +491,24 @@ func WriteFig9(w io.Writer, pts []Fig9Point) {
 		fmt.Fprintf(w, "%12d  %14s  %14s  %8d\n",
 			p.Patients, p.Elapsed.Round(time.Microsecond),
 			p.PerTrigger.Round(time.Nanosecond), p.Alerts)
+	}
+	writeAlertQuerySummaries(w, pts, func(p Fig9Point) (int, string) { return p.Patients, p.AlertQuery })
+}
+
+// writeAlertQuerySummaries prints one alert-query latency histogram line per
+// point that recorded one (captured on the point's last repetition).
+func writeAlertQuerySummaries[T any](w io.Writer, pts []T, get func(T) (int, string)) {
+	printed := false
+	for _, p := range pts {
+		n, s := get(p)
+		if s == "" {
+			continue
+		}
+		if !printed {
+			fmt.Fprintln(w, "alert-query latency (rkm_trigger_alert_query_seconds, last rep):")
+			printed = true
+		}
+		fmt.Fprintf(w, "%12d  %s\n", n, s)
 	}
 }
 
@@ -481,6 +523,7 @@ func WriteFig10(w io.Writer, pts []Fig10Point) {
 			p.Patients, p.SummaryTime.Round(time.Microsecond),
 			p.TriggerTime.Round(time.Microsecond), p.Triggers, p.Alerts)
 	}
+	writeAlertQuerySummaries(w, pts, func(p Fig10Point) (int, string) { return p.Patients, p.AlertQuery })
 }
 
 // WriteAblation prints the naive-vs-summary comparison across region counts.

@@ -20,11 +20,13 @@ import (
 
 // WALPoint is one (patients, mode) ingest measurement.
 type WALPoint struct {
-	Patients int
-	Mode     string        // "memory", "wal-none", "wal-interval", "wal-always"
-	Elapsed  time.Duration // total ingest time
-	PerTx    time.Duration // Elapsed / transactions
-	Overhead float64       // Elapsed / the in-memory Elapsed at the same N
+	Patients  int
+	Mode      string        // "memory", "wal-none", "wal-interval", "wal-always"
+	Elapsed   time.Duration // total ingest time
+	PerTx     time.Duration // Elapsed / transactions
+	Overhead  float64       // Elapsed / the in-memory Elapsed at the same N
+	TxHist    string        // rkm_graph_tx_seconds summary (last rep)
+	FsyncHist string        // rkm_wal_fsync_seconds summary (last rep; durable modes only)
 }
 
 // walModes orders the series from baseline to safest.
@@ -49,18 +51,21 @@ func RunWALOverhead(cfg Config) ([]WALPoint, error) {
 		var baseline time.Duration
 		for _, mode := range walModes {
 			var elapsed []time.Duration
+			var txHist, fsyncHist string
 			for rep := 0; rep < cfg.Reps; rep++ {
-				d, err := runWALOnce(cfg, n, mode.inMem, mode.fsync)
+				d, tx, fs, err := runWALOnce(cfg, n, mode.inMem, mode.fsync)
 				if err != nil {
 					return nil, err
 				}
 				elapsed = append(elapsed, d)
+				txHist, fsyncHist = tx, fs
 			}
 			med := medianDuration(elapsed)
 			if mode.inMem {
 				baseline = med
 			}
-			p := WALPoint{Patients: n, Mode: mode.name, Elapsed: med}
+			p := WALPoint{Patients: n, Mode: mode.name, Elapsed: med,
+				TxHist: txHist, FsyncHist: fsyncHist}
 			txs := n / cfg.Batch
 			if txs > 0 {
 				p.PerTx = med / time.Duration(txs)
@@ -74,27 +79,27 @@ func RunWALOverhead(cfg Config) ([]WALPoint, error) {
 	return out, nil
 }
 
-func runWALOnce(cfg Config, n int, inMem bool, fsync wal.FsyncPolicy) (time.Duration, error) {
+func runWALOnce(cfg Config, n int, inMem bool, fsync wal.FsyncPolicy) (elapsed time.Duration, txHist, fsyncHist string, err error) {
 	var kb *core.KnowledgeBase
 	if inMem {
 		kb = newKB()
 	} else {
 		dir, err := os.MkdirTemp("", "rkm-bench-wal-*")
 		if err != nil {
-			return 0, err
+			return 0, "", "", err
 		}
 		defer os.RemoveAll(dir)
 		kb, _, err = core.OpenDurable(dir,
 			core.Config{Clock: periodic.NewManualClock(simStart)},
 			wal.Options{Fsync: fsync})
 		if err != nil {
-			return 0, err
+			return 0, "", "", err
 		}
 		defer kb.Close()
 	}
 	sc, err := workload.Build(kb, workload.Config{Seed: cfg.Seed, Regions: cfg.Regions})
 	if err != nil {
-		return 0, err
+		return 0, "", "", err
 	}
 	counts := dayCounts(n, cfg.Days, cfg.Growth)
 	runtime.GC()
@@ -105,13 +110,17 @@ func runWALOnce(cfg Config, n int, inMem bool, fsync wal.FsyncPolicy) (time.Dura
 			Batch:        cfg.Batch,
 			LinkHospital: true,
 		}); err != nil {
-			return 0, err
+			return 0, "", "", err
 		}
 	}
-	return time.Since(start), nil
+	elapsed = time.Since(start)
+	txHist = histSummary(kb, "rkm_graph_tx_seconds")
+	fsyncHist = histSummary(kb, "rkm_wal_fsync_seconds")
+	return elapsed, txHist, fsyncHist, nil
 }
 
-// WriteWAL renders the series as a table.
+// WriteWAL renders the series as a table, then the transaction and fsync
+// latency distributions captured on each mode's last repetition.
 func WriteWAL(w io.Writer, pts []WALPoint) {
 	fmt.Fprintln(w, "WAL ingest overhead (durable vs in-memory)")
 	fmt.Fprintf(w, "%10s  %-12s  %12s  %12s  %9s\n",
@@ -120,5 +129,21 @@ func WriteWAL(w io.Writer, pts []WALPoint) {
 		fmt.Fprintf(w, "%10d  %-12s  %12s  %12s  %8.2fx\n",
 			p.Patients, p.Mode, p.Elapsed.Round(time.Microsecond),
 			p.PerTx.Round(time.Nanosecond), p.Overhead)
+	}
+	printed := false
+	for _, p := range pts {
+		if p.TxHist == "" && p.FsyncHist == "" {
+			continue
+		}
+		if !printed {
+			fmt.Fprintln(w, "latency histograms (rkm_graph_tx_seconds / rkm_wal_fsync_seconds, last rep):")
+			printed = true
+		}
+		if p.TxHist != "" {
+			fmt.Fprintf(w, "%10d  %-12s  tx     %s\n", p.Patients, p.Mode, p.TxHist)
+		}
+		if p.FsyncHist != "" {
+			fmt.Fprintf(w, "%10d  %-12s  fsync  %s\n", p.Patients, p.Mode, p.FsyncHist)
+		}
 	}
 }

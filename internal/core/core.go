@@ -20,6 +20,7 @@ import (
 	"repro/internal/cypher"
 	"repro/internal/graph"
 	"repro/internal/hub"
+	"repro/internal/metrics"
 	"repro/internal/periodic"
 	"repro/internal/schema"
 	"repro/internal/summary"
@@ -50,6 +51,10 @@ type Config struct {
 	EnforceIntraHubGuards bool
 	// AlertLabel overrides the label of produced alert nodes ("Alert").
 	AlertLabel string
+	// Metrics is the registry the knowledge base registers its instruments
+	// on; nil means a fresh private registry (see KnowledgeBase.Metrics).
+	// Sharing one registry across knowledge bases aggregates their counts.
+	Metrics *metrics.Registry
 }
 
 // KnowledgeBase is a reactive knowledge management system instance.
@@ -64,6 +69,13 @@ type KnowledgeBase struct {
 	// durable.go); nil for the in-memory KnowledgeBases New returns.
 	wal    *wal.Log
 	ckptMu sync.Mutex
+
+	// metrics is wired once at construction (see metrics.go); the rollover
+	// instruments are published by EnableSummaries under mu and are nil
+	// (no-op) until then.
+	metrics          *metrics.Registry
+	mRollovers       *metrics.Counter
+	mRolloverSeconds *metrics.Histogram
 
 	mu        sync.Mutex
 	summaries *summary.Manager
@@ -94,6 +106,11 @@ func New(cfg Config) *KnowledgeBase {
 	e.Clock = clock.Now
 	e.Resolver = kb.hubs.OwnerOfLabel
 	kb.engine = e
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	kb.wireMetrics(reg)
 	return kb
 }
 
@@ -339,7 +356,18 @@ func (kb *KnowledgeBase) EnableSummaries(period time.Duration) error {
 	}
 	mgr := summary.New(period)
 	kb.summaries = mgr
+	// The rollover instruments are published inside the same critical
+	// section as kb.summaries, so any goroutine that can observe summaries
+	// as enabled (via Summaries, which locks kb.mu) also observes them.
+	kb.mRollovers = kb.metrics.Counter(mRollovers,
+		"Essential Summary observation periods closed.")
+	kb.mRolloverSeconds = kb.metrics.Histogram(mRolloverSeconds,
+		"Duration of summary rollovers (including triggered rules), in seconds.", nil)
 	kb.mu.Unlock()
+
+	kb.metrics.GaugeFunc(mChainLength,
+		"Summary nodes in the Essential Summary chain.",
+		func() float64 { return float64(kb.store.LabelCount(mgr.SummaryLabel)) })
 
 	kb.engine.OnAlert = func(tx *graph.Tx, alert graph.NodeID) error {
 		return mgr.AttachAlert(tx, alert, kb.clock.Now())
@@ -373,10 +401,23 @@ func (kb *KnowledgeBase) RolloverIfDue() error {
 	if err != nil {
 		return err
 	}
-	return kb.writeWithTriggers(func(tx *graph.Tx) error {
-		_, _, err := mgr.RolloverIfDue(tx, kb.clock.Now())
+	var t0 time.Time
+	if kb.mRolloverSeconds != nil {
+		t0 = time.Now()
+	}
+	rolled := false
+	err = kb.writeWithTriggers(func(tx *graph.Tx) error {
+		var err error
+		rolled, _, err = mgr.RolloverIfDue(tx, kb.clock.Now())
 		return err
 	}, nil)
+	if rolled && err == nil {
+		kb.mRollovers.Inc()
+		if !t0.IsZero() {
+			kb.mRolloverSeconds.ObserveSince(t0)
+		}
+	}
+	return err
 }
 
 // Rollover unconditionally starts a new observation period.
@@ -385,10 +426,21 @@ func (kb *KnowledgeBase) Rollover() error {
 	if err != nil {
 		return err
 	}
-	return kb.writeWithTriggers(func(tx *graph.Tx) error {
+	var t0 time.Time
+	if kb.mRolloverSeconds != nil {
+		t0 = time.Now()
+	}
+	err = kb.writeWithTriggers(func(tx *graph.Tx) error {
 		_, err := mgr.Rollover(tx, kb.clock.Now())
 		return err
 	}, nil)
+	if err == nil {
+		kb.mRollovers.Inc()
+		if !t0.IsZero() {
+			kb.mRolloverSeconds.ObserveSince(t0)
+		}
+	}
+	return err
 }
 
 // Tick runs due scheduler tasks (summary rollovers and any user tasks).
@@ -502,6 +554,10 @@ func (kb *KnowledgeBase) Fork(clock periodic.Clock) (*KnowledgeBase, error) {
 	e.Clock = clock.Now
 	e.Resolver = nkb.hubs.OwnerOfLabel
 	nkb.engine = e
+	// A fork gets a fresh registry: its hypothetical activity must not skew
+	// the parent's counters. Wire before installing rules so the fork's
+	// per-rule counters resolve.
+	nkb.wireMetrics(metrics.NewRegistry())
 	for _, info := range kb.engine.Rules() {
 		if err := e.Install(info.Rule); err != nil {
 			return nil, fmt.Errorf("core: fork rule %s: %w", info.Name, err)

@@ -32,6 +32,11 @@ func OpenDurable(dir string, cfg Config, wopts wal.Options) (*KnowledgeBase, *wa
 	kb := New(cfg)
 	kb.store = store
 	kb.wal = l
+	// New instrumented the empty store it created; the recovered store
+	// replaced it, so re-install the same instruments there, and wire the
+	// log's own metrics plus the recovery outcome.
+	store.SetMetrics(kb.storeMetrics())
+	kb.wireWALMetrics(l, wopts.Fsync, info)
 	store.SetCommitHook(func(tx *graph.Tx) error {
 		rec := wal.RecordFromTx(tx)
 		if rec == nil {

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/periodic"
+	"repro/internal/trigger"
+	"repro/internal/wal"
+)
+
+// Metric names exposed by a knowledge base. Every name, with its meaning
+// and how to read it, is documented in OBSERVABILITY.md; the CI docs job
+// checks the two stay in sync (scripts/check_metrics_docs.sh).
+const (
+	mTxCommits   = "rkm_graph_tx_commits_total"
+	mTxRollbacks = "rkm_graph_tx_rollbacks_total"
+	mTxSeconds   = "rkm_graph_tx_seconds"
+	mNodes       = "rkm_graph_nodes"
+	mRels        = "rkm_graph_relationships"
+	mAlertNodes  = "rkm_graph_alert_nodes"
+
+	mRuleFired     = "rkm_trigger_rule_fired_total"
+	mGuardRejected = "rkm_trigger_guard_rejected_total"
+	mAlertQuery    = "rkm_trigger_alert_query_seconds"
+	mAlertsCreated = "rkm_trigger_alerts_created_total"
+
+	mTaskRuns    = "rkm_scheduler_task_runs_total"
+	mTaskSeconds = "rkm_scheduler_task_seconds"
+	mTaskErrors  = "rkm_scheduler_task_errors_total"
+
+	mRollovers       = "rkm_summary_rollovers_total"
+	mRolloverSeconds = "rkm_summary_rollover_seconds"
+	mChainLength     = "rkm_summary_chain_length"
+
+	mWALRecords    = "rkm_wal_records_appended_total"
+	mWALBytes      = "rkm_wal_bytes_appended_total"
+	mWALFsync      = "rkm_wal_fsync_seconds"
+	mWALSegments   = "rkm_wal_segments_opened_total"
+	mWALCheckpoint = "rkm_wal_checkpoint_seconds"
+	mWALLastSeq    = "rkm_wal_last_seq"
+	mWALReplayed   = "rkm_wal_recovery_records_replayed"
+	mWALDiscarded  = "rkm_wal_recovery_discarded_bytes"
+)
+
+// Metrics returns the knowledge base's metrics registry. Expose it over
+// HTTP with Registry.WritePrometheus, or inspect it programmatically with
+// Registry.Gather.
+func (kb *KnowledgeBase) Metrics() *metrics.Registry { return kb.metrics }
+
+// wireMetrics registers the knowledge base's instruments on reg and
+// installs them into the store, the rule engine and the scheduler. It runs
+// once per KnowledgeBase (New and Fork), before any rule is installed, so
+// per-rule counters resolve at install time. Registration is idempotent, so
+// a shared registry (Config.Metrics) across knowledge bases is safe —
+// instruments are then also shared and counts aggregate.
+func (kb *KnowledgeBase) wireMetrics(reg *metrics.Registry) {
+	kb.metrics = reg
+	kb.store.SetMetrics(kb.storeMetrics())
+	kb.engine.Metrics = trigger.EngineMetrics{
+		RuleFired: reg.CounterVec(mRuleFired, "rule",
+			"Guard passes (rule activations), by rule."),
+		GuardRejected: reg.CounterVec(mGuardRejected, "rule",
+			"Guard evaluations that returned false, by rule."),
+		AlertQuerySeconds: reg.Histogram(mAlertQuery,
+			"Latency of alert-query executions, in seconds.", nil),
+		AlertsCreated: reg.Counter(mAlertsCreated,
+			"Alert nodes materialized by the rule engine."),
+	}
+	kb.scheduler.SetMetrics(periodic.SchedulerMetrics{
+		TaskRuns: reg.CounterVec(mTaskRuns, "task",
+			"Periodic task executions, by task."),
+		TaskSeconds: reg.HistogramVec(mTaskSeconds, "task",
+			"Periodic task execution duration, in seconds, by task.", nil),
+		TaskErrors: reg.CounterVec(mTaskErrors, "task",
+			"Periodic task executions that returned an error, by task."),
+	})
+	reg.GaugeFunc(mNodes, "Nodes currently in the graph.",
+		func() float64 { return float64(kb.store.Stats().Nodes) })
+	reg.GaugeFunc(mRels, "Relationships currently in the graph.",
+		func() float64 { return float64(kb.store.Stats().Relationships) })
+	reg.GaugeFunc(mAlertNodes, "Alert nodes currently in the graph.",
+		func() float64 { return float64(kb.store.LabelCount(kb.engine.AlertLabel)) })
+}
+
+// storeMetrics resolves the graph-store instruments from the registry.
+// Called again after OpenDurable swaps in the recovered store.
+func (kb *KnowledgeBase) storeMetrics() graph.Metrics {
+	reg := kb.metrics
+	return graph.Metrics{
+		TxCommits: reg.Counter(mTxCommits,
+			"Committed read-write transactions."),
+		TxRollbacks: reg.Counter(mTxRollbacks,
+			"Rolled-back read-write transactions (explicit and aborted commits)."),
+		TxSeconds: reg.Histogram(mTxSeconds,
+			"Read-write transaction latency (write-lock hold time), in seconds.", nil),
+	}
+}
+
+// wireWALMetrics instruments the write-ahead log and records the recovery
+// outcome; called by OpenDurable.
+func (kb *KnowledgeBase) wireWALMetrics(l *wal.Log, policy wal.FsyncPolicy, info *wal.RecoveryInfo) {
+	reg := kb.metrics
+	l.SetMetrics(wal.Metrics{
+		RecordsAppended: reg.Counter(mWALRecords,
+			"Records appended to the write-ahead log."),
+		BytesAppended: reg.Counter(mWALBytes,
+			"Framed bytes appended to the write-ahead log."),
+		FsyncSeconds: reg.HistogramVec(mWALFsync, "policy",
+			"Latency of write-ahead-log fsyncs, in seconds, by fsync policy.", nil).
+			With(policy.String()),
+		SegmentsOpened: reg.Counter(mWALSegments,
+			"Write-ahead-log segment files opened (first open and rotations)."),
+		CheckpointSeconds: reg.Histogram(mWALCheckpoint,
+			"End-to-end checkpoint duration, in seconds.", nil),
+	})
+	reg.GaugeFunc(mWALLastSeq,
+		"Sequence number of the most recently appended or recovered record.",
+		func() float64 { return float64(l.LastSeq()) })
+	reg.Gauge(mWALReplayed,
+		"Records replayed on top of the snapshot during the last recovery.").
+		Set(float64(info.RecordsReplayed))
+	reg.Gauge(mWALDiscarded,
+		"Bytes of torn log tail discarded during the last recovery.").
+		Set(float64(info.DiscardedBytes))
+}

@@ -20,7 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/value"
 )
 
@@ -114,6 +116,20 @@ type Validator func(tx *Tx) error
 // record, so a transaction is either fully logged or fully rolled back.
 type CommitHook func(tx *Tx) error
 
+// Metrics holds the store's optional instrumentation. All fields may be
+// nil (instrument methods on nil receivers no-op), so an unwired store pays
+// only a nil check per transaction.
+type Metrics struct {
+	// TxCommits counts committed read-write transactions.
+	TxCommits *metrics.Counter
+	// TxRollbacks counts rolled-back read-write transactions (explicit
+	// rollbacks plus validator- and hook-aborted commits).
+	TxRollbacks *metrics.Counter
+	// TxSeconds observes read-write transaction latency from Begin to
+	// Commit or Rollback — the write-lock hold time.
+	TxSeconds *metrics.Histogram
+}
+
 // Store is an in-memory property-graph database.
 type Store struct {
 	mu         sync.RWMutex
@@ -126,6 +142,7 @@ type Store struct {
 	nextRel    RelID
 	validators []Validator
 	commitHook CommitHook
+	metrics    Metrics
 }
 
 // NewStore returns an empty store.
@@ -157,6 +174,24 @@ func (s *Store) SetCommitHook(h CommitHook) {
 	s.commitHook = h
 }
 
+// SetMetrics installs the store's instrumentation. Like SetCommitHook it is
+// not safe to call concurrently with open transactions; Clone does not copy
+// it, so forks are unobserved unless re-wired.
+func (s *Store) SetMetrics(m Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
+}
+
+// LabelCount returns the number of nodes currently carrying label. It is a
+// map-size read under the read lock, cheap enough for scrape-time
+// cardinality gauges.
+func (s *Store) LabelCount(label string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byLabel[label])
+}
+
 // Mode selects the access mode of a transaction.
 type Mode int
 
@@ -171,9 +206,13 @@ const (
 func (s *Store) Begin(mode Mode) *Tx {
 	if mode == ReadWrite {
 		s.mu.Lock()
-	} else {
-		s.mu.RLock()
+		tx := &Tx{s: s, mode: mode, data: &TxData{}}
+		if s.metrics.TxSeconds != nil {
+			tx.start = time.Now()
+		}
+		return tx
 	}
+	s.mu.RLock()
 	return &Tx{s: s, mode: mode, data: &TxData{}}
 }
 

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/value"
 )
@@ -16,6 +17,9 @@ type Tx struct {
 	done bool
 	data *TxData
 	undo []func()
+	// start is set at Begin when transaction-latency instrumentation is
+	// wired; zero otherwise.
+	start time.Time
 }
 
 // Data exposes the changes made so far by this transaction. The caller must
@@ -61,6 +65,12 @@ func (tx *Tx) Commit() error {
 		}
 	}
 	tx.done = true
+	if tx.mode == ReadWrite {
+		tx.s.metrics.TxCommits.Inc()
+		if !tx.start.IsZero() {
+			tx.s.metrics.TxSeconds.ObserveSince(tx.start)
+		}
+	}
 	tx.unlock()
 	return nil
 }
@@ -80,6 +90,12 @@ func (tx *Tx) rollbackLocked() {
 	}
 	tx.undo = nil
 	tx.done = true
+	if tx.mode == ReadWrite {
+		tx.s.metrics.TxRollbacks.Inc()
+		if !tx.start.IsZero() {
+			tx.s.metrics.TxSeconds.ObserveSince(tx.start)
+		}
+	}
 	tx.unlock()
 }
 

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets is the default bucket layout for latency histograms: upper
+// bounds in seconds spanning 1µs to 10s, roughly three buckets per decade.
+// The layout is fixed at registration so Observe never allocates or resizes.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into a fixed set of buckets. Updates are
+// wait-free and allocation-free: a scan over the (small, fixed) bound slice,
+// one atomic add on the bucket, and a CAS loop on the floating-point sum.
+// All methods on a nil *Histogram are no-ops.
+type Histogram struct {
+	bounds []float64      // upper bounds; observations > bounds[len-1] land in the overflow bucket
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf overflow bucket
+	sum    atomic.Uint64  // float64 bits of the observation sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Snapshot returns a point-in-time copy of the histogram. The per-bucket
+// counts are read in one pass, so derived cumulative values are monotone
+// even while writers race the snapshot.
+func (h *Histogram) Snapshot() *HistogramSnapshot {
+	if h == nil {
+		return nil
+	}
+	s := &HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistogramSnapshot is a consistent view of a histogram's buckets.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, parallel to Counts[:len(Bounds)]
+	Counts []int64   // per-bucket (non-cumulative) counts; last is +Inf
+	Count  int64     // total observations (sum of Counts)
+	Sum    float64   // sum of observed values
+}
+
+// Mean returns the average observation, 0 when empty.
+func (s *HistogramSnapshot) Mean() float64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the bucket that contains it, the same estimate Prometheus's
+// histogram_quantile computes. Observations in the +Inf overflow bucket
+// report the largest finite bound.
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no finite upper bound to interpolate toward.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Summary renders the snapshot as one human-readable line: observation
+// count, mean, and the p50/p90/p99 latency estimates. Durations are
+// formatted because every histogram in this system observes seconds.
+func (s *HistogramSnapshot) Summary() string {
+	if s == nil || s.Count == 0 {
+		return "count=0"
+	}
+	return fmt.Sprintf("count=%d mean=%s p50=%s p90=%s p99=%s",
+		s.Count, fmtSeconds(s.Mean()), fmtSeconds(s.Quantile(0.5)),
+		fmtSeconds(s.Quantile(0.9)), fmtSeconds(s.Quantile(0.99)))
+}
+
+// fmtSeconds renders a second count as a rounded time.Duration.
+func fmtSeconds(v float64) string {
+	d := time.Duration(v * float64(time.Second))
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(time.Nanosecond).String()
+	}
+}

@@ -1,0 +1,317 @@
+// Package metrics is a small, dependency-free instrumentation registry for
+// the reactive knowledge management system: atomic counters, gauges and
+// fixed-bucket histograms, grouped into named families and exportable in the
+// Prometheus text exposition format.
+//
+// The package exists because the paper's evaluation (Fig. 9/10) is entirely
+// about where reactive time goes — rule firing, alert queries, summary
+// rollovers, log fsyncs — and none of that is visible without low-overhead
+// runtime instrumentation on the hot paths.
+//
+// Design constraints, in order:
+//
+//   - Hot-path updates are wait-free and allocation-free: a Counter.Inc is
+//     one atomic add; a Histogram.Observe is a scan over a fixed bucket
+//     layout plus three atomic operations. No locks, no maps, no interface
+//     dispatch on the update path.
+//   - Instruments are nil-safe: every method on a nil *Counter, *Gauge or
+//     *Histogram is a no-op, so packages can carry optional instrumentation
+//     without guarding each call site.
+//   - Labelled families (CounterVec, HistogramVec) resolve a label value to
+//     a child instrument once — callers cache the child (the trigger engine
+//     caches per-rule counters at install time) so label lookup never sits
+//     on a hot path.
+//   - Registration is idempotent: asking for an existing name of the same
+//     type returns the existing instrument, so wiring code can run twice
+//     (e.g. after a durable store swap) without duplicating families.
+//     Re-using a name with a different type or label key panics — that is a
+//     programming error, not a runtime condition.
+//
+// Encoding (WritePrometheus, Gather) reads each atomic once; histogram
+// cumulative bucket values are computed from a single pass over the bucket
+// counts, so `le`-cumulative monotonicity and count == +Inf-cumulative hold
+// by construction even while writers race the encoder.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType enumerates the supported instrument kinds.
+type metricType int
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	case histogramType:
+		return "histogram"
+	default:
+		return fmt.Sprintf("metricType(%d)", int(t))
+	}
+}
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use; all methods on a nil *Counter are no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be non-negative; negative deltas are ignored so a
+// counter can never go backwards).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The zero value is ready to use;
+// all methods on a nil *Gauge are no-ops. A Gauge created by GaugeFunc is
+// read through its callback instead.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+	fn   func() float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta to the stored value.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (the callback's result for a GaugeFunc).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// family is one named metric with all its labelled children.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	label   string    // label key, "" for unlabelled families
+	buckets []float64 // histogram bucket upper bounds
+
+	mu       sync.RWMutex
+	order    []string // label values in first-use order ("" for unlabelled)
+	children map[string]any
+}
+
+func (f *family) child(labelValue string, create func() any) any {
+	f.mu.RLock()
+	c, ok := f.children[labelValue]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[labelValue]; ok {
+		return c
+	}
+	c = create()
+	f.children[labelValue] = c
+	f.order = append(f.order, labelValue)
+	return c
+}
+
+// Registry holds named metric families. The zero value is not usable; use
+// NewRegistry. A nil *Registry is safe: every registration method returns a
+// nil instrument (whose methods no-op) and Gather returns nothing.
+type Registry struct {
+	mu     sync.RWMutex
+	fams   []*family // registration order
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// lookup returns the family, registering it on first use. It panics when
+// name is already registered with a different type or label key.
+func (r *Registry) lookup(name, help string, typ metricType, label string, buckets []float64) *family {
+	r.mu.RLock()
+	f, ok := r.byName[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if f, ok = r.byName[name]; !ok {
+			f = &family{
+				name: name, help: help, typ: typ, label: label,
+				buckets:  buckets,
+				children: make(map[string]any),
+			}
+			r.byName[name] = f
+			r.fams = append(r.fams, f)
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ || f.label != label {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s/%q (was %s/%q)",
+			name, typ, label, f.typ, f.label))
+	}
+	return f
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, counterType, "", nil)
+	return f.child("", func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, gaugeType, "", nil)
+	return f.child("", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at read time
+// (cardinality gauges read live store counters this way). Registering the
+// same name again keeps the first callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, gaugeType, "", nil)
+	f.child("", func() any { return &Gauge{fn: fn} })
+}
+
+// Histogram returns the fixed-bucket histogram registered under name,
+// creating it on first use with the given bucket upper bounds (nil =
+// LatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = LatencyBuckets
+	}
+	f := r.lookup(name, help, histogramType, "", buckets)
+	return f.child("", func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// CounterVec is a family of counters distinguished by one label.
+type CounterVec struct {
+	fam *family
+}
+
+// CounterVec returns the labelled counter family registered under name,
+// creating it on first use.
+func (r *Registry) CounterVec(name, label, help string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.lookup(name, help, counterType, label, nil)}
+}
+
+// With returns the child counter for the given label value, creating it on
+// first use. Callers should cache the child when the increment sits on a hot
+// path.
+func (v *CounterVec) With(labelValue string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(labelValue, func() any { return &Counter{} }).(*Counter)
+}
+
+// HistogramVec is a family of histograms distinguished by one label.
+type HistogramVec struct {
+	fam *family
+}
+
+// HistogramVec returns the labelled histogram family registered under name,
+// creating it on first use with the given bucket layout (nil =
+// LatencyBuckets).
+func (r *Registry) HistogramVec(name, label, help string, buckets []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = LatencyBuckets
+	}
+	return &HistogramVec{fam: r.lookup(name, help, histogramType, label, buckets)}
+}
+
+// With returns the child histogram for the given label value, creating it on
+// first use.
+func (v *HistogramVec) With(labelValue string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(labelValue, func() any { return newHistogram(v.fam.buckets) }).(*Histogram)
+}
+
+// Names returns the registered family names, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f.name)
+	}
+	sort.Strings(out)
+	return out
+}

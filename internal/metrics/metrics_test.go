@@ -1,0 +1,302 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a test counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-2) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test_total", "a test counter"); again != c {
+		t.Fatal("re-registration should return the same counter")
+	}
+}
+
+func TestNilInstrumentsNoop(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	var hv *HistogramVec
+	var r *Registry
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if cv.With("x") != nil || hv.With("x") != nil {
+		t.Fatal("nil vec With should return nil")
+	}
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Fatal("nil registry should hand out nil instruments")
+	}
+	if r.Gather() != nil || r.Names() != nil {
+		t.Fatal("nil registry should gather nothing")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot() != nil {
+		t.Fatal("nil instruments should read as zero")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "")
+	g.Set(10)
+	g.Add(-3.5)
+	if got := g.Value(); got != 6.5 {
+		t.Fatalf("gauge = %v, want 6.5", got)
+	}
+	n := 42
+	r.GaugeFunc("test_gauge_fn", "", func() float64 { return float64(n) })
+	snap := findFamily(t, r, "test_gauge_fn")
+	if v := snap.Samples[0].Value; v != 42 {
+		t.Fatalf("gauge func = %v, want 42", v)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("dup", "")
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.05, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if want := []int64{2, 1, 1, 1}; !equalInts(s.Counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", s.Counts, want)
+	}
+	if math.Abs(s.Sum-105.6) > 1e-9 {
+		t.Fatalf("sum = %v, want 105.6", s.Sum)
+	}
+	// p50 rank 2.5 falls in the first bucket (cumulative 2 < 2.5 <= 3 is the
+	// second bucket [0.1, 1]): interpolate within it.
+	q := s.Quantile(0.5)
+	if q < 0.1 || q > 1 {
+		t.Fatalf("p50 = %v, want within (0.1, 1]", q)
+	}
+	// The overflow bucket reports the largest finite bound.
+	if q := s.Quantile(1); q != 10 {
+		t.Fatalf("p100 = %v, want 10", q)
+	}
+	if math.Abs(s.Mean()-105.6/5) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", s.Mean(), 105.6/5)
+	}
+	if sum := s.Summary(); !strings.Contains(sum, "count=5") {
+		t.Fatalf("summary %q should contain count=5", sum)
+	}
+}
+
+func TestVecChildrenAndLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("rule_fired_total", "rule", "")
+	v.With("R1").Inc()
+	v.With("R1").Inc()
+	v.With(`R"2\x`).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `rule_fired_total{rule="R1"} 2`) {
+		t.Fatalf("missing labelled sample in:\n%s", out)
+	}
+	if !strings.Contains(out, `rule_fired_total{rule="R\"2\\x"} 1`) {
+		t.Fatalf("label escaping wrong in:\n%s", out)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "counts things").Add(3)
+	r.Gauge("g", "").Set(1.5)
+	h := r.HistogramVec("h_seconds", "policy", "latency", []float64{0.5, 2}).With("always")
+	h.Observe(0.1)
+	h.Observe(1)
+	h.Observe(99)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP c_total counts things",
+		"# TYPE c_total counter",
+		"c_total 3",
+		"# TYPE g gauge",
+		"g 1.5",
+		"# TYPE h_seconds histogram",
+		`h_seconds_bucket{policy="always",le="0.5"} 1`,
+		`h_seconds_bucket{policy="always",le="2"} 2`,
+		`h_seconds_bucket{policy="always",le="+Inf"} 3`,
+		`h_seconds_sum{policy="always"} 100.1`,
+		`h_seconds_count{policy="always"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+	}
+}
+
+// TestConcurrentUpdatesAndGather exercises the registry under the race
+// detector: parallel increments and observations while encoders run, then
+// exact final counts, plus the encoder-consistency property that cumulative
+// bucket counts are monotone and _count equals the +Inf bucket.
+func TestConcurrentUpdatesAndGather(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	v := r.CounterVec("conc_labelled_total", "who", "")
+	h := r.Histogram("conc_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+	g := r.Gauge("conc_gauge", "")
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			who := string(rune('a' + w%4))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				v.With(who).Inc()
+				h.Observe(float64(i%100) / 500)
+				g.Add(1)
+			}
+		}(w)
+	}
+	// Encoders race the writers; every snapshot they take must be internally
+	// consistent.
+	stop := make(chan struct{})
+	var enc sync.WaitGroup
+	enc.Add(1)
+	go func() {
+		defer enc.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			checkHistogramConsistency(t, buf.String(), "conc_seconds")
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	enc.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	var labelled int64
+	for _, s := range findFamily(t, r, "conc_labelled_total").Samples {
+		labelled += int64(s.Value)
+	}
+	if labelled != workers*perWorker {
+		t.Fatalf("labelled sum = %d, want %d", labelled, workers*perWorker)
+	}
+	hs := h.Snapshot()
+	if hs.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", hs.Count, workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*perWorker)
+	}
+}
+
+// checkHistogramConsistency parses the encoded buckets of name and asserts
+// cumulative monotonicity and count == +Inf cumulative.
+func checkHistogramConsistency(t *testing.T, out, name string) {
+	t.Helper()
+	prev := int64(-1)
+	lastBucket := int64(0)
+	var count int64
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, name+"_bucket"):
+			fields := strings.Fields(line)
+			n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q", line)
+			}
+			if n < prev {
+				t.Fatalf("cumulative buckets decreased: %q after %d", line, prev)
+			}
+			prev = n
+			lastBucket = n
+		case strings.HasPrefix(line, name+"_count"):
+			fields := strings.Fields(line)
+			count, _ = strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		}
+	}
+	if count != lastBucket {
+		t.Fatalf("_count %d != +Inf bucket %d", count, lastBucket)
+	}
+}
+
+func findFamily(t *testing.T, r *Registry, name string) FamilySnapshot {
+	t.Helper()
+	for _, fs := range r.Gather() {
+		if fs.Name == name {
+			return fs
+		}
+	}
+	t.Fatalf("family %s not found", name)
+	return FamilySnapshot{}
+}
+
+func equalInts(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one value of a family: the child for one label value.
+type Sample struct {
+	// LabelValue is the value of the family's label key ("" for unlabelled
+	// families).
+	LabelValue string
+	// Value is the counter count or gauge reading; unused for histograms.
+	Value float64
+	// Hist is set for histogram families.
+	Hist *HistogramSnapshot
+}
+
+// FamilySnapshot is a point-in-time view of one metric family.
+type FamilySnapshot struct {
+	Name    string
+	Help    string
+	Type    string // "counter", "gauge" or "histogram"
+	Label   string // label key, "" for unlabelled families
+	Samples []Sample
+}
+
+// Gather snapshots every family in registration order, children in
+// first-use order. Each atomic is read once; histogram snapshots are
+// internally consistent (see Histogram.Snapshot).
+func (r *Registry) Gather() []FamilySnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.RUnlock()
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ.String(), Label: f.label}
+		f.mu.RLock()
+		order := append([]string(nil), f.order...)
+		children := make([]any, len(order))
+		for i, lv := range order {
+			children[i] = f.children[lv]
+		}
+		f.mu.RUnlock()
+		for i, c := range children {
+			s := Sample{LabelValue: order[i]}
+			switch m := c.(type) {
+			case *Counter:
+				s.Value = float64(m.Value())
+			case *Gauge:
+				s.Value = m.Value()
+			case *Histogram:
+				s.Hist = m.Snapshot()
+			}
+			fs.Samples = append(fs.Samples, s)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WritePrometheus encodes the registry in the Prometheus text exposition
+// format (version 0.0.4): one # HELP and # TYPE line per family, then one
+// sample line per child — counters and gauges as plain values, histograms as
+// cumulative le buckets plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fs := range r.Gather() {
+		if fs.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fs.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(fs.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fs.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(fs.Type)
+		bw.WriteByte('\n')
+		for _, s := range fs.Samples {
+			if s.Hist != nil {
+				writeHistogram(bw, fs, s)
+				continue
+			}
+			bw.WriteString(fs.Name)
+			writeLabels(bw, fs.Label, s.LabelValue, "", 0)
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, fs FamilySnapshot, s Sample) {
+	h := s.Hist
+	cum := int64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		bw.WriteString(fs.Name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, fs.Label, s.LabelValue, "le", bound)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(fs.Name)
+	bw.WriteString("_bucket")
+	writeLabels(bw, fs.Label, s.LabelValue, "le", math.Inf(1))
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(h.Count, 10))
+	bw.WriteByte('\n')
+	bw.WriteString(fs.Name)
+	bw.WriteString("_sum")
+	writeLabels(bw, fs.Label, s.LabelValue, "", 0)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(h.Sum))
+	bw.WriteByte('\n')
+	bw.WriteString(fs.Name)
+	bw.WriteString("_count")
+	writeLabels(bw, fs.Label, s.LabelValue, "", 0)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(h.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels renders the label set: the family's own label (when present)
+// and, for histogram buckets, the le bound (+Inf spelled Prometheus-style).
+func writeLabels(bw *bufio.Writer, key, value, leKey string, le float64) {
+	hasLabel := key != ""
+	hasLe := leKey != ""
+	if !hasLabel && !hasLe {
+		return
+	}
+	bw.WriteByte('{')
+	if hasLabel {
+		bw.WriteString(key)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(value))
+		bw.WriteByte('"')
+		if hasLe {
+			bw.WriteByte(',')
+		}
+	}
+	if hasLe {
+		bw.WriteString(leKey)
+		bw.WriteString(`="`)
+		if math.IsInf(le, 1) {
+			bw.WriteString("+Inf")
+		} else {
+			bw.WriteString(formatValue(le))
+		}
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

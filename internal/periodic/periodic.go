@@ -3,6 +3,25 @@
 // duration, driven either by the wall clock or by a manual clock that tests
 // and simulations advance explicitly (e.g. one day per step, as in the
 // Essential Summary experiments).
+//
+// The package has two halves:
+//
+//   - Clock, RealClock and ManualClock abstract time for every
+//     time-dependent component of the system (alert timestamps, datetime()
+//     in queries, summary rollovers). A deployment runs on RealClock; a
+//     simulation or test injects a ManualClock and advances it explicitly,
+//     which makes periodic behaviour fully deterministic.
+//   - Scheduler executes named TaskFuncs at fixed periods against whichever
+//     Clock it was built on. In simulation mode the driver calls Tick after
+//     each clock advance; a task that is several periods overdue runs once
+//     per elapsed period (catch-up), matching apoc.periodic.repeat's
+//     behaviour when the database was busy. In wall-clock mode Run polls
+//     Tick at a chosen resolution until stopped.
+//
+// The first execution of a task is due one full period after scheduling —
+// scheduling is not an execution. Task executions can be observed through
+// SchedulerMetrics (run counts, durations and error counts per task), which
+// the knowledge base wires into its metrics registry.
 package periodic
 
 import (
@@ -11,6 +30,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Clock abstracts time for schedulers, summary managers and rule engines.
@@ -76,6 +97,18 @@ type task struct {
 	seq   int
 }
 
+// SchedulerMetrics holds the scheduler's optional instrumentation. All
+// fields may be nil (instrument methods on nil receivers no-op).
+type SchedulerMetrics struct {
+	// TaskRuns counts executions, labelled by task name.
+	TaskRuns *metrics.CounterVec
+	// TaskSeconds observes per-execution duration, labelled by task name.
+	TaskSeconds *metrics.HistogramVec
+	// TaskErrors counts executions that returned an error, labelled by
+	// task name.
+	TaskErrors *metrics.CounterVec
+}
+
 // Scheduler executes named tasks at fixed periods against a Clock. Due
 // tasks run when Tick is called (simulation mode) or continuously from Run
 // (wall-clock mode). The first execution of a task is due one full period
@@ -85,6 +118,14 @@ type Scheduler struct {
 	clock   Clock
 	tasks   map[string]*task
 	nextSeq int
+	metrics SchedulerMetrics
+}
+
+// SetMetrics installs the scheduler's instrumentation.
+func (s *Scheduler) SetMetrics(m SchedulerMetrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
 }
 
 // NewScheduler returns a scheduler over the given clock (nil = RealClock).
@@ -174,10 +215,23 @@ func (s *Scheduler) Tick() (int, error) {
 			}
 			t.next = t.next.Add(t.every)
 			t.runs++
+			m := s.metrics
 			s.mu.Unlock()
 			ran++
-			if err := t.fn(now); err != nil && firstErr == nil {
-				firstErr = err
+			var t0 time.Time
+			if m.TaskSeconds != nil {
+				t0 = time.Now()
+			}
+			err := t.fn(now)
+			if !t0.IsZero() {
+				m.TaskSeconds.With(t.name).ObserveSince(t0)
+			}
+			m.TaskRuns.With(t.name).Inc()
+			if err != nil {
+				m.TaskErrors.With(t.name).Inc()
+				if firstErr == nil {
+					firstErr = err
+				}
 			}
 		}
 	}

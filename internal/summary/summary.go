@@ -7,6 +7,27 @@
 // summaries are chained oldest→newest by next relationships, the newest
 // also carries the Current label, and alert nodes attach to the summary of
 // their period via has relationships (Fig. 4 and Fig. 5).
+//
+// # Lifecycle
+//
+// The structure is created lazily: the first alert (or the first
+// RolloverIfDue call) creates the initial Summary node via EnsureCurrent,
+// dated at that moment. From then on RolloverIfDue — typically driven by a
+// periodic scheduler task at a fraction of the period, mirroring Fig. 8's
+// hourly check for a 24-hour period — closes the current period once it has
+// elapsed: Rollover creates a new Summary node, links it with a next
+// relationship and moves the Current label. Note the consequence for tests
+// and simulations: after an idle gap the first check re-anchors the chain
+// rather than closing a period, so a rollover is observed only at the
+// second period boundary.
+//
+// A Manager holds only configuration (period length and the label/type
+// vocabulary); all state lives in the graph, so it is safe to share across
+// goroutines as long as the calls run inside graph transactions, which
+// serialize writes. Window queries (Window, Chain, Alerts) give rules and
+// ad-hoc analysis access to the per-period alert history; rollover counts
+// and durations are exported as rkm_summary_* metrics (see
+// OBSERVABILITY.md).
 package summary
 
 import (

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cypher"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/value"
 )
 
@@ -22,6 +23,23 @@ const DefaultMaxCascadeDepth = 16
 // same transaction; the Essential Summary manager uses it to attach alerts
 // to the current summary node.
 type AlertHook func(tx *graph.Tx, alert graph.NodeID) error
+
+// EngineMetrics holds the engine's optional instrumentation. All fields may
+// be nil (instrument methods on nil receivers no-op). Set it before
+// installing rules: per-rule counters are resolved once at Install so the
+// firing path never performs a label lookup.
+type EngineMetrics struct {
+	// RuleFired counts guard passes (activations), labelled by rule.
+	RuleFired *metrics.CounterVec
+	// GuardRejected counts guard evaluations that returned false, labelled
+	// by rule — the cheap filtering the paper's design leans on.
+	GuardRejected *metrics.CounterVec
+	// AlertQuerySeconds observes the latency of each alert-query execution,
+	// the potentially expensive inter-hub part of a rule.
+	AlertQuerySeconds *metrics.Histogram
+	// AlertsCreated counts materialized alert nodes.
+	AlertsCreated *metrics.Counter
+}
 
 // Engine manages reactive rules and fires them against transaction change
 // records, the role apoc.trigger plays in the paper's Neo4j prototype.
@@ -53,6 +71,8 @@ type Engine struct {
 	// StateLabels overrides the labels treated as historical state in
 	// classification; nil = {Summary, Current, Alert}.
 	StateLabels map[string]bool
+	// Metrics is the engine's optional instrumentation; set before Install.
+	Metrics EngineMetrics
 }
 
 // NewEngine returns an engine with default settings.
@@ -120,6 +140,8 @@ func (e *Engine) Install(r Rule) error {
 	}
 	cr.seq = e.nextSeq
 	e.nextSeq++
+	cr.mFired = e.Metrics.RuleFired.With(r.Name)
+	cr.mRejected = e.Metrics.GuardRejected.With(r.Name)
 	e.rules[r.Name] = cr
 	return nil
 }
@@ -282,21 +304,30 @@ func (e *Engine) fireRule(tx *graph.Tx, cr *compiledRule, data *graph.TxData,
 				return fmt.Errorf("trigger: rule %s guard: %w", cr.Name, err)
 			}
 			if !ok {
+				cr.mRejected.Inc()
 				continue
 			}
 		}
 		report.GuardPasses++
 		cr.nActivations.Add(1)
+		cr.mFired.Inc()
 		act := Activation{Rule: cr.Name, Round: round}
 
 		var rows [][]value.Value
 		var cols []string
 		if cr.alert != nil {
 			report.AlertRuns++
+			var t0 time.Time
+			if e.Metrics.AlertQuerySeconds != nil {
+				t0 = time.Now()
+			}
 			res, err := cypher.Execute(tx, cr.alert, &cypher.Options{
 				Bindings: bind,
 				Now:      func() time.Time { return now },
 			})
+			if !t0.IsZero() {
+				e.Metrics.AlertQuerySeconds.ObserveSince(t0)
+			}
 			if err != nil {
 				return fmt.Errorf("trigger: rule %s alert: %w", cr.Name, err)
 			}
@@ -330,6 +361,7 @@ func (e *Engine) fireRule(tx *graph.Tx, cr *compiledRule, data *graph.TxData,
 			act.Alerts = append(act.Alerts, id)
 			report.AlertNodes++
 			cr.nAlertNodes.Add(1)
+			e.Metrics.AlertsCreated.Inc()
 		}
 		if cr.alert != nil || cr.action != nil || len(act.Alerts) > 0 {
 			report.Activations = append(report.Activations, act)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cypher"
+	"repro/internal/metrics"
 )
 
 // Errors reported by rule compilation and the engine.
@@ -64,6 +65,11 @@ type compiledRule struct {
 	nChecks      atomic.Int64
 	nActivations atomic.Int64
 	nAlertNodes  atomic.Int64
+
+	// per-rule metric children, resolved once at Install (nil when the
+	// engine is uninstrumented; nil instruments no-op)
+	mFired    *metrics.Counter
+	mRejected *metrics.Counter
 }
 
 func compileRule(r Rule, defaultAlertLabel string) (*compiledRule, error) {

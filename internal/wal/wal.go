@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/metrics"
 )
 
 // FsyncPolicy selects when appended records are forced to stable storage.
@@ -89,6 +90,24 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Metrics holds the log's optional instrumentation. All fields may be nil
+// (instrument methods on nil receivers no-op). Install with SetMetrics.
+type Metrics struct {
+	// RecordsAppended counts records durably assigned a sequence number.
+	RecordsAppended *metrics.Counter
+	// BytesAppended counts framed bytes written to segments.
+	BytesAppended *metrics.Counter
+	// FsyncSeconds observes the latency of each fsync of the active
+	// segment, whichever policy forced it.
+	FsyncSeconds *metrics.Histogram
+	// SegmentsOpened counts segment files started (the first open plus
+	// every size- or checkpoint-driven rotation).
+	SegmentsOpened *metrics.Counter
+	// CheckpointSeconds observes end-to-end checkpoint duration: snapshot
+	// install, directory syncs and superseded-file removal.
+	CheckpointSeconds *metrics.Histogram
+}
+
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
 
@@ -130,6 +149,15 @@ type Log struct {
 	closed   bool
 	stopSync chan struct{} // closes the background fsync goroutine
 	syncDone chan struct{}
+	metrics  Metrics
+}
+
+// SetMetrics installs the log's instrumentation. Call it right after Open,
+// before appends begin.
+func (l *Log) SetMetrics(m Metrics) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metrics = m
 }
 
 // Open recovers the state persisted in dir — newest loadable snapshot, then
@@ -291,6 +319,8 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 		l.dirty = true
 	}
 	l.lastSeq = rec.Seq
+	l.metrics.RecordsAppended.Inc()
+	l.metrics.BytesAppended.Add(int64(len(buf)))
 	return rec.Seq, nil
 }
 
@@ -323,7 +353,11 @@ func (l *Log) Checkpoint(seq uint64, snapshot []byte) error {
 		l.mu.Unlock()
 		return ErrClosed
 	}
+	ckptHist := l.metrics.CheckpointSeconds
 	l.mu.Unlock()
+	if ckptHist != nil {
+		defer ckptHist.ObserveSince(time.Now())
+	}
 
 	final := filepath.Join(l.dir, snapshotName(seq))
 	tmp := final + ".tmp"
@@ -421,6 +455,7 @@ func (l *Log) openSegmentLocked(firstSeq uint64) error {
 		return fmt.Errorf("wal: segment: %w", err)
 	}
 	l.f, l.w, l.size = f, w, int64(len(segMagic))
+	l.metrics.SegmentsOpened.Inc()
 	return nil
 }
 
@@ -441,8 +476,15 @@ func (l *Log) flushLocked(sync bool) error {
 		return fmt.Errorf("wal: flush: %w", err)
 	}
 	if sync {
+		var t0 time.Time
+		if l.metrics.FsyncSeconds != nil {
+			t0 = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		if !t0.IsZero() {
+			l.metrics.FsyncSeconds.ObserveSince(t0)
 		}
 	}
 	l.dirty = false

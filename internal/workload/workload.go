@@ -4,6 +4,21 @@
 // spread over consecutive days. Real surveillance data is proprietary
 // (GISAID/hospital records), so the generator substitutes a seeded
 // synthetic equivalent that exercises the same code paths.
+//
+// Build populates a knowledge base with the static scenario (regions,
+// hospitals, labs, hubs and indexes) and returns a Scenario whose
+// Admissions method yields deterministic per-day admission batches: the
+// same Config.Seed always produces the same stream, so benchmark runs and
+// regression tests are reproducible bit-for-bit. Admit ingests a batch
+// through the full reactive pipeline with configurable transaction batching
+// (AdmitOptions.Batch is patients per transaction; the paper's setting is
+// 1, one trigger activation per transaction) and optional per-(region, day)
+// statistics maintenance for the summary-based rule design.
+//
+// NaiveRuleSpec and SummaryRuleSpec return the two rule designs the
+// evaluation compares: the naive rule fires per patient and re-aggregates,
+// the summary rule fires once per region and day on DailyRegionStat nodes.
+// internal/bench wires these into the Fig. 9 / Fig. 10 measurements.
 package workload
 
 import (

@@ -39,6 +39,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/graph"
 	"repro/internal/hub"
+	"repro/internal/metrics"
 	"repro/internal/periodic"
 	"repro/internal/schema"
 	"repro/internal/summary"
@@ -202,6 +203,21 @@ func NewFederation() *Federation { return federation.New() }
 
 // RemoteAlerts lists the alerts replicated into kb from other participants.
 func RemoteAlerts(kb *KnowledgeBase) ([]Alert, error) { return federation.RemoteAlerts(kb) }
+
+// MetricsRegistry holds a knowledge base's runtime instrumentation —
+// counters, gauges and latency histograms for the trigger engine, the graph
+// store, the write-ahead log and the periodic scheduler. Obtain it with
+// KnowledgeBase.Metrics; serve it with WritePrometheus or inspect it with
+// Gather. See OBSERVABILITY.md for the full metric catalog.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time view of one metric family from
+// MetricsRegistry.Gather.
+type MetricsSnapshot = metrics.FamilySnapshot
+
+// HistogramSnapshot is a consistent view of one histogram's buckets, with
+// quantile estimation (used by rkm-bench's latency summaries).
+type HistogramSnapshot = metrics.HistogramSnapshot
 
 // Store is the underlying transactional property-graph store.
 type Store = graph.Store

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# check_metrics_docs.sh — fail when OBSERVABILITY.md and the metrics registry
+# disagree: every metric the code registers must be documented, and every
+# rkm_* name the catalog documents must exist in the registry.
+#
+# Usage: ./scripts/check_metrics_docs.sh   (from the repository root)
+set -eu
+
+doc=OBSERVABILITY.md
+if [ ! -f "$doc" ]; then
+    echo "check_metrics_docs: $doc not found (run from the repository root)" >&2
+    exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Names the code registers, from a fully wired knowledge base.
+go run ./scripts/metricnames | sort -u > "$tmp/code"
+
+# Names the catalog documents: any rkm_* token in backticks.
+grep -o '`rkm_[a-z0-9_]*`' "$doc" | tr -d '`' | sort -u > "$tmp/doc"
+
+status=0
+if ! comm -23 "$tmp/code" "$tmp/doc" | grep -q .; then
+    :
+else
+    echo "check_metrics_docs: metrics registered but not documented in $doc:" >&2
+    comm -23 "$tmp/code" "$tmp/doc" | sed 's/^/  /' >&2
+    status=1
+fi
+if comm -13 "$tmp/code" "$tmp/doc" | grep -q .; then
+    echo "check_metrics_docs: metrics documented in $doc but not registered:" >&2
+    comm -13 "$tmp/code" "$tmp/doc" | sed 's/^/  /' >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "check_metrics_docs: $(wc -l < "$tmp/code" | tr -d ' ') metric names in sync"
+fi
+exit "$status"

@@ -1,0 +1,38 @@
+// Command metricnames prints, one per line and sorted, every metric name a
+// fully wired knowledge base registers: it opens a durable knowledge base
+// under a throwaway directory (wiring the write-ahead-log metrics) and loads
+// the four-hub demo (wiring rules and summaries), then dumps the registry.
+//
+// scripts/check_metrics_docs.sh diffs this output against the metric names
+// documented in OBSERVABILITY.md, so the catalog cannot drift from the code.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	reactive "repro"
+	"repro/internal/democovid"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("metricnames: ")
+	dir, err := os.MkdirTemp("", "rkm-metricnames-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	kb, _, err := reactive.OpenDurable(dir, reactive.Config{}, reactive.WALOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer kb.Close()
+	if err := democovid.Setup(kb); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range kb.Metrics().Names() {
+		fmt.Println(name)
+	}
+}
