@@ -7,6 +7,7 @@
 //	rkm-bench -fig 10                # Fig. 10: summary-based design
 //	rkm-bench -fig ablation          # naive vs summary across region counts
 //	rkm-bench -fig wal               # durable vs in-memory ingest overhead
+//	rkm-bench -fig fed               # federated replication lag over HTTP
 //	rkm-bench -fig all               # everything
 //	rkm-bench -fig 9 -full           # paper-scale sweep (up to 10^6 patients)
 //	rkm-bench -fig 9 -patients 500,5000 -regions 10
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, fed, all")
 		patients = flag.String("patients", "", "comma-separated patient counts (overrides defaults)")
 		regions  = flag.Int("regions", 20, "number of regions")
 		days     = flag.Int("days", 2, "days the admissions are spread over")
@@ -72,6 +73,8 @@ func main() {
 		runRuleScaling(cfg)
 	case "wal":
 		runWAL(cfg)
+	case "fed":
+		runFed(cfg)
 	case "all":
 		runFig9(cfg)
 		fmt.Println()
@@ -82,8 +85,10 @@ func main() {
 		runRuleScaling(cfg)
 		fmt.Println()
 		runWAL(cfg)
+		fmt.Println()
+		runFed(cfg)
 	default:
-		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal or all)", *fig)
+		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed or all)", *fig)
 	}
 }
 
@@ -138,6 +143,19 @@ func runWAL(cfg bench.Config) {
 		fatalf("wal: %v", err)
 	}
 	bench.WriteWAL(os.Stdout, pts)
+}
+
+func runFed(cfg bench.Config) {
+	// The backlog build-up (one rule firing per admission) dominates at 10k;
+	// two sizes already show how batching amortizes the HTTP hop.
+	if len(cfg.PatientCounts) == 3 && cfg.PatientCounts[2] == 10000 {
+		cfg.PatientCounts = cfg.PatientCounts[:2]
+	}
+	pts, err := bench.RunFedLag(cfg, nil)
+	if err != nil {
+		fatalf("fed: %v", err)
+	}
+	bench.WriteFed(os.Stdout, pts)
 }
 
 func fatalf(format string, args ...any) {

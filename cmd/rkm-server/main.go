@@ -19,6 +19,18 @@
 //	GET  /metrics                                      Prometheus text exposition
 //	GET  /healthz                                      503 until recovery + seed done, then 200
 //
+// With -fed-name the server joins a federation (see internal/fednet): it
+// accepts alert batches from peers and, when -fed-peers lists subscriptions,
+// pushes its own alerts to them with at-least-once delivery:
+//
+//	POST /fed/push                                     receive a batch from a peer
+//	GET  /fed/status                                   outbox, breakers, received origins
+//	POST /fed/sync                                     push pending alerts to all peers now
+//
+// A background sync round runs every -fed-sync (0 disables it; /fed/sync
+// still works). On a durable server the outbox marks live in the graph, so
+// replication resumes where it stopped after a restart.
+//
 // With -pprof the stdlib profiling endpoints are additionally served under
 // /debug/pprof/ (heap, CPU profile, goroutines, execution trace). See
 // OBSERVABILITY.md for the metric catalog and worked scrape examples.
@@ -48,11 +60,13 @@ import (
 
 	reactive "repro"
 	"repro/internal/democovid"
+	"repro/internal/fednet"
 )
 
 type server struct {
 	kb    *reactive.KnowledgeBase
 	clock *reactive.ManualClock // nil when running on the wall clock
+	fed   *fednet.Node          // nil unless -fed-name was given
 	// ready flips to true once recovery and demo seeding have completed;
 	// /healthz reports 503 until then — the readiness signal orchestrators
 	// and load balancers gate traffic on.
@@ -66,6 +80,9 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "persist the graph under this directory (empty = in-memory)")
 		fsync     = flag.String("fsync", "always", "WAL fsync policy: always, interval or none")
 		withPprof = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
+		fedName   = flag.String("fed-name", "", "federation participant name (enables the /fed endpoints)")
+		fedPeers  = flag.String("fed-peers", "", "comma-separated peers to push alerts to, as name=baseURL")
+		fedSync   = flag.Duration("fed-sync", 30*time.Second, "background federation sync period (0 = manual /fed/sync only)")
 	)
 	flag.Parse()
 
@@ -108,6 +125,31 @@ func main() {
 				log.Fatalf("demo seed: %v", err)
 			}
 		}
+	}
+
+	if *fedName != "" {
+		node, err := fednet.NewNode(*fedName, srv.kb, fednet.Options{Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("federation: %v", err)
+		}
+		peers, err := parseFedPeers(*fedPeers)
+		if err != nil {
+			log.Fatalf("-fed-peers: %v", err)
+		}
+		for _, p := range peers {
+			if err := node.Subscribe(p.name, p.url); err != nil {
+				log.Fatalf("federation peer %s: %v", p.name, err)
+			}
+		}
+		srv.fed = node
+		if *fedSync > 0 {
+			if err := node.Start(*fedSync); err != nil {
+				log.Fatalf("federation sync loop: %v", err)
+			}
+		}
+		log.Printf("federation: participating as %q with %d peer(s)", *fedName, len(peers))
+	} else if *fedPeers != "" {
+		log.Fatal("-fed-peers requires -fed-name")
 	}
 
 	srv.ready.Store(true) // recovery and seeding are done; serving can begin
@@ -178,6 +220,45 @@ func (s *server) register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /rules/apoc", s.handleRulesAPOC)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.fed != nil {
+		s.fed.Register(mux) // POST /fed/push, GET /fed/status
+		mux.HandleFunc("POST /fed/sync", s.handleFedSync)
+	}
+}
+
+// fedPeer is one parsed -fed-peers entry.
+type fedPeer struct{ name, url string }
+
+// parseFedPeers parses "name=baseURL,name=baseURL" (empty input = no peers,
+// which is a pure receiver).
+func parseFedPeers(s string) ([]fedPeer, error) {
+	var out []fedPeer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad peer %q (want name=baseURL)", part)
+		}
+		out = append(out, fedPeer{name: name, url: url})
+	}
+	return out, nil
+}
+
+// handleFedSync pushes every pending alert to every peer right now, on top
+// of whatever -fed-sync schedules. A partial failure still reports how many
+// alerts were delivered; the rest stay in the outbox for the next round.
+func (s *server) handleFedSync(w http.ResponseWriter, r *http.Request) {
+	delivered, err := s.fed.SyncAll(r.Context())
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"delivered": delivered, "error": err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"delivered": delivered})
 }
 
 // registerPprof exposes the stdlib profiling handlers; pprof.Index serves

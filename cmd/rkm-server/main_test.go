@@ -13,6 +13,7 @@ import (
 
 	reactive "repro"
 	"repro/internal/democovid"
+	"repro/internal/fednet"
 )
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
@@ -456,5 +457,123 @@ func TestRuleInstallViaText(t *testing.T) {
 	resp, _ = postJSON(t, ts.URL+"/rules", map[string]any{"text": "CREATE TRIGGER broken"})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Error("bad text should 400")
+	}
+}
+
+// newFedServer builds a server participating in a federation under the
+// given name, optionally subscribed to peers, and serves it over httptest —
+// one rkm-server process of a two-process deployment.
+func newFedServer(t *testing.T, name string, peers ...fedPeer) (*server, *httptest.Server) {
+	t.Helper()
+	s := &server{
+		clock: reactive.NewManualClock(time.Date(2023, 4, 1, 8, 0, 0, 0, time.UTC)),
+	}
+	s.kb = reactive.New(reactive.Config{Clock: s.clock})
+	if err := s.kb.InstallRule(reactive.Rule{
+		Name:  "icu",
+		Hub:   "C",
+		Event: reactive.Event{Kind: reactive.CreateNode, Label: "IcuPatient"},
+		Alert: "RETURN NEW.region AS region",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	node, err := fednet.NewNode(name, s.kb, fednet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range peers {
+		if err := node.Subscribe(p.name, p.url); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.fed = node
+	s.ready.Store(true)
+	mux := http.NewServeMux()
+	s.register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestFederatedServers runs the networked-federation scenario end to end
+// through the HTTP API: two rkm-server instances, alerts fired on one appear
+// exactly once as RemoteAlert nodes on the other.
+func TestFederatedServers(t *testing.T) {
+	_, regionTS := newFedServer(t, "region")
+	clinic, clinicTS := newFedServer(t, "clinic", fedPeer{name: "region", url: regionTS.URL})
+
+	// Fire two alerts on the clinic through the public API.
+	for _, region := range []string{"Lombardy", "Veneto"} {
+		resp, out := postJSON(t, clinicTS.URL+"/execute", map[string]any{
+			"query": "CREATE (:IcuPatient {region: '" + region + "', hub: 'C'})",
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("execute: %d %v", resp.StatusCode, out)
+		}
+	}
+
+	// Manual sync round.
+	resp, out := postJSON(t, clinicTS.URL+"/fed/sync", map[string]any{})
+	if resp.StatusCode != http.StatusOK || out["delivered"].(float64) != 2 {
+		t.Fatalf("fed/sync: %d %v", resp.StatusCode, out)
+	}
+	// Redundant round delivers nothing new.
+	if _, out := postJSON(t, clinicTS.URL+"/fed/sync", map[string]any{}); out["delivered"].(float64) != 0 {
+		t.Fatalf("second fed/sync: %v", out)
+	}
+
+	// The receiver reports the alerts, exactly once.
+	var st fednet.Status
+	getJSON(t, regionTS.URL+"/fed/status", &st)
+	if st.Name != "region" || st.RemoteAlerts["clinic"] != 2 {
+		t.Fatalf("receiver status: %+v", st)
+	}
+	respQ, outQ := postJSON(t, regionTS.URL+"/query", map[string]any{
+		"query": "MATCH (a:RemoteAlert) RETURN a.origin, a.region ORDER BY a.region",
+	})
+	if respQ.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %v", respQ.StatusCode, outQ)
+	}
+	qrows := outQ["rows"].([]any)
+	if len(qrows) != 2 {
+		t.Fatalf("RemoteAlert rows: %v", qrows)
+	}
+	first := qrows[0].([]any)
+	if first[0] != "clinic" || first[1] != "Lombardy" {
+		t.Errorf("first remote alert: %v", first)
+	}
+
+	// Sender status shows the drained outbox and a closed breaker.
+	var sst fednet.Status
+	getJSON(t, clinicTS.URL+"/fed/status", &sst)
+	if len(sst.Peers) != 1 || sst.Peers[0].Pending != 0 || sst.Peers[0].Breaker != "closed" {
+		t.Fatalf("sender status: %+v", sst.Peers)
+	}
+
+	// Federation metrics surface on /metrics.
+	mresp, err := http.Get(clinicTS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{"rkm_fed_push_total", "rkm_fed_outbox_depth"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	_ = clinic
+}
+
+func TestParseFedPeers(t *testing.T) {
+	peers, err := parseFedPeers("region=http://a:1, national=http://b:2")
+	if err != nil || len(peers) != 2 || peers[0].name != "region" || peers[1].url != "http://b:2" {
+		t.Fatalf("peers=%v err=%v", peers, err)
+	}
+	if got, err := parseFedPeers(""); err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	if _, err := parseFedPeers("nourl"); err == nil {
+		t.Error("bad entry accepted")
 	}
 }

@@ -13,6 +13,7 @@
 //	:alerts           list alert nodes
 //	:stats            graph and hub statistics
 //	:hubs             list hubs and owned labels
+//	:fed              federation state: received remote alerts, outbox marks
 //	:tick [h]         advance the simulated clock by h hours (default 24) and
 //	                  run due periodic tasks (summary rollover)
 //	:save <file>      export the knowledge graph as JSON
@@ -32,6 +33,7 @@ import (
 
 	reactive "repro"
 	"repro/internal/democovid"
+	"repro/internal/fednet"
 )
 
 func main() {
@@ -154,7 +156,7 @@ func meta(kb *reactive.KnowledgeBase, clock *reactive.ManualClock, cmd string) b
 	case ":quit", ":q", ":exit":
 		return false
 	case ":help":
-		fmt.Println(":rules :alerts :stats :hubs :check :apoc :explain <q> :tick [hours] :save <file> :load <file> :quit")
+		fmt.Println(":rules :alerts :stats :hubs :fed :check :apoc :explain <q> :tick [hours] :save <file> :load <file> :quit")
 	case ":rules":
 		for _, r := range kb.Rules() {
 			state := ""
@@ -189,6 +191,22 @@ func meta(kb *reactive.KnowledgeBase, clock *reactive.ManualClock, cmd string) b
 		for _, h := range kb.Hubs().Hubs() {
 			fmt.Printf("%-4s %-30s labels: %v\n", h.Name, h.Description,
 				kb.Hubs().OwnedLabels(h.Name))
+		}
+	case ":fed":
+		info, err := fednet.Inspect(kb)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if len(info.RemoteByOrigin) == 0 && len(info.OutboxMarks) == 0 {
+			fmt.Println("no federation state (no RemoteAlert nodes, no outbox marks)")
+			break
+		}
+		for origin, count := range info.RemoteByOrigin {
+			fmt.Printf("received from %-12s %d alert(s)\n", origin, count)
+		}
+		for peer, mark := range info.OutboxMarks {
+			fmt.Printf("outbox to %-12s acked through alert id %d\n", peer, mark)
 		}
 	case ":tick":
 		hours := 24

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFedLagSmall(t *testing.T) {
+	cfg := Config{PatientCounts: []int{20}, Seed: 1}
+	pts, err := RunFedLag(cfg, []int{4, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.Received != 20 {
+			t.Fatalf("batch %d: received %d of 20 alerts", p.Batch, p.Received)
+		}
+		if p.Elapsed <= 0 || p.PerAlert <= 0 {
+			t.Errorf("batch %d: non-positive timings %+v", p.Batch, p)
+		}
+	}
+	// batch=4 over 20 alerts is 5 requests; batch=32 is 1.
+	if pts[0].Requests != 5 || pts[1].Requests != 1 {
+		t.Errorf("requests: %d and %d, want 5 and 1", pts[0].Requests, pts[1].Requests)
+	}
+
+	var sb strings.Builder
+	WriteFed(&sb, pts)
+	out := sb.String()
+	for _, want := range []string{"Federated replication", "batch", "push latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteFed output missing %q:\n%s", want, out)
+		}
+	}
+}

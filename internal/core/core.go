@@ -473,6 +473,35 @@ type Alert struct {
 
 // Alerts lists all alert nodes, oldest first (by dateTime, then id).
 func (kb *KnowledgeBase) Alerts() ([]Alert, error) {
+	out, err := kb.collectAlerts(0)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].DateTime.Equal(out[j].DateTime) {
+			return out[i].DateTime.Before(out[j].DateTime)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// AlertsAfter lists the alert nodes whose id is greater than after, sorted
+// by id. Node ids are assigned in creation order, so this is the incremental
+// read replication cursors (the in-process federation's high-water marks and
+// fednet's durable outbox) page the alert log with.
+func (kb *KnowledgeBase) AlertsAfter(after graph.NodeID) ([]Alert, error) {
+	out, err := kb.collectAlerts(after)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// collectAlerts extracts the alert nodes with id greater than after
+// (unsorted).
+func (kb *KnowledgeBase) collectAlerts(after graph.NodeID) ([]Alert, error) {
 	label := kb.engine.AlertLabel
 	if label == "" {
 		label = trigger.DefaultAlertLabel
@@ -480,6 +509,9 @@ func (kb *KnowledgeBase) Alerts() ([]Alert, error) {
 	var out []Alert
 	err := kb.store.View(func(tx *graph.Tx) error {
 		for _, id := range tx.NodesByLabel(label) {
+			if id <= after {
+				continue
+			}
 			n, ok := tx.Node(id)
 			if !ok {
 				continue
@@ -504,12 +536,6 @@ func (kb *KnowledgeBase) Alerts() ([]Alert, error) {
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].DateTime.Equal(out[j].DateTime) {
-			return out[i].DateTime.Before(out[j].DateTime)
-		}
-		return out[i].ID < out[j].ID
-	})
 	return out, nil
 }
 

@@ -10,6 +10,14 @@
 // reactive write path, rules in the target that watch RemoteAlert creation
 // fire — one organization's alerts can trigger another organization's
 // reactions, the paper's "reactive interaction of several knowledge hubs".
+//
+// Federation in this package is in-process: every participant lives in one
+// address space and Sync moves alerts in a lock-step pass. The cross-process
+// variant — the same replication semantics over HTTP with a durable outbox,
+// retries and at-least-once delivery — is internal/fednet, which builds on
+// the apply-side primitives here (ApplyRemoteAlerts, HighWaterFor) so both
+// transports share one idempotency contract: a replicated alert is keyed by
+// (origin, originId) and is never materialized twice.
 package federation
 
 import (
@@ -25,6 +33,15 @@ import (
 
 // RemoteAlertLabel is the label of replicated alert nodes.
 const RemoteAlertLabel = "RemoteAlert"
+
+// Property keys of the idempotency key carried by every replicated alert:
+// the participant the alert came from and its node id there. Together they
+// identify one origin alert, whichever transport delivered it and however
+// many times it was delivered.
+const (
+	OriginProp   = "origin"
+	OriginIDProp = "originId"
+)
 
 // Errors reported by the federation.
 var (
@@ -44,6 +61,9 @@ type subscription struct {
 	from, to string
 	rules    map[string]bool // empty = all rules
 	// highWater is the largest source alert node id already replicated.
+	// Guarded by the owning Federation's mu: Sync snapshots it under the
+	// lock before scanning and advances it under the lock afterwards, so
+	// concurrent Sync calls never tear it.
 	highWater graph.NodeID
 }
 
@@ -86,6 +106,11 @@ func (f *Federation) Participants() []*Participant {
 
 // Subscribe propagates alerts produced in from to the knowledge base of to.
 // With rule names given, only those rules' alerts replicate.
+//
+// The subscription's high-water mark is recovered from the target: alerts
+// from this origin that already materialized there (in an earlier process
+// life, or through an earlier Federation value over the same knowledge
+// bases) are not replicated again.
 func (f *Federation) Subscribe(from, to string, rules ...string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -95,10 +120,15 @@ func (f *Federation) Subscribe(from, to string, rules ...string) error {
 	if _, ok := f.prts[from]; !ok {
 		return fmt.Errorf("%w: %s", ErrNodeNotFound, from)
 	}
-	if _, ok := f.prts[to]; !ok {
+	dst, ok := f.prts[to]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrNodeNotFound, to)
 	}
-	sub := &subscription{from: from, to: to, rules: make(map[string]bool)}
+	mark, err := HighWaterFor(dst.KB, from)
+	if err != nil {
+		return fmt.Errorf("federation: recover mark %s→%s: %w", from, to, err)
+	}
+	sub := &subscription{from: from, to: to, rules: make(map[string]bool), highWater: mark}
 	for _, r := range rules {
 		sub.rules[r] = true
 	}
@@ -107,9 +137,11 @@ func (f *Federation) Subscribe(from, to string, rules ...string) error {
 }
 
 // Sync propagates all new alerts along every subscription and returns the
-// number of alerts replicated. Replication is idempotent per subscription
-// (a high-water mark tracks what the target has seen) and runs through the
-// targets' reactive pipelines, so RemoteAlert rules fire.
+// number of alerts replicated. Replication is idempotent twice over: a
+// high-water mark per subscription skips alerts already scanned, and the
+// apply side (ApplyRemoteAlerts) refuses duplicates by (origin, originId).
+// Replication runs through the targets' reactive pipelines, so RemoteAlert
+// rules fire.
 func (f *Federation) Sync() (int, error) {
 	f.mu.Lock()
 	subs := append([]*subscription(nil), f.subs...)
@@ -133,39 +165,75 @@ func (f *Federation) Sync() (int, error) {
 func (f *Federation) syncOne(prts map[string]*Participant, sub *subscription) (int, error) {
 	src := prts[sub.from]
 	dst := prts[sub.to]
-	alerts, err := src.KB.Alerts()
+	f.mu.Lock()
+	mark := sub.highWater
+	f.mu.Unlock()
+	alerts, err := src.KB.AlertsAfter(mark)
 	if err != nil {
 		return 0, err
 	}
 	var fresh []core.Alert
-	maxID := sub.highWater
+	maxID := mark
 	for _, a := range alerts {
-		if a.ID <= sub.highWater {
-			continue
-		}
-		if len(sub.rules) > 0 && !sub.rules[a.Rule] {
-			if a.ID > maxID {
-				maxID = a.ID
-			}
-			continue
-		}
-		fresh = append(fresh, a)
 		if a.ID > maxID {
 			maxID = a.ID
 		}
+		if len(sub.rules) > 0 && !sub.rules[a.Rule] {
+			continue
+		}
+		fresh = append(fresh, a)
 	}
-	if len(fresh) == 0 {
-		sub.advance(maxID)
-		return 0, nil
+	applied, _, err := ApplyRemoteAlerts(dst.KB, src.Name, fresh)
+	if err != nil {
+		return 0, err
 	}
-	_, err = dst.KB.WriteTx(func(tx *graph.Tx) error {
-		for _, a := range fresh {
+	f.advance(sub, maxID)
+	return applied, nil
+}
+
+// advance moves a subscription's high-water mark forward under the lock.
+func (f *Federation) advance(sub *subscription, id graph.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if id > sub.highWater {
+		sub.highWater = id
+	}
+}
+
+// EnsureRemoteAlertIndex creates the (RemoteAlert, originId) property index
+// the duplicate check of ApplyRemoteAlerts and the mark recovery of
+// HighWaterFor use. It is idempotent; without it both fall back to a label
+// scan. Not safe to call while transactions are open on the store.
+func EnsureRemoteAlertIndex(kb *core.KnowledgeBase) error {
+	err := kb.Store().CreateIndex(RemoteAlertLabel, OriginIDProp)
+	if errors.Is(err, graph.ErrIndexExists) {
+		return nil
+	}
+	return err
+}
+
+// ApplyRemoteAlerts materializes alerts from origin as RemoteAlert nodes in
+// kb, skipping every alert whose (origin, originId) pair is already present
+// — in the graph or earlier in the same batch — so redelivery under
+// at-least-once transports never duplicates knowledge. The whole batch is
+// one transaction through the reactive pipeline: target rules watching
+// RemoteAlert creation fire, and on any error nothing is applied.
+func ApplyRemoteAlerts(kb *core.KnowledgeBase, origin string, alerts []core.Alert) (applied, duplicates int, err error) {
+	if len(alerts) == 0 {
+		return 0, 0, nil
+	}
+	_, err = kb.WriteTx(func(tx *graph.Tx) error {
+		for _, a := range alerts {
+			if remoteAlertExists(tx, origin, a.ID) {
+				duplicates++
+				continue
+			}
 			props := map[string]value.Value{
-				"origin":   value.Str(src.Name),
-				"rule":     value.Str(a.Rule),
-				"hub":      value.Str(a.Hub),
-				"dateTime": value.DateTime(a.DateTime),
-				"originId": value.Int(int64(a.ID)),
+				OriginProp:   value.Str(origin),
+				"rule":       value.Str(a.Rule),
+				"hub":        value.Str(a.Hub),
+				"dateTime":   value.DateTime(a.DateTime),
+				OriginIDProp: value.Int(int64(a.ID)),
 			}
 			for k, v := range a.Props {
 				if _, taken := props[k]; !taken {
@@ -175,20 +243,61 @@ func (f *Federation) syncOne(prts map[string]*Participant, sub *subscription) (i
 			if _, err := tx.CreateNode([]string{RemoteAlertLabel}, props); err != nil {
 				return err
 			}
+			applied++
 		}
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	sub.advance(maxID)
-	return len(fresh), nil
+	return applied, duplicates, nil
 }
 
-func (sub *subscription) advance(id graph.NodeID) {
-	if id > sub.highWater {
-		sub.highWater = id
+// remoteAlertExists reports whether a RemoteAlert with the given idempotency
+// key is present, preferring the (RemoteAlert, originId) index. Nodes
+// created earlier in the same open transaction are visible.
+func remoteAlertExists(tx *graph.Tx, origin string, originID graph.NodeID) bool {
+	ids, indexed := tx.NodesByProp(RemoteAlertLabel, OriginIDProp, value.Int(int64(originID)))
+	if !indexed {
+		ids = tx.NodesByLabel(RemoteAlertLabel)
 	}
+	for _, id := range ids {
+		n, ok := tx.Node(id)
+		if !ok {
+			continue
+		}
+		if got, _ := n.Props[OriginProp].AsString(); got != origin {
+			continue
+		}
+		if oid, _ := n.Props[OriginIDProp].AsInt(); graph.NodeID(oid) == originID {
+			return true
+		}
+	}
+	return false
+}
+
+// HighWaterFor returns the largest originId among kb's RemoteAlert nodes
+// from the given origin — the replication mark a rebuilt subscription (or a
+// restarted sender without its own outbox state) resumes from.
+func HighWaterFor(kb *core.KnowledgeBase, origin string) (graph.NodeID, error) {
+	var mark graph.NodeID
+	err := kb.Store().View(func(tx *graph.Tx) error {
+		for _, id := range tx.NodesByLabel(RemoteAlertLabel) {
+			n, ok := tx.Node(id)
+			if !ok {
+				continue
+			}
+			if got, _ := n.Props[OriginProp].AsString(); got != origin {
+				continue
+			}
+			oid, _ := n.Props[OriginIDProp].AsInt()
+			if graph.NodeID(oid) > mark {
+				mark = graph.NodeID(oid)
+			}
+		}
+		return nil
+	})
+	return mark, err
 }
 
 // RemoteAlerts lists the replicated alerts present in a participant's
@@ -201,7 +310,7 @@ func RemoteAlerts(kb *core.KnowledgeBase) ([]core.Alert, error) {
 			if !ok {
 				continue
 			}
-			a := core.Alert{ID: id, Props: make(map[string]value.Value)}
+			a := core.Alert{Props: make(map[string]value.Value)}
 			for k, v := range n.Props {
 				switch k {
 				case "rule":
@@ -210,6 +319,10 @@ func RemoteAlerts(kb *core.KnowledgeBase) ([]core.Alert, error) {
 					a.Hub, _ = v.AsString()
 				case "dateTime":
 					a.DateTime, _ = v.AsDateTime()
+				case OriginIDProp:
+					oid, _ := v.AsInt()
+					a.ID = graph.NodeID(oid)
+					a.Props[k] = v
 				default:
 					a.Props[k] = v
 				}

@@ -2,6 +2,7 @@ package federation
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -171,6 +172,141 @@ func TestRemoteAlertsTriggerTargetRules(t *testing.T) {
 	}
 	if len(res.Rows) != 1 || res.Rows[0][0].String() != `"Lombardy"` {
 		t.Errorf("cross-organization reaction: %v", res.Rows)
+	}
+}
+
+// TestConcurrentSync exercises the "safe for concurrent use" contract under
+// the race detector: several goroutines call Sync while admissions keep
+// producing fresh alerts. Whatever the interleaving, every alert must end up
+// in the target exactly once.
+func TestConcurrentSync(t *testing.T) {
+	f := New()
+	clinic := clinicalKB(t)
+	region := newKB()
+	_, _ = f.Join("clinic", clinic)
+	_, _ = f.Join("region", region)
+	if err := f.Subscribe("clinic", "region"); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, admitsPerWriter, syncers = 4, 25, 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < admitsPerWriter; i++ {
+				admit(t, clinic, "Lombardy")
+			}
+		}()
+	}
+	errCh := make(chan error, syncers)
+	for s := 0; s < syncers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := f.Sync(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if _, err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := RemoteAlerts(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := writers * admitsPerWriter; len(remote) != want {
+		t.Fatalf("remote alerts = %d, want %d (lost or duplicated under concurrency)", len(remote), want)
+	}
+	seen := make(map[int64]bool, len(remote))
+	for _, a := range remote {
+		if seen[int64(a.ID)] {
+			t.Fatalf("origin id %d replicated twice", a.ID)
+		}
+		seen[int64(a.ID)] = true
+	}
+}
+
+// TestRebuildDoesNotRereplicate is the restart scenario: a fresh Federation
+// over the same knowledge bases (in-memory marks gone) must not replicate
+// already-delivered alerts again — Subscribe recovers the mark from the
+// target and the apply side refuses (origin, originId) duplicates.
+func TestRebuildDoesNotRereplicate(t *testing.T) {
+	clinic := clinicalKB(t)
+	region := newKB()
+
+	f1 := New()
+	_, _ = f1.Join("clinic", clinic)
+	_, _ = f1.Join("region", region)
+	_ = f1.Subscribe("clinic", "region")
+	admit(t, clinic, "Lombardy")
+	admit(t, clinic, "Veneto")
+	if n, err := f1.Sync(); err != nil || n != 2 {
+		t.Fatalf("first sync: n=%d err=%v", n, err)
+	}
+
+	// The process "restarts": a brand-new Federation over the same KBs.
+	f2 := New()
+	_, _ = f2.Join("clinic", clinic)
+	_, _ = f2.Join("region", region)
+	_ = f2.Subscribe("clinic", "region")
+	if n, err := f2.Sync(); err != nil || n != 0 {
+		t.Fatalf("rebuilt sync replicated %d (err=%v), want 0", n, err)
+	}
+	// New alerts still flow.
+	admit(t, clinic, "Lazio")
+	if n, err := f2.Sync(); err != nil || n != 1 {
+		t.Fatalf("incremental sync after rebuild: n=%d err=%v", n, err)
+	}
+	remote, _ := RemoteAlerts(region)
+	if len(remote) != 3 {
+		t.Fatalf("remote alerts = %d, want 3", len(remote))
+	}
+}
+
+// TestApplyRemoteAlertsDedup checks the shared idempotent-apply primitive
+// directly: redelivery of the same batch, overlap across batches, and
+// duplicates within one batch all collapse to a single materialization.
+func TestApplyRemoteAlertsDedup(t *testing.T) {
+	kb := newKB()
+	if err := EnsureRemoteAlertIndex(kb); err != nil {
+		t.Fatal(err)
+	}
+	batch := []core.Alert{
+		{ID: 1, Rule: "icu", DateTime: fedStart},
+		{ID: 2, Rule: "icu", DateTime: fedStart},
+		{ID: 2, Rule: "icu", DateTime: fedStart}, // in-batch duplicate
+	}
+	applied, dups, err := ApplyRemoteAlerts(kb, "clinic", batch)
+	if err != nil || applied != 2 || dups != 1 {
+		t.Fatalf("first apply: applied=%d dups=%d err=%v", applied, dups, err)
+	}
+	// Full redelivery (sender never got the ack).
+	applied, dups, err = ApplyRemoteAlerts(kb, "clinic", batch[:2])
+	if err != nil || applied != 0 || dups != 2 {
+		t.Fatalf("redelivery: applied=%d dups=%d err=%v", applied, dups, err)
+	}
+	// Same originId from a different origin is distinct knowledge.
+	applied, _, err = ApplyRemoteAlerts(kb, "lab", batch[:1])
+	if err != nil || applied != 1 {
+		t.Fatalf("other origin: applied=%d err=%v", applied, err)
+	}
+	if mark, _ := HighWaterFor(kb, "clinic"); mark != 2 {
+		t.Fatalf("HighWaterFor = %d, want 2", mark)
+	}
+	remote, _ := RemoteAlerts(kb)
+	if len(remote) != 3 {
+		t.Fatalf("remote alerts = %d, want 3", len(remote))
 	}
 }
 

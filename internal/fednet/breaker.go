@@ -1,0 +1,115 @@
+package fednet
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState enumerates the circuit-breaker states. The numeric values
+// are exported as the rkm_fed_breaker_state gauge, ordered by severity.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// String returns the conventional state name.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	case breakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is a per-peer circuit breaker: after threshold consecutive
+// failures the circuit opens and pushes to the peer are refused locally
+// (fail-fast, no network traffic) until cooldown elapses; then a single
+// half-open probe is let through — its success closes the circuit, its
+// failure reopens it for another cooldown.
+type breaker struct {
+	now       func() time.Time
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{now: now, threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a push attempt may proceed. In the open state it
+// transitions to half-open once the cooldown has elapsed and admits exactly
+// one probe; concurrent callers are refused until that probe settles.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// success records a successful push and closes the circuit.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records a failed push: a half-open probe reopens the circuit
+// immediately, a closed circuit opens after threshold consecutive failures.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// current returns the state for status reports and the breaker gauge.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

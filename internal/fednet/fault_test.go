@@ -1,0 +1,212 @@
+package fednet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// faultyHandler injects failures ahead of a live receiver handler. A test
+// picks a fault mode and, optionally, a request count after which the peer
+// heals — which makes retry scenarios fully deterministic.
+type faultyHandler struct {
+	inner    http.Handler
+	requests atomic.Int64
+	// mode selects the injected fault for incoming requests.
+	mode atomic.Int64
+	// limit, when positive, heals the peer after that many requests: later
+	// requests are served by the inner handler regardless of mode.
+	limit atomic.Int64
+}
+
+const (
+	faultNone        = iota // healthy
+	faultServerError        // respond 500 without applying
+	faultAckLost            // apply the batch, then sever the connection
+	faultHang               // stall past the sender's request timeout
+)
+
+func (f *faultyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := f.requests.Add(1)
+	mode := f.mode.Load()
+	if l := f.limit.Load(); l > 0 && n > l {
+		mode = faultNone
+	}
+	switch mode {
+	case faultServerError:
+		http.Error(w, "injected failure", http.StatusInternalServerError)
+	case faultAckLost:
+		rec := newDiscardRecorder()
+		f.inner.ServeHTTP(rec, r)   // the batch commits…
+		panic(http.ErrAbortHandler) // …but the ack never reaches the sender
+	case faultHang:
+		time.Sleep(250 * time.Millisecond)
+		http.Error(w, "too late", http.StatusServiceUnavailable)
+	default:
+		f.inner.ServeHTTP(w, r)
+	}
+}
+
+// discardRecorder is a ResponseWriter that swallows the inner handler's
+// response so faultAckLost can commit the batch yet answer with a severed
+// connection.
+type discardRecorder struct{ header http.Header }
+
+func newDiscardRecorder() *discardRecorder             { return &discardRecorder{header: make(http.Header)} }
+func (d *discardRecorder) Header() http.Header         { return d.header }
+func (d *discardRecorder) WriteHeader(int)             {}
+func (d *discardRecorder) Write(p []byte) (int, error) { return len(p), nil }
+
+// newFaultyPair wires a sender to a receiver behind a faultyHandler.
+func newFaultyPair(t *testing.T, opts Options) (*Node, *faultyHandler, *Node) {
+	t.Helper()
+	srcKB, dstKB := newMemKB(t), newMemKB(t)
+	dst, url, sh := newReceiver(t, "region", dstKB)
+	fh := &faultyHandler{inner: sh.h.Load().(http.Handler)}
+	sh.set(fh)
+	src, err := NewNode("clinic", srcKB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Subscribe("region", url); err != nil {
+		t.Fatal(err)
+	}
+	return src, fh, dst
+}
+
+// TestRetryAfterServerError: transient 5xx responses are retried with
+// backoff until the peer heals, and the healed delivery is exactly-once.
+func TestRetryAfterServerError(t *testing.T) {
+	src, fh, dst := newFaultyPair(t, testOpts())
+	admit(t, src.KB(), "Lombardy")
+	admit(t, src.KB(), "Veneto")
+
+	fh.mode.Store(faultServerError)
+	fh.limit.Store(2) // two failed attempts, then the peer heals
+	n, err := src.SyncAll(context.Background())
+	if err != nil {
+		t.Fatalf("sync did not survive transient 5xx: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("delivered = %d, want 2", n)
+	}
+	if ids := remoteIDs(t, dst.KB()); len(ids) != 2 {
+		t.Fatalf("remote alerts = %d, want 2", len(ids))
+	}
+	if got := fh.requests.Load(); got != 3 {
+		t.Fatalf("requests = %d, want 3 (two failures + one success)", got)
+	}
+}
+
+// TestClientErrorNotRetried: a 4xx rejection means the request itself is
+// wrong; retrying it would spin forever.
+func TestClientErrorNotRetried(t *testing.T) {
+	src, fh, _ := newFaultyPair(t, testOpts())
+	admit(t, src.KB(), "Lombardy")
+
+	fh.inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no thanks", http.StatusBadRequest)
+	})
+	_, err := src.SyncAll(context.Background())
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want HTTP 400", err)
+	}
+	if got := fh.requests.Load(); got != 1 {
+		t.Fatalf("requests = %d, want 1 (4xx must not be retried)", got)
+	}
+}
+
+// TestRetryAfterTimeout: a hanging peer trips the per-request timeout; the
+// retry delivers, and nothing is lost or doubled.
+func TestRetryAfterTimeout(t *testing.T) {
+	opts := testOpts()
+	opts.RequestTimeout = 30 * time.Millisecond
+	src, fh, dst := newFaultyPair(t, opts)
+	admit(t, src.KB(), "Lombardy")
+
+	fh.mode.Store(faultHang)
+	fh.limit.Store(1)
+	if n, err := src.SyncAll(context.Background()); err != nil || n != 1 {
+		t.Fatalf("sync across a timeout: n=%d err=%v", n, err)
+	}
+	if ids := remoteIDs(t, dst.KB()); len(ids) != 1 {
+		t.Fatalf("remote alerts = %d, want 1", len(ids))
+	}
+}
+
+// TestAckLostRedelivery is at-least-once's sharp edge: the receiver commits
+// the batch but the ack is lost, so the sender must redeliver — and the
+// receiver's (origin, originId) check must collapse the redelivery into
+// duplicates instead of double-materializing.
+func TestAckLostRedelivery(t *testing.T) {
+	src, fh, dst := newFaultyPair(t, testOpts())
+	admit(t, src.KB(), "Lombardy")
+	admit(t, src.KB(), "Veneto")
+
+	fh.mode.Store(faultAckLost)
+	fh.limit.Store(1)
+	if n, err := src.SyncAll(context.Background()); err != nil || n != 2 {
+		t.Fatalf("sync across a lost ack: n=%d err=%v", n, err)
+	}
+	// Exactly once, despite the wire having carried the batch twice.
+	if ids := remoteIDs(t, dst.KB()); len(ids) != 2 {
+		t.Fatalf("remote alerts = %d, want 2", len(ids))
+	}
+	if got := fh.requests.Load(); got != 2 {
+		t.Fatalf("requests = %d, want 2 (the batch must have been redelivered)", got)
+	}
+}
+
+// TestBreakerFailsFastAndRecovers: a persistently down peer opens the
+// circuit (no more wire traffic), and after the cooldown a half-open probe
+// against the healed peer closes it and delivers the backlog.
+func TestBreakerFailsFastAndRecovers(t *testing.T) {
+	clk := &manualNow{t: netStart}
+	opts := testOpts()
+	opts.MaxAttempts = 2
+	opts.BreakerThreshold = 2
+	opts.BreakerCooldown = time.Minute
+	opts.Now = clk.now
+	src, fh, dst := newFaultyPair(t, opts)
+	admit(t, src.KB(), "Lombardy")
+
+	// Two failed attempts open the circuit.
+	fh.mode.Store(faultServerError)
+	if _, err := src.SyncAll(context.Background()); err == nil {
+		t.Fatal("sync succeeded against a dead peer")
+	}
+	st, _ := src.Status()
+	if st.Peers[0].Breaker != "open" {
+		t.Fatalf("breaker = %s, want open", st.Peers[0].Breaker)
+	}
+
+	// While open, syncs fail fast without touching the wire.
+	before := fh.requests.Load()
+	if _, err := src.SyncAll(context.Background()); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("open-circuit sync: %v", err)
+	}
+	if got := fh.requests.Load(); got != before {
+		t.Fatalf("open circuit still sent %d requests", got-before)
+	}
+	if st, _ := src.Status(); st.Peers[0].Pending != 1 {
+		t.Fatalf("pending = %d, want 1 (alert stays in the outbox)", st.Peers[0].Pending)
+	}
+
+	// Heal the peer and let the cooldown elapse: the half-open probe
+	// succeeds, the circuit closes, the backlog flows.
+	fh.mode.Store(faultNone)
+	clk.t = clk.t.Add(time.Minute)
+	if n, err := src.SyncAll(context.Background()); err != nil || n != 1 {
+		t.Fatalf("post-cooldown sync: n=%d err=%v", n, err)
+	}
+	if st, _ := src.Status(); st.Peers[0].Breaker != "closed" || st.Peers[0].Pending != 0 {
+		t.Fatalf("post-recovery status: %+v", st.Peers[0])
+	}
+	if ids := remoteIDs(t, dst.KB()); len(ids) != 1 {
+		t.Fatalf("remote alerts = %d, want 1", len(ids))
+	}
+}

@@ -1,0 +1,460 @@
+package fednet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/periodic"
+	"repro/internal/trigger"
+	"repro/internal/wal"
+)
+
+var netStart = time.Date(2023, 4, 1, 8, 0, 0, 0, time.UTC)
+
+// icuRule is the demo rule every sender installs: ICU admissions fire alerts.
+var icuRule = trigger.Rule{
+	Name:  "icu",
+	Hub:   "C",
+	Event: trigger.Event{Kind: trigger.CreateNode, Label: "IcuPatient"},
+	Alert: "RETURN NEW.region AS region",
+}
+
+func newMemKB(t *testing.T) *core.KnowledgeBase {
+	t.Helper()
+	kb := core.New(core.Config{Clock: periodic.NewManualClock(netStart)})
+	if err := kb.InstallRule(icuRule); err != nil {
+		t.Fatal(err)
+	}
+	return kb
+}
+
+// openDurable opens (or reopens) a durable KB under dir and reinstalls the
+// demo rule, the way a restarted rkm-server process would.
+func openDurable(t *testing.T, dir string) *core.KnowledgeBase {
+	t.Helper()
+	kb, _, err := core.OpenDurable(dir, core.Config{Clock: periodic.NewManualClock(netStart)}, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.InstallRule(icuRule); err != nil {
+		t.Fatal(err)
+	}
+	return kb
+}
+
+func admit(t *testing.T, kb *core.KnowledgeBase, region string) {
+	t.Helper()
+	if _, err := kb.Execute("CREATE (:IcuPatient {region: '"+region+"', hub: 'C'})", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testOpts are Options with the timing knobs shrunk for tests.
+func testOpts() Options {
+	return Options{
+		RequestTimeout: 2 * time.Second,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     4 * time.Millisecond,
+		Seed:           1,
+	}
+}
+
+// swapHandler lets a test "restart" a receiver behind a stable URL: the
+// httptest server stays up while the node (and knowledge base) behind it is
+// replaced, which models a receiver process restarting on the same address.
+type swapHandler struct{ h atomic.Value }
+
+// set wraps h in http.HandlerFunc so atomic.Value always stores one
+// concrete type.
+func (s *swapHandler) set(h http.Handler) { s.h.Store(http.HandlerFunc(h.ServeHTTP)) }
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// newReceiver builds a receiver node and serves it; returns the node, its
+// base URL and the swapHandler for mid-test surgery.
+func newReceiver(t *testing.T, name string, kb *core.KnowledgeBase) (*Node, string, *swapHandler) {
+	t.Helper()
+	n, err := NewNode(name, kb, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &swapHandler{}
+	sh.set(n.Handler())
+	ts := httptest.NewServer(sh)
+	t.Cleanup(ts.Close)
+	return n, ts.URL, sh
+}
+
+// remoteIDs returns the origin ids of the RemoteAlert nodes in kb, failing
+// the test on any duplicate — the exactly-once invariant.
+func remoteIDs(t *testing.T, kb *core.KnowledgeBase) []int64 {
+	t.Helper()
+	remote, err := federation.RemoteAlerts(kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool, len(remote))
+	ids := make([]int64, 0, len(remote))
+	for _, a := range remote {
+		if seen[int64(a.ID)] {
+			t.Fatalf("origin id %d materialized twice", a.ID)
+		}
+		seen[int64(a.ID)] = true
+		ids = append(ids, int64(a.ID))
+	}
+	return ids
+}
+
+func TestPushEndToEnd(t *testing.T) {
+	srcKB, dstKB := newMemKB(t), newMemKB(t)
+	_, url, _ := newReceiver(t, "region", dstKB)
+
+	src, err := NewNode("clinic", srcKB, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Subscribe("region", url); err != nil {
+		t.Fatal(err)
+	}
+
+	admit(t, srcKB, "Lombardy")
+	admit(t, srcKB, "Veneto")
+	admit(t, srcKB, "Lazio")
+	n, err := src.SyncAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("delivered = %d, want 3", n)
+	}
+	if ids := remoteIDs(t, dstKB); len(ids) != 3 {
+		t.Fatalf("remote alerts = %d, want 3", len(ids))
+	}
+	remote, _ := federation.RemoteAlerts(dstKB)
+	if origin, _ := remote[0].Props[federation.OriginProp].AsString(); origin != "clinic" {
+		t.Errorf("origin = %q", origin)
+	}
+	if region, _ := remote[0].Props["region"].AsString(); region != "Lombardy" {
+		t.Errorf("alert props lost on the wire: %v", remote[0].Props)
+	}
+
+	// Nothing pending → second sync is a no-op.
+	if n, err := src.SyncAll(context.Background()); err != nil || n != 0 {
+		t.Fatalf("idle sync: n=%d err=%v", n, err)
+	}
+	// Incremental delivery.
+	admit(t, srcKB, "Puglia")
+	if n, err := src.SyncAll(context.Background()); err != nil || n != 1 {
+		t.Fatalf("incremental sync: n=%d err=%v", n, err)
+	}
+
+	// Sender-side status.
+	st, err := src.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Peers) != 1 || st.Peers[0].Peer != "region" || st.Peers[0].Pending != 0 ||
+		st.Peers[0].Breaker != "closed" {
+		t.Errorf("sender status: %+v", st.Peers)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	srcKB, dstKB := newMemKB(t), newMemKB(t)
+	_, url, _ := newReceiver(t, "region", dstKB)
+	src, _ := NewNode("clinic", srcKB, testOpts())
+	if err := src.Subscribe("region", url); err != nil {
+		t.Fatal(err)
+	}
+	admit(t, srcKB, "Lombardy")
+	if _, err := src.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(url + "/fed/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "region" || st.RemoteAlerts["clinic"] != 1 {
+		t.Errorf("receiver status: %+v", st)
+	}
+}
+
+func TestRuleFilteredSubscription(t *testing.T) {
+	srcKB, dstKB := newMemKB(t), newMemKB(t)
+	if err := srcKB.InstallRule(trigger.Rule{
+		Name:  "noise",
+		Event: trigger.Event{Kind: trigger.CreateNode, Label: "Misc"},
+		Alert: "RETURN 1 AS one",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, url, _ := newReceiver(t, "region", dstKB)
+	src, _ := NewNode("clinic", srcKB, testOpts())
+	if err := src.Subscribe("region", url, "icu"); err != nil {
+		t.Fatal(err)
+	}
+
+	admit(t, srcKB, "Lombardy")
+	if _, err := srcKB.Execute("CREATE (:Misc)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := src.SyncAll(context.Background()); err != nil || n != 1 {
+		t.Fatalf("filtered sync: n=%d err=%v", n, err)
+	}
+	remote, _ := federation.RemoteAlerts(dstKB)
+	if len(remote) != 1 || remote[0].Rule != "icu" {
+		t.Fatalf("remote: %+v", remote)
+	}
+	// The filtered-out alert advanced the mark; it never resurfaces.
+	if n, err := src.SyncAll(context.Background()); err != nil || n != 0 {
+		t.Fatalf("skipped alert resurfaced: n=%d err=%v", n, err)
+	}
+}
+
+// TestReceiverRestartMidStream is the acceptance scenario: the receiver dies
+// mid-stream (one batch applied, the connection severed on the next), comes
+// back from its write-ahead log on the same address, and the stream resumes
+// with every alert materialized exactly once.
+func TestReceiverRestartMidStream(t *testing.T) {
+	srcKB := newMemKB(t)
+	dstDir := t.TempDir()
+	dstKB := openDurable(t, dstDir)
+	_, url, sh := newReceiver(t, "region", dstKB)
+
+	opts := testOpts()
+	opts.BatchSize = 2
+	opts.BreakerThreshold = 100 // breaker behaviour has its own tests
+	src, err := NewNode("clinic", srcKB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Subscribe("region", url); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"a", "b", "c", "d", "e"} {
+		admit(t, srcKB, r)
+	}
+
+	// Kill the receiver after the first batch commits: subsequent pushes die
+	// without a response, like a process crash mid-request.
+	live := sh.h.Load().(http.Handler)
+	var pushes atomic.Int64
+	sh.set(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if pushes.Add(1) > 1 {
+			panic(http.ErrAbortHandler)
+		}
+		live.ServeHTTP(w, r)
+	}))
+	sent, err := src.SyncAll(context.Background())
+	if err == nil {
+		t.Fatal("sync succeeded against a dead receiver")
+	}
+	if sent != 2 {
+		t.Fatalf("delivered before crash = %d, want 2 (one batch)", sent)
+	}
+
+	// "Restart" the receiver: recover the knowledge base from its WAL and
+	// mount a fresh node on the same address.
+	if err := dstKB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dstKB2 := openDurable(t, dstDir)
+	t.Cleanup(func() { dstKB2.Close() })
+	dst2, err := NewNode("region", dstKB2, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.set(dst2.Handler())
+	if ids := remoteIDs(t, dstKB2); len(ids) != 2 {
+		t.Fatalf("recovered remote alerts = %d, want 2 (first batch survived the crash)", len(ids))
+	}
+
+	// The sender just retries on its next round; nothing is lost or doubled.
+	if n, err := src.SyncAll(context.Background()); err != nil || n != 3 {
+		t.Fatalf("resumed sync: n=%d err=%v, want 3", n, err)
+	}
+	if ids := remoteIDs(t, dstKB2); len(ids) != 5 {
+		t.Fatalf("final remote alerts = %d, want 5", len(ids))
+	}
+}
+
+// TestSenderRestartAfterPartialPush is the other acceptance half: the sender
+// crashes after an acknowledged batch, restarts from its write-ahead log, and
+// resumes from the durable outbox mark instead of re-sending history.
+func TestSenderRestartAfterPartialPush(t *testing.T) {
+	srcDir := t.TempDir()
+	srcKB := openDurable(t, srcDir)
+	dstKB := newMemKB(t)
+	_, url, sh := newReceiver(t, "region", dstKB)
+
+	opts := testOpts()
+	opts.BatchSize = 2
+	opts.MaxAttempts = 1 // fail fast; the restarted process is the retry
+	src, err := NewNode("clinic", srcKB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Subscribe("region", url); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"a", "b", "c", "d", "e"} {
+		admit(t, srcKB, r)
+	}
+
+	// The peer vanishes after acknowledging the first batch.
+	live := sh.h.Load().(http.Handler)
+	var pushes atomic.Int64
+	sh.set(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if pushes.Add(1) > 1 {
+			http.Error(w, "gone", http.StatusServiceUnavailable)
+			return
+		}
+		live.ServeHTTP(w, r)
+	}))
+	if sent, err := src.SyncAll(context.Background()); err == nil || sent != 2 {
+		t.Fatalf("partial push: sent=%d err=%v, want 2 and an error", sent, err)
+	}
+
+	// Sender process crashes and restarts: recover its graph (alert log and
+	// outbox mark included) and rebuild the node.
+	if err := srcKB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srcKB2 := openDurable(t, srcDir)
+	t.Cleanup(func() { srcKB2.Close() })
+	src2, err := NewNode("clinic", srcKB2, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src2.Subscribe("region", url); err != nil {
+		t.Fatal(err)
+	}
+	sh.set(live) // peer is back
+
+	// Only the three unacknowledged alerts go out — the recovered mark
+	// spares the first batch a redelivery.
+	if n, err := src2.SyncAll(context.Background()); err != nil || n != 3 {
+		t.Fatalf("resumed sync after sender restart: n=%d err=%v, want 3", n, err)
+	}
+	if ids := remoteIDs(t, dstKB); len(ids) != 5 {
+		t.Fatalf("final remote alerts = %d, want 5", len(ids))
+	}
+	if n, err := src2.SyncAll(context.Background()); err != nil || n != 0 {
+		t.Fatalf("steady state: n=%d err=%v", n, err)
+	}
+}
+
+func TestStartSchedulesPeriodicSync(t *testing.T) {
+	clk := periodic.NewManualClock(netStart)
+	srcKB := core.New(core.Config{Clock: clk})
+	if err := srcKB.InstallRule(icuRule); err != nil {
+		t.Fatal(err)
+	}
+	dstKB := newMemKB(t)
+	_, url, _ := newReceiver(t, "region", dstKB)
+	src, _ := NewNode("clinic", srcKB, testOpts())
+	if err := src.Subscribe("region", url); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Start(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	admit(t, srcKB, "Lombardy")
+	clk.Advance(time.Minute)
+	if _, err := srcKB.Scheduler().Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if ids := remoteIDs(t, dstKB); len(ids) != 1 {
+		t.Fatalf("periodic sync delivered %d alerts, want 1", len(ids))
+	}
+
+	// A dead peer must not error the scheduler loop (that would take the
+	// summary tasks down with it); the failure is logged and retried later.
+	clk2 := periodic.NewManualClock(netStart)
+	srcKB2 := core.New(core.Config{Clock: clk2})
+	if err := srcKB2.InstallRule(icuRule); err != nil {
+		t.Fatal(err)
+	}
+	src2, _ := NewNode("clinic2", srcKB2, testOpts())
+	if err := src2.Subscribe("ghost", "http://127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src2.Start(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	admit(t, srcKB2, "Veneto")
+	clk2.Advance(time.Minute)
+	if _, err := srcKB2.Scheduler().Tick(); err != nil {
+		t.Fatalf("scheduler tick propagated a sync failure: %v", err)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	kb := newMemKB(t)
+	n, err := NewNode("clinic", kb, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Subscribe("", "http://x"); err == nil {
+		t.Error("empty peer accepted")
+	}
+	if err := n.Subscribe("clinic", "http://x"); err == nil {
+		t.Error("self peer accepted")
+	}
+	if err := n.Subscribe("region", "not a url"); err == nil {
+		t.Error("bad URL accepted")
+	}
+	if err := n.Subscribe("region", "http://127.0.0.1:9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Subscribe("region", "http://127.0.0.1:9"); !errors.Is(err, ErrPeerExists) {
+		t.Errorf("duplicate subscribe: %v", err)
+	}
+	if _, err := NewNode("", kb, testOpts()); err == nil {
+		t.Error("empty node name accepted")
+	}
+}
+
+func TestInspect(t *testing.T) {
+	srcKB, dstKB := newMemKB(t), newMemKB(t)
+	_, url, _ := newReceiver(t, "region", dstKB)
+	src, _ := NewNode("clinic", srcKB, testOpts())
+	if err := src.Subscribe("region", url); err != nil {
+		t.Fatal(err)
+	}
+	admit(t, srcKB, "Lombardy")
+	if _, err := src.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	srcInfo, err := Inspect(srcKB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srcInfo.OutboxMarks["region"] == 0 {
+		t.Errorf("sender outbox mark not persisted: %+v", srcInfo)
+	}
+	dstInfo, err := Inspect(dstKB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dstInfo.RemoteByOrigin["clinic"] != 1 {
+		t.Errorf("receiver remote counts: %+v", dstInfo)
+	}
+}

@@ -1,0 +1,86 @@
+package fednet
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// OutboxLabel is the label of the per-peer replication-state nodes a fednet
+// node keeps in its own knowledge graph. Storing the acknowledged mark as a
+// graph node means the outbox rides the existing durability machinery for
+// free: mark updates commit through the store, the write-ahead-log hook
+// appends them, checkpoints snapshot them, and recovery replays them — so a
+// crashed sender resumes exactly where the last acknowledged batch left it.
+//
+// The pending half of the outbox needs no storage of its own: pending(peer)
+// is, by definition, every alert node with id greater than the acked mark
+// that the subscription's rule filter admits, and the alert log is already
+// durable graph content.
+const OutboxLabel = "FedOutbox"
+
+// Outbox node property keys.
+const (
+	outboxPeerProp  = "peer"
+	outboxAckedProp = "ackedId"
+)
+
+// loadOrCreateOutbox returns the outbox node for peer, creating it with an
+// empty mark on first subscription. Outbox writes go directly through the
+// store — replication bookkeeping is not knowledge, so rules must not fire
+// on it — but still commit through the write-ahead log.
+func loadOrCreateOutbox(kb *core.KnowledgeBase, peer string) (node graph.NodeID, acked graph.NodeID, err error) {
+	err = kb.Store().Update(func(tx *graph.Tx) error {
+		for _, id := range tx.NodesByLabel(OutboxLabel) {
+			n, ok := tx.Node(id)
+			if !ok {
+				continue
+			}
+			if got, _ := n.Props[outboxPeerProp].AsString(); got == peer {
+				node = id
+				mark, _ := n.Props[outboxAckedProp].AsInt()
+				acked = graph.NodeID(mark)
+				return nil
+			}
+		}
+		id, err := tx.CreateNode([]string{OutboxLabel}, map[string]value.Value{
+			outboxPeerProp:  value.Str(peer),
+			outboxAckedProp: value.Int(0),
+		})
+		if err != nil {
+			return err
+		}
+		node, acked = id, 0
+		return nil
+	})
+	return node, acked, err
+}
+
+// saveMark durably advances the outbox node's acknowledged mark.
+func saveMark(kb *core.KnowledgeBase, node graph.NodeID, mark graph.NodeID) error {
+	return kb.Store().Update(func(tx *graph.Tx) error {
+		return tx.SetNodeProp(node, outboxAckedProp, value.Int(int64(mark)))
+	})
+}
+
+// Outboxes lists the persisted outbox marks of a knowledge base, for status
+// displays (rkm-shell's :fed) that inspect a graph without a running node.
+func Outboxes(kb *core.KnowledgeBase) (map[string]int64, error) {
+	out := make(map[string]int64)
+	err := kb.Store().View(func(tx *graph.Tx) error {
+		for _, id := range tx.NodesByLabel(OutboxLabel) {
+			n, ok := tx.Node(id)
+			if !ok {
+				continue
+			}
+			peer, _ := n.Props[outboxPeerProp].AsString()
+			mark, _ := n.Props[outboxAckedProp].AsInt()
+			out[peer] = mark
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package fednet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// Wire protocol version, sent in every push so incompatible peers fail
+// loudly instead of silently misinterpreting payloads.
+const wireVersion = 1
+
+// WireAlert is one alert on the wire. Props use the value package's tagged
+// JSON encoding (value.ToJSON), so integers, datetimes and durations
+// round-trip with their kinds intact.
+type WireAlert struct {
+	OriginID int64          `json:"originId"`
+	Rule     string         `json:"rule"`
+	Hub      string         `json:"hub,omitempty"`
+	DateTime time.Time      `json:"dateTime"`
+	Props    map[string]any `json:"props,omitempty"`
+}
+
+// PushRequest is the body of POST /fed/push: a batch of alerts from one
+// origin, in ascending originId order. Delivery is at-least-once — the
+// receiver deduplicates by (origin, originId), so senders retry freely.
+type PushRequest struct {
+	Version int         `json:"version"`
+	Origin  string      `json:"origin"`
+	Alerts  []WireAlert `json:"alerts"`
+}
+
+// PushResponse acknowledges a push batch. Acked is the largest originId the
+// receiver now has from this origin's batch; a sender that misses the
+// response simply resends and sees the batch counted under Duplicates.
+type PushResponse struct {
+	Applied    int   `json:"applied"`
+	Duplicates int   `json:"duplicates"`
+	Acked      int64 `json:"acked"`
+}
+
+// PeerStatus is one outbox row of GET /fed/status.
+type PeerStatus struct {
+	Peer    string `json:"peer"`
+	URL     string `json:"url"`
+	Acked   int64  `json:"acked"`
+	Pending int    `json:"pending"`
+	Breaker string `json:"breaker"`
+}
+
+// Status is the body of GET /fed/status: this node's identity, its outbox
+// per peer, and what it has received from other origins.
+type Status struct {
+	Name         string         `json:"name"`
+	Peers        []PeerStatus   `json:"peers"`
+	RemoteAlerts map[string]int `json:"remoteAlerts"`
+}
+
+// toWire converts a local alert into its wire form.
+func toWire(a core.Alert) WireAlert {
+	w := WireAlert{
+		OriginID: int64(a.ID),
+		Rule:     a.Rule,
+		Hub:      a.Hub,
+		DateTime: a.DateTime,
+	}
+	if len(a.Props) > 0 {
+		w.Props = make(map[string]any, len(a.Props))
+		for k, v := range a.Props {
+			w.Props[k] = value.ToJSON(v)
+		}
+	}
+	return w
+}
+
+// fromWire converts a wire alert back into the core form the apply side
+// consumes; Alert.ID carries the origin id.
+func fromWire(w WireAlert) (core.Alert, error) {
+	if w.OriginID <= 0 {
+		return core.Alert{}, fmt.Errorf("fednet: alert with non-positive originId %d", w.OriginID)
+	}
+	a := core.Alert{
+		ID:       graph.NodeID(w.OriginID),
+		Rule:     w.Rule,
+		Hub:      w.Hub,
+		DateTime: w.DateTime,
+		Props:    make(map[string]value.Value, len(w.Props)),
+	}
+	for k, x := range w.Props {
+		v, err := value.FromJSON(x)
+		if err != nil {
+			return core.Alert{}, fmt.Errorf("fednet: alert %d prop %s: %w", w.OriginID, k, err)
+		}
+		a.Props[k] = v
+	}
+	return a, nil
+}

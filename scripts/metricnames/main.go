@@ -1,7 +1,9 @@
 // Command metricnames prints, one per line and sorted, every metric name a
 // fully wired knowledge base registers: it opens a durable knowledge base
-// under a throwaway directory (wiring the write-ahead-log metrics) and loads
-// the four-hub demo (wiring rules and summaries), then dumps the registry.
+// under a throwaway directory (wiring the write-ahead-log metrics), loads
+// the four-hub demo (wiring rules and summaries) and wraps it in a
+// federation node (wiring the fed_* delivery metrics), then dumps the
+// registry.
 //
 // scripts/check_metrics_docs.sh diffs this output against the metric names
 // documented in OBSERVABILITY.md, so the catalog cannot drift from the code.
@@ -14,6 +16,7 @@ import (
 
 	reactive "repro"
 	"repro/internal/democovid"
+	"repro/internal/fednet"
 )
 
 func main() {
@@ -30,6 +33,9 @@ func main() {
 	}
 	defer kb.Close()
 	if err := democovid.Setup(kb); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fednet.NewNode("metricnames", kb, fednet.Options{}); err != nil {
 		log.Fatal(err)
 	}
 	for _, name := range kb.Metrics().Names() {
