@@ -8,6 +8,8 @@
 //	rkm-bench -fig ablation          # naive vs summary across region counts
 //	rkm-bench -fig wal               # durable vs in-memory ingest overhead
 //	rkm-bench -fig fed               # federated replication lag over HTTP
+//	rkm-bench -fig conc              # snapshot reads + group commit under contention
+//	rkm-bench -fig conc -smoke       # tiny CI-sized version of the same
 //	rkm-bench -fig all               # everything
 //	rkm-bench -fig 9 -full           # paper-scale sweep (up to 10^6 patients)
 //	rkm-bench -fig 9 -patients 500,5000 -regions 10
@@ -36,6 +38,7 @@ func main() {
 		batch    = flag.Int("batch", 1, "patients per transaction")
 		full     = flag.Bool("full", false, "paper-scale sweep (10^2..10^6 patients; slow)")
 		reps     = flag.Int("reps", 1, "repetitions per measurement (median reported)")
+		smoke    = flag.Bool("smoke", false, "tiny sweep for CI (conc figure only)")
 	)
 	flag.Parse()
 
@@ -75,6 +78,8 @@ func main() {
 		runWAL(cfg)
 	case "fed":
 		runFed(cfg)
+	case "conc":
+		runConc(cfg, *smoke)
 	case "all":
 		runFig9(cfg)
 		fmt.Println()
@@ -87,8 +92,10 @@ func main() {
 		runWAL(cfg)
 		fmt.Println()
 		runFed(cfg)
+		fmt.Println()
+		runConc(cfg, *smoke)
 	default:
-		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed or all)", *fig)
+		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed, conc or all)", *fig)
 	}
 }
 
@@ -156,6 +163,22 @@ func runFed(cfg bench.Config) {
 		fatalf("fed: %v", err)
 	}
 	bench.WriteFed(os.Stdout, pts)
+}
+
+func runConc(cfg bench.Config, smoke bool) {
+	ccfg := bench.ConcConfig{Seed: cfg.Seed}
+	if smoke {
+		ccfg = bench.SmokeConcConfig()
+	}
+	reads, err := bench.RunConcReads(ccfg)
+	if err != nil {
+		fatalf("conc reads: %v", err)
+	}
+	commits, err := bench.RunConcCommits(ccfg)
+	if err != nil {
+		fatalf("conc commits: %v", err)
+	}
+	bench.WriteConc(os.Stdout, reads, commits)
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"testing"
+
+	reactive "repro"
+)
+
+// TestReadsDuringOpenWrite: read endpoints are served from the published
+// snapshot, so they must answer — with committed data — while a write
+// transaction holds the knowledge base's write lock.
+func TestReadsDuringOpenWrite(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	readsDone := make(chan error, 1)
+	_, err := s.kb.WriteTx(func(tx *reactive.Tx) error {
+		if _, err := tx.CreateNode([]string{"Note"}, map[string]reactive.Value{
+			"text": reactive.V("held open"),
+		}); err != nil {
+			return err
+		}
+		go func() { readsDone <- hitReadEndpoints(ts.URL) }()
+		select {
+		case err := <-readsDone:
+			return err
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("read endpoints did not answer while a write transaction was open")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same endpoints after commit, for contrast.
+	if err := hitReadEndpoints(ts.URL); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// hitReadEndpoints exercises every read-only endpoint once and reports the
+// first failure.
+func hitReadEndpoints(base string) error {
+	for _, path := range []string{"/healthz", "/stats", "/metrics", "/alerts", "/rules", "/hubs"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return fmt.Errorf("GET %s: %w", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+	return nil
+}

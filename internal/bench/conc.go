@@ -1,0 +1,325 @@
+package bench
+
+// Concurrency series: how the snapshot-isolated read path and WAL group
+// commit behave under contention.
+//
+// Reads: a fixed pool of reader goroutines runs count queries against a
+// knowledge base while one writer streams admissions. The "snapshot" mode
+// is the store as shipped — readers pin the published snapshot and never
+// touch the write lock. The "rwmutex" mode re-creates the seed's contract
+// with a bench-local sync.RWMutex: every read holds RLock, every write
+// holds Lock, so readers stall behind the writer. Same queries, same
+// writer, only the locking differs.
+//
+// Commits: concurrent writers commit small transactions against a durable
+// knowledge base with Fsync: always. Group commit lets committers share
+// batched fsyncs, so fsyncs per transaction fall below 1 as writer count
+// grows while commit throughput rises.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/periodic"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// ConcConfig parameterizes the concurrency series.
+type ConcConfig struct {
+	// Nodes is the number of Person nodes seeded before measuring reads.
+	Nodes int
+	// Readers is the sweep over concurrent reader counts.
+	Readers []int
+	// Writers is the sweep over concurrent committer counts.
+	Writers []int
+	// Window is how long each read point measures.
+	Window time.Duration
+	// CommitsPerWriter is the per-goroutine commit count in the write sweep.
+	CommitsPerWriter int
+	Seed             int64
+}
+
+func (c ConcConfig) withDefaults() ConcConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 2000
+	}
+	if len(c.Readers) == 0 {
+		c.Readers = []int{1, 2, 4, 8}
+	}
+	if len(c.Writers) == 0 {
+		c.Writers = []int{1, 2, 4, 8}
+	}
+	if c.Window <= 0 {
+		c.Window = 400 * time.Millisecond
+	}
+	if c.CommitsPerWriter <= 0 {
+		c.CommitsPerWriter = 50
+	}
+	return c
+}
+
+// SmokeConcConfig shrinks the sweep for CI: it proves the machinery works
+// and the shapes hold, not the absolute numbers.
+func SmokeConcConfig() ConcConfig {
+	return ConcConfig{
+		Nodes:            200,
+		Readers:          []int{1, 4},
+		Writers:          []int{1, 4, 8},
+		Window:           80 * time.Millisecond,
+		CommitsPerWriter: 50,
+	}
+}
+
+// ConcReadPoint is one (readers, mode) throughput measurement.
+type ConcReadPoint struct {
+	Readers     int
+	Mode        string // "snapshot" or "rwmutex"
+	Reads       int64
+	ReadsPerSec float64
+	WriterTxs   int64   // write transactions committed inside the window
+	Speedup     float64 // snapshot / rwmutex reads-per-sec at the same reader count
+}
+
+// RunConcReads measures read throughput under a streaming writer for each
+// reader count, in both locking modes.
+func RunConcReads(cfg ConcConfig) ([]ConcReadPoint, error) {
+	cfg = cfg.withDefaults()
+	var out []ConcReadPoint
+	for _, readers := range cfg.Readers {
+		var base float64
+		for _, mode := range []string{"rwmutex", "snapshot"} {
+			p, err := runConcReadsOnce(cfg, readers, mode == "rwmutex")
+			if err != nil {
+				return nil, err
+			}
+			if mode == "rwmutex" {
+				base = p.ReadsPerSec
+			} else if base > 0 {
+				p.Speedup = p.ReadsPerSec / base
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func runConcReadsOnce(cfg ConcConfig, readers int, emulateRWMutex bool) (ConcReadPoint, error) {
+	kb := core.New(core.Config{Clock: periodic.NewManualClock(simStart)})
+	if err := seedPersons(kb, cfg.Nodes); err != nil {
+		return ConcReadPoint{}, err
+	}
+
+	// The seed's contract, bench-local: one RWMutex over the whole store.
+	var mu sync.RWMutex
+	lockR, unlockR := func() {}, func() {}
+	lockW, unlockW := func() {}, func() {}
+	if emulateRWMutex {
+		lockR, unlockR = mu.RLock, mu.RUnlock
+		lockW, unlockW = mu.Lock, mu.Unlock
+	}
+
+	var (
+		stop      atomic.Bool
+		reads     atomic.Int64
+		writerTxs atomic.Int64
+		wg        sync.WaitGroup
+		errOnce   sync.Once
+		firstErr  error
+	)
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }); stop.Store(true) }
+
+	// One writer streams single-node transactions for the whole window.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			lockW()
+			_, err := kb.Execute("CREATE (:Admission {i: $i})",
+				map[string]value.Value{"i": value.Int(int64(i))})
+			unlockW()
+			if err != nil {
+				fail(err)
+				return
+			}
+			writerTxs.Add(1)
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := int64(0)
+			for !stop.Load() {
+				lockR()
+				res, err := kb.Query("MATCH (p:Person) RETURN count(p) AS n", nil)
+				unlockR()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if v, ok := res.Value(); ok {
+					if got, _ := v.AsInt(); got != int64(cfg.Nodes) {
+						fail(fmt.Errorf("reader saw %d Person nodes, want %d", got, cfg.Nodes))
+						return
+					}
+				}
+				n++
+			}
+			reads.Add(n)
+		}()
+	}
+
+	time.Sleep(cfg.Window)
+	stop.Store(true)
+	wg.Wait()
+	if firstErr != nil {
+		return ConcReadPoint{}, firstErr
+	}
+	mode := "snapshot"
+	if emulateRWMutex {
+		mode = "rwmutex"
+	}
+	return ConcReadPoint{
+		Readers:     readers,
+		Mode:        mode,
+		Reads:       reads.Load(),
+		ReadsPerSec: float64(reads.Load()) / cfg.Window.Seconds(),
+		WriterTxs:   writerTxs.Load(),
+	}, nil
+}
+
+func seedPersons(kb *core.KnowledgeBase, n int) error {
+	return kb.Store().Update(func(tx *graph.Tx) error {
+		for i := 0; i < n; i++ {
+			if _, err := tx.CreateNode([]string{"Person"},
+				map[string]value.Value{"i": value.Int(int64(i))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ConcCommitPoint is one durable-commit measurement.
+type ConcCommitPoint struct {
+	Writers       int
+	Commits       int64
+	Elapsed       time.Duration
+	CommitsPerSec float64
+	Fsyncs        int64
+	FsyncsPerTx   float64
+}
+
+// RunConcCommits measures durable commit throughput and fsyncs per
+// transaction for each writer count, with Fsync: always.
+func RunConcCommits(cfg ConcConfig) ([]ConcCommitPoint, error) {
+	cfg = cfg.withDefaults()
+	var out []ConcCommitPoint
+	for _, writers := range cfg.Writers {
+		p, err := runConcCommitsOnce(cfg, writers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func runConcCommitsOnce(cfg ConcConfig, writers int) (ConcCommitPoint, error) {
+	dir, err := os.MkdirTemp("", "rkm-bench-conc-*")
+	if err != nil {
+		return ConcCommitPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	kb, _, err := core.OpenDurable(dir,
+		core.Config{Clock: periodic.NewManualClock(simStart)},
+		wal.Options{Fsync: wal.FsyncAlways})
+	if err != nil {
+		return ConcCommitPoint{}, err
+	}
+	defer kb.Close()
+
+	reg := kb.Metrics()
+	txsBefore := reg.Counter("rkm_wal_group_commit_txs_total", "").Value()
+	syncsBefore := reg.Counter("rkm_wal_group_commit_syncs_total", "").Value()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Direct store transactions: the point is the commit/WAL path,
+			// not the query pipeline, so keep the lock-hold time minimal.
+			for i := 0; i < cfg.CommitsPerWriter; i++ {
+				err := kb.Store().Update(func(tx *graph.Tx) error {
+					_, err := tx.CreateNode([]string{"Admission"}, map[string]value.Value{
+						"w": value.Int(int64(w)), "i": value.Int(int64(i)),
+					})
+					return err
+				})
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return ConcCommitPoint{}, firstErr
+	}
+
+	commits := reg.Counter("rkm_wal_group_commit_txs_total", "").Value() - txsBefore
+	fsyncs := reg.Counter("rkm_wal_group_commit_syncs_total", "").Value() - syncsBefore
+	p := ConcCommitPoint{
+		Writers: writers,
+		Commits: commits,
+		Elapsed: elapsed,
+		Fsyncs:  fsyncs,
+	}
+	if elapsed > 0 {
+		p.CommitsPerSec = float64(commits) / elapsed.Seconds()
+	}
+	if commits > 0 {
+		p.FsyncsPerTx = float64(fsyncs) / float64(commits)
+	}
+	return p, nil
+}
+
+// WriteConc renders both series.
+func WriteConc(w io.Writer, reads []ConcReadPoint, commits []ConcCommitPoint) {
+	fmt.Fprintln(w, "concurrent reads under a streaming writer (snapshot vs RWMutex-emulated seed)")
+	fmt.Fprintf(w, "%8s  %-9s  %10s  %14s  %10s  %8s\n",
+		"readers", "mode", "reads", "reads/sec", "writer-tx", "speedup")
+	for _, p := range reads {
+		speedup := ""
+		if p.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", p.Speedup)
+		}
+		fmt.Fprintf(w, "%8d  %-9s  %10d  %14.0f  %10d  %8s\n",
+			p.Readers, p.Mode, p.Reads, p.ReadsPerSec, p.WriterTxs, speedup)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "durable commit throughput with group commit (fsync = always)")
+	fmt.Fprintf(w, "%8s  %8s  %12s  %14s  %8s  %10s\n",
+		"writers", "commits", "elapsed", "commits/sec", "fsyncs", "fsyncs/tx")
+	for _, p := range commits {
+		fmt.Fprintf(w, "%8d  %8d  %12s  %14.0f  %8d  %10.2f\n",
+			p.Writers, p.Commits, p.Elapsed.Round(time.Microsecond),
+			p.CommitsPerSec, p.Fsyncs, p.FsyncsPerTx)
+	}
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestConcSmoke runs the concurrency series at smoke scale and checks the
+// invariants that must hold at any scale: readers make progress in both
+// modes, the writer makes progress, every commit is counted and fsyncs
+// never exceed commits.
+func TestConcSmoke(t *testing.T) {
+	cfg := SmokeConcConfig()
+
+	reads, err := RunConcReads(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(cfg.Readers); len(reads) != want {
+		t.Fatalf("got %d read points, want %d", len(reads), want)
+	}
+	for _, p := range reads {
+		if p.Reads <= 0 {
+			t.Errorf("%d %s readers made no reads", p.Readers, p.Mode)
+		}
+		if p.WriterTxs <= 0 {
+			t.Errorf("%d %s: writer made no progress", p.Readers, p.Mode)
+		}
+	}
+
+	commits, err := RunConcCommits(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(commits) != len(cfg.Writers) {
+		t.Fatalf("got %d commit points, want %d", len(commits), len(cfg.Writers))
+	}
+	for _, p := range commits {
+		if want := int64(p.Writers * cfg.CommitsPerWriter); p.Commits != want {
+			t.Errorf("%d writers: %d commits counted, want %d", p.Writers, p.Commits, want)
+		}
+		if p.Fsyncs < 1 || p.Fsyncs > p.Commits {
+			t.Errorf("%d writers: %d fsyncs for %d commits", p.Writers, p.Fsyncs, p.Commits)
+		}
+	}
+
+	var buf bytes.Buffer
+	WriteConc(&buf, reads, commits)
+	for _, col := range []string{"reads/sec", "fsyncs/tx", "snapshot", "rwmutex"} {
+		if !strings.Contains(buf.String(), col) {
+			t.Errorf("WriteConc output missing %q", col)
+		}
+	}
+}

@@ -19,6 +19,10 @@ const (
 	mRels        = "rkm_graph_relationships"
 	mAlertNodes  = "rkm_graph_alert_nodes"
 
+	mSnapPublished = "rkm_graph_snapshot_published_total"
+	mSnapReads     = "rkm_graph_snapshot_reads_total"
+	mSnapCloned    = "rkm_graph_snapshot_cow_records_total"
+
 	mRuleFired     = "rkm_trigger_rule_fired_total"
 	mGuardRejected = "rkm_trigger_guard_rejected_total"
 	mAlertQuery    = "rkm_trigger_alert_query_seconds"
@@ -40,6 +44,10 @@ const (
 	mWALLastSeq    = "rkm_wal_last_seq"
 	mWALReplayed   = "rkm_wal_recovery_records_replayed"
 	mWALDiscarded  = "rkm_wal_recovery_discarded_bytes"
+
+	mWALGroupTxs   = "rkm_wal_group_commit_txs_total"
+	mWALGroupSyncs = "rkm_wal_group_commit_syncs_total"
+	mWALGroupBatch = "rkm_wal_group_commit_batch_txs"
 )
 
 // Metrics returns the knowledge base's metrics registry. Expose it over
@@ -93,6 +101,12 @@ func (kb *KnowledgeBase) storeMetrics() graph.Metrics {
 			"Rolled-back read-write transactions (explicit and aborted commits)."),
 		TxSeconds: reg.Histogram(mTxSeconds,
 			"Read-write transaction latency (write-lock hold time), in seconds.", nil),
+		SnapshotsPublished: reg.Counter(mSnapPublished,
+			"Committed snapshot versions published (write commits, index changes, imports)."),
+		SnapshotReads: reg.Counter(mSnapReads,
+			"Read-only transactions served lock-free from a published snapshot."),
+		RecordsCloned: reg.Counter(mSnapCloned,
+			"Node and relationship records cloned copy-on-write by write transactions."),
 	}
 }
 
@@ -112,6 +126,13 @@ func (kb *KnowledgeBase) wireWALMetrics(l *wal.Log, policy wal.FsyncPolicy, info
 			"Write-ahead-log segment files opened (first open and rotations)."),
 		CheckpointSeconds: reg.Histogram(mWALCheckpoint,
 			"End-to-end checkpoint duration, in seconds.", nil),
+		GroupCommitTxs: reg.Counter(mWALGroupTxs,
+			"Transactions that went through the group-commit durability wait."),
+		GroupCommitSyncs: reg.Counter(mWALGroupSyncs,
+			"Shared fsyncs issued by group commit (txs/syncs = batch factor)."),
+		GroupCommitBatchTxs: reg.Histogram(mWALGroupBatch,
+			"Transactions made durable by each shared group-commit fsync.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
 	})
 	reg.GaugeFunc(mWALLastSeq,
 		"Sequence number of the most recently appended or recovered record.",

@@ -1,0 +1,474 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+// TestReadOnlySeesPinnedSnapshot: a read-only transaction keeps observing
+// the committed state it began on, however many commits land meanwhile.
+func TestReadOnlySeesPinnedSnapshot(t *testing.T) {
+	s := NewStore()
+	var id NodeID
+	if err := s.Update(func(tx *Tx) error {
+		var err error
+		id, err = tx.CreateNode([]string{"P"}, map[string]value.Value{"v": value.Int(1)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ro := s.Begin(ReadOnly)
+	defer ro.Rollback()
+
+	if err := s.Update(func(tx *Tx) error {
+		if err := tx.SetNodeProp(id, "v", value.Int(2)); err != nil {
+			return err
+		}
+		_, err := tx.CreateNode([]string{"P"}, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, _ := ro.NodeProp(id, "v"); !value.SameValue(v, value.Int(1)) {
+		t.Fatalf("pinned snapshot saw v=%v, want 1", v)
+	}
+	if n := ro.CountByLabel("P"); n != 1 {
+		t.Fatalf("pinned snapshot saw %d P nodes, want 1", n)
+	}
+	if err := s.View(func(tx *Tx) error {
+		if v, _ := tx.NodeProp(id, "v"); !value.SameValue(v, value.Int(2)) {
+			t.Errorf("fresh view saw v=%v, want 2", v)
+		}
+		if n := tx.CountByLabel("P"); n != 2 {
+			t.Errorf("fresh view saw %d P nodes, want 2", n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadersDoNotBlockBehindWriter: Begin(ReadOnly) and View complete
+// while a read-write transaction holds the write lock.
+func TestReadersDoNotBlockBehindWriter(t *testing.T) {
+	s := NewStore()
+	if err := s.Update(func(tx *Tx) error {
+		_, err := tx.CreateNode([]string{"P"}, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	w := s.Begin(ReadWrite) // hold the write lock
+	defer w.Rollback()
+	if _, err := w.CreateNode([]string{"P"}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan int, 1)
+	go func() {
+		var n int
+		_ = s.View(func(tx *Tx) error {
+			n = tx.CountByLabel("P")
+			return nil
+		})
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("reader saw %d committed P nodes, want 1 (writer uncommitted)", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read-only view blocked behind an open write transaction")
+	}
+}
+
+// TestWriterReadsItsOwnWrites: a read-write transaction observes its
+// uncommitted changes through every read path, including index lookups.
+func TestWriterReadsItsOwnWrites(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateIndex("P", "k"); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin(ReadWrite)
+	defer tx.Rollback()
+	id, err := tx.CreateNode([]string{"P"}, map[string]value.Value{"k": value.Str("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tx.NodeExists(id) {
+		t.Fatal("writer does not see its created node")
+	}
+	if ids, ok := tx.NodesByProp("P", "k", value.Str("x")); !ok || len(ids) != 1 {
+		t.Fatalf("index lookup in writer got %v ok=%v, want the new node", ids, ok)
+	}
+	if n, ok := tx.CountByProp("P", "k", value.Str("x")); !ok || n != 1 {
+		t.Fatalf("count-by-prop in writer got %d ok=%v, want 1", n, ok)
+	}
+	if err := tx.SetNodeProp(id, "k", value.Str("y")); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := tx.NodesByProp("P", "k", value.Str("x")); len(ids) != 0 {
+		t.Fatalf("stale index posting after prop change: %v", ids)
+	}
+}
+
+// TestRollbackDiscardsEverything: after a rollback touching nodes, rels,
+// labels, properties and indexed values, the committed state is
+// byte-identical to before, and the identifier counters are untouched by
+// the discarded work.
+func TestRollbackDiscardsEverything(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateIndex("P", "k"); err != nil {
+		t.Fatal(err)
+	}
+	var p1, p2 NodeID
+	if err := s.Update(func(tx *Tx) error {
+		p1, _ = tx.CreateNode([]string{"P"}, map[string]value.Value{"k": value.Int(1)})
+		p2, _ = tx.CreateNode([]string{"P"}, map[string]value.Value{"k": value.Int(2)})
+		_, err := tx.CreateRel(p1, p2, "KNOWS", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	if err := s.Export(&before); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := s.Begin(ReadWrite)
+	if _, err := tx.CreateNode([]string{"P", "Q"}, map[string]value.Value{"k": value.Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetNodeProp(p1, "k", value.Int(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetLabel(p2, "Q"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.DeleteNode(p1, true); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+
+	var after bytes.Buffer
+	if err := s.Export(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("store changed across rollback:\nbefore: %s\nafter:  %s", before.String(), after.String())
+	}
+	if err := s.View(func(tx *Tx) error {
+		if ids, _ := tx.NodesByProp("P", "k", value.Int(9)); len(ids) != 0 {
+			t.Errorf("index kept rolled-back posting: %v", ids)
+		}
+		if ids, _ := tx.NodesByProp("P", "k", value.Int(1)); len(ids) != 1 {
+			t.Errorf("index lost committed posting: %v", ids)
+		}
+		if n := tx.CountByLabel("Q"); n != 0 {
+			t.Errorf("label set kept rolled-back membership: %d", n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewInsideUpdate: a read-only view taken while a write transaction is
+// open (even from the same goroutine) serves the committed snapshot instead
+// of deadlocking — the classic scrape-during-long-write scenario.
+func TestViewInsideUpdate(t *testing.T) {
+	s := NewStore()
+	if err := s.Update(func(tx *Tx) error {
+		_, err := tx.CreateNode([]string{"P"}, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Update(func(tx *Tx) error {
+		if _, err := tx.CreateNode([]string{"P"}, nil); err != nil {
+			return err
+		}
+		// A concurrent reader (metrics scrape, health check) must see the
+		// last committed state, not block and not see the open write.
+		return s.View(func(ro *Tx) error {
+			if n := ro.CountByLabel("P"); n != 1 {
+				return fmt.Errorf("view inside update saw %d P nodes, want 1", n)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Stats().Nodes; n != 2 {
+		t.Fatalf("committed nodes = %d, want 2", n)
+	}
+}
+
+// TestCloneSharesSnapshotAndDiverges covers the Clone contract: O(1) grab
+// of the committed snapshot, full independence afterwards — including
+// relationship-type membership, which the old deep copy got wrong.
+func TestCloneSharesSnapshotAndDiverges(t *testing.T) {
+	s := NewStore()
+	var a, b NodeID
+	if err := s.Update(func(tx *Tx) error {
+		a, _ = tx.CreateNode([]string{"P"}, nil)
+		b, _ = tx.CreateNode([]string{"P"}, nil)
+		_, err := tx.CreateRel(a, b, "KNOWS", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	c := s.Clone()
+	if err := c.Update(func(tx *Tx) error {
+		if _, err := tx.CreateRel(b, a, "KNOWS", nil); err != nil {
+			return err
+		}
+		_, err := tx.CreateNode([]string{"Q"}, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(func(tx *Tx) error {
+		return tx.DeleteNode(a, true)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(st *Store, wantKnows, wantNodes int, name string) {
+		if err := st.View(func(tx *Tx) error {
+			if n := len(tx.RelsByType("KNOWS")); n != wantKnows {
+				t.Errorf("%s: %d KNOWS rels, want %d", name, n, wantKnows)
+			}
+			if n := tx.NodeCount(); n != wantNodes {
+				t.Errorf("%s: %d nodes, want %d", name, n, wantNodes)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(c, 2, 3, "clone")
+	check(s, 0, 1, "original")
+}
+
+// TestConcurrentViewUpdateClone is the -race workhorse: writers stream
+// commits while readers check snapshot invariants and cloners fork the
+// store, all concurrently.
+func TestConcurrentViewUpdateClone(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateIndex("Acct", "bal"); err != nil {
+		t.Fatal(err)
+	}
+	// Invariant: every committed state holds exactly two Acct nodes whose
+	// "bal" values sum to 100, linked by one PAYS relationship.
+	var a, b NodeID
+	if err := s.Update(func(tx *Tx) error {
+		a, _ = tx.CreateNode([]string{"Acct"}, map[string]value.Value{"bal": value.Int(40)})
+		b, _ = tx.CreateNode([]string{"Acct"}, map[string]value.Value{"bal": value.Int(60)})
+		_, err := tx.CreateRel(a, b, "PAYS", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, readers, cloners = 2, 4, 2
+	iters := 300
+	if testing.Short() {
+		iters = 50
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	fail := make(chan error, writers+readers+cloners)
+
+	checkInvariant := func(tx *Tx, who string) error {
+		ids := tx.NodesByLabel("Acct")
+		if len(ids) != 2 {
+			return fmt.Errorf("%s: %d Acct nodes, want 2", who, len(ids))
+		}
+		var sum int64
+		for _, id := range ids {
+			v, ok := tx.NodeProp(id, "bal")
+			if !ok {
+				return fmt.Errorf("%s: node %d lost bal", who, id)
+			}
+			n, _ := v.AsInt()
+			sum += n
+		}
+		if sum != 100 {
+			return fmt.Errorf("%s: balances sum to %d, want 100", who, sum)
+		}
+		if n := len(tx.RelsByType("PAYS")); n != 1 {
+			return fmt.Errorf("%s: %d PAYS rels, want 1", who, n)
+		}
+		return nil
+	}
+
+	var wgWriters sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wgWriters.Add(1)
+		go func(seed int64) {
+			defer wgWriters.Done()
+			for i := 0; i < iters; i++ {
+				d := int64((seed*31 + int64(i)) % 10)
+				err := s.Update(func(tx *Tx) error {
+					av, _ := tx.NodeProp(a, "bal")
+					bv, _ := tx.NodeProp(b, "bal")
+					an, _ := av.AsInt()
+					bn, _ := bv.AsInt()
+					if err := tx.SetNodeProp(a, "bal", value.Int(an-d)); err != nil {
+						return err
+					}
+					return tx.SetNodeProp(b, "bal", value.Int(bn+d))
+				})
+				if err != nil {
+					fail <- err
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if err := s.View(func(tx *Tx) error { return checkInvariant(tx, "reader") }); err != nil {
+					fail <- err
+					return
+				}
+			}
+		}()
+	}
+	for c := 0; c < cloners; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				fork := s.Clone()
+				// Mutate the fork and re-check it — divergence must never
+				// leak back into the parent.
+				err := fork.Update(func(tx *Tx) error {
+					if err := checkInvariant(tx, "fork"); err != nil {
+						return err
+					}
+					_, err := tx.CreateNode([]string{"Scratch"}, nil)
+					return err
+				})
+				if err != nil {
+					fail <- err
+					return
+				}
+			}
+		}()
+	}
+
+	wgWriters.Wait() // writers are bounded; readers/cloners loop until told
+	stop.Store(true)
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatal(err)
+	}
+	if err := s.View(func(tx *Tx) error { return checkInvariant(tx, "final") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotViewBarrier: the barrier runs with commits excluded and the
+// returned view matches the state at the barrier, surviving later commits.
+func TestSnapshotViewBarrier(t *testing.T) {
+	s := NewStore()
+	if err := s.Update(func(tx *Tx) error {
+		_, err := tx.CreateNode([]string{"P"}, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	view, err := s.SnapshotView(func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Rollback()
+	if err := s.Update(func(tx *Tx) error {
+		_, err := tx.CreateNode([]string{"P"}, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := view.CountByLabel("P"); n != 1 {
+		t.Fatalf("snapshot view saw %d P nodes, want 1", n)
+	}
+	if _, err := s.SnapshotView(func() error { return errors.New("cut failed") }); err == nil {
+		t.Fatal("SnapshotView swallowed barrier error")
+	}
+}
+
+// TestOnCommittedRunsAfterPublish: callbacks run post-commit in order, see
+// the published state, and their errors surface from Commit without
+// un-publishing.
+func TestOnCommittedRunsAfterPublish(t *testing.T) {
+	s := NewStore()
+	var order []string
+	tx := s.Begin(ReadWrite)
+	if _, err := tx.CreateNode([]string{"P"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("fsync failed")
+	if err := tx.OnCommitted(func() error {
+		// The snapshot must already be published and the lock free.
+		if err := s.View(func(ro *Tx) error {
+			if n := ro.CountByLabel("P"); n != 1 {
+				return fmt.Errorf("callback saw %d P nodes, want 1", n)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		order = append(order, "first")
+		return boom
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.OnCommitted(func() error {
+		order = append(order, "second")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := tx.Commit()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Commit error = %v, want the callback error", err)
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("callback order = %v", order)
+	}
+	if n := s.Stats().Nodes; n != 1 {
+		t.Fatalf("commit with failing callback left %d nodes, want 1 (still committed)", n)
+	}
+	// Rollback discards pending callbacks.
+	tx2 := s.Begin(ReadWrite)
+	ran := false
+	if _, err := tx2.CreateNode([]string{"P"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.OnCommitted(func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Rollback()
+	if ran {
+		t.Fatal("OnCommitted callback ran after rollback")
+	}
+}

@@ -1,4 +1,5 @@
-// Package graph implements an in-memory transactional property-graph store.
+// Package graph implements an in-memory transactional property-graph store
+// with snapshot-isolated reads.
 //
 // The store follows the property-graph data model used by the paper: nodes
 // and directed relationships carry labels (a set, for nodes; a single type,
@@ -9,17 +10,32 @@
 // reactive-rule engine can be layered on top without the store knowing about
 // rules.
 //
-// Concurrency: the store is a single-writer, multi-reader structure guarded
-// by an RWMutex. A read-write transaction holds the write lock from Begin
-// until Commit or Rollback; read-only transactions share the read lock.
-// Changes are applied eagerly and undone on rollback, so a transaction
-// always reads its own writes.
+// Concurrency: the store is single-writer, multi-version. The committed
+// state is an immutable snapshot published through an atomic pointer. A
+// read-write transaction serializes on the store's write lock from Begin
+// until Commit or Rollback and builds a private working copy of exactly what
+// it touches — dirty node/relationship records, label and relationship-type
+// sets, and property-index postings are cloned copy-on-write; untouched
+// structure stays shared with the committed snapshot. Commit publishes the
+// working copy as the next snapshot in one atomic store; Rollback just
+// discards it. A read-write transaction always reads its own writes.
+//
+// Read-only transactions (Begin(ReadOnly), View) grab the current snapshot
+// pointer and take no lock at all: readers never block behind writers, never
+// observe a transaction in progress, and keep seeing the same consistent
+// committed state for their whole lifetime, however long a concurrent write
+// takes. Clone shares the committed snapshot instead of deep-copying it, so
+// forking is an O(1) snapshot grab and the two stores diverge copy-on-write
+// from then on.
 package graph
 
 import (
 	"errors"
 	"fmt"
+	"maps"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -87,6 +103,9 @@ func (r Rel) Other(id NodeID) NodeID {
 	return r.Start
 }
 
+// nodeRec is one version of a node. Once a record has been published in a
+// committed snapshot it is immutable; a write transaction that touches it
+// first installs a private clone in its working copy (copy-on-write).
 type nodeRec struct {
 	id     NodeID
 	labels map[string]struct{}
@@ -95,12 +114,76 @@ type nodeRec struct {
 	in     map[RelID]*relRec
 }
 
+func (n *nodeRec) clone() *nodeRec {
+	return &nodeRec{
+		id:     n.id,
+		labels: maps.Clone(n.labels),
+		props:  maps.Clone(n.props),
+		out:    maps.Clone(n.out),
+		in:     maps.Clone(n.in),
+	}
+}
+
+// relRec is one version of a relationship. Endpoints are held by identifier,
+// not pointer, so a record stays valid however its endpoint nodes are
+// copy-on-write cloned across versions.
 type relRec struct {
 	id    RelID
 	typ   string
-	start *nodeRec
-	end   *nodeRec
+	start NodeID
+	end   NodeID
 	props map[string]value.Value
+}
+
+func (r *relRec) clone() *relRec {
+	c := *r
+	c.props = maps.Clone(r.props)
+	return &c
+}
+
+// snapshot is one committed version of the whole store. Every snapshot
+// reachable from Store.snap (or pinned by a read-only transaction or a
+// clone) is immutable: write transactions clone what they touch and publish
+// a fresh snapshot at commit.
+type snapshot struct {
+	nodes     map[NodeID]*nodeRec
+	rels      map[RelID]*relRec
+	byLabel   map[string]map[NodeID]struct{}
+	byRelType map[string]map[RelID]struct{}
+	indexes   map[indexKey]*propIndex
+	nextNode  NodeID
+	nextRel   RelID
+}
+
+func emptySnapshot() *snapshot {
+	return &snapshot{
+		nodes:     make(map[NodeID]*nodeRec),
+		rels:      make(map[RelID]*relRec),
+		byLabel:   make(map[string]map[NodeID]struct{}),
+		byRelType: make(map[string]map[RelID]struct{}),
+		indexes:   make(map[indexKey]*propIndex),
+	}
+}
+
+// labelSet and relTypeSet are construction helpers for private (not yet
+// published) snapshots; Import uses them. Published snapshots are never
+// mutated.
+func (sn *snapshot) labelSet(label string) map[NodeID]struct{} {
+	set, ok := sn.byLabel[label]
+	if !ok {
+		set = make(map[NodeID]struct{})
+		sn.byLabel[label] = set
+	}
+	return set
+}
+
+func (sn *snapshot) relTypeSet(typ string) map[RelID]struct{} {
+	set, ok := sn.byRelType[typ]
+	if !ok {
+		set = make(map[RelID]struct{})
+		sn.byRelType[typ] = set
+	}
+	return set
 }
 
 // Validator is invoked at commit time with the committing transaction; a
@@ -109,11 +192,14 @@ type relRec struct {
 type Validator func(tx *Tx) error
 
 // CommitHook is invoked when a read-write transaction commits, after every
-// validator has passed and while the transaction (and the store's write
-// lock) is still live. A non-nil error aborts the commit and rolls the
+// validator has passed, while the transaction is still live and before its
+// snapshot is published. A non-nil error aborts the commit and rolls the
 // transaction back. The write-ahead log plugs in here: it reads the final
 // state of the transaction's changes and appends them as one durable
-// record, so a transaction is either fully logged or fully rolled back.
+// record, so a transaction is either fully logged or fully rolled back. A
+// hook that wants work done after publication (for example waiting on a
+// group-commit fsync outside the write lock) registers it with
+// Tx.OnCommitted.
 type CommitHook func(tx *Tx) error
 
 // Metrics holds the store's optional instrumentation. All fields may be
@@ -128,68 +214,78 @@ type Metrics struct {
 	// TxSeconds observes read-write transaction latency from Begin to
 	// Commit or Rollback — the write-lock hold time.
 	TxSeconds *metrics.Histogram
+	// SnapshotsPublished counts committed snapshot versions published
+	// (write-transaction commits, index creation/drop, imports).
+	SnapshotsPublished *metrics.Counter
+	// SnapshotReads counts read-only transactions served lock-free from a
+	// published snapshot.
+	SnapshotReads *metrics.Counter
+	// RecordsCloned counts node and relationship records cloned
+	// copy-on-write by write transactions — the per-commit COW footprint.
+	RecordsCloned *metrics.Counter
 }
 
 // Store is an in-memory property-graph database.
 type Store struct {
-	mu         sync.RWMutex
-	nodes      map[NodeID]*nodeRec
-	rels       map[RelID]*relRec
-	byLabel    map[string]map[NodeID]struct{}
-	byRelType  map[string]map[RelID]struct{}
-	indexes    map[indexKey]*propIndex
-	nextNode   NodeID
-	nextRel    RelID
-	validators []Validator
+	// writeMu serializes read-write transactions, index creation/drop and
+	// Import. The read path never takes it.
+	writeMu sync.Mutex
+	// snap is the current committed snapshot: loaded atomically (and
+	// lock-free) by readers, swapped at commit under writeMu.
+	snap atomic.Pointer[snapshot]
+	// validators is an immutable slice, swapped whole by AddValidator so
+	// Clone can copy it without blocking behind an open write transaction.
+	validators atomic.Pointer[[]Validator]
+	// commitHook is guarded by writeMu.
 	commitHook CommitHook
-	metrics    Metrics
+	// metrics is stored as a pointer so the lock-free read path can load it
+	// atomically.
+	metrics atomic.Pointer[Metrics]
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{
-		nodes:     make(map[NodeID]*nodeRec),
-		rels:      make(map[RelID]*relRec),
-		byLabel:   make(map[string]map[NodeID]struct{}),
-		byRelType: make(map[string]map[RelID]struct{}),
-		indexes:   make(map[indexKey]*propIndex),
-	}
+	s := &Store{}
+	s.snap.Store(emptySnapshot())
+	s.metrics.Store(&Metrics{})
+	return s
 }
 
-// AddValidator registers a commit-time validator. Not safe to call
-// concurrently with open transactions.
+// AddValidator registers a commit-time validator. Safe to call concurrently
+// with readers; like all configuration it must not race an open write
+// transaction.
 func (s *Store) AddValidator(v Validator) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.validators = append(s.validators, v)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	var vs []Validator
+	if old := s.validators.Load(); old != nil {
+		vs = append(vs, *old...)
+	}
+	vs = append(vs, v)
+	s.validators.Store(&vs)
 }
 
 // SetCommitHook installs (or, with nil, removes) the commit hook. At most
-// one hook is supported; it is not copied by Clone, so forks of a durable
-// store are purely in-memory. Not safe to call concurrently with open
+// one hook is supported; it is not shared by Clone, so forks of a durable
+// store are purely in-memory. Not safe to call concurrently with open write
 // transactions.
 func (s *Store) SetCommitHook(h CommitHook) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	s.commitHook = h
 }
 
-// SetMetrics installs the store's instrumentation. Like SetCommitHook it is
-// not safe to call concurrently with open transactions; Clone does not copy
-// it, so forks are unobserved unless re-wired.
+// SetMetrics installs the store's instrumentation. Clone does not share it,
+// so forks are unobserved unless re-wired.
 func (s *Store) SetMetrics(m Metrics) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.metrics = m
+	s.metrics.Store(&m)
 }
 
 // LabelCount returns the number of nodes currently carrying label. It is a
-// map-size read under the read lock, cheap enough for scrape-time
-// cardinality gauges.
+// lock-free map-size read on the committed snapshot, so scrape-time
+// cardinality gauges never stall behind a writer.
 func (s *Store) LabelCount(label string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byLabel[label])
+	return len(s.snap.Load().byLabel[label])
 }
 
 // Mode selects the access mode of a transaction.
@@ -202,21 +298,27 @@ const (
 )
 
 // Begin starts a transaction. A ReadWrite transaction holds the store's
-// write lock until Commit or Rollback; callers must always finish it.
+// write lock until Commit or Rollback; callers must always finish it. A
+// ReadOnly transaction takes no lock: it pins the current committed
+// snapshot and observes exactly that state for its whole lifetime.
 func (s *Store) Begin(mode Mode) *Tx {
+	m := s.metrics.Load()
 	if mode == ReadWrite {
-		s.mu.Lock()
-		tx := &Tx{s: s, mode: mode, data: &TxData{}}
-		if s.metrics.TxSeconds != nil {
+		s.writeMu.Lock()
+		base := s.snap.Load()
+		view := *base // struct copy: maps stay shared until copied-on-write
+		tx := &Tx{s: s, mode: mode, data: &TxData{}, view: &view, w: newWork(), metrics: m}
+		if m.TxSeconds != nil {
 			tx.start = time.Now()
 		}
 		return tx
 	}
-	s.mu.RLock()
-	return &Tx{s: s, mode: mode, data: &TxData{}}
+	m.SnapshotReads.Inc()
+	return &Tx{s: s, mode: mode, data: &TxData{}, view: s.snap.Load(), metrics: m}
 }
 
-// View runs fn inside a read-only transaction.
+// View runs fn inside a read-only transaction. It never blocks behind a
+// writer: fn sees the most recently committed snapshot.
 func (s *Store) View(fn func(tx *Tx) error) error {
 	tx := s.Begin(ReadOnly)
 	defer tx.Rollback()
@@ -234,61 +336,41 @@ func (s *Store) Update(fn func(tx *Tx) error) error {
 	return tx.Commit()
 }
 
-// Clone returns a deep copy of the store's data (nodes, relationships,
-// labels, properties, indexes, identifier counters). Validators are shared:
-// they are closures over schema and hub definitions, which forks are meant
-// to keep. Clone is the substrate for what-if forking (§V of the paper).
+// SnapshotView runs barrier while the write lock is held — no commit can
+// interleave — and returns a read-only transaction pinned to the committed
+// snapshot of that instant. Checkpointing passes a barrier that cuts the
+// write-ahead log, pairing the log position exactly with the returned view,
+// and then exports from the view after the lock is released, so writers
+// wait only for the barrier, never for the export or the disk.
+func (s *Store) SnapshotView(barrier func() error) (*Tx, error) {
+	m := s.metrics.Load()
+	s.writeMu.Lock()
+	err := barrier()
+	sn := s.snap.Load()
+	s.writeMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	m.SnapshotReads.Inc()
+	return &Tx{s: s, mode: ReadOnly, data: &TxData{}, view: sn, metrics: m}, nil
+}
+
+// Clone returns an independent store over the same data. It is an O(1)
+// snapshot grab, not a deep copy: the committed snapshot is shared, and
+// writes on either store diverge from it copy-on-write — changes in one are
+// never visible in the other. Validators are shared (they are closures over
+// schema and hub definitions, which forks are meant to keep); the commit
+// hook and metrics are not, so forks of a durable store are purely
+// in-memory and unobserved unless re-wired. Clone is the substrate for
+// what-if forking (§V of the paper) and never blocks behind a writer.
 func (s *Store) Clone() *Store {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ns := NewStore()
-	ns.nextNode = s.nextNode
-	ns.nextRel = s.nextRel
-	ns.validators = append([]Validator(nil), s.validators...)
-	for id, rec := range s.nodes {
-		nrec := &nodeRec{
-			id:     rec.id,
-			labels: make(map[string]struct{}, len(rec.labels)),
-			props:  make(map[string]value.Value, len(rec.props)),
-			out:    make(map[RelID]*relRec, len(rec.out)),
-			in:     make(map[RelID]*relRec, len(rec.in)),
-		}
-		for l := range rec.labels {
-			nrec.labels[l] = struct{}{}
-			ns.labelSet(l)[id] = struct{}{}
-		}
-		for k, v := range rec.props {
-			nrec.props[k] = v // values are immutable
-		}
-		ns.nodes[id] = nrec
+	ns := &Store{}
+	ns.snap.Store(s.snap.Load())
+	if vs := s.validators.Load(); vs != nil {
+		cp := append([]Validator(nil), *vs...)
+		ns.validators.Store(&cp)
 	}
-	for id, rec := range s.rels {
-		nrec := &relRec{
-			id:    rec.id,
-			typ:   rec.typ,
-			start: ns.nodes[rec.start.id],
-			end:   ns.nodes[rec.end.id],
-			props: make(map[string]value.Value, len(rec.props)),
-		}
-		for k, v := range rec.props {
-			nrec.props[k] = v
-		}
-		ns.rels[id] = nrec
-		nrec.start.out[id] = nrec
-		nrec.end.in[id] = nrec
-		ns.relTypeSet(rec.typ)[id] = struct{}{}
-	}
-	for key, idx := range s.indexes {
-		nidx := &propIndex{byValue: make(map[string]map[NodeID]struct{}, len(idx.byValue))}
-		for hk, set := range idx.byValue {
-			nset := make(map[NodeID]struct{}, len(set))
-			for id := range set {
-				nset[id] = struct{}{}
-			}
-			nidx.byValue[hk] = nset
-		}
-		ns.indexes[key] = nidx
-	}
+	ns.metrics.Store(&Metrics{})
 	return ns
 }
 
@@ -301,35 +383,16 @@ type Stats struct {
 	Indexes       int
 }
 
-// Stats returns a snapshot of store-size counters.
+// Stats returns a snapshot of store-size counters. Lock-free.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sn := s.snap.Load()
 	return Stats{
-		Nodes:         len(s.nodes),
-		Relationships: len(s.rels),
-		Labels:        len(s.byLabel),
-		RelTypes:      len(s.byRelType),
-		Indexes:       len(s.indexes),
+		Nodes:         len(sn.nodes),
+		Relationships: len(sn.rels),
+		Labels:        len(sn.byLabel),
+		RelTypes:      len(sn.byRelType),
+		Indexes:       len(sn.indexes),
 	}
-}
-
-func (s *Store) labelSet(label string) map[NodeID]struct{} {
-	set, ok := s.byLabel[label]
-	if !ok {
-		set = make(map[NodeID]struct{})
-		s.byLabel[label] = set
-	}
-	return set
-}
-
-func (s *Store) relTypeSet(typ string) map[RelID]struct{} {
-	set, ok := s.byRelType[typ]
-	if !ok {
-		set = make(map[RelID]struct{})
-		s.byRelType[typ] = set
-	}
-	return set
 }
 
 func snapshotNode(n *nodeRec) Node {
@@ -337,7 +400,7 @@ func snapshotNode(n *nodeRec) Node {
 	for l := range n.labels {
 		labels = append(labels, l)
 	}
-	sortStrings(labels)
+	sort.Strings(labels)
 	props := make(map[string]value.Value, len(n.props))
 	for k, v := range n.props {
 		props[k] = v
@@ -350,15 +413,7 @@ func snapshotRel(r *relRec) Rel {
 	for k, v := range r.props {
 		props[k] = v
 	}
-	return Rel{ID: r.id, Type: r.typ, Start: r.start.id, End: r.end.id, Props: props}
-}
-
-func sortStrings(ss []string) {
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
-		}
-	}
+	return Rel{ID: r.id, Type: r.typ, Start: r.start, End: r.end, Props: props}
 }
 
 func fmtErrNode(id NodeID) error { return fmt.Errorf("%w: %d", ErrNodeNotFound, id) }

@@ -39,42 +39,42 @@ const exportFormat = "reactive-graph/v1"
 // counters — not indexes or validators, which are configuration) as JSON.
 // The output is deterministic: entities are ordered by identifier and keys
 // sort lexicographically, so two stores with equal content export
-// byte-identical documents.
+// byte-identical documents. Export reads the committed snapshot lock-free
+// and never blocks a writer, however large the store.
 func (s *Store) Export(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.exportLocked(w)
+	return s.snap.Load().export(w)
 }
 
-// Export writes the store's content as seen by the transaction. It is the
-// in-transaction variant of Store.Export, used by checkpointing to snapshot
-// the store consistently with the write-ahead-log position while the
-// transaction's lock excludes concurrent commits.
+// Export writes the store's content as seen by the transaction: a
+// read-write transaction exports its own uncommitted state, a read-only
+// transaction its pinned snapshot. Checkpointing pairs a SnapshotView with
+// the write-ahead-log position and exports from it after the write lock is
+// released.
 func (tx *Tx) Export(w io.Writer) error {
 	if tx.done {
 		return ErrTxDone
 	}
-	return tx.s.exportLocked(w)
+	return tx.view.export(w)
 }
 
-func (s *Store) exportLocked(w io.Writer) error {
+func (sn *snapshot) export(w io.Writer) error {
 	doc := exportDoc{
 		Format:   exportFormat,
-		NextNode: int64(s.nextNode),
-		NextRel:  int64(s.nextRel),
+		NextNode: int64(sn.nextNode),
+		NextRel:  int64(sn.nextRel),
 	}
-	nodeIDs := make([]NodeID, 0, len(s.nodes))
-	for id := range s.nodes {
+	nodeIDs := make([]NodeID, 0, len(sn.nodes))
+	for id := range sn.nodes {
 		nodeIDs = append(nodeIDs, id)
 	}
 	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
 	for _, id := range nodeIDs {
-		rec := s.nodes[id]
+		rec := sn.nodes[id]
 		en := exportNode{ID: int64(id)}
 		for l := range rec.labels {
 			en.Labels = append(en.Labels, l)
 		}
-		sortStrings(en.Labels)
+		sort.Strings(en.Labels)
 		if len(rec.props) > 0 {
 			en.Props = make(map[string]any, len(rec.props))
 			for k, v := range rec.props {
@@ -83,16 +83,16 @@ func (s *Store) exportLocked(w io.Writer) error {
 		}
 		doc.Nodes = append(doc.Nodes, en)
 	}
-	relIDs := make([]RelID, 0, len(s.rels))
-	for id := range s.rels {
+	relIDs := make([]RelID, 0, len(sn.rels))
+	for id := range sn.rels {
 		relIDs = append(relIDs, id)
 	}
 	sort.Slice(relIDs, func(i, j int) bool { return relIDs[i] < relIDs[j] })
 	for _, id := range relIDs {
-		rec := s.rels[id]
+		rec := sn.rels[id]
 		er := exportRel{
 			ID: int64(id), Type: rec.typ,
-			Start: int64(rec.start.id), End: int64(rec.end.id),
+			Start: int64(rec.start), End: int64(rec.end),
 		}
 		if len(rec.props) > 0 {
 			er.Props = make(map[string]any, len(rec.props))
@@ -111,7 +111,9 @@ func (s *Store) exportLocked(w io.Writer) error {
 // empty. Identifiers are preserved; indexes already created on the store
 // are populated as nodes arrive. Validators do NOT run during import (the
 // data was valid when exported); subsequent transactions are validated as
-// usual.
+// usual. The document is assembled into a private snapshot and published
+// atomically, so on error the store is left unchanged and concurrent
+// readers never observe a partial import.
 func (s *Store) Import(r io.Reader) error {
 	var doc exportDoc
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
@@ -120,10 +122,15 @@ func (s *Store) Import(r io.Reader) error {
 	if doc.Format != exportFormat {
 		return fmt.Errorf("graph: import: unknown format %q", doc.Format)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.nodes) != 0 || len(s.rels) != 0 {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	base := s.snap.Load()
+	if len(base.nodes) != 0 || len(base.rels) != 0 {
 		return fmt.Errorf("graph: import requires an empty store")
+	}
+	next := emptySnapshot()
+	for key := range base.indexes {
+		next.indexes[key] = &propIndex{byValue: make(map[string]map[NodeID]struct{})}
 	}
 	for _, en := range doc.Nodes {
 		rec := &nodeRec{
@@ -135,7 +142,7 @@ func (s *Store) Import(r io.Reader) error {
 		}
 		for _, l := range en.Labels {
 			rec.labels[l] = struct{}{}
-			s.labelSet(l)[rec.id] = struct{}{}
+			next.labelSet(l)[rec.id] = struct{}{}
 		}
 		for k, raw := range en.Props {
 			v, err := value.FromJSON(raw)
@@ -146,22 +153,22 @@ func (s *Store) Import(r io.Reader) error {
 				rec.props[k] = v
 			}
 		}
-		s.nodes[rec.id] = rec
+		next.nodes[rec.id] = rec
 		for k, v := range rec.props {
-			s.indexInsertNode(rec, k, v)
+			next.indexInsertNode(rec, k, v)
 		}
 	}
 	for _, er := range doc.Rels {
-		start, ok := s.nodes[NodeID(er.Start)]
+		start, ok := next.nodes[NodeID(er.Start)]
 		if !ok {
 			return fmt.Errorf("graph: import rel %d: start node %d missing", er.ID, er.Start)
 		}
-		end, ok := s.nodes[NodeID(er.End)]
+		end, ok := next.nodes[NodeID(er.End)]
 		if !ok {
 			return fmt.Errorf("graph: import rel %d: end node %d missing", er.ID, er.End)
 		}
 		rec := &relRec{
-			id: RelID(er.ID), typ: er.Type, start: start, end: end,
+			id: RelID(er.ID), typ: er.Type, start: start.id, end: end.id,
 			props: make(map[string]value.Value, len(er.Props)),
 		}
 		for k, raw := range er.Props {
@@ -173,22 +180,24 @@ func (s *Store) Import(r io.Reader) error {
 				rec.props[k] = v
 			}
 		}
-		s.rels[rec.id] = rec
+		next.rels[rec.id] = rec
 		start.out[rec.id] = rec
 		end.in[rec.id] = rec
-		s.relTypeSet(rec.typ)[rec.id] = struct{}{}
+		next.relTypeSet(rec.typ)[rec.id] = struct{}{}
 	}
-	s.nextNode = NodeID(doc.NextNode)
-	s.nextRel = RelID(doc.NextRel)
+	next.nextNode = NodeID(doc.NextNode)
+	next.nextRel = RelID(doc.NextRel)
 	for _, en := range doc.Nodes {
-		if NodeID(en.ID) > s.nextNode {
-			s.nextNode = NodeID(en.ID)
+		if NodeID(en.ID) > next.nextNode {
+			next.nextNode = NodeID(en.ID)
 		}
 	}
 	for _, er := range doc.Rels {
-		if RelID(er.ID) > s.nextRel {
-			s.nextRel = RelID(er.ID)
+		if RelID(er.ID) > next.nextRel {
+			next.nextRel = RelID(er.ID)
 		}
 	}
+	s.snap.Store(next)
+	s.metrics.Load().SnapshotsPublished.Inc()
 	return nil
 }

@@ -1,7 +1,10 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
+	"maps"
+	"sort"
 	"time"
 
 	"repro/internal/value"
@@ -11,15 +14,63 @@ import (
 // write methods fail with ErrReadOnly in a read-only transaction. A
 // transaction must be finished with Commit or Rollback exactly once;
 // Rollback after Commit is a no-op, which makes `defer tx.Rollback()` safe.
+//
+// A read-write transaction edits a private working copy of the committed
+// snapshot (copy-on-write, tracked by work) and publishes it at Commit;
+// Rollback simply discards the copy. A read-only transaction shares the
+// immutable committed snapshot and must never reach a write method.
 type Tx struct {
 	s    *Store
 	mode Mode
 	done bool
 	data *TxData
-	undo []func()
+	// view is the state this transaction reads: the pinned committed
+	// snapshot for ReadOnly, the private working copy for ReadWrite.
+	view *snapshot
+	// w tracks what the working copy has cloned so far; nil for ReadOnly.
+	w *work
+	// metrics is the store's instrumentation as of Begin.
+	metrics *Metrics
+	// deferred holds OnCommitted callbacks, run after publication.
+	deferred []func() error
 	// start is set at Begin when transaction-latency instrumentation is
 	// wired; zero otherwise.
 	start time.Time
+}
+
+// work records which parts of the working copy are already private to the
+// transaction, so each map and record is cloned at most once however many
+// times it is touched.
+type work struct {
+	// wrote is set by the first effective write; Commit publishes the
+	// working copy only when it is set.
+	wrote bool
+
+	nodesCloned    bool
+	relsCloned     bool
+	labelsCloned   bool
+	relTypesCloned bool
+	indexesCloned  bool
+
+	clonedNodes       map[NodeID]struct{}
+	clonedRels        map[RelID]struct{}
+	clonedLabelSets   map[string]struct{}
+	clonedRelTypeSets map[string]struct{}
+	clonedIdx         map[indexKey]struct{}
+	// clonedIdxSets maps an index (already cloned) to the set of value-hash
+	// posting sets cloned within it.
+	clonedIdxSets map[indexKey]map[string]struct{}
+}
+
+func newWork() *work {
+	return &work{
+		clonedNodes:       make(map[NodeID]struct{}),
+		clonedRels:        make(map[RelID]struct{}),
+		clonedLabelSets:   make(map[string]struct{}),
+		clonedRelTypeSets: make(map[string]struct{}),
+		clonedIdx:         make(map[indexKey]struct{}),
+		clonedIdxSets:     make(map[indexKey]map[string]struct{}),
+	}
 }
 
 // Data exposes the changes made so far by this transaction. The caller must
@@ -43,68 +94,91 @@ func (tx *Tx) MergeData(d *TxData) {
 	tx.data = d
 }
 
-// Commit runs the store validators and the commit hook, then publishes the
-// transaction. If a validator or the hook fails, the transaction is rolled
-// back and the error returned.
+// OnCommitted registers fn to run after the transaction has committed — its
+// snapshot published and the write lock released — in registration order.
+// Commit returns the joined errors of all callbacks, but by then the
+// transaction IS committed in memory: a callback error cannot roll it back.
+// The write-ahead log uses this for its group-commit durability wait, so
+// the fsync of one transaction overlaps the in-memory work of the next; the
+// caveat is the standard early-lock-release one — on an fsync error the
+// commit is visible in memory but not durable, and Commit reports it.
+func (tx *Tx) OnCommitted(fn func() error) error {
+	if err := tx.writable(); err != nil {
+		return err
+	}
+	tx.deferred = append(tx.deferred, fn)
+	return nil
+}
+
+// Commit runs the store validators and the commit hook, publishes the
+// transaction's working copy as the new committed snapshot, releases the
+// write lock, and then runs any OnCommitted callbacks. If a validator or
+// the hook fails, the transaction is rolled back and the error returned; a
+// callback error is returned too, but cannot undo the publication.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
 	}
-	if tx.mode == ReadWrite {
-		for _, v := range tx.s.validators {
+	if tx.mode != ReadWrite {
+		tx.done = true
+		return nil
+	}
+	if vs := tx.s.validators.Load(); vs != nil {
+		for _, v := range *vs {
 			if err := v(tx); err != nil {
-				tx.rollbackLocked()
+				tx.rollbackWrite()
 				return err
 			}
 		}
-		if h := tx.s.commitHook; h != nil {
-			if err := h(tx); err != nil {
-				tx.rollbackLocked()
-				return fmt.Errorf("graph: commit hook: %w", err)
-			}
+	}
+	if h := tx.s.commitHook; h != nil {
+		if err := h(tx); err != nil {
+			tx.rollbackWrite()
+			return fmt.Errorf("graph: commit hook: %w", err)
 		}
 	}
 	tx.done = true
-	if tx.mode == ReadWrite {
-		tx.s.metrics.TxCommits.Inc()
-		if !tx.start.IsZero() {
-			tx.s.metrics.TxSeconds.ObserveSince(tx.start)
+	if tx.w.wrote {
+		tx.s.snap.Store(tx.view)
+		tx.metrics.SnapshotsPublished.Inc()
+	}
+	tx.metrics.TxCommits.Inc()
+	if !tx.start.IsZero() {
+		tx.metrics.TxSeconds.ObserveSince(tx.start)
+	}
+	tx.s.writeMu.Unlock()
+	var errs []error
+	for _, fn := range tx.deferred {
+		if err := fn(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	tx.unlock()
-	return nil
+	tx.deferred = nil
+	return errors.Join(errs...)
 }
 
-// Rollback undoes all changes made by the transaction. Calling it after
-// Commit (or twice) is a no-op.
+// Rollback discards all changes made by the transaction — the working copy
+// is simply dropped, the committed snapshot was never touched. Calling it
+// after Commit (or twice) is a no-op.
 func (tx *Tx) Rollback() {
 	if tx.done {
 		return
 	}
-	tx.rollbackLocked()
+	if tx.mode != ReadWrite {
+		tx.done = true
+		return
+	}
+	tx.rollbackWrite()
 }
 
-func (tx *Tx) rollbackLocked() {
-	for i := len(tx.undo) - 1; i >= 0; i-- {
-		tx.undo[i]()
-	}
-	tx.undo = nil
+func (tx *Tx) rollbackWrite() {
 	tx.done = true
-	if tx.mode == ReadWrite {
-		tx.s.metrics.TxRollbacks.Inc()
-		if !tx.start.IsZero() {
-			tx.s.metrics.TxSeconds.ObserveSince(tx.start)
-		}
+	tx.deferred = nil
+	tx.metrics.TxRollbacks.Inc()
+	if !tx.start.IsZero() {
+		tx.metrics.TxSeconds.ObserveSince(tx.start)
 	}
-	tx.unlock()
-}
-
-func (tx *Tx) unlock() {
-	if tx.mode == ReadWrite {
-		tx.s.mu.Unlock()
-	} else {
-		tx.s.mu.RUnlock()
-	}
+	tx.s.writeMu.Unlock()
 }
 
 func (tx *Tx) writable() error {
@@ -117,6 +191,196 @@ func (tx *Tx) writable() error {
 	return nil
 }
 
+// ---- Copy-on-write helpers ----
+//
+// The working copy starts as a struct copy of the committed snapshot: every
+// map is still shared. The helpers below make one level at a time private —
+// first the top-level map (a clone of the pointer/set table), then the
+// individual record or set — each exactly once per transaction. Reads
+// always go through tx.view, so the transaction sees its own writes while
+// concurrent readers keep seeing the untouched committed snapshot.
+
+func (tx *Tx) wNodes() map[NodeID]*nodeRec {
+	if !tx.w.nodesCloned {
+		tx.view.nodes = maps.Clone(tx.view.nodes)
+		tx.w.nodesCloned = true
+	}
+	tx.w.wrote = true
+	return tx.view.nodes
+}
+
+// wNode returns a node record the transaction may mutate, cloning the
+// committed record on first touch.
+func (tx *Tx) wNode(id NodeID) (*nodeRec, bool) {
+	rec, ok := tx.view.nodes[id]
+	if !ok {
+		return nil, false
+	}
+	if _, private := tx.w.clonedNodes[id]; !private {
+		rec = rec.clone()
+		tx.wNodes()[id] = rec
+		tx.w.clonedNodes[id] = struct{}{}
+		tx.metrics.RecordsCloned.Inc()
+	}
+	return rec, true
+}
+
+// putNode installs a record created by this transaction (already private).
+func (tx *Tx) putNode(rec *nodeRec) {
+	tx.wNodes()[rec.id] = rec
+	tx.w.clonedNodes[rec.id] = struct{}{}
+}
+
+func (tx *Tx) wRels() map[RelID]*relRec {
+	if !tx.w.relsCloned {
+		tx.view.rels = maps.Clone(tx.view.rels)
+		tx.w.relsCloned = true
+	}
+	tx.w.wrote = true
+	return tx.view.rels
+}
+
+func (tx *Tx) wRel(id RelID) (*relRec, bool) {
+	rec, ok := tx.view.rels[id]
+	if !ok {
+		return nil, false
+	}
+	if _, private := tx.w.clonedRels[id]; !private {
+		rec = rec.clone()
+		tx.wRels()[id] = rec
+		tx.w.clonedRels[id] = struct{}{}
+		tx.metrics.RecordsCloned.Inc()
+	}
+	return rec, true
+}
+
+func (tx *Tx) putRel(rec *relRec) {
+	tx.wRels()[rec.id] = rec
+	tx.w.clonedRels[rec.id] = struct{}{}
+}
+
+// wLabelSet returns a mutable membership set for label, creating or cloning
+// it as needed.
+func (tx *Tx) wLabelSet(label string) map[NodeID]struct{} {
+	if !tx.w.labelsCloned {
+		tx.view.byLabel = maps.Clone(tx.view.byLabel)
+		tx.w.labelsCloned = true
+	}
+	tx.w.wrote = true
+	set, ok := tx.view.byLabel[label]
+	if !ok {
+		set = make(map[NodeID]struct{})
+		tx.view.byLabel[label] = set
+		tx.w.clonedLabelSets[label] = struct{}{}
+		return set
+	}
+	if _, private := tx.w.clonedLabelSets[label]; !private {
+		set = maps.Clone(set)
+		tx.view.byLabel[label] = set
+		tx.w.clonedLabelSets[label] = struct{}{}
+	}
+	return set
+}
+
+func (tx *Tx) wRelTypeSet(typ string) map[RelID]struct{} {
+	if !tx.w.relTypesCloned {
+		tx.view.byRelType = maps.Clone(tx.view.byRelType)
+		tx.w.relTypesCloned = true
+	}
+	tx.w.wrote = true
+	set, ok := tx.view.byRelType[typ]
+	if !ok {
+		set = make(map[RelID]struct{})
+		tx.view.byRelType[typ] = set
+		tx.w.clonedRelTypeSets[typ] = struct{}{}
+		return set
+	}
+	if _, private := tx.w.clonedRelTypeSets[typ]; !private {
+		set = maps.Clone(set)
+		tx.view.byRelType[typ] = set
+		tx.w.clonedRelTypeSets[typ] = struct{}{}
+	}
+	return set
+}
+
+// wIndex returns a mutable propIndex for ik, or nil when no such index
+// exists. The index's byValue table is cloned on first touch; individual
+// posting sets are cloned lazily by idxInsert/idxRemove.
+func (tx *Tx) wIndex(ik indexKey) *propIndex {
+	idx, ok := tx.view.indexes[ik]
+	if !ok {
+		return nil
+	}
+	if _, private := tx.w.clonedIdx[ik]; !private {
+		if !tx.w.indexesCloned {
+			tx.view.indexes = maps.Clone(tx.view.indexes)
+			tx.w.indexesCloned = true
+		}
+		idx = &propIndex{byValue: maps.Clone(idx.byValue)}
+		tx.view.indexes[ik] = idx
+		tx.w.clonedIdx[ik] = struct{}{}
+		tx.w.clonedIdxSets[ik] = make(map[string]struct{})
+	}
+	tx.w.wrote = true
+	return idx
+}
+
+func (tx *Tx) idxInsert(ik indexKey, v value.Value, id NodeID) {
+	idx := tx.wIndex(ik)
+	if idx == nil {
+		return
+	}
+	k := v.HashKey()
+	sets := tx.w.clonedIdxSets[ik]
+	set, ok := idx.byValue[k]
+	if !ok {
+		set = make(map[NodeID]struct{})
+		idx.byValue[k] = set
+		sets[k] = struct{}{}
+	} else if _, private := sets[k]; !private {
+		set = maps.Clone(set)
+		idx.byValue[k] = set
+		sets[k] = struct{}{}
+	}
+	set[id] = struct{}{}
+}
+
+func (tx *Tx) idxRemove(ik indexKey, v value.Value, id NodeID) {
+	idx := tx.wIndex(ik)
+	if idx == nil {
+		return
+	}
+	k := v.HashKey()
+	set, ok := idx.byValue[k]
+	if !ok {
+		return
+	}
+	sets := tx.w.clonedIdxSets[ik]
+	if _, private := sets[k]; !private {
+		set = maps.Clone(set)
+		idx.byValue[k] = set
+		sets[k] = struct{}{}
+	}
+	delete(set, id)
+	if len(set) == 0 {
+		delete(idx.byValue, k)
+	}
+}
+
+// indexInsertNode updates all indexes matching any of the node's labels for
+// property (key, v).
+func (tx *Tx) indexInsertNode(rec *nodeRec, key string, v value.Value) {
+	for label := range rec.labels {
+		tx.idxInsert(indexKey{label, key}, v, rec.id)
+	}
+}
+
+func (tx *Tx) indexRemoveNode(rec *nodeRec, key string, v value.Value) {
+	for label := range rec.labels {
+		tx.idxRemove(indexKey{label, key}, v, rec.id)
+	}
+}
+
 // ---- Write operations ----
 
 // CreateNode creates a node with the given labels and properties and
@@ -125,9 +389,12 @@ func (tx *Tx) CreateNode(labels []string, props map[string]value.Value) (NodeID,
 	if err := tx.writable(); err != nil {
 		return 0, err
 	}
-	s := tx.s
-	s.nextNode++
-	id := s.nextNode
+	tx.view.nextNode++
+	id := tx.view.nextNode
+	return id, tx.createNode(id, labels, props)
+}
+
+func (tx *Tx) createNode(id NodeID, labels []string, props map[string]value.Value) error {
 	rec := &nodeRec{
 		id:     id,
 		labels: make(map[string]struct{}, len(labels)),
@@ -143,24 +410,15 @@ func (tx *Tx) CreateNode(labels []string, props map[string]value.Value) (NodeID,
 			rec.props[k] = v
 		}
 	}
-	s.nodes[id] = rec
+	tx.putNode(rec)
 	for l := range rec.labels {
-		s.labelSet(l)[id] = struct{}{}
+		tx.wLabelSet(l)[id] = struct{}{}
 	}
 	for k, v := range rec.props {
-		s.indexInsertNode(rec, k, v)
+		tx.indexInsertNode(rec, k, v)
 	}
 	tx.data.CreatedNodes = append(tx.data.CreatedNodes, id)
-	tx.undo = append(tx.undo, func() {
-		for l := range rec.labels {
-			delete(s.byLabel[l], id)
-		}
-		for k, v := range rec.props {
-			s.indexRemoveNode(rec, k, v)
-		}
-		delete(s.nodes, id)
-	})
-	return id, nil
+	return nil
 }
 
 // DeleteNode removes a node. If the node still has relationships the call
@@ -170,8 +428,7 @@ func (tx *Tx) DeleteNode(id NodeID, detach bool) error {
 	if err := tx.writable(); err != nil {
 		return err
 	}
-	s := tx.s
-	rec, ok := s.nodes[id]
+	rec, ok := tx.view.nodes[id]
 	if !ok {
 		return fmtErrNode(id)
 	}
@@ -179,35 +436,31 @@ func (tx *Tx) DeleteNode(id NodeID, detach bool) error {
 		if !detach {
 			return ErrHasRels
 		}
+		// Collect incident relationship identifiers up front (a self-loop
+		// appears in both out and in) — deleting them mutates these maps.
+		rids := make(map[RelID]struct{}, len(rec.out)+len(rec.in))
 		for rid := range rec.out {
-			if err := tx.DeleteRel(rid); err != nil {
-				return err
-			}
+			rids[rid] = struct{}{}
 		}
 		for rid := range rec.in {
+			rids[rid] = struct{}{}
+		}
+		for rid := range rids {
 			if err := tx.DeleteRel(rid); err != nil {
 				return err
 			}
 		}
+		rec = tx.view.nodes[id] // detach replaced the record copy-on-write
 	}
 	snap := snapshotNode(rec)
 	for l := range rec.labels {
-		delete(s.byLabel[l], id)
+		delete(tx.wLabelSet(l), id)
 	}
 	for k, v := range rec.props {
-		s.indexRemoveNode(rec, k, v)
+		tx.indexRemoveNode(rec, k, v)
 	}
-	delete(s.nodes, id)
+	delete(tx.wNodes(), id)
 	tx.data.DeletedNodes = append(tx.data.DeletedNodes, snap)
-	tx.undo = append(tx.undo, func() {
-		s.nodes[id] = rec
-		for l := range rec.labels {
-			s.labelSet(l)[id] = struct{}{}
-		}
-		for k, v := range rec.props {
-			s.indexInsertNode(rec, k, v)
-		}
-	})
 	return nil
 }
 
@@ -216,36 +469,33 @@ func (tx *Tx) CreateRel(start, end NodeID, typ string, props map[string]value.Va
 	if err := tx.writable(); err != nil {
 		return 0, err
 	}
-	s := tx.s
-	sRec, ok := s.nodes[start]
-	if !ok {
+	if _, ok := tx.view.nodes[start]; !ok {
 		return 0, fmtErrNode(start)
 	}
-	eRec, ok := s.nodes[end]
-	if !ok {
+	if _, ok := tx.view.nodes[end]; !ok {
 		return 0, fmtErrNode(end)
 	}
-	s.nextRel++
-	id := s.nextRel
-	rec := &relRec{id: id, typ: typ, start: sRec, end: eRec,
+	tx.view.nextRel++
+	id := tx.view.nextRel
+	return id, tx.createRel(id, start, end, typ, props)
+}
+
+func (tx *Tx) createRel(id RelID, start, end NodeID, typ string, props map[string]value.Value) error {
+	rec := &relRec{id: id, typ: typ, start: start, end: end,
 		props: make(map[string]value.Value, len(props))}
 	for k, v := range props {
 		if !v.IsNull() {
 			rec.props[k] = v
 		}
 	}
-	s.rels[id] = rec
+	tx.putRel(rec)
+	sRec, _ := tx.wNode(start)
 	sRec.out[id] = rec
+	eRec, _ := tx.wNode(end)
 	eRec.in[id] = rec
-	s.relTypeSet(typ)[id] = struct{}{}
+	tx.wRelTypeSet(typ)[id] = struct{}{}
 	tx.data.CreatedRels = append(tx.data.CreatedRels, id)
-	tx.undo = append(tx.undo, func() {
-		delete(s.rels, id)
-		delete(sRec.out, id)
-		delete(eRec.in, id)
-		delete(s.byRelType[typ], id)
-	})
-	return id, nil
+	return nil
 }
 
 // DeleteRel removes a relationship.
@@ -253,23 +503,18 @@ func (tx *Tx) DeleteRel(id RelID) error {
 	if err := tx.writable(); err != nil {
 		return err
 	}
-	s := tx.s
-	rec, ok := s.rels[id]
+	rec, ok := tx.view.rels[id]
 	if !ok {
 		return fmtErrRel(id)
 	}
 	snap := snapshotRel(rec)
-	delete(s.rels, id)
-	delete(rec.start.out, id)
-	delete(rec.end.in, id)
-	delete(s.byRelType[rec.typ], id)
+	delete(tx.wRels(), id)
+	sRec, _ := tx.wNode(rec.start)
+	delete(sRec.out, id)
+	eRec, _ := tx.wNode(rec.end)
+	delete(eRec.in, id)
+	delete(tx.wRelTypeSet(rec.typ), id)
 	tx.data.DeletedRels = append(tx.data.DeletedRels, snap)
-	tx.undo = append(tx.undo, func() {
-		s.rels[id] = rec
-		rec.start.out[id] = rec
-		rec.end.in[id] = rec
-		s.relTypeSet(rec.typ)[id] = struct{}{}
-	})
 	return nil
 }
 
@@ -279,27 +524,18 @@ func (tx *Tx) SetLabel(id NodeID, label string) error {
 	if err := tx.writable(); err != nil {
 		return err
 	}
-	s := tx.s
-	rec, ok := s.nodes[id]
-	if !ok {
+	if rec, ok := tx.view.nodes[id]; !ok {
 		return fmtErrNode(id)
-	}
-	if _, has := rec.labels[label]; has {
+	} else if _, has := rec.labels[label]; has {
 		return nil
 	}
+	rec, _ := tx.wNode(id)
 	rec.labels[label] = struct{}{}
-	s.labelSet(label)[id] = struct{}{}
+	tx.wLabelSet(label)[id] = struct{}{}
 	for k, v := range rec.props {
-		s.indexInsertNodeForLabel(rec, label, k, v)
+		tx.idxInsert(indexKey{label, k}, v, id)
 	}
 	tx.data.AssignedLabels = append(tx.data.AssignedLabels, LabelChange{Node: id, Label: label})
-	tx.undo = append(tx.undo, func() {
-		delete(rec.labels, label)
-		delete(s.byLabel[label], id)
-		for k, v := range rec.props {
-			s.indexRemoveNodeForLabel(rec, label, k, v)
-		}
-	})
 	return nil
 }
 
@@ -309,27 +545,18 @@ func (tx *Tx) RemoveLabel(id NodeID, label string) error {
 	if err := tx.writable(); err != nil {
 		return err
 	}
-	s := tx.s
-	rec, ok := s.nodes[id]
-	if !ok {
+	if rec, ok := tx.view.nodes[id]; !ok {
 		return fmtErrNode(id)
-	}
-	if _, has := rec.labels[label]; !has {
+	} else if _, has := rec.labels[label]; !has {
 		return nil
 	}
+	rec, _ := tx.wNode(id)
 	delete(rec.labels, label)
-	delete(s.byLabel[label], id)
+	delete(tx.wLabelSet(label), id)
 	for k, v := range rec.props {
-		s.indexRemoveNodeForLabel(rec, label, k, v)
+		tx.idxRemove(indexKey{label, k}, v, id)
 	}
 	tx.data.RemovedLabels = append(tx.data.RemovedLabels, LabelChange{Node: id, Label: label})
-	tx.undo = append(tx.undo, func() {
-		rec.labels[label] = struct{}{}
-		s.labelSet(label)[id] = struct{}{}
-		for k, v := range rec.props {
-			s.indexInsertNodeForLabel(rec, label, k, v)
-		}
-	})
 	return nil
 }
 
@@ -339,46 +566,34 @@ func (tx *Tx) SetNodeProp(id NodeID, key string, v value.Value) error {
 	if err := tx.writable(); err != nil {
 		return err
 	}
-	s := tx.s
-	rec, ok := s.nodes[id]
+	cur, ok := tx.view.nodes[id]
 	if !ok {
 		return fmtErrNode(id)
 	}
-	old, had := rec.props[key]
+	old, had := cur.props[key]
 	if v.IsNull() {
 		if !had {
 			return nil
 		}
+		rec, _ := tx.wNode(id)
 		delete(rec.props, key)
-		s.indexRemoveNode(rec, key, old)
+		tx.indexRemoveNode(rec, key, old)
 		tx.data.RemovedProps = append(tx.data.RemovedProps,
 			PropChange{Kind: NodeEntity, Node: id, Key: key, Old: old, New: value.Null})
-		tx.undo = append(tx.undo, func() {
-			rec.props[key] = old
-			s.indexInsertNode(rec, key, old)
-		})
 		return nil
 	}
+	rec, _ := tx.wNode(id)
 	rec.props[key] = v
 	if had {
-		s.indexRemoveNode(rec, key, old)
+		tx.indexRemoveNode(rec, key, old)
 	}
-	s.indexInsertNode(rec, key, v)
+	tx.indexInsertNode(rec, key, v)
 	oldRecorded := value.Null
 	if had {
 		oldRecorded = old
 	}
 	tx.data.AssignedProps = append(tx.data.AssignedProps,
 		PropChange{Kind: NodeEntity, Node: id, Key: key, Old: oldRecorded, New: v})
-	tx.undo = append(tx.undo, func() {
-		s.indexRemoveNode(rec, key, v)
-		if had {
-			rec.props[key] = old
-			s.indexInsertNode(rec, key, old)
-		} else {
-			delete(rec.props, key)
-		}
-	})
 	return nil
 }
 
@@ -393,21 +608,22 @@ func (tx *Tx) SetRelProp(id RelID, key string, v value.Value) error {
 	if err := tx.writable(); err != nil {
 		return err
 	}
-	rec, ok := tx.s.rels[id]
+	cur, ok := tx.view.rels[id]
 	if !ok {
 		return fmtErrRel(id)
 	}
-	old, had := rec.props[key]
+	old, had := cur.props[key]
 	if v.IsNull() {
 		if !had {
 			return nil
 		}
+		rec, _ := tx.wRel(id)
 		delete(rec.props, key)
 		tx.data.RemovedProps = append(tx.data.RemovedProps,
 			PropChange{Kind: RelEntity, Rel: id, Key: key, Old: old, New: value.Null})
-		tx.undo = append(tx.undo, func() { rec.props[key] = old })
 		return nil
 	}
+	rec, _ := tx.wRel(id)
 	rec.props[key] = v
 	oldRecorded := value.Null
 	if had {
@@ -415,13 +631,6 @@ func (tx *Tx) SetRelProp(id RelID, key string, v value.Value) error {
 	}
 	tx.data.AssignedProps = append(tx.data.AssignedProps,
 		PropChange{Kind: RelEntity, Rel: id, Key: key, Old: oldRecorded, New: v})
-	tx.undo = append(tx.undo, func() {
-		if had {
-			rec.props[key] = old
-		} else {
-			delete(rec.props, key)
-		}
-	})
 	return nil
 }
 
@@ -443,48 +652,13 @@ func (tx *Tx) CreateNodeWithID(id NodeID, labels []string, props map[string]valu
 	if err := tx.writable(); err != nil {
 		return err
 	}
-	s := tx.s
-	if _, exists := s.nodes[id]; exists {
+	if _, exists := tx.view.nodes[id]; exists {
 		return fmt.Errorf("graph: node %d already exists", id)
 	}
-	prevNext := s.nextNode
-	if id > s.nextNode {
-		s.nextNode = id
+	if id > tx.view.nextNode {
+		tx.view.nextNode = id
 	}
-	rec := &nodeRec{
-		id:     id,
-		labels: make(map[string]struct{}, len(labels)),
-		props:  make(map[string]value.Value, len(props)),
-		out:    make(map[RelID]*relRec),
-		in:     make(map[RelID]*relRec),
-	}
-	for _, l := range labels {
-		rec.labels[l] = struct{}{}
-	}
-	for k, v := range props {
-		if !v.IsNull() {
-			rec.props[k] = v
-		}
-	}
-	s.nodes[id] = rec
-	for l := range rec.labels {
-		s.labelSet(l)[id] = struct{}{}
-	}
-	for k, v := range rec.props {
-		s.indexInsertNode(rec, k, v)
-	}
-	tx.data.CreatedNodes = append(tx.data.CreatedNodes, id)
-	tx.undo = append(tx.undo, func() {
-		for l := range rec.labels {
-			delete(s.byLabel[l], id)
-		}
-		for k, v := range rec.props {
-			s.indexRemoveNode(rec, k, v)
-		}
-		delete(s.nodes, id)
-		s.nextNode = prevNext
-	})
-	return nil
+	return tx.createNode(id, labels, props)
 }
 
 // CreateRelWithID creates a relationship under a caller-chosen identifier.
@@ -492,47 +666,24 @@ func (tx *Tx) CreateRelWithID(id RelID, start, end NodeID, typ string, props map
 	if err := tx.writable(); err != nil {
 		return err
 	}
-	s := tx.s
-	if _, exists := s.rels[id]; exists {
+	if _, exists := tx.view.rels[id]; exists {
 		return fmt.Errorf("graph: relationship %d already exists", id)
 	}
-	sRec, ok := s.nodes[start]
-	if !ok {
+	if _, ok := tx.view.nodes[start]; !ok {
 		return fmtErrNode(start)
 	}
-	eRec, ok := s.nodes[end]
-	if !ok {
+	if _, ok := tx.view.nodes[end]; !ok {
 		return fmtErrNode(end)
 	}
-	prevNext := s.nextRel
-	if id > s.nextRel {
-		s.nextRel = id
+	if id > tx.view.nextRel {
+		tx.view.nextRel = id
 	}
-	rec := &relRec{id: id, typ: typ, start: sRec, end: eRec,
-		props: make(map[string]value.Value, len(props))}
-	for k, v := range props {
-		if !v.IsNull() {
-			rec.props[k] = v
-		}
-	}
-	s.rels[id] = rec
-	sRec.out[id] = rec
-	eRec.in[id] = rec
-	s.relTypeSet(typ)[id] = struct{}{}
-	tx.data.CreatedRels = append(tx.data.CreatedRels, id)
-	tx.undo = append(tx.undo, func() {
-		delete(s.rels, id)
-		delete(sRec.out, id)
-		delete(eRec.in, id)
-		delete(s.byRelType[typ], id)
-		s.nextRel = prevNext
-	})
-	return nil
+	return tx.createRel(id, start, end, typ, props)
 }
 
 // Counters returns the identifier-allocation counters (the identifiers of
 // the most recently created node and relationship).
-func (tx *Tx) Counters() (NodeID, RelID) { return tx.s.nextNode, tx.s.nextRel }
+func (tx *Tx) Counters() (NodeID, RelID) { return tx.view.nextNode, tx.view.nextRel }
 
 // EnsureCounters raises the identifier-allocation counters to at least the
 // given values. Replay uses it so that a recovered store allocates the same
@@ -542,17 +693,14 @@ func (tx *Tx) EnsureCounters(nextNode NodeID, nextRel RelID) error {
 	if err := tx.writable(); err != nil {
 		return err
 	}
-	s := tx.s
-	prevNode, prevRel := s.nextNode, s.nextRel
-	if nextNode > s.nextNode {
-		s.nextNode = nextNode
+	if nextNode > tx.view.nextNode {
+		tx.view.nextNode = nextNode
+		tx.w.wrote = true
 	}
-	if nextRel > s.nextRel {
-		s.nextRel = nextRel
+	if nextRel > tx.view.nextRel {
+		tx.view.nextRel = nextRel
+		tx.w.wrote = true
 	}
-	tx.undo = append(tx.undo, func() {
-		s.nextNode, s.nextRel = prevNode, prevRel
-	})
 	return nil
 }
 
@@ -560,13 +708,13 @@ func (tx *Tx) EnsureCounters(nextNode NodeID, nextRel RelID) error {
 
 // NodeExists reports whether the node is present.
 func (tx *Tx) NodeExists(id NodeID) bool {
-	_, ok := tx.s.nodes[id]
+	_, ok := tx.view.nodes[id]
 	return ok
 }
 
 // Node returns a snapshot of the node.
 func (tx *Tx) Node(id NodeID) (Node, bool) {
-	rec, ok := tx.s.nodes[id]
+	rec, ok := tx.view.nodes[id]
 	if !ok {
 		return Node{}, false
 	}
@@ -575,7 +723,7 @@ func (tx *Tx) Node(id NodeID) (Node, bool) {
 
 // Rel returns a snapshot of the relationship.
 func (tx *Tx) Rel(id RelID) (Rel, bool) {
-	rec, ok := tx.s.rels[id]
+	rec, ok := tx.view.rels[id]
 	if !ok {
 		return Rel{}, false
 	}
@@ -584,7 +732,7 @@ func (tx *Tx) Rel(id RelID) (Rel, bool) {
 
 // NodeLabels returns the labels of a node, sorted.
 func (tx *Tx) NodeLabels(id NodeID) ([]string, bool) {
-	rec, ok := tx.s.nodes[id]
+	rec, ok := tx.view.nodes[id]
 	if !ok {
 		return nil, false
 	}
@@ -592,13 +740,13 @@ func (tx *Tx) NodeLabels(id NodeID) ([]string, bool) {
 	for l := range rec.labels {
 		labels = append(labels, l)
 	}
-	sortStrings(labels)
+	sort.Strings(labels)
 	return labels, true
 }
 
 // NodeHasLabel reports whether the node carries the label.
 func (tx *Tx) NodeHasLabel(id NodeID, label string) bool {
-	rec, ok := tx.s.nodes[id]
+	rec, ok := tx.view.nodes[id]
 	if !ok {
 		return false
 	}
@@ -609,7 +757,7 @@ func (tx *Tx) NodeHasLabel(id NodeID, label string) bool {
 // NodeProp returns a node property value; the second result is false if the
 // node does not exist or lacks the property.
 func (tx *Tx) NodeProp(id NodeID, key string) (value.Value, bool) {
-	rec, ok := tx.s.nodes[id]
+	rec, ok := tx.view.nodes[id]
 	if !ok {
 		return value.Null, false
 	}
@@ -619,7 +767,7 @@ func (tx *Tx) NodeProp(id NodeID, key string) (value.Value, bool) {
 
 // NodePropKeys returns the property keys of a node, sorted.
 func (tx *Tx) NodePropKeys(id NodeID) []string {
-	rec, ok := tx.s.nodes[id]
+	rec, ok := tx.view.nodes[id]
 	if !ok {
 		return nil
 	}
@@ -627,13 +775,13 @@ func (tx *Tx) NodePropKeys(id NodeID) []string {
 	for k := range rec.props {
 		keys = append(keys, k)
 	}
-	sortStrings(keys)
+	sort.Strings(keys)
 	return keys
 }
 
 // RelProp returns a relationship property value.
 func (tx *Tx) RelProp(id RelID, key string) (value.Value, bool) {
-	rec, ok := tx.s.rels[id]
+	rec, ok := tx.view.rels[id]
 	if !ok {
 		return value.Null, false
 	}
@@ -643,7 +791,7 @@ func (tx *Tx) RelProp(id RelID, key string) (value.Value, bool) {
 
 // RelPropKeys returns the property keys of a relationship, sorted.
 func (tx *Tx) RelPropKeys(id RelID) []string {
-	rec, ok := tx.s.rels[id]
+	rec, ok := tx.view.rels[id]
 	if !ok {
 		return nil
 	}
@@ -651,18 +799,18 @@ func (tx *Tx) RelPropKeys(id RelID) []string {
 	for k := range rec.props {
 		keys = append(keys, k)
 	}
-	sortStrings(keys)
+	sort.Strings(keys)
 	return keys
 }
 
 // RelEndpoints returns the type, start and end of a relationship without
 // copying its properties.
 func (tx *Tx) RelEndpoints(id RelID) (typ string, start, end NodeID, ok bool) {
-	rec, found := tx.s.rels[id]
+	rec, found := tx.view.rels[id]
 	if !found {
 		return "", 0, 0, false
 	}
-	return rec.typ, rec.start.id, rec.end.id, true
+	return rec.typ, rec.start, rec.end, true
 }
 
 // RelHandle is a lightweight relationship descriptor used during traversal.
@@ -685,7 +833,7 @@ func (r RelHandle) Other(id NodeID) NodeID {
 // direction, optionally filtered to a set of types (nil means all types).
 // For Direction Both, self-loops are reported once.
 func (tx *Tx) RelsOf(id NodeID, dir Direction, types []string) []RelHandle {
-	rec, ok := tx.s.nodes[id]
+	rec, ok := tx.view.nodes[id]
 	if !ok {
 		return nil
 	}
@@ -702,7 +850,7 @@ func (tx *Tx) RelsOf(id NodeID, dir Direction, types []string) []RelHandle {
 	}
 	var out []RelHandle
 	appendRel := func(r *relRec) {
-		out = append(out, RelHandle{ID: r.id, Type: r.typ, Start: r.start.id, End: r.end.id})
+		out = append(out, RelHandle{ID: r.id, Type: r.typ, Start: r.start, End: r.end})
 	}
 	if dir == Outgoing || dir == Both {
 		for _, r := range rec.out {
@@ -724,7 +872,7 @@ func (tx *Tx) RelsOf(id NodeID, dir Direction, types []string) []RelHandle {
 // Degree returns the number of relationships incident to a node in the
 // given direction.
 func (tx *Tx) Degree(id NodeID, dir Direction) int {
-	rec, ok := tx.s.nodes[id]
+	rec, ok := tx.view.nodes[id]
 	if !ok {
 		return 0
 	}
@@ -746,7 +894,7 @@ func (tx *Tx) Degree(id NodeID, dir Direction) int {
 
 // NodesByLabel returns the identifiers of all nodes carrying the label.
 func (tx *Tx) NodesByLabel(label string) []NodeID {
-	set := tx.s.byLabel[label]
+	set := tx.view.byLabel[label]
 	out := make([]NodeID, 0, len(set))
 	for id := range set {
 		out = append(out, id)
@@ -757,13 +905,13 @@ func (tx *Tx) NodesByLabel(label string) []NodeID {
 // CountByLabel returns the number of nodes carrying the label without
 // materializing their identifiers.
 func (tx *Tx) CountByLabel(label string) int {
-	return len(tx.s.byLabel[label])
+	return len(tx.view.byLabel[label])
 }
 
 // AllNodes returns the identifiers of every node.
 func (tx *Tx) AllNodes() []NodeID {
-	out := make([]NodeID, 0, len(tx.s.nodes))
-	for id := range tx.s.nodes {
+	out := make([]NodeID, 0, len(tx.view.nodes))
+	for id := range tx.view.nodes {
 		out = append(out, id)
 	}
 	return out
@@ -771,8 +919,8 @@ func (tx *Tx) AllNodes() []NodeID {
 
 // AllRels returns the identifiers of every relationship.
 func (tx *Tx) AllRels() []RelID {
-	out := make([]RelID, 0, len(tx.s.rels))
-	for id := range tx.s.rels {
+	out := make([]RelID, 0, len(tx.view.rels))
+	for id := range tx.view.rels {
 		out = append(out, id)
 	}
 	return out
@@ -780,7 +928,7 @@ func (tx *Tx) AllRels() []RelID {
 
 // RelsByType returns the identifiers of all relationships of the type.
 func (tx *Tx) RelsByType(typ string) []RelID {
-	set := tx.s.byRelType[typ]
+	set := tx.view.byRelType[typ]
 	out := make([]RelID, 0, len(set))
 	for id := range set {
 		out = append(out, id)
@@ -789,7 +937,7 @@ func (tx *Tx) RelsByType(typ string) []RelID {
 }
 
 // NodeCount returns the number of nodes.
-func (tx *Tx) NodeCount() int { return len(tx.s.nodes) }
+func (tx *Tx) NodeCount() int { return len(tx.view.nodes) }
 
 // RelCount returns the number of relationships.
-func (tx *Tx) RelCount() int { return len(tx.s.rels) }
+func (tx *Tx) RelCount() int { return len(tx.view.rels) }

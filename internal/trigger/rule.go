@@ -3,6 +3,7 @@ package trigger
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/cypher"
@@ -259,7 +260,7 @@ func Classify(cr *compiledRule, resolve LabelHubResolver, stateLabels map[string
 	for h := range hubs {
 		cls.Hubs = append(cls.Hubs, h)
 	}
-	sortStrings(cls.Hubs)
+	sort.Strings(cls.Hubs)
 	switch {
 	case len(hubs) > 1:
 		cls.Scope = InterHub
@@ -269,12 +270,4 @@ func Classify(cr *compiledRule, resolve LabelHubResolver, stateLabels map[string
 		cls.Scope = IntraHub
 	}
 	return cls
-}
-
-func sortStrings(ss []string) {
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
-		}
-	}
 }

@@ -7,6 +7,8 @@ package trigger
 // are conservative warnings (they may still terminate at runtime, which is
 // why the engine additionally enforces a cascade depth bound).
 
+import "sort"
+
 // TriggeringEdge is one edge of the triggering graph.
 type TriggeringEdge struct {
 	From string
@@ -122,7 +124,7 @@ func findCycles(rules []*compiledRule) [][]string {
 	for _, r := range rules {
 		names = append(names, r.Name)
 	}
-	sortStrings(names)
+	sort.Strings(names)
 	for _, n := range names {
 		if state[n] == 0 {
 			dfs(n)

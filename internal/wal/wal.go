@@ -106,6 +106,15 @@ type Metrics struct {
 	// CheckpointSeconds observes end-to-end checkpoint duration: snapshot
 	// install, directory syncs and superseded-file removal.
 	CheckpointSeconds *metrics.Histogram
+	// GroupCommitTxs counts transactions that went through the group-commit
+	// durability wait (WaitDurable under FsyncAlways).
+	GroupCommitTxs *metrics.Counter
+	// GroupCommitSyncs counts the fsyncs those transactions shared; the
+	// ratio GroupCommitTxs / GroupCommitSyncs is the achieved batch factor.
+	GroupCommitSyncs *metrics.Counter
+	// GroupCommitBatchTxs observes how many transactions each shared fsync
+	// made durable.
+	GroupCommitBatchTxs *metrics.Histogram
 }
 
 // ErrClosed is returned by operations on a closed log.
@@ -140,12 +149,19 @@ type Log struct {
 	dir  string
 	opts Options
 
-	mu       sync.Mutex
-	f        *os.File      // active segment, nil until the first append after open/cut
-	w        *bufio.Writer // buffers writes to f
-	size     int64         // bytes written to the active segment
-	lastSeq  uint64
-	dirty    bool // unflushed or unsynced appends under FsyncInterval
+	mu      sync.Mutex
+	f       *os.File      // active segment, nil until the first append after open/cut
+	w       *bufio.Writer // buffers writes to f
+	size    int64         // bytes written to the active segment
+	lastSeq uint64
+	// synced is the highest sequence number known to be on stable storage;
+	// group commit (WaitDurable) advances it one shared fsync at a time.
+	synced uint64
+	// syncing is set while a group-commit leader runs fsync outside mu;
+	// rotation and segment close are deferred until it clears.
+	syncing  bool
+	syncCond *sync.Cond // signals synced/syncing/closed changes
+	dirty    bool       // unflushed or unsynced appends under FsyncInterval
 	closed   bool
 	stopSync chan struct{} // closes the background fsync goroutine
 	syncDone chan struct{}
@@ -261,7 +277,8 @@ func Open(dir string, opts Options) (*Log, *graph.Store, *RecoveryInfo, error) {
 		}
 	}
 
-	l := &Log{dir: dir, opts: opts, lastSeq: info.LastSeq}
+	l := &Log{dir: dir, opts: opts, lastSeq: info.LastSeq, synced: info.LastSeq}
+	l.syncCond = sync.NewCond(&l.mu)
 	if opts.Fsync == FsyncInterval {
 		l.stopSync = make(chan struct{})
 		l.syncDone = make(chan struct{})
@@ -288,6 +305,43 @@ func (l *Log) Dir() string { return l.dir }
 func (l *Log) Append(rec *Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	seq, err := l.appendLocked(rec)
+	if err != nil {
+		return 0, err
+	}
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		if err := l.flushLocked(true); err != nil {
+			rec.Seq = 0
+			l.lastSeq = seq - 1
+			return 0, err
+		}
+	case FsyncInterval:
+		l.dirty = true
+	}
+	return seq, nil
+}
+
+// AppendAsync assigns the next sequence number to rec and writes it to the
+// active segment WITHOUT forcing it to stable storage, whatever the fsync
+// policy. The caller makes it durable later with WaitDurable(seq); keeping
+// the two apart lets a committer publish its transaction and release the
+// store's write lock before waiting on the disk, so concurrent committers
+// share one batched fsync (group commit).
+func (l *Log) AppendAsync(rec *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq, err := l.appendLocked(rec)
+	if err != nil {
+		return 0, err
+	}
+	if l.opts.Fsync == FsyncInterval {
+		l.dirty = true
+	}
+	return seq, nil
+}
+
+func (l *Log) appendLocked(rec *Record) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
@@ -297,7 +351,10 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 		rec.Seq = 0
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
-	if l.f == nil || l.size >= l.opts.SegmentSize {
+	// Rotation is deferred while a group-commit fsync is in flight: closing
+	// the file a leader is syncing would fail, and the few extra records go
+	// to the oversized segment harmlessly.
+	if l.f == nil || (l.size >= l.opts.SegmentSize && !l.syncing) {
 		if err := l.openSegmentLocked(rec.Seq); err != nil {
 			rec.Seq = 0
 			return 0, err
@@ -309,30 +366,97 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.size += int64(len(buf))
-	switch l.opts.Fsync {
-	case FsyncAlways:
-		if err := l.flushLocked(true); err != nil {
-			rec.Seq = 0
-			return 0, err
-		}
-	case FsyncInterval:
-		l.dirty = true
-	}
 	l.lastSeq = rec.Seq
 	l.metrics.RecordsAppended.Inc()
 	l.metrics.BytesAppended.Add(int64(len(buf)))
 	return rec.Seq, nil
 }
 
+// WaitDurable blocks until the record with the given sequence number is on
+// stable storage. Under FsyncInterval and FsyncNone it returns immediately
+// (durability is the ticker's or the operating system's business). Under
+// FsyncAlways it is the follower half of group commit: if an fsync is
+// already in flight the caller waits for it; otherwise the caller becomes
+// the leader, flushes everything appended so far and runs one fsync outside
+// the log mutex — making every concurrent committer durable in a single
+// disk operation while later appends keep landing in the buffer.
+func (l *Log) WaitDurable(seq uint64) error {
+	if l.opts.Fsync != FsyncAlways {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metrics.GroupCommitTxs.Inc()
+	for l.synced < seq {
+		if l.closed {
+			return ErrClosed
+		}
+		if l.syncing {
+			l.syncCond.Wait()
+			continue
+		}
+		if err := l.leaderSyncLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leaderSyncLocked makes everything appended so far durable with one fsync,
+// run outside the mutex so followers can append the next batch meanwhile.
+// Called with l.mu held and l.syncing false; returns with l.mu held.
+func (l *Log) leaderSyncLocked() error {
+	target := l.lastSeq
+	prev := l.synced
+	if l.f == nil {
+		// Segment was cut; the close flushed and fsynced everything.
+		l.synced = target
+		l.syncCond.Broadcast()
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	f := l.f
+	fsyncHist := l.metrics.FsyncSeconds
+	l.syncing = true
+	l.mu.Unlock()
+	var t0 time.Time
+	if fsyncHist != nil {
+		t0 = time.Now()
+	}
+	err := f.Sync()
+	if !t0.IsZero() {
+		fsyncHist.ObserveSince(t0)
+	}
+	l.mu.Lock()
+	l.syncing = false
+	l.syncCond.Broadcast()
+	if err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.synced = target
+	if l.lastSeq == target {
+		l.dirty = false
+	}
+	l.metrics.GroupCommitSyncs.Inc()
+	l.metrics.GroupCommitBatchTxs.Observe(float64(target - prev))
+	return nil
+}
+
 // Cut closes the active segment, so the next append starts a fresh one, and
-// returns the last appended sequence number. Checkpointing calls it while
-// holding the store's read lock: with no commit in flight, the returned
-// sequence number is exactly the state a simultaneous export captures.
+// returns the last appended sequence number. Checkpointing calls it as the
+// barrier of a graph.SnapshotView: with commits briefly quiesced, the
+// returned sequence number is exactly the state the pinned snapshot holds.
+// Cut waits out any group-commit fsync in flight.
 func (l *Log) Cut() (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
+	}
+	for l.syncing {
+		l.syncCond.Wait()
 	}
 	if err := l.closeSegmentLocked(); err != nil {
 		return 0, err
@@ -417,8 +541,12 @@ func (l *Log) Close() error {
 		l.mu.Unlock()
 		return nil
 	}
+	for l.syncing {
+		l.syncCond.Wait()
+	}
 	l.closed = true
 	err := l.closeSegmentLocked()
+	l.syncCond.Broadcast()
 	l.mu.Unlock()
 	if l.stopSync != nil {
 		close(l.stopSync)
@@ -486,6 +614,7 @@ func (l *Log) flushLocked(sync bool) error {
 		if !t0.IsZero() {
 			l.metrics.FsyncSeconds.ObserveSince(t0)
 		}
+		l.synced = l.lastSeq
 	}
 	l.dirty = false
 	return nil

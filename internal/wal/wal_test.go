@@ -59,17 +59,18 @@ func (h *harness) export() string {
 // checkpoint mirrors core.(*KnowledgeBase).Checkpoint.
 func (h *harness) checkpoint() uint64 {
 	h.t.Helper()
-	var buf strings.Builder
 	var seq uint64
-	err := h.store.View(func(tx *graph.Tx) error {
+	view, err := h.store.SnapshotView(func() error {
 		var err error
-		if seq, err = h.log.Cut(); err != nil {
-			return err
-		}
-		return tx.Export(&buf)
+		seq, err = h.log.Cut()
+		return err
 	})
 	if err == nil {
-		err = h.log.Checkpoint(seq, []byte(buf.String()))
+		defer view.Rollback()
+		var buf strings.Builder
+		if err = view.Export(&buf); err == nil {
+			err = h.log.Checkpoint(seq, []byte(buf.String()))
+		}
 	}
 	if err != nil {
 		h.t.Fatalf("checkpoint: %v", err)
