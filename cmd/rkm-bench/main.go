@@ -10,6 +10,7 @@
 //	rkm-bench -fig fed               # federated replication lag over HTTP
 //	rkm-bench -fig conc              # snapshot reads + group commit under contention
 //	rkm-bench -fig conc -smoke       # tiny CI-sized version of the same
+//	rkm-bench -fig async             # sync vs async alert evaluation on the write path
 //	rkm-bench -fig all               # everything
 //	rkm-bench -fig 9 -full           # paper-scale sweep (up to 10^6 patients)
 //	rkm-bench -fig 9 -patients 500,5000 -regions 10
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, fed, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, fed, conc, async, all")
 		patients = flag.String("patients", "", "comma-separated patient counts (overrides defaults)")
 		regions  = flag.Int("regions", 20, "number of regions")
 		days     = flag.Int("days", 2, "days the admissions are spread over")
@@ -38,7 +39,7 @@ func main() {
 		batch    = flag.Int("batch", 1, "patients per transaction")
 		full     = flag.Bool("full", false, "paper-scale sweep (10^2..10^6 patients; slow)")
 		reps     = flag.Int("reps", 1, "repetitions per measurement (median reported)")
-		smoke    = flag.Bool("smoke", false, "tiny sweep for CI (conc figure only)")
+		smoke    = flag.Bool("smoke", false, "tiny sweep for CI (conc and async figures)")
 	)
 	flag.Parse()
 
@@ -80,6 +81,8 @@ func main() {
 		runFed(cfg)
 	case "conc":
 		runConc(cfg, *smoke)
+	case "async":
+		runAsync(*smoke)
 	case "all":
 		runFig9(cfg)
 		fmt.Println()
@@ -94,8 +97,10 @@ func main() {
 		runFed(cfg)
 		fmt.Println()
 		runConc(cfg, *smoke)
+		fmt.Println()
+		runAsync(*smoke)
 	default:
-		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed, conc or all)", *fig)
+		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed, conc, async or all)", *fig)
 	}
 }
 
@@ -179,6 +184,18 @@ func runConc(cfg bench.Config, smoke bool) {
 		fatalf("conc commits: %v", err)
 	}
 	bench.WriteConc(os.Stdout, reads, commits)
+}
+
+func runAsync(smoke bool) {
+	acfg := bench.AsyncConfig{}
+	if smoke {
+		acfg = bench.SmokeAsyncConfig()
+	}
+	pts, err := bench.RunAsyncPipeline(acfg)
+	if err != nil {
+		fatalf("async: %v", err)
+	}
+	bench.WriteAsync(os.Stdout, pts)
 }
 
 func fatalf(format string, args ...any) {

@@ -31,6 +31,13 @@
 // still works). On a durable server the outbox marks live in the graph, so
 // replication resumes where it stopped after a restart.
 //
+// Rules whose phase is afterAsync evaluate their alert queries off the write
+// path, on the async pipeline started with -trigger-async-workers (0 makes
+// them synchronous again); -trigger-async-queue bounds the durable pending
+// queue and -trigger-async-backpressure picks what full means for writers
+// (block or shed). Queue depth is the rkm_trigger_async_queue_depth gauge in
+// /metrics and the asyncPending field of /stats.
+//
 // With -pprof the stdlib profiling endpoints are additionally served under
 // /debug/pprof/ (heap, CPU profile, goroutines, execution trace). See
 // OBSERVABILITY.md for the metric catalog and worked scrape examples.
@@ -83,6 +90,10 @@ func main() {
 		fedName   = flag.String("fed-name", "", "federation participant name (enables the /fed endpoints)")
 		fedPeers  = flag.String("fed-peers", "", "comma-separated peers to push alerts to, as name=baseURL")
 		fedSync   = flag.Duration("fed-sync", 30*time.Second, "background federation sync period (0 = manual /fed/sync only)")
+
+		asyncWorkers = flag.Int("trigger-async-workers", 2, "async alert pipeline workers (0 = afterAsync rules evaluate synchronously)")
+		asyncQueue   = flag.Int("trigger-async-queue", 1024, "async pending-queue bound")
+		asyncBP      = flag.String("trigger-async-backpressure", "block", "behavior at a full async queue: block or shed")
 	)
 	flag.Parse()
 
@@ -152,6 +163,24 @@ func main() {
 		log.Fatal("-fed-peers requires -fed-name")
 	}
 
+	if *asyncWorkers > 0 {
+		bp, err := reactive.ParseBackpressure(*asyncBP)
+		if err != nil {
+			log.Fatalf("-trigger-async-backpressure: %v", err)
+		}
+		opts := reactive.AsyncOptions{
+			Workers: *asyncWorkers, QueueLimit: *asyncQueue, Backpressure: bp,
+		}
+		if err := srv.kb.StartAsync(opts); err != nil {
+			log.Fatalf("async pipeline: %v", err)
+		}
+		if pending := srv.kb.AsyncDepth(); pending > 0 {
+			log.Printf("async pipeline: draining %d pending alert(s) recovered from the log", pending)
+		}
+		log.Printf("async pipeline: %d worker(s), queue %d, %s backpressure",
+			*asyncWorkers, *asyncQueue, bp)
+	}
+
 	srv.ready.Store(true) // recovery and seeding are done; serving can begin
 
 	mux := http.NewServeMux()
@@ -196,6 +225,10 @@ func main() {
 	}
 	close(stopSched)
 	<-schedDone
+	// Stop the async workers before the final checkpoint so no follow-up
+	// transaction races the log compaction; unprocessed pending entries stay
+	// in the graph and drain on the next start.
+	srv.kb.StopAsync()
 	if srv.kb.Durable() {
 		if err := srv.kb.Checkpoint(); err != nil {
 			log.Printf("final checkpoint: %v", err)
@@ -417,6 +450,7 @@ func (s *server) handleRulesList(w http.ResponseWriter, r *http.Request) {
 		Name   string `json:"name"`
 		Hub    string `json:"hub"`
 		Event  string `json:"event"`
+		Phase  string `json:"phase"`
 		Guard  string `json:"guard,omitempty"`
 		Alert  string `json:"alert,omitempty"`
 		Action string `json:"action,omitempty"`
@@ -428,6 +462,7 @@ func (s *server) handleRulesList(w http.ResponseWriter, r *http.Request) {
 	for _, info := range s.kb.Rules() {
 		out = append(out, ruleJSON{
 			Name: info.Name, Hub: info.Hub, Event: info.Event.String(),
+			Phase: info.Phase.String(),
 			Guard: info.Guard, Alert: info.Alert, Action: info.Action,
 			Paused: info.Paused,
 			Scope:  info.Classification.Scope.String(),
@@ -444,6 +479,7 @@ func (s *server) handleRuleInstall(w http.ResponseWriter, r *http.Request) {
 		Event   string `json:"event"`
 		Label   string `json:"label"`
 		PropKey string `json:"propKey"`
+		Phase   string `json:"phase"`
 		Guard   string `json:"guard"`
 		Alert   string `json:"alert"`
 		Action  string `json:"action"`
@@ -469,10 +505,16 @@ func (s *server) handleRuleInstall(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown event %q", req.Event))
 		return
 	}
-	err := s.kb.InstallRule(reactive.Rule{
+	phase, err := reactive.ParsePhase(req.Phase)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	err = s.kb.InstallRule(reactive.Rule{
 		Name:   req.Name,
 		Hub:    req.Hub,
 		Event:  reactive.Event{Kind: kind, Label: req.Label, PropKey: req.PropKey},
+		Phase:  phase,
 		Guard:  req.Guard,
 		Alert:  req.Alert,
 		Action: req.Action,
@@ -539,6 +581,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"unassigned":    hs.Unassigned,
 		"intraHubEdges": hs.IntraEdges,
 		"interHubEdges": hs.InterEdges,
+		"asyncPending":  s.kb.AsyncDepth(),
 		"time":          s.kb.Now().Format(time.RFC3339),
 	})
 }

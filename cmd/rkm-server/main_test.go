@@ -577,3 +577,93 @@ func TestParseFedPeers(t *testing.T) {
 		t.Error("bad entry accepted")
 	}
 }
+
+func TestAsyncRuleOverHTTP(t *testing.T) {
+	s, ts := newTestServer(t)
+	if err := s.kb.StartAsync(reactive.AsyncOptions{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.kb.StopAsync)
+
+	resp, body := postJSON(t, ts.URL+"/rules", map[string]any{
+		"name":  "asyncEcho",
+		"hub":   "E",
+		"event": "createNode",
+		"label": "Probe",
+		"phase": "afterAsync",
+		"alert": "RETURN NEW.v AS v",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("install: %d %v", resp.StatusCode, body)
+	}
+
+	// The rule list reports the phase.
+	var rules []map[string]any
+	getJSON(t, ts.URL+"/rules", &rules)
+	found := false
+	for _, r := range rules {
+		if r["name"] == "asyncEcho" {
+			found = true
+			if r["phase"] != "afterAsync" {
+				t.Fatalf("phase = %v, want afterAsync", r["phase"])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("asyncEcho not listed")
+	}
+
+	// A write triggers the rule; the alert materializes asynchronously.
+	resp, body = postJSON(t, ts.URL+"/execute", map[string]any{
+		"query": "CREATE (:Probe {v: 41})",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("execute: %d %v", resp.StatusCode, body)
+	}
+	if err := s.kb.WaitAsyncIdle(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var alerts []map[string]any
+	getJSON(t, ts.URL+"/alerts", &alerts)
+	hit := 0
+	for _, a := range alerts {
+		if a["rule"] == "asyncEcho" {
+			hit++
+		}
+	}
+	if hit != 1 {
+		t.Fatalf("asyncEcho alerts = %d, want 1", hit)
+	}
+
+	// The drained queue shows up in /stats and /metrics.
+	var stats map[string]any
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats["asyncPending"] != float64(0) {
+		t.Fatalf("asyncPending = %v, want 0", stats["asyncPending"])
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"rkm_trigger_async_queue_depth 0",
+		"rkm_trigger_async_enqueued_total 1",
+		"rkm_trigger_async_evaluated_total 1",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// A bad phase is rejected.
+	resp, _ = postJSON(t, ts.URL+"/rules", map[string]any{
+		"name": "bad", "event": "createNode", "phase": "during",
+		"alert": "RETURN 1 AS one",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad phase accepted: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAsyncPipelineSmoke(t *testing.T) {
+	pts, err := RunAsyncPipeline(SmokeAsyncConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3", len(pts))
+	}
+	byMode := map[string]AsyncPoint{}
+	for _, p := range pts {
+		if p.Achieved <= 0 {
+			t.Errorf("%s: tx/sec = %f", p.Mode, p.Achieved)
+		}
+		byMode[p.Mode] = p
+	}
+	// Deferral changes when alerts appear, not whether: both rule modes
+	// must materialize the same alert set (v in 91..99 per 100 writes).
+	if byMode["sync"].Alerts == 0 || byMode["sync"].Alerts != byMode["async"].Alerts {
+		t.Errorf("alerts: sync=%d async=%d, want equal and non-zero",
+			byMode["sync"].Alerts, byMode["async"].Alerts)
+	}
+	if byMode["baseline"].Alerts != 0 {
+		t.Errorf("baseline alerts = %d, want 0", byMode["baseline"].Alerts)
+	}
+
+	var buf bytes.Buffer
+	WriteAsync(&buf, pts)
+	for _, want := range []string{"mode", "baseline", "sync", "async", "drain"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, buf.String())
+		}
+	}
+}

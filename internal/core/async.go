@@ -1,0 +1,451 @@
+package core
+
+// The asynchronous alert pipeline: the detached coupling mode of the
+// active-database literature, and the engine behind the afterAsync trigger
+// phase of the paper's APOC translation (§IV-B).
+//
+// Guards still run synchronously inside the writing transaction — they are
+// cheap and intra-hub by design. The alert query of a Phase: AfterAsync
+// rule, which may be arbitrarily complex and inter-hub, is deferred: the
+// passing binding is serialized onto a durable pending queue and evaluated
+// later by a worker pool against a committed snapshot, producing the alert
+// nodes in a follow-up transaction that cascades through the rule engine as
+// usual.
+//
+// The queue is the graph itself: every staged activation is a PendingAlert
+// node created inside the triggering transaction, so it rides the existing
+// WAL/snapshot/recovery machinery exactly like the federation's FedOutbox
+// does — enqueue is atomic with the triggering write, crash recovery gets
+// the queue back for free, and StartAsync after OpenDurable drains whatever
+// a crash left behind. A worker's follow-up transaction deletes the
+// PendingAlert node and materializes the alert nodes atomically, which is
+// what makes delivery exactly-once across restarts.
+//
+// Ordering: node identifiers are assigned in commit order, the scanner
+// dispatches entries in identifier order, and all entries of one rule hash
+// to the same worker — so alerts of a given rule materialize in the order
+// their activations committed (per-rule ordered delivery). No ordering is
+// guaranteed across rules.
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/trigger"
+	"repro/internal/value"
+)
+
+// PendingAlertLabel is the label of the durable pending-queue nodes staged
+// by AfterAsync rules. The rule engine is configured to skip create/delete
+// events on this label, so queue bookkeeping never re-triggers rules.
+const PendingAlertLabel = "PendingAlert"
+
+// PendingAlert node properties.
+const (
+	pendingRuleProp    = "rule"
+	pendingBindingProp = "binding"
+	pendingAtProp      = "enqueuedAt"
+)
+
+// Backpressure selects how writers behave when the pending queue is full.
+type Backpressure int
+
+// Backpressure policies.
+const (
+	// BlockOnFull makes the enqueuing writer wait, after its commit, until
+	// the workers bring the queue back under the limit. Nothing is lost;
+	// writer throughput degrades to worker throughput under sustained
+	// overload. Requires workers (enqueue-only pipelines never block).
+	BlockOnFull Backpressure = iota
+	// ShedOnFull drops activations while the queue is at the limit; sheds
+	// are counted in rkm_trigger_async_shed_total and in the transaction's
+	// Report.AsyncShed. The bound is approximate: the check runs against
+	// the transaction's view at enqueue time.
+	ShedOnFull
+)
+
+// String returns the policy name.
+func (b Backpressure) String() string {
+	if b == ShedOnFull {
+		return "shed"
+	}
+	return "block"
+}
+
+// ParseBackpressure parses "block" or "shed". Empty means BlockOnFull.
+func ParseBackpressure(s string) (Backpressure, error) {
+	switch s {
+	case "", "block":
+		return BlockOnFull, nil
+	case "shed":
+		return ShedOnFull, nil
+	default:
+		return BlockOnFull, fmt.Errorf("core: unknown backpressure policy %q (want block or shed)", s)
+	}
+}
+
+// Async pipeline defaults.
+const (
+	DefaultAsyncWorkers    = 2
+	DefaultAsyncQueueLimit = 1024
+)
+
+// AsyncOptions tunes the asynchronous alert pipeline.
+type AsyncOptions struct {
+	// Workers is the number of evaluation goroutines. 0 means
+	// DefaultAsyncWorkers; negative means enqueue-only — activations are
+	// staged durably but nothing drains them until a later StartAsync with
+	// workers (fault-injection tests freeze the queue this way).
+	Workers int
+	// QueueLimit bounds the pending queue (0 = DefaultAsyncQueueLimit).
+	QueueLimit int
+	// Backpressure selects blocking or shedding at the limit.
+	Backpressure Backpressure
+}
+
+// ErrAsyncRunning is returned by StartAsync when the pipeline already runs.
+var ErrAsyncRunning = errors.New("core: async pipeline already running")
+
+// pendingEntry is one dequeued PendingAlert node.
+type pendingEntry struct {
+	id      graph.NodeID
+	rule    string
+	binding string
+}
+
+// asyncPipeline drains the PendingAlert queue: one scanner goroutine
+// collects committed entries in node-id order and routes them by rule hash
+// to per-worker channels; workers evaluate against pinned read snapshots and
+// materialize in follow-up transactions.
+type asyncPipeline struct {
+	kb   *KnowledgeBase
+	opts AsyncOptions
+	m    asyncMetrics
+
+	wake chan struct{} // coalesced scanner kick
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled when an entry finishes (throttle/idle waiters)
+	inflight map[graph.NodeID]bool
+	// parked holds entries whose evaluation or materialization failed; they
+	// stay on the durable queue and are retried by the next StartAsync.
+	parked  map[graph.NodeID]bool
+	stopped bool
+	workers []chan pendingEntry
+}
+
+// StartAsync starts the asynchronous alert pipeline. Any PendingAlert
+// entries already on the queue — for a durable knowledge base, whatever a
+// crash or shutdown left behind — are drained first, in order (counted in
+// rkm_trigger_async_recovered_total). Until StartAsync is called, AfterAsync
+// rules are evaluated synchronously, like Before rules.
+func (kb *KnowledgeBase) StartAsync(opts AsyncOptions) error {
+	if opts.Workers == 0 {
+		opts.Workers = DefaultAsyncWorkers
+	}
+	if opts.QueueLimit <= 0 {
+		opts.QueueLimit = DefaultAsyncQueueLimit
+	}
+	p := &asyncPipeline{
+		kb:       kb,
+		opts:     opts,
+		m:        kb.asyncM,
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		inflight: make(map[graph.NodeID]bool),
+		parked:   make(map[graph.NodeID]bool),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	if !kb.async.CompareAndSwap(nil, p) {
+		return ErrAsyncRunning
+	}
+	if recovered := kb.store.LabelCount(PendingAlertLabel); recovered > 0 {
+		p.m.recovered.Add(int64(recovered))
+	}
+	if opts.Workers > 0 {
+		p.workers = make([]chan pendingEntry, opts.Workers)
+		for i := range p.workers {
+			p.workers[i] = make(chan pendingEntry, 16)
+			p.wg.Add(1)
+			go p.worker(p.workers[i])
+		}
+		p.wg.Add(1)
+		go p.scanner()
+		p.kick()
+	}
+	return nil
+}
+
+// StopAsync stops the pipeline and waits for in-flight evaluations to
+// finish. Pending entries stay on the durable queue; a later StartAsync (or
+// a restart of a durable knowledge base) resumes them. After StopAsync,
+// AfterAsync rules fall back to synchronous evaluation. No-op if the
+// pipeline is not running.
+func (kb *KnowledgeBase) StopAsync() {
+	p := kb.async.Swap(nil)
+	if p == nil {
+		return
+	}
+	close(p.stop)
+	p.mu.Lock()
+	p.stopped = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// AsyncDepth returns the number of PendingAlert entries on the queue.
+func (kb *KnowledgeBase) AsyncDepth() int {
+	return kb.store.LabelCount(PendingAlertLabel)
+}
+
+// WaitAsyncIdle blocks until the pending queue is drained and no evaluation
+// is in flight (failed entries parked for the next restart excepted), or the
+// timeout elapses. Tests, benchmarks and graceful shutdowns use it.
+func (kb *KnowledgeBase) WaitAsyncIdle(timeout time.Duration) error {
+	p := kb.async.Load()
+	if p == nil {
+		return errors.New("core: async pipeline not running")
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if p.idle() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: async queue not idle after %v (depth %d)",
+				timeout, kb.AsyncDepth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (p *asyncPipeline) idle() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.inflight) == 0 &&
+		p.kb.store.LabelCount(PendingAlertLabel) <= len(p.parked)
+}
+
+// asyncEnqueue is the engine's AsyncSink: called inside the writing
+// transaction for every passing AfterAsync activation, it stages a
+// PendingAlert node so the activation commits (or rolls back) atomically
+// with the write that caused it.
+func (kb *KnowledgeBase) asyncEnqueue(tx *graph.Tx, item trigger.AsyncItem) (bool, error) {
+	p := kb.async.Load()
+	if p == nil {
+		return false, trigger.ErrAsyncFallback
+	}
+	if p.opts.Backpressure == ShedOnFull &&
+		tx.CountByLabel(PendingAlertLabel) >= p.opts.QueueLimit {
+		p.m.shed.Inc()
+		return false, nil
+	}
+	enc, err := trigger.EncodeBinding(item.Binding)
+	if err != nil {
+		return false, err
+	}
+	_, err = tx.CreateNode([]string{PendingAlertLabel}, map[string]value.Value{
+		pendingRuleProp:    value.Str(item.Rule),
+		pendingBindingProp: value.Str(enc),
+		pendingAtProp:      value.DateTime(kb.clock.Now()),
+	})
+	if err != nil {
+		return false, err
+	}
+	return true, tx.OnCommitted(func() error {
+		p.m.enqueued.Inc()
+		p.kick()
+		return nil
+	})
+}
+
+// throttleAsync applies BlockOnFull backpressure: called after a commit that
+// enqueued, outside any lock, it waits until the workers bring the queue
+// back under the limit. Workers themselves never throttle (their follow-up
+// transactions are what drains the queue).
+func (kb *KnowledgeBase) throttleAsync() {
+	p := kb.async.Load()
+	if p == nil || p.opts.Backpressure != BlockOnFull || p.opts.Workers <= 0 {
+		return
+	}
+	if kb.store.LabelCount(PendingAlertLabel) < p.opts.QueueLimit {
+		return
+	}
+	t0 := time.Now()
+	p.mu.Lock()
+	for !p.stopped && p.kb.store.LabelCount(PendingAlertLabel) >= p.opts.QueueLimit {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	p.m.blockSeconds.ObserveSince(t0)
+}
+
+func (p *asyncPipeline) kick() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// scanner routes committed pending entries to the workers. Entries of the
+// same rule always land on the same worker, and each pass dispatches in
+// node-id (= commit) order, which together give per-rule ordered delivery.
+func (p *asyncPipeline) scanner() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.wake:
+		}
+		for {
+			batch := p.collect()
+			if len(batch) == 0 {
+				break
+			}
+			for _, en := range batch {
+				select {
+				case p.workers[p.route(en.rule)] <- en:
+				case <-p.stop:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (p *asyncPipeline) route(rule string) int {
+	h := fnv.New32a()
+	h.Write([]byte(rule))
+	return int(h.Sum32() % uint32(len(p.workers)))
+}
+
+// collect reads the committed pending entries that are neither in flight nor
+// parked, marks them in flight, and returns them in node-id order.
+func (p *asyncPipeline) collect() []pendingEntry {
+	var out []pendingEntry
+	_ = p.kb.store.View(func(tx *graph.Tx) error {
+		ids := tx.NodesByLabel(PendingAlertLabel)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		for _, id := range ids {
+			if p.inflight[id] || p.parked[id] {
+				continue
+			}
+			n, ok := tx.Node(id)
+			if !ok {
+				continue
+			}
+			en := pendingEntry{id: id}
+			if v, ok := n.Props[pendingRuleProp]; ok {
+				en.rule, _ = v.AsString()
+			}
+			if v, ok := n.Props[pendingBindingProp]; ok {
+				en.binding, _ = v.AsString()
+			}
+			p.inflight[id] = true
+			out = append(out, en)
+		}
+		return nil
+	})
+	return out
+}
+
+func (p *asyncPipeline) worker(ch chan pendingEntry) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case en := <-ch:
+			p.process(en)
+		}
+	}
+}
+
+// process evaluates one entry: alert query against a pinned committed
+// snapshot, then one follow-up write transaction that deletes the
+// PendingAlert node and materializes the alert nodes — atomically, so a
+// crash either replays the whole entry (the node is still queued) or none of
+// it (the alerts are already committed). The follow-up cascades through
+// Process like any write, so rules can react to async alerts too.
+func (p *asyncPipeline) process(en pendingEntry) {
+	kb := p.kb
+	defer p.finish(en.id)
+	t0 := time.Now()
+
+	bind, err := trigger.DecodeBinding(en.binding)
+	if err != nil {
+		// Corrupt payload: nothing can ever evaluate it. Drop it.
+		p.m.failed.Inc()
+		p.discard(en.id)
+		return
+	}
+	ro := kb.store.Begin(graph.ReadOnly)
+	cols, rows, err := kb.engine.EvaluateAsync(ro, en.rule, bind)
+	ro.Rollback()
+	switch {
+	case errors.Is(err, trigger.ErrRuleNotFound):
+		// The rule was dropped after the activation was staged.
+		p.m.orphaned.Inc()
+		p.discard(en.id)
+		return
+	case err != nil:
+		p.m.failed.Inc()
+		p.park(en.id)
+		return
+	}
+
+	err = kb.write(func(tx *graph.Tx) error {
+		if !tx.NodeExists(en.id) {
+			return nil // already consumed by an earlier incarnation
+		}
+		if err := tx.DeleteNode(en.id, true); err != nil {
+			return err
+		}
+		_, err := kb.engine.MaterializeAsync(tx, en.rule, bind, cols, rows)
+		return err
+	}, nil, false)
+	if err != nil {
+		p.m.failed.Inc()
+		p.park(en.id)
+		return
+	}
+	p.m.evaluated.Inc()
+	p.m.evalSeconds.ObserveSince(t0)
+}
+
+func (p *asyncPipeline) finish(id graph.NodeID) {
+	p.mu.Lock()
+	delete(p.inflight, id)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// discard removes a pending entry that can never be processed (corrupt
+// payload, dropped rule) without firing rules.
+func (p *asyncPipeline) discard(id graph.NodeID) {
+	_ = p.kb.store.Update(func(tx *graph.Tx) error {
+		if !tx.NodeExists(id) {
+			return nil
+		}
+		return tx.DeleteNode(id, true)
+	})
+}
+
+// park keeps a failed entry on the durable queue but out of this pipeline's
+// rotation; the next StartAsync retries it.
+func (p *asyncPipeline) park(id graph.NodeID) {
+	p.mu.Lock()
+	p.parked[id] = true
+	p.mu.Unlock()
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cypher"
@@ -70,6 +71,13 @@ type KnowledgeBase struct {
 	wal    *wal.Log
 	ckptMu sync.Mutex
 
+	// async is the running asynchronous alert pipeline (see async.go); nil
+	// until StartAsync. asyncM holds its instruments, wired once at
+	// construction so restarts of the pipeline accumulate into the same
+	// counters.
+	async  atomic.Pointer[asyncPipeline]
+	asyncM asyncMetrics
+
 	// metrics is wired once at construction (see metrics.go); the rollover
 	// instruments are published by EnableSummaries under mu and are nil
 	// (no-op) until then.
@@ -105,6 +113,13 @@ func New(cfg Config) *KnowledgeBase {
 	}
 	e.Clock = clock.Now
 	e.Resolver = kb.hubs.OwnerOfLabel
+	// The async pipeline's queue bookkeeping must never re-trigger rules,
+	// and AfterAsync activations route through the pipeline whenever it is
+	// running (the sink falls back to synchronous evaluation otherwise).
+	// Both are wired here, before any write, so the engine's lock-free
+	// reads of these fields are race-free.
+	e.SkipLabels = map[string]bool{PendingAlertLabel: true}
+	e.AsyncSink = kb.asyncEnqueue
 	kb.engine = e
 	reg := cfg.Metrics
 	if reg == nil {
@@ -323,6 +338,14 @@ func (kb *KnowledgeBase) WriteTx(fn func(tx *graph.Tx) error) (*trigger.Report, 
 }
 
 func (kb *KnowledgeBase) writeWithTriggers(fn func(tx *graph.Tx) error, repOut **trigger.Report) error {
+	return kb.write(fn, repOut, true)
+}
+
+// write is the write path. throttle selects whether BlockOnFull async
+// backpressure applies after the commit; the async workers' own follow-up
+// transactions pass false — they drain the queue, so blocking them on its
+// depth would deadlock.
+func (kb *KnowledgeBase) write(fn func(tx *graph.Tx) error, repOut **trigger.Report, throttle bool) error {
 	tx := kb.store.Begin(graph.ReadWrite)
 	if err := fn(tx); err != nil {
 		tx.Rollback()
@@ -338,7 +361,13 @@ func (kb *KnowledgeBase) writeWithTriggers(fn func(tx *graph.Tx) error, repOut *
 		tx.Rollback()
 		return err
 	}
-	return tx.Commit()
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	if throttle && rep.AsyncEnqueued > 0 {
+		kb.throttleAsync()
+	}
+	return nil
 }
 
 // ---- Essential Summary ----
@@ -558,7 +587,10 @@ func (kb *KnowledgeBase) LoadGraph(r io.Reader) error { return kb.store.Import(r
 // and bound schemas — the shared ontology — are referenced, not copied.
 // clock selects the fork's clock (nil shares the parent's). Changes in the
 // fork never affect the parent, so alternative reaction strategies can be
-// attached to forks and their evolutions compared.
+// attached to forks and their evolutions compared. The fork has no async
+// pipeline: its AfterAsync rules evaluate synchronously, keeping
+// hypothetical reasoning deterministic (call StartAsync on the fork to
+// change that).
 func (kb *KnowledgeBase) Fork(clock periodic.Clock) (*KnowledgeBase, error) {
 	if clock == nil {
 		clock = kb.clock

@@ -93,10 +93,13 @@ func (kb *KnowledgeBase) Checkpoint() error {
 	return kb.wal.Checkpoint(seq, buf.Bytes())
 }
 
-// Close flushes and closes the write-ahead log. It does not checkpoint;
-// callers wanting a compact restart run Checkpoint first. Closing an
-// in-memory knowledge base is a no-op.
+// Close stops the async alert pipeline (in-flight evaluations finish,
+// pending entries stay queued for the next open), then flushes and closes
+// the write-ahead log. It does not checkpoint; callers wanting a compact
+// restart run Checkpoint first. Closing an in-memory knowledge base only
+// stops the pipeline.
 func (kb *KnowledgeBase) Close() error {
+	kb.StopAsync()
 	if kb.wal == nil {
 		return nil
 	}

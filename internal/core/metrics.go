@@ -48,7 +48,32 @@ const (
 	mWALGroupTxs   = "rkm_wal_group_commit_txs_total"
 	mWALGroupSyncs = "rkm_wal_group_commit_syncs_total"
 	mWALGroupBatch = "rkm_wal_group_commit_batch_txs"
+
+	mAsyncEnqueued     = "rkm_trigger_async_enqueued_total"
+	mAsyncShed         = "rkm_trigger_async_shed_total"
+	mAsyncEvaluated    = "rkm_trigger_async_evaluated_total"
+	mAsyncFailures     = "rkm_trigger_async_failures_total"
+	mAsyncOrphaned     = "rkm_trigger_async_orphaned_total"
+	mAsyncRecovered    = "rkm_trigger_async_recovered_total"
+	mAsyncQueueDepth   = "rkm_trigger_async_queue_depth"
+	mAsyncEvalSeconds  = "rkm_trigger_async_eval_seconds"
+	mAsyncBlockSeconds = "rkm_trigger_async_block_seconds"
 )
+
+// asyncMetrics holds the asynchronous alert pipeline's instruments,
+// resolved once at construction so StartAsync/StopAsync cycles accumulate
+// into the same counters.
+type asyncMetrics struct {
+	enqueued  *metrics.Counter
+	shed      *metrics.Counter
+	evaluated *metrics.Counter
+	failed    *metrics.Counter
+	orphaned  *metrics.Counter
+	recovered *metrics.Counter
+
+	evalSeconds  *metrics.Histogram
+	blockSeconds *metrics.Histogram
+}
 
 // Metrics returns the knowledge base's metrics registry. Expose it over
 // HTTP with Registry.WritePrometheus, or inspect it programmatically with
@@ -82,6 +107,27 @@ func (kb *KnowledgeBase) wireMetrics(reg *metrics.Registry) {
 		TaskErrors: reg.CounterVec(mTaskErrors, "task",
 			"Periodic task executions that returned an error, by task."),
 	})
+	kb.asyncM = asyncMetrics{
+		enqueued: reg.Counter(mAsyncEnqueued,
+			"AfterAsync activations committed onto the pending queue."),
+		shed: reg.Counter(mAsyncShed,
+			"AfterAsync activations dropped by shed backpressure."),
+		evaluated: reg.Counter(mAsyncEvaluated,
+			"Pending entries evaluated and materialized by the async workers."),
+		failed: reg.Counter(mAsyncFailures,
+			"Pending entries whose evaluation or materialization failed."),
+		orphaned: reg.Counter(mAsyncOrphaned,
+			"Pending entries discarded because their rule was dropped."),
+		recovered: reg.Counter(mAsyncRecovered,
+			"Pending entries already queued when the pipeline started (crash/restart drain)."),
+		evalSeconds: reg.Histogram(mAsyncEvalSeconds,
+			"End-to-end async entry processing latency (evaluate + materialize), in seconds.", nil),
+		blockSeconds: reg.Histogram(mAsyncBlockSeconds,
+			"Time writers spent blocked on async backpressure, in seconds.", nil),
+	}
+	reg.GaugeFunc(mAsyncQueueDepth,
+		"PendingAlert entries currently on the async queue.",
+		func() float64 { return float64(kb.store.LabelCount(PendingAlertLabel)) })
 	reg.GaugeFunc(mNodes, "Nodes currently in the graph.",
 		func() float64 { return float64(kb.store.Stats().Nodes) })
 	reg.GaugeFunc(mRels, "Relationships currently in the graph.",

@@ -29,13 +29,14 @@ var apocSources = map[EventKind]string{
 // TranslateAPOC renders the rule as a CALL apoc.trigger.install statement
 // following the paper's syntax-directed translation. dbName is the target
 // database ("neo4j" by convention); phase is the APOC action time
-// ("before", "after" or "afterAsync"; empty = "before").
+// ("before", "after" or "afterAsync"; empty means the rule's own Phase, so
+// AfterAsync rules emit {phase: 'afterAsync'}).
 func TranslateAPOC(r Rule, dbName, phase string) (string, error) {
 	if dbName == "" {
 		dbName = "neo4j"
 	}
 	if phase == "" {
-		phase = "before"
+		phase = r.Phase.String()
 	}
 	source, ok := apocSources[r.Event.Kind]
 	if !ok {

@@ -135,3 +135,25 @@ func TestTranslateAllAPOC(t *testing.T) {
 		t.Errorf("skip reason: %v", skipped)
 	}
 }
+
+func TestTranslateAPOCRulePhase(t *testing.T) {
+	// With no explicit phase argument, the rule's own phase decides the
+	// APOC trigger phase: AfterAsync rules install as {phase: 'afterAsync'}.
+	async := fig3Rule
+	async.Phase = AfterAsync
+	out, err := TranslateAPOC(async, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "{phase: 'afterAsync'}") {
+		t.Errorf("AfterAsync rule not translated to afterAsync phase:\n%s", out)
+	}
+	// An explicit phase argument still overrides.
+	out, err = TranslateAPOC(async, "", "before")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "{phase: 'before'}") {
+		t.Errorf("explicit phase not honored:\n%s", out)
+	}
+}

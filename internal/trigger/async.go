@@ -1,0 +1,119 @@
+package trigger
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/cypher"
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// EncodeBinding serializes a binding as JSON with full type fidelity
+// (datetimes, durations, nested maps, node/relationship references), so an
+// AfterAsync activation can be stored on a durable pending queue and decoded
+// after a restart.
+func EncodeBinding(b Binding) (string, error) {
+	m := make(map[string]any, len(b))
+	for k, v := range b {
+		m[k] = value.ToJSON(v)
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return "", fmt.Errorf("trigger: encode binding: %w", err)
+	}
+	return string(raw), nil
+}
+
+// DecodeBinding reverses EncodeBinding.
+func DecodeBinding(s string) (Binding, error) {
+	var m map[string]any
+	if err := json.Unmarshal([]byte(s), &m); err != nil {
+		return nil, fmt.Errorf("trigger: decode binding: %w", err)
+	}
+	b := make(Binding, len(m))
+	for k, raw := range m {
+		v, err := value.FromJSON(raw)
+		if err != nil {
+			return nil, fmt.Errorf("trigger: decode binding %s: %w", k, err)
+		}
+		b[k] = v
+	}
+	return b, nil
+}
+
+// EvaluateAsync runs the alert query of an AfterAsync rule against tx —
+// typically a read-only transaction pinned to a committed snapshot — with
+// the recorded binding's transition variables bound. It performs no writes.
+// Rules without an alert query return a single nil row: the recorded guard
+// pass is itself the critical situation.
+func (e *Engine) EvaluateAsync(tx *graph.Tx, ruleName string, bind Binding) (cols []string, rows [][]value.Value, err error) {
+	e.mu.RLock()
+	cr, ok := e.rules[ruleName]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrRuleNotFound, ruleName)
+	}
+	if cr.alert == nil {
+		return nil, [][]value.Value{nil}, nil
+	}
+	now := e.now()
+	var t0 time.Time
+	if e.Metrics.AlertQuerySeconds != nil {
+		t0 = time.Now()
+	}
+	res, err := cypher.Execute(tx, cr.alert, &cypher.Options{
+		Bindings: bind,
+		Now:      func() time.Time { return now },
+	})
+	if !t0.IsZero() {
+		e.Metrics.AlertQuerySeconds.ObserveSince(t0)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("trigger: rule %s alert: %w", ruleName, err)
+	}
+	return res.Columns, res.Rows, nil
+}
+
+// MaterializeAsync produces the alert nodes (or runs the rule's Action) for
+// the critical rows EvaluateAsync returned, inside the follow-up write
+// transaction tx. The caller is expected to delete the pending-queue entry
+// in the same transaction, making dequeue and materialization atomic.
+func (e *Engine) MaterializeAsync(tx *graph.Tx, ruleName string, bind Binding,
+	cols []string, rows [][]value.Value) ([]graph.NodeID, error) {
+	e.mu.RLock()
+	cr, ok := e.rules[ruleName]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrRuleNotFound, ruleName)
+	}
+	now := e.now()
+	var alerts []graph.NodeID
+	for _, rowVals := range rows {
+		if cr.action != nil {
+			actBind := make(Binding, len(bind)+len(rowVals))
+			for k, v := range bind {
+				actBind[k] = v
+			}
+			for i, c := range cols {
+				actBind[c] = rowVals[i]
+			}
+			if _, err := cypher.Execute(tx, cr.action, &cypher.Options{
+				Bindings: actBind,
+				Now:      func() time.Time { return now },
+			}); err != nil {
+				return alerts, fmt.Errorf("trigger: rule %s action: %w", cr.Name, err)
+			}
+			continue
+		}
+		id, err := e.createAlertNode(tx, cr, now, cols, rowVals)
+		if err != nil {
+			return alerts, fmt.Errorf("trigger: rule %s: %w", cr.Name, err)
+		}
+		alerts = append(alerts, id)
+		cr.nAlertNodes.Add(1)
+		e.Metrics.AlertsCreated.Inc()
+	}
+	return alerts, nil
+}

@@ -31,6 +31,10 @@ package trigger
 //	AFTER REMOVE OF LABEL Label
 //	AFTER SET OF PROPERTY [Label.]key | AFTER SET OF PROPERTY [Label]
 //	AFTER REMOVE OF PROPERTY [Label.]key
+//
+// Inserting ASYNC after AFTER (e.g. AFTER ASYNC CREATE OF NODE Sequence)
+// installs the rule with Phase AfterAsync: the guard still runs in the
+// writing transaction, but the alert query is evaluated asynchronously.
 
 import (
 	"fmt"
@@ -51,11 +55,12 @@ func ParseRule(src string) (Rule, error) {
 	if sections.event == "" {
 		return r, fmt.Errorf("trigger dsl: missing AFTER event clause")
 	}
-	ev, err := parseEventClause(sections.event)
+	ev, phase, err := parseEventClause(sections.event)
 	if err != nil {
 		return r, err
 	}
 	r.Event = ev
+	r.Phase = phase
 	r.Guard = strings.TrimSpace(sections.when)
 	r.Alert = strings.TrimSpace(sections.alert)
 	r.Action = strings.TrimSpace(sections.do)
@@ -152,14 +157,22 @@ func parseHeader(header string, r *Rule) error {
 	return nil
 }
 
-func parseEventClause(clause string) (Event, error) {
+func parseEventClause(clause string) (Event, Phase, error) {
 	fields := strings.Fields(clause)
-	if len(fields) < 4 || !strings.EqualFold(fields[0], "AFTER") {
-		return Event{}, fmt.Errorf("trigger dsl: expected AFTER <verb> OF <target>")
+	if len(fields) < 2 || !strings.EqualFold(fields[0], "AFTER") {
+		return Event{}, Before, fmt.Errorf("trigger dsl: expected AFTER <verb> OF <target>")
+	}
+	phase := Before
+	if strings.EqualFold(fields[1], "ASYNC") {
+		phase = AfterAsync
+		fields = append(fields[:1], fields[2:]...)
+	}
+	if len(fields) < 4 {
+		return Event{}, phase, fmt.Errorf("trigger dsl: expected AFTER <verb> OF <target>")
 	}
 	verb := strings.ToUpper(fields[1])
 	if !strings.EqualFold(fields[2], "OF") {
-		return Event{}, fmt.Errorf("trigger dsl: expected OF after %s", verb)
+		return Event{}, phase, fmt.Errorf("trigger dsl: expected OF after %s", verb)
 	}
 	target := strings.ToUpper(fields[3])
 	selector := ""
@@ -167,7 +180,7 @@ func parseEventClause(clause string) (Event, error) {
 		selector = fields[4]
 	}
 	if len(fields) > 5 {
-		return Event{}, fmt.Errorf("trigger dsl: unexpected %q in event clause",
+		return Event{}, phase, fmt.Errorf("trigger dsl: unexpected %q in event clause",
 			strings.Join(fields[5:], " "))
 	}
 
@@ -175,26 +188,26 @@ func parseEventClause(clause string) (Event, error) {
 	case "NODE":
 		switch verb {
 		case "CREATE":
-			return Event{Kind: CreateNode, Label: selector}, nil
+			return Event{Kind: CreateNode, Label: selector}, phase, nil
 		case "DELETE":
-			return Event{Kind: DeleteNode, Label: selector}, nil
+			return Event{Kind: DeleteNode, Label: selector}, phase, nil
 		}
 	case "RELATIONSHIP", "EDGE":
 		switch verb {
 		case "CREATE":
-			return Event{Kind: CreateRelationship, Label: selector}, nil
+			return Event{Kind: CreateRelationship, Label: selector}, phase, nil
 		case "DELETE":
-			return Event{Kind: DeleteRelationship, Label: selector}, nil
+			return Event{Kind: DeleteRelationship, Label: selector}, phase, nil
 		}
 	case "LABEL":
 		if selector == "" {
-			return Event{}, fmt.Errorf("trigger dsl: SET/REMOVE OF LABEL needs a label name")
+			return Event{}, phase, fmt.Errorf("trigger dsl: SET/REMOVE OF LABEL needs a label name")
 		}
 		switch verb {
 		case "SET":
-			return Event{Kind: SetLabel, Label: selector}, nil
+			return Event{Kind: SetLabel, Label: selector}, phase, nil
 		case "REMOVE":
-			return Event{Kind: RemoveLabel, Label: selector}, nil
+			return Event{Kind: RemoveLabel, Label: selector}, phase, nil
 		}
 	case "PROPERTY":
 		label, key := "", ""
@@ -207,12 +220,12 @@ func parseEventClause(clause string) (Event, error) {
 		}
 		switch verb {
 		case "SET":
-			return Event{Kind: SetProperty, Label: label, PropKey: key}, nil
+			return Event{Kind: SetProperty, Label: label, PropKey: key}, phase, nil
 		case "REMOVE":
-			return Event{Kind: RemoveProperty, Label: label, PropKey: key}, nil
+			return Event{Kind: RemoveProperty, Label: label, PropKey: key}, phase, nil
 		}
 	}
-	return Event{}, fmt.Errorf("trigger dsl: unsupported event AFTER %s OF %s", verb, target)
+	return Event{}, phase, fmt.Errorf("trigger dsl: unsupported event AFTER %s OF %s", verb, target)
 }
 
 // InstallText parses a CREATE TRIGGER declaration and installs it.

@@ -137,3 +137,57 @@ ALERT RETURN NEW.v AS v`); err != nil {
 		t.Errorf("report: %+v", rep)
 	}
 }
+
+func TestParseRulePhases(t *testing.T) {
+	cases := []struct {
+		clause string
+		want   Phase
+	}{
+		{"AFTER CREATE OF NODE Sequence", Before},
+		{"AFTER ASYNC CREATE OF NODE Sequence", AfterAsync},
+		{"AFTER ASYNC DELETE OF EDGE LINKS", AfterAsync},
+		{"AFTER ASYNC SET OF PROPERTY Case.status", AfterAsync},
+	}
+	for _, c := range cases {
+		r, err := ParseRule("CREATE TRIGGER T\n" + c.clause + "\nWHEN true")
+		if err != nil {
+			t.Errorf("%s: %v", c.clause, err)
+			continue
+		}
+		if r.Phase != c.want {
+			t.Errorf("%s: phase = %v, want %v", c.clause, r.Phase, c.want)
+		}
+	}
+	// ASYNC must not swallow the operation keyword.
+	if _, err := ParseRule("CREATE TRIGGER T\nAFTER ASYNC OF NODE X\nWHEN true"); err == nil {
+		t.Error("AFTER ASYNC OF accepted without an operation")
+	}
+}
+
+func TestParsePhase(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Phase
+		ok   bool
+	}{
+		{"", Before, true},
+		{"before", Before, true},
+		{"afterAsync", AfterAsync, true},
+		{"afterasync", AfterAsync, true},
+		{"async", AfterAsync, true},
+		{"during", Before, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePhase(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParsePhase(%q) err = %v", c.in, err)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParsePhase(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if Before.String() != "before" || AfterAsync.String() != "afterAsync" {
+		t.Errorf("Phase.String: %q, %q", Before.String(), AfterAsync.String())
+	}
+}

@@ -1,6 +1,7 @@
 package trigger
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -41,12 +42,29 @@ type EngineMetrics struct {
 	AlertsCreated *metrics.Counter
 }
 
+// AsyncItem is one passing activation of an AfterAsync rule, handed to the
+// engine's AsyncSink for deferred alert evaluation.
+type AsyncItem struct {
+	// Rule names the activated rule; Hub is the rule's owning hub.
+	Rule string
+	Hub  string
+	// Binding holds the transition variables of the activation (NEW, OLD,
+	// …); EncodeBinding serializes it for a durable queue.
+	Binding Binding
+}
+
+// AsyncSink stages one AfterAsync activation, inside the writing
+// transaction, onto whatever queue the embedder maintains. It returns false
+// (and no error) when the item was shed by backpressure.
+type AsyncSink func(tx *graph.Tx, item AsyncItem) (bool, error)
+
 // Engine manages reactive rules and fires them against transaction change
 // records, the role apoc.trigger plays in the paper's Neo4j prototype.
 type Engine struct {
 	mu sync.RWMutex
 
 	rules   map[string]*compiledRule
+	index   dispatchIndex
 	nextSeq int
 
 	// MaxCascadeDepth bounds rounds of cascading activations per
@@ -71,6 +89,16 @@ type Engine struct {
 	// StateLabels overrides the labels treated as historical state in
 	// classification; nil = {Summary, Current, Alert}.
 	StateLabels map[string]bool
+	// AsyncSink, when set, receives the passing bindings of AfterAsync
+	// rules instead of the engine running their alert query in-transaction.
+	// Nil means AfterAsync rules are evaluated synchronously, like Before
+	// rules (the fallback forks use). Set before the first write.
+	AsyncSink AsyncSink
+	// SkipLabels names node labels whose create/delete events are invisible
+	// to rule matching — the async pipeline's PendingAlert bookkeeping
+	// nodes. The changes still reach commit validators and the WAL; only
+	// event dispatch ignores them. Set before the first write.
+	SkipLabels map[string]bool
 	// Metrics is the engine's optional instrumentation; set before Install.
 	Metrics EngineMetrics
 }
@@ -79,6 +107,7 @@ type Engine struct {
 func NewEngine() *Engine {
 	return &Engine{
 		rules:      make(map[string]*compiledRule),
+		index:      make(dispatchIndex),
 		AlertLabel: DefaultAlertLabel,
 	}
 }
@@ -140,9 +169,15 @@ func (e *Engine) Install(r Rule) error {
 	}
 	cr.seq = e.nextSeq
 	e.nextSeq++
+	// Per-rule metric children are resolved from the registry by name, so
+	// dropping and reinstalling a rule under the same name resumes its
+	// registry counters where they left off (Prometheus counters are
+	// cumulative by design). RuleStats, by contrast, live on the compiled
+	// rule and restart from zero on reinstall.
 	cr.mFired = e.Metrics.RuleFired.With(r.Name)
 	cr.mRejected = e.Metrics.GuardRejected.With(r.Name)
 	e.rules[r.Name] = cr
+	e.index = buildDispatch(e.rules)
 	return nil
 }
 
@@ -154,6 +189,7 @@ func (e *Engine) Drop(name string) error {
 		return fmt.Errorf("%w: %s", ErrRuleNotFound, name)
 	}
 	delete(e.rules, name)
+	e.index = buildDispatch(e.rules)
 	return nil
 }
 
@@ -170,7 +206,7 @@ func (e *Engine) setPaused(name string, paused bool) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrRuleNotFound, name)
 	}
-	cr.paused = paused
+	cr.paused.Store(paused)
 	return nil
 }
 
@@ -197,7 +233,7 @@ func (e *Engine) Rules() []RuleInfo {
 	for _, cr := range e.ruleListLocked() {
 		out = append(out, RuleInfo{
 			Rule:           cr.Rule,
-			Paused:         cr.paused,
+			Paused:         cr.paused.Load(),
 			Classification: Classify(cr, e.Resolver, e.StateLabels),
 			Stats: RuleStats{
 				GuardChecks: cr.nChecks.Load(),
@@ -244,6 +280,142 @@ type Report struct {
 	AlertRuns   int
 	AlertNodes  int
 	Activations []Activation
+	// RulesConsidered counts rules examined across all rounds after the
+	// (EventKind, Label) dispatch index filtered out rules that trivially
+	// cannot match the round's changes.
+	RulesConsidered int
+	// AsyncEnqueued counts AfterAsync activations handed to the AsyncSink;
+	// AsyncShed counts those the sink dropped under backpressure.
+	AsyncEnqueued int
+	AsyncShed     int
+}
+
+// dispatchIndex buckets compiled rules by the (EventKind, Label) pairs their
+// selectors can match; the "" bucket of a kind holds its wildcard selectors.
+// Rebuilt on Install/Drop under the engine lock and read immutably by
+// Process, it lets a round skip every rule whose selector cannot possibly
+// match the round's changes.
+type dispatchIndex map[EventKind]map[string][]*compiledRule
+
+func buildDispatch(rules map[string]*compiledRule) dispatchIndex {
+	idx := make(dispatchIndex)
+	for _, cr := range rules {
+		byLabel := idx[cr.Event.Kind]
+		if byLabel == nil {
+			byLabel = make(map[string][]*compiledRule)
+			idx[cr.Event.Kind] = byLabel
+		}
+		byLabel[cr.Event.Label] = append(byLabel[cr.Event.Label], cr)
+	}
+	return idx
+}
+
+// candidates returns, in installation order, the rules whose selector could
+// match at least one change in data. Label-selective rules are matched
+// against the labels (or relationship types) the changed entities carry.
+func (idx dispatchIndex) candidates(tx *graph.Tx, data *graph.TxData) []*compiledRule {
+	seen := make(map[int]bool)
+	var out []*compiledRule
+	add := func(kind EventKind, label string) {
+		for _, cr := range idx[kind][label] {
+			if !seen[cr.seq] {
+				seen[cr.seq] = true
+				out = append(out, cr)
+			}
+		}
+	}
+	entity := func(kind EventKind, labels []string) {
+		add(kind, "")
+		for _, l := range labels {
+			add(kind, l)
+		}
+	}
+	for _, id := range data.CreatedNodes {
+		if ls, ok := tx.NodeLabels(id); ok {
+			entity(CreateNode, ls)
+		}
+	}
+	for _, snap := range data.DeletedNodes {
+		entity(DeleteNode, snap.Labels)
+	}
+	for _, id := range data.CreatedRels {
+		if typ, _, _, ok := tx.RelEndpoints(id); ok {
+			entity(CreateRelationship, []string{typ})
+		}
+	}
+	for _, snap := range data.DeletedRels {
+		entity(DeleteRelationship, []string{snap.Type})
+	}
+	for _, lc := range data.AssignedLabels {
+		entity(SetLabel, []string{lc.Label})
+	}
+	for _, lc := range data.RemovedLabels {
+		entity(RemoveLabel, []string{lc.Label})
+	}
+	propChange := func(kind EventKind, pc graph.PropChange) {
+		if pc.Kind == graph.NodeEntity {
+			if ls, ok := tx.NodeLabels(pc.Node); ok {
+				entity(kind, ls)
+			}
+		} else if typ, _, _, ok := tx.RelEndpoints(pc.Rel); ok {
+			entity(kind, []string{typ})
+		}
+	}
+	for _, pc := range data.AssignedProps {
+		propChange(SetProperty, pc)
+	}
+	for _, pc := range data.RemovedProps {
+		propChange(RemoveProperty, pc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// filterSkipped returns data minus the created/deleted nodes that carry a
+// label in SkipLabels. The returned record is a copy when anything was
+// filtered; the original stays complete for commit validators and the WAL.
+func (e *Engine) filterSkipped(tx *graph.Tx, data *graph.TxData) *graph.TxData {
+	if len(e.SkipLabels) == 0 {
+		return data
+	}
+	skip := func(labels []string) bool {
+		for _, l := range labels {
+			if e.SkipLabels[l] {
+				return true
+			}
+		}
+		return false
+	}
+	n := 0
+	for _, id := range data.CreatedNodes {
+		if ls, ok := tx.NodeLabels(id); ok && skip(ls) {
+			n++
+		}
+	}
+	for _, snap := range data.DeletedNodes {
+		if skip(snap.Labels) {
+			n++
+		}
+	}
+	if n == 0 {
+		return data
+	}
+	out := *data
+	out.CreatedNodes = make([]graph.NodeID, 0, len(data.CreatedNodes))
+	for _, id := range data.CreatedNodes {
+		if ls, ok := tx.NodeLabels(id); ok && skip(ls) {
+			continue
+		}
+		out.CreatedNodes = append(out.CreatedNodes, id)
+	}
+	out.DeletedNodes = make([]graph.Node, 0, len(data.DeletedNodes))
+	for _, snap := range data.DeletedNodes {
+		if skip(snap.Labels) {
+			continue
+		}
+		out.DeletedNodes = append(out.DeletedNodes, snap)
+	}
+	return &out
 }
 
 // Process fires the installed rules against the changes in data, cascading
@@ -253,7 +425,7 @@ type Report struct {
 // contains every change, so commit-time validators see the full picture.
 func (e *Engine) Process(tx *graph.Tx, data *graph.TxData) (*Report, error) {
 	e.mu.RLock()
-	rules := e.ruleListLocked()
+	idx := e.index
 	e.mu.RUnlock()
 
 	report := &Report{}
@@ -268,13 +440,18 @@ func (e *Engine) Process(tx *graph.Tx, data *graph.TxData) (*Report, error) {
 			return report, fmt.Errorf("%w (%d rounds)", ErrCascadeDepth, round)
 		}
 		report.Rounds = round + 1
-		for _, cr := range rules {
-			if cr.paused {
-				continue
-			}
-			if err := e.fireRule(tx, cr, cur, round, report); err != nil {
-				tx.MergeData(total)
-				return report, err
+		match := e.filterSkipped(tx, cur)
+		if !match.Empty() {
+			cands := idx.candidates(tx, match)
+			report.RulesConsidered += len(cands)
+			for _, cr := range cands {
+				if cr.paused.Load() {
+					continue
+				}
+				if err := e.fireRule(tx, cr, match, round, report); err != nil {
+					tx.MergeData(total)
+					return report, err
+				}
 			}
 		}
 		next := tx.ResetData()
@@ -311,6 +488,23 @@ func (e *Engine) fireRule(tx *graph.Tx, cr *compiledRule, data *graph.TxData,
 		report.GuardPasses++
 		cr.nActivations.Add(1)
 		cr.mFired.Inc()
+		if cr.Phase == AfterAsync && e.AsyncSink != nil {
+			enqueued, err := e.AsyncSink(tx, AsyncItem{
+				Rule: cr.Name, Hub: cr.Hub, Binding: bind,
+			})
+			switch {
+			case errors.Is(err, ErrAsyncFallback):
+				// No pipeline attached: evaluate synchronously below.
+			case err != nil:
+				return fmt.Errorf("trigger: rule %s async enqueue: %w", cr.Name, err)
+			case enqueued:
+				report.AsyncEnqueued++
+				continue
+			default:
+				report.AsyncShed++
+				continue
+			}
+		}
 		act := Activation{Rule: cr.Name, Round: round}
 
 		var rows [][]value.Value

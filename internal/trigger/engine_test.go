@@ -2,12 +2,15 @@ package trigger
 
 import (
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/cypher"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/value"
 )
 
@@ -673,6 +676,247 @@ func BenchmarkAlertNodeProduction(b *testing.B) {
 		data := tx.ResetData()
 		if _, err := e.Process(tx, data); err != nil {
 			b.Fatal(err)
+		}
+		tx.ResetData()
+	}
+}
+
+// Pausing a rule while another goroutine is processing events must be safe:
+// the paused flag is read by Process without holding the engine lock, so it
+// is atomic. Run with -race to exercise the guarantee this test documents.
+func TestPauseRaceWithProcess(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:  "flip",
+		Event: Event{Kind: CreateNode, Label: "P"},
+		Alert: "RETURN 1 AS one",
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = e.Pause("flip")
+				_ = e.Resume("flip")
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		run(t, s, e, "CREATE (:P)")
+	}
+	close(stop)
+	wg.Wait()
+	// Every Process saw the rule either paused or active — never torn.
+	fired := count(t, s, "MATCH (a:Alert) RETURN count(a) AS n")
+	if fired < 0 || fired > 200 {
+		t.Fatalf("alerts = %d, want within [0, 200]", fired)
+	}
+}
+
+// The dispatch index must hand Process only the rules whose event kind and
+// label can match the transaction, not the whole rule list.
+func TestDispatchIndexSkipsIrrelevantRules(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	for i := 0; i < 100; i++ {
+		_ = e.Install(Rule{
+			Name:  fmt.Sprintf("other%d", i),
+			Event: Event{Kind: CreateNode, Label: fmt.Sprintf("L%d", i)},
+			Alert: "RETURN 1 AS one",
+		})
+	}
+	// Row-less alert queries keep the graph free of Alert nodes, so no
+	// cascade rounds muddy the dispatch counts.
+	_ = e.Install(Rule{
+		Name:  "hit",
+		Event: Event{Kind: CreateNode, Label: "Hit"},
+		Guard: "true = true",
+		Alert: "MATCH (z:Zilch) RETURN z",
+	})
+	rep := run(t, s, e, "CREATE (:Hit)")
+	if rep.RulesConsidered != 1 {
+		t.Fatalf("RulesConsidered = %d, want 1 (100 irrelevant rules skipped)", rep.RulesConsidered)
+	}
+	if rep.GuardChecks != 1 || rep.GuardPasses != 1 {
+		t.Fatalf("report = %+v, want the hit rule to fire once", rep)
+	}
+
+	// A label-less rule is a wildcard: considered for every event of its kind.
+	_ = e.Install(Rule{
+		Name:  "wild",
+		Event: Event{Kind: CreateNode},
+		Alert: "MATCH (z:Zilch) RETURN z",
+	})
+	rep = run(t, s, e, "CREATE (:Hit)")
+	if rep.RulesConsidered != 2 {
+		t.Fatalf("RulesConsidered = %d, want 2 (hit + wildcard)", rep.RulesConsidered)
+	}
+
+	// Deleting an indexed-away label still dispatches to its delete rules.
+	rep = run(t, s, e, "MATCH (h:Hit) DELETE h")
+	if rep.RulesConsidered != 0 {
+		t.Fatalf("RulesConsidered = %d on delete, want 0", rep.RulesConsidered)
+	}
+}
+
+// Candidates activated under several labels of one node are deduplicated.
+func TestDispatchIndexDedupsMultiLabelMatches(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:  "wild",
+		Event: Event{Kind: CreateNode},
+		Alert: "MATCH (z:Zilch) RETURN z",
+	})
+	_ = e.Install(Rule{
+		Name:  "labelled",
+		Event: Event{Kind: CreateNode, Label: "A"},
+		Alert: "MATCH (z:Zilch) RETURN z",
+	})
+	rep := run(t, s, e, "CREATE (:A:B)")
+	if rep.RulesConsidered != 2 {
+		t.Fatalf("RulesConsidered = %d, want 2 (no duplicates)", rep.RulesConsidered)
+	}
+	// Each rule's guard ran once; a duplicated candidate would double-check.
+	if rep.GuardChecks != 2 {
+		t.Fatalf("GuardChecks = %d, want 2", rep.GuardChecks)
+	}
+}
+
+// Dropping a rule and re-installing it under the same name resets its
+// RuleStats (the compiled rule is new) but keeps accumulating into the same
+// registry counters (Prometheus counters are cumulative by design).
+func TestDropReinstallStatsSemantics(t *testing.T) {
+	s := graph.NewStore()
+	reg := metrics.NewRegistry()
+	e := newTestEngine()
+	e.Metrics = EngineMetrics{
+		RuleFired:     reg.CounterVec("fired", "rule", "test"),
+		GuardRejected: reg.CounterVec("rejected", "rule", "test"),
+	}
+	install := func() {
+		if err := e.Install(Rule{
+			Name:  "cycle",
+			Event: Event{Kind: CreateNode, Label: "X"},
+			Alert: "RETURN 1 AS one",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	install()
+	run(t, s, e, "CREATE (:X)")
+	run(t, s, e, "CREATE (:X)")
+	if st := e.Rules()[0].Stats; st.Activations != 2 {
+		t.Fatalf("activations before drop = %d, want 2", st.Activations)
+	}
+	if err := e.Drop("cycle"); err != nil {
+		t.Fatal(err)
+	}
+	install()
+	run(t, s, e, "CREATE (:X)")
+	if st := e.Rules()[0].Stats; st.Activations != 1 {
+		t.Fatalf("RuleStats after reinstall = %d activations, want 1 (reset)", st.Activations)
+	}
+	if got := reg.CounterVec("fired", "rule", "test").With("cycle").Value(); got != 3 {
+		t.Fatalf("registry counter after reinstall = %d, want 3 (cumulative)", got)
+	}
+}
+
+// An AfterAsync rule without a sink — or whose sink reports the pipeline is
+// not running — evaluates synchronously, exactly like a Before rule.
+func TestAsyncPhaseSyncFallback(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	_ = e.Install(Rule{
+		Name:  "deferred",
+		Event: Event{Kind: CreateNode, Label: "P"},
+		Alert: "RETURN NEW.v AS v",
+		Phase: AfterAsync,
+	})
+
+	// No sink installed at all.
+	rep := run(t, s, e, "CREATE (:P {v: 1})")
+	if rep.AsyncEnqueued != 0 || rep.AlertNodes != 1 {
+		t.Fatalf("no-sink report = %+v, want synchronous alert", rep)
+	}
+
+	// Sink present but answering "pipeline not running".
+	e.AsyncSink = func(tx *graph.Tx, item AsyncItem) (bool, error) {
+		return false, ErrAsyncFallback
+	}
+	rep = run(t, s, e, "CREATE (:P {v: 2})")
+	if rep.AsyncEnqueued != 0 || rep.AlertNodes != 1 {
+		t.Fatalf("fallback report = %+v, want synchronous alert", rep)
+	}
+}
+
+// A live sink receives the activation instead of the engine evaluating it.
+func TestAsyncPhaseEnqueuesToSink(t *testing.T) {
+	s := graph.NewStore()
+	e := newTestEngine()
+	var got []AsyncItem
+	e.AsyncSink = func(tx *graph.Tx, item AsyncItem) (bool, error) {
+		got = append(got, item)
+		return true, nil
+	}
+	_ = e.Install(Rule{
+		Name:  "deferred",
+		Hub:   "H",
+		Event: Event{Kind: CreateNode, Label: "P"},
+		Guard: "NEW.v > 10",
+		Alert: "RETURN NEW.v AS v",
+		Phase: AfterAsync,
+	})
+	rep := run(t, s, e, "CREATE (:P {v: 5}), (:P {v: 50})")
+	if rep.AsyncEnqueued != 1 || rep.AlertNodes != 0 {
+		t.Fatalf("report = %+v, want one enqueue and no synchronous alerts", rep)
+	}
+	if len(got) != 1 || got[0].Rule != "deferred" || got[0].Hub != "H" {
+		t.Fatalf("sink received %+v", got)
+	}
+	// The binding carries the guard's NEW context for later evaluation.
+	if _, ok := got[0].Binding["NEW"]; !ok {
+		t.Fatalf("sink binding = %v, want NEW bound", got[0].Binding)
+	}
+}
+
+func BenchmarkDispatchManyIrrelevantRules(b *testing.B) {
+	s := graph.NewStore()
+	e := NewEngine()
+	for i := 0; i < 200; i++ {
+		_ = e.Install(Rule{
+			Name:  fmt.Sprintf("other%d", i),
+			Event: Event{Kind: CreateNode, Label: fmt.Sprintf("L%d", i)},
+			Guard: "NEW.v > 10",
+			Alert: "RETURN NEW.v AS v",
+		})
+	}
+	_ = e.Install(Rule{
+		Name:  "hot",
+		Event: Event{Kind: CreateNode, Label: "P"},
+		Guard: "NEW.v > 10",
+		Alert: "RETURN NEW.v AS v",
+	})
+	tx := s.Begin(graph.ReadWrite)
+	defer tx.Rollback()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cypher.Run(tx, "CREATE (:P {v: 5})", nil); err != nil {
+			b.Fatal(err)
+		}
+		data := tx.ResetData()
+		rep, err := e.Process(tx, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.RulesConsidered != 1 {
+			b.Fatalf("RulesConsidered = %d", rep.RulesConsidered)
 		}
 		tx.ResetData()
 	}

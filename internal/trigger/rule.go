@@ -18,7 +18,55 @@ var (
 	ErrCascadeDepth     = errors.New("trigger: cascade depth limit exceeded")
 	ErrNonTerminating   = errors.New("trigger: rule introduces a triggering cycle")
 	ErrGuardNotIntraHub = errors.New("trigger: guard reaches outside the rule's hub")
+	// ErrAsyncFallback is returned by an AsyncSink to decline an activation
+	// without failing the transaction: the engine then evaluates the rule
+	// synchronously, as if no sink were installed. Embedders use it while
+	// their pipeline is not (yet) running.
+	ErrAsyncFallback = errors.New("trigger: async pipeline not running")
 )
+
+// Phase selects when a rule's alert query runs relative to the triggering
+// transaction, mirroring the APOC trigger phases the paper's Fig. 6/7
+// translation targets (§IV-B) and the coupling modes of the active-database
+// literature.
+type Phase int
+
+// Rule phases.
+const (
+	// Before runs the whole rule — guard, alert query, alert-node
+	// production — inside the writing transaction (APOC's "before" phase;
+	// immediate coupling). This is the default.
+	Before Phase = iota
+	// AfterAsync runs only the guard inside the writing transaction;
+	// passing bindings are handed to the engine's AsyncSink and the alert
+	// query runs later against a committed snapshot, producing alert nodes
+	// in a follow-up transaction (APOC's "afterAsync" phase; detached
+	// coupling). Engines without an AsyncSink fall back to synchronous
+	// evaluation.
+	AfterAsync
+)
+
+// String returns the APOC-style phase name.
+func (p Phase) String() string {
+	switch p {
+	case AfterAsync:
+		return "afterAsync"
+	default:
+		return "before"
+	}
+}
+
+// ParsePhase parses an APOC-style phase name. The empty string means Before.
+func ParsePhase(s string) (Phase, error) {
+	switch s {
+	case "", "before":
+		return Before, nil
+	case "afterAsync", "afterasync", "async":
+		return AfterAsync, nil
+	default:
+		return Before, fmt.Errorf("trigger: unknown phase %q (want before or afterAsync)", s)
+	}
+}
 
 // Rule is the paper's reactive-rule quadruple <Event, Guard, Alert,
 // AlertNode>, plus an optional fully reactive Action (the generalization
@@ -52,6 +100,9 @@ type Rule struct {
 	// statement executed once per critical row (or once per activation if
 	// Alert is empty).
 	Action string
+	// Phase selects synchronous (Before, default) or asynchronous
+	// (AfterAsync) alert evaluation.
+	Phase Phase
 }
 
 type compiledRule struct {
@@ -59,7 +110,7 @@ type compiledRule struct {
 	guard  cypher.Expr
 	alert  *cypher.Statement
 	action *cypher.Statement
-	paused bool
+	paused atomic.Bool
 	seq    int
 
 	// firing statistics, updated atomically outside the engine lock

@@ -110,6 +110,44 @@ const (
 	RemoveProperty     = trigger.RemoveProperty
 )
 
+// Phase selects when a rule's alert query runs relative to the triggering
+// transaction: synchronously inside it (PhaseBefore, the default) or
+// asynchronously against a committed snapshot (PhaseAfterAsync), mirroring
+// the APOC trigger phases of §IV-B.
+type Phase = trigger.Phase
+
+// Rule phases.
+const (
+	PhaseBefore     = trigger.Before
+	PhaseAfterAsync = trigger.AfterAsync
+)
+
+// ParsePhase parses "before" (or ""), "afterAsync" or "async".
+func ParsePhase(s string) (Phase, error) { return trigger.ParsePhase(s) }
+
+// AsyncOptions tunes the asynchronous alert pipeline started with
+// KnowledgeBase.StartAsync: worker count, queue bound and backpressure
+// policy.
+type AsyncOptions = core.AsyncOptions
+
+// Backpressure selects how writers behave when the async pending queue is
+// full: block until workers catch up, or shed the excess activations.
+type Backpressure = core.Backpressure
+
+// Backpressure policies.
+const (
+	BlockOnFull = core.BlockOnFull
+	ShedOnFull  = core.ShedOnFull
+)
+
+// ParseBackpressure parses "block" or "shed".
+func ParseBackpressure(s string) (Backpressure, error) { return core.ParseBackpressure(s) }
+
+// PendingAlertLabel is the label of the durable pending-queue nodes staged
+// by PhaseAfterAsync rules between their guard passing and their alert
+// query running.
+const PendingAlertLabel = core.PendingAlertLabel
+
 // RuleInfo describes an installed rule and its §III-C classification.
 type RuleInfo = trigger.RuleInfo
 
