@@ -11,6 +11,7 @@
 //	rkm-bench -fig conc              # snapshot reads + group commit under contention
 //	rkm-bench -fig conc -smoke       # tiny CI-sized version of the same
 //	rkm-bench -fig async             # sync vs async alert evaluation on the write path
+//	rkm-bench -fig replica           # aggregate read QPS vs replica count
 //	rkm-bench -fig all               # everything
 //	rkm-bench -fig 9 -full           # paper-scale sweep (up to 10^6 patients)
 //	rkm-bench -fig 9 -patients 500,5000 -regions 10
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, fed, conc, async, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, fed, conc, async, replica, all")
 		patients = flag.String("patients", "", "comma-separated patient counts (overrides defaults)")
 		regions  = flag.Int("regions", 20, "number of regions")
 		days     = flag.Int("days", 2, "days the admissions are spread over")
@@ -83,6 +84,8 @@ func main() {
 		runConc(cfg, *smoke)
 	case "async":
 		runAsync(*smoke)
+	case "replica":
+		runReplica(*smoke)
 	case "all":
 		runFig9(cfg)
 		fmt.Println()
@@ -99,8 +102,10 @@ func main() {
 		runConc(cfg, *smoke)
 		fmt.Println()
 		runAsync(*smoke)
+		fmt.Println()
+		runReplica(*smoke)
 	default:
-		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed, conc, async or all)", *fig)
+		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed, conc, async, replica or all)", *fig)
 	}
 }
 
@@ -196,6 +201,18 @@ func runAsync(smoke bool) {
 		fatalf("async: %v", err)
 	}
 	bench.WriteAsync(os.Stdout, pts)
+}
+
+func runReplica(smoke bool) {
+	rcfg := bench.ReplicaConfig{}
+	if smoke {
+		rcfg = bench.SmokeReplicaConfig()
+	}
+	pts, err := bench.RunReplicaScaling(rcfg)
+	if err != nil {
+		fatalf("replica: %v", err)
+	}
+	bench.WriteReplica(os.Stdout, pts)
 }
 
 func fatalf(format string, args ...any) {

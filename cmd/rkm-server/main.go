@@ -53,6 +53,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -68,12 +69,20 @@ import (
 	reactive "repro"
 	"repro/internal/democovid"
 	"repro/internal/fednet"
+	"repro/internal/replica"
 )
 
 type server struct {
 	kb    *reactive.KnowledgeBase
 	clock *reactive.ManualClock // nil when running on the wall clock
 	fed   *fednet.Node          // nil unless -fed-name was given
+	// leader serves the /wal replication endpoints of a durable server;
+	// follower streams from -replica-of. At most one of the two is set.
+	leader   *replica.Leader
+	follower *replica.Follower
+	// maxLag is the -max-lag staleness bound a follower's /healthz enforces
+	// (0 = no bound).
+	maxLag time.Duration
 	// ready flips to true once recovery and demo seeding have completed;
 	// /healthz reports 503 until then — the readiness signal orchestrators
 	// and load balancers gate traffic on.
@@ -94,14 +103,44 @@ func main() {
 		asyncWorkers = flag.Int("trigger-async-workers", 2, "async alert pipeline workers (0 = afterAsync rules evaluate synchronously)")
 		asyncQueue   = flag.Int("trigger-async-queue", 1024, "async pending-queue bound")
 		asyncBP      = flag.String("trigger-async-backpressure", "block", "behavior at a full async queue: block or shed")
+
+		replicaOf = flag.String("replica-of", "", "run as a read replica of the leader at this base URL (writes are rejected)")
+		maxLag    = flag.Duration("max-lag", 10*time.Second, "replica staleness bound: /healthz degrades to 503 beyond this time lag (0 = no bound)")
 	)
 	flag.Parse()
 
-	srv := &server{}
+	srv := &server{maxLag: *maxLag}
 	cfg := reactive.Config{}
 	if *demo {
 		srv.clock = reactive.NewManualClock(time.Date(2023, 4, 1, 8, 0, 0, 0, time.UTC))
 		cfg.Clock = srv.clock
+	}
+	if *replicaOf != "" {
+		// A follower mirrors the leader's record stream verbatim: it cannot
+		// seed demo data, join a federation as a distinct participant, or run
+		// local rule evaluation — those all write.
+		if *demo || *fedName != "" {
+			log.Fatal("-replica-of is incompatible with -demo and -fed-name (followers are read-only)")
+		}
+		policy, err := reactive.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("-fsync: %v", err)
+		}
+		fol, err := replica.OpenFollower(*dataDir, *replicaOf, cfg, replica.Options{
+			WAL:  reactive.WALOptions{Fsync: policy},
+			Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("replica of %s: %v", *replicaOf, err)
+		}
+		srv.kb = fol.KB()
+		srv.follower = fol
+		fol.Start()
+		log.Printf("replica: following %s from seq %d (durable=%v, max-lag %v)",
+			*replicaOf, fol.KB().ReplicaAppliedSeq(), *dataDir != "", *maxLag)
+		srv.ready.Store(true)
+		srv.serve(*addr, *withPprof)
+		return
 	}
 	recovered := false
 	if *dataDir != "" {
@@ -181,23 +220,38 @@ func main() {
 			*asyncWorkers, *asyncQueue, bp)
 	}
 
-	srv.ready.Store(true) // recovery and seeding are done; serving can begin
+	if srv.kb.Durable() {
+		// Every durable server is a potential replication leader: followers
+		// attach with -replica-of pointed at this server's /wal endpoints.
+		ld, err := replica.NewLeader(srv.kb, replica.Options{Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("replication leader: %v", err)
+		}
+		srv.leader = ld
+	}
 
+	srv.ready.Store(true) // recovery and seeding are done; serving can begin
+	srv.serve(*addr, *withPprof)
+}
+
+// serve runs the HTTP server, the scheduler driver and the graceful
+// shutdown sequence; leader and follower processes share it.
+func (s *server) serve(addr string, withPprof bool) {
 	mux := http.NewServeMux()
-	srv.register(mux)
-	if *withPprof {
+	s.register(mux)
+	if withPprof {
 		registerPprof(mux)
 	}
-	hs := &http.Server{Addr: *addr, Handler: mux}
+	hs := &http.Server{Addr: addr, Handler: mux}
 
 	// On the wall clock the summary scheduler needs a driver; with -demo the
 	// clock is manual and /tick drives it instead.
 	stopSched := make(chan struct{})
 	schedDone := make(chan struct{})
-	if srv.clock == nil {
+	if s.clock == nil {
 		go func() {
 			defer close(schedDone)
-			if err := srv.kb.Scheduler().Run(stopSched, time.Second); err != nil {
+			if err := s.kb.Scheduler().Run(stopSched, time.Second); err != nil {
 				log.Printf("scheduler: %v", err)
 			}
 		}()
@@ -207,7 +261,7 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.ListenAndServe() }()
-	log.Printf("rkm-server listening on %s (demo=%v, durable=%v)", *addr, *demo, srv.kb.Durable())
+	log.Printf("rkm-server listening on %s (role=%s, durable=%v)", addr, s.kb.Role(), s.kb.Durable())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -225,15 +279,21 @@ func main() {
 	}
 	close(stopSched)
 	<-schedDone
+	// Stop the replication stream before the final checkpoint so no apply
+	// batch races the log compaction; the durable apply cursor resumes the
+	// stream on the next start.
+	if s.follower != nil {
+		s.follower.Stop()
+	}
 	// Stop the async workers before the final checkpoint so no follow-up
 	// transaction races the log compaction; unprocessed pending entries stay
 	// in the graph and drain on the next start.
-	srv.kb.StopAsync()
-	if srv.kb.Durable() {
-		if err := srv.kb.Checkpoint(); err != nil {
+	s.kb.StopAsync()
+	if s.kb.Durable() {
+		if err := s.kb.Checkpoint(); err != nil {
 			log.Printf("final checkpoint: %v", err)
 		}
-		if err := srv.kb.Close(); err != nil {
+		if err := s.kb.Close(); err != nil {
 			log.Printf("close: %v", err)
 		}
 	}
@@ -256,6 +316,9 @@ func (s *server) register(mux *http.ServeMux) {
 	if s.fed != nil {
 		s.fed.Register(mux) // POST /fed/push, GET /fed/status
 		mux.HandleFunc("POST /fed/sync", s.handleFedSync)
+	}
+	if s.leader != nil {
+		s.leader.Register(mux) // GET /wal/status, /wal/snapshot, /wal/stream
 	}
 }
 
@@ -393,6 +456,10 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	res, rep, err := s.kb.ExecuteReport(req.Query, reactive.Params(req.Params))
 	if err != nil {
+		if errors.Is(err, reactive.ErrFollowerWrite) {
+			writeErr(w, http.StatusForbidden, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -571,7 +638,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"nodes":         g.Nodes,
 		"relationships": g.Relationships,
 		"labels":        g.Labels,
@@ -583,7 +650,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"interHubEdges": hs.InterEdges,
 		"asyncPending":  s.kb.AsyncDepth(),
 		"time":          s.kb.Now().Format(time.RFC3339),
-	})
+		"role":          s.kb.Role(),
+	}
+	if s.follower != nil {
+		out["replica"] = s.follower.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleMetrics serves the Prometheus text exposition of every registered
@@ -596,13 +668,29 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz is the readiness probe: 503 until recovery and seeding have
-// completed, 200 once the server is accepting meaningful traffic.
+// completed, then 200 — except on a follower whose replication lag exceeds
+// the -max-lag bound, which degrades back to 503 so load balancers route
+// reads to fresher replicas (the bounded-staleness contract).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "starting", "role": s.kb.Role(),
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	out := map[string]any{"status": "ok", "role": s.kb.Role()}
+	if s.follower != nil {
+		recs, secs := s.follower.Lag()
+		out["lagRecords"] = recs
+		out["lagSeconds"] = secs
+		if s.maxLag > 0 && secs > s.maxLag.Seconds() {
+			out["status"] = "lagging"
+			out["maxLagSeconds"] = s.maxLag.Seconds()
+			writeJSON(w, http.StatusServiceUnavailable, out)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestReplicaSmoke runs the replica series at smoke scale and checks the
+// invariants that hold at any scale: every point's readers and the writer
+// make progress, followers stay close to the leader, and the renderer
+// emits the expected columns.
+func TestReplicaSmoke(t *testing.T) {
+	cfg := SmokeReplicaConfig()
+	pts, err := RunReplicaScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(cfg.Followers) {
+		t.Fatalf("got %d points, want %d", len(pts), len(cfg.Followers))
+	}
+	for i, p := range pts {
+		if p.Followers != cfg.Followers[i] {
+			t.Errorf("point %d followers = %d, want %d", i, p.Followers, cfg.Followers[i])
+		}
+		if p.Reads <= 0 {
+			t.Errorf("k=%d: readers made no reads", p.Followers)
+		}
+		if p.WriterTxs <= 0 {
+			t.Errorf("k=%d: writer made no progress", p.Followers)
+		}
+		serving := 1
+		if p.Followers > 0 {
+			serving = p.Followers
+		}
+		if want := serving * cfg.ReadersPerInstance; p.Readers != want {
+			t.Errorf("k=%d: %d readers, want %d", p.Followers, p.Readers, want)
+		}
+		if p.CatchUpPct <= 0 || p.CatchUpPct > 100 {
+			t.Errorf("k=%d: catch-up %.1f%% out of range", p.Followers, p.CatchUpPct)
+		}
+	}
+
+	var buf bytes.Buffer
+	WriteReplica(&buf, pts)
+	for _, col := range []string{"reads/sec", "followers", "lag-recs", "caught-up"} {
+		if !strings.Contains(buf.String(), col) {
+			t.Errorf("WriteReplica output missing %q", col)
+		}
+	}
+}

@@ -147,6 +147,13 @@ type asyncPipeline struct {
 // rkm_trigger_async_recovered_total). Until StartAsync is called, AfterAsync
 // rules are evaluated synchronously, like Before rules.
 func (kb *KnowledgeBase) StartAsync(opts AsyncOptions) error {
+	// A follower's graph must stay a verbatim mirror of the leader's record
+	// stream; local async evaluation would commit writes of its own and fork
+	// the replica. The leader evaluates rules and its alerts replicate like
+	// any other committed data.
+	if kb.follower {
+		return ErrFollower
+	}
 	if opts.Workers == 0 {
 		opts.Workers = DefaultAsyncWorkers
 	}

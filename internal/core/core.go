@@ -71,6 +71,13 @@ type KnowledgeBase struct {
 	wal    *wal.Log
 	ckptMu sync.Mutex
 
+	// follower marks a replication follower (see replica.go): ordinary
+	// writes fail with ErrFollower and state arrives only through the
+	// replicated-apply path. replicaSeq is the apply cursor of an in-memory
+	// follower; durable followers use their log's LastSeq instead.
+	follower   bool
+	replicaSeq atomic.Uint64
+
 	// async is the running asynchronous alert pipeline (see async.go); nil
 	// until StartAsync. asyncM holds its instruments, wired once at
 	// construction so restarts of the pipeline accumulate into the same
@@ -346,6 +353,9 @@ func (kb *KnowledgeBase) writeWithTriggers(fn func(tx *graph.Tx) error, repOut *
 // transactions pass false — they drain the queue, so blocking them on its
 // depth would deadlock.
 func (kb *KnowledgeBase) write(fn func(tx *graph.Tx) error, repOut **trigger.Report, throttle bool) error {
+	if kb.follower {
+		return ErrFollower
+	}
 	tx := kb.store.Begin(graph.ReadWrite)
 	if err := fn(tx); err != nil {
 		tx.Rollback()

@@ -1,0 +1,190 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// pullRecords drains every durable record after seq from the leader's log.
+func pullRecords(t *testing.T, kb *core.KnowledgeBase, after uint64) []*wal.Record {
+	t.Helper()
+	cur := kb.WAL().Cursor(after)
+	defer cur.Close()
+	var out []*wal.Record
+	for {
+		recs, err := cur.Next(0)
+		if err != nil {
+			t.Fatalf("cursor: %v", err)
+		}
+		if len(recs) == 0 {
+			return out
+		}
+		out = append(out, recs...)
+	}
+}
+
+func leaderWrite(t *testing.T, kb *core.KnowledgeBase, i int) {
+	t.Helper()
+	if _, err := kb.WriteTx(func(tx *graph.Tx) error {
+		_, err := tx.CreateNode([]string{"Doc"}, map[string]value.Value{"i": value.Int(int64(i))})
+		return err
+	}); err != nil {
+		t.Fatalf("leader write: %v", err)
+	}
+}
+
+func TestFollowerRejectsWrites(t *testing.T) {
+	fol := core.NewFollower(core.Config{})
+	if fol.Role() != "follower" || !fol.Follower() {
+		t.Fatalf("role = %q", fol.Role())
+	}
+	if _, err := fol.Execute("CREATE (:X)", nil); !errors.Is(err, core.ErrFollower) {
+		t.Fatalf("Execute on follower: %v, want ErrFollower", err)
+	}
+	if err := fol.StartAsync(core.AsyncOptions{}); !errors.Is(err, core.ErrFollower) {
+		t.Fatalf("StartAsync on follower: %v, want ErrFollower", err)
+	}
+	// Reads are fine.
+	if _, err := fol.Query("MATCH (n) RETURN count(n)", nil); err != nil {
+		t.Fatalf("Query on follower: %v", err)
+	}
+}
+
+func TestInMemoryFollowerBootstrapAndApply(t *testing.T) {
+	leader, _ := openDurableKB(t, t.TempDir())
+	for i := 0; i < 5; i++ {
+		leaderWrite(t, leader, i)
+	}
+	snap, seq, err := leader.ReplicaSnapshot()
+	if err != nil {
+		t.Fatalf("ReplicaSnapshot: %v", err)
+	}
+	if seq != 5 {
+		t.Fatalf("snapshot seq = %d, want 5", seq)
+	}
+
+	fol := core.NewFollower(core.Config{})
+	if err := fol.BootstrapReplica(strings.NewReader(string(snap)), seq); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	if got := fol.ReplicaAppliedSeq(); got != seq {
+		t.Fatalf("applied seq after bootstrap = %d, want %d", got, seq)
+	}
+
+	for i := 5; i < 12; i++ {
+		leaderWrite(t, leader, i)
+	}
+	recs := pullRecords(t, leader, seq)
+	if len(recs) != 7 {
+		t.Fatalf("pulled %d records, want 7", len(recs))
+	}
+	if err := fol.ApplyReplicated(recs); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if got, want := saveGraph(t, fol), saveGraph(t, leader); got != want {
+		t.Fatalf("follower export differs from leader:\n%s\nvs\n%s", got, want)
+	}
+	if got := fol.ReplicaAppliedSeq(); got != leader.WAL().LastSeq() {
+		t.Fatalf("applied seq = %d, want %d", got, leader.WAL().LastSeq())
+	}
+
+	// Non-contiguous batches are refused outright.
+	if err := fol.ApplyReplicated(recs); err == nil {
+		t.Fatal("re-applying an old batch succeeded")
+	}
+}
+
+func TestDurableFollowerSeedApplyRestart(t *testing.T) {
+	leader, _ := openDurableKB(t, t.TempDir())
+	for i := 0; i < 6; i++ {
+		leaderWrite(t, leader, i)
+	}
+	snap, seq, err := leader.ReplicaSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fdir := t.TempDir()
+	if err := wal.SeedSnapshot(fdir, seq, snap); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	fol, info, err := core.OpenFollowerDurable(fdir, core.Config{}, wal.Options{Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatalf("OpenFollowerDurable: %v", err)
+	}
+	if info.SnapshotSeq != seq || fol.ReplicaAppliedSeq() != seq {
+		t.Fatalf("recovered seq %d/%d, want %d", info.SnapshotSeq, fol.ReplicaAppliedSeq(), seq)
+	}
+	if _, err := fol.Execute("CREATE (:X)", nil); !errors.Is(err, core.ErrFollower) {
+		t.Fatalf("durable follower accepted a write: %v", err)
+	}
+
+	for i := 6; i < 10; i++ {
+		leaderWrite(t, leader, i)
+	}
+	if err := fol.ApplyReplicated(pullRecords(t, leader, fol.ReplicaAppliedSeq())); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if got, want := saveGraph(t, fol), saveGraph(t, leader); got != want {
+		t.Fatal("follower export differs from leader after apply")
+	}
+	cursorBefore := fol.ReplicaAppliedSeq()
+	if err := fol.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Restart resumes at the durable cursor; no re-bootstrap, no re-apply.
+	fol2, info2, err := core.OpenFollowerDurable(fdir, core.Config{}, wal.Options{Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fol2.Close()
+	if fol2.ReplicaAppliedSeq() != cursorBefore {
+		t.Fatalf("restart cursor %d, want %d", fol2.ReplicaAppliedSeq(), cursorBefore)
+	}
+	if info2.RecordsReplayed != 4 {
+		t.Fatalf("replayed %d records, want 4", info2.RecordsReplayed)
+	}
+	if got, want := saveGraph(t, fol2), saveGraph(t, leader); got != want {
+		t.Fatal("follower export differs from leader after restart")
+	}
+
+	// And continues applying fresh leader records.
+	leaderWrite(t, leader, 10)
+	if err := fol2.ApplyReplicated(pullRecords(t, leader, fol2.ReplicaAppliedSeq())); err != nil {
+		t.Fatalf("apply after restart: %v", err)
+	}
+	if got, want := saveGraph(t, fol2), saveGraph(t, leader); got != want {
+		t.Fatal("follower export differs after post-restart apply")
+	}
+}
+
+func TestReplicaSnapshotPairsWithTail(t *testing.T) {
+	leader, _ := openDurableKB(t, t.TempDir())
+	for i := 0; i < 3; i++ {
+		leaderWrite(t, leader, i)
+	}
+	view, seq, err := leader.ReplicaSnapshotView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Rollback()
+	// Records committed after the view must all carry sequence numbers
+	// above seq — the snapshot/tail split is exact.
+	leaderWrite(t, leader, 3)
+	recs := pullRecords(t, leader, seq)
+	if len(recs) != 1 || recs[0].Seq != seq+1 {
+		t.Fatalf("tail after snapshot: %d records, first seq %d; want 1 record at %d",
+			len(recs), recs[0].Seq, seq+1)
+	}
+	// The pinned view itself does not see the later write.
+	if n := len(view.NodesByLabel("Doc")); n != 3 {
+		t.Fatalf("pinned view sees %d Doc nodes, want 3", n)
+	}
+}

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestFollowerModeRejectsOrdinaryWrites(t *testing.T) {
+	s := NewStore()
+	if err := s.Update(func(tx *Tx) error {
+		_, err := tx.CreateNode([]string{"Seed"}, nil)
+		return err
+	}); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	s.SetFollowerMode(true)
+	if !s.FollowerMode() {
+		t.Fatal("FollowerMode not set")
+	}
+
+	err := s.Update(func(tx *Tx) error {
+		_, err := tx.CreateNode([]string{"X"}, nil)
+		return err
+	})
+	if !errors.Is(err, ErrFollowerStore) {
+		t.Fatalf("ordinary write on follower: err = %v, want ErrFollowerStore", err)
+	}
+	if s.Stats().Nodes != 1 {
+		t.Fatalf("rejected write leaked: %d nodes", s.Stats().Nodes)
+	}
+
+	// Reads stay open.
+	if err := s.View(func(tx *Tx) error {
+		if _, ok := tx.Node(NodeID(1)); !ok {
+			return errors.New("seed node missing")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("read on follower: %v", err)
+	}
+}
+
+func TestBeginApplyBypassesFollowerGateAndValidators(t *testing.T) {
+	s := NewStore()
+	s.AddValidator(func(tx *Tx) error {
+		return errors.New("validator must not run on apply")
+	})
+	s.SetFollowerMode(true)
+
+	tx := s.BeginApply()
+	if _, err := tx.CreateNode([]string{"Replicated"}, map[string]value.Value{"i": value.Int(1)}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("apply commit: %v", err)
+	}
+	if s.LabelCount("Replicated") != 1 {
+		t.Fatal("applied node missing")
+	}
+}

@@ -67,6 +67,7 @@ var (
 	ErrReadOnly      = errors.New("graph: write in read-only transaction")
 	ErrIndexExists   = errors.New("graph: index already exists")
 	ErrIndexNotFound = errors.New("graph: index not found")
+	ErrFollowerStore = errors.New("graph: store is in follower mode (writes come from replication only)")
 )
 
 // Node is an immutable snapshot of a node.
@@ -241,6 +242,10 @@ type Store struct {
 	// metrics is stored as a pointer so the lock-free read path can load it
 	// atomically.
 	metrics atomic.Pointer[Metrics]
+	// follower, when set, rejects every ordinary read-write commit with
+	// ErrFollowerStore: the only writes a replica accepts are replayed leader
+	// records applied through BeginApply (see internal/replica).
+	follower atomic.Bool
 }
 
 // NewStore returns an empty store.
@@ -279,6 +284,27 @@ func (s *Store) SetCommitHook(h CommitHook) {
 // so forks are unobserved unless re-wired.
 func (s *Store) SetMetrics(m Metrics) {
 	s.metrics.Store(&m)
+}
+
+// SetFollowerMode switches the store's write gate. In follower mode every
+// ordinary read-write transaction fails at Commit with ErrFollowerStore;
+// only transactions started with BeginApply (the replication apply path) and
+// Import (bootstrap) may change the graph. Reads are unaffected.
+func (s *Store) SetFollowerMode(on bool) { s.follower.Store(on) }
+
+// FollowerMode reports whether the store only accepts replicated writes.
+func (s *Store) FollowerMode() bool { return s.follower.Load() }
+
+// BeginApply starts a read-write transaction for applying replicated leader
+// records: it bypasses the follower-mode write gate and the commit-time
+// validators (the leader already validated the original transaction — a
+// follower must apply the record stream verbatim or diverge). Everything
+// else — write lock, copy-on-write, commit hook, snapshot publication —
+// behaves exactly like Begin(ReadWrite).
+func (s *Store) BeginApply() *Tx {
+	tx := s.Begin(ReadWrite)
+	tx.apply = true
+	return tx
 }
 
 // LabelCount returns the number of nodes currently carrying label. It is a

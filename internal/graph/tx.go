@@ -29,6 +29,9 @@ type Tx struct {
 	view *snapshot
 	// w tracks what the working copy has cloned so far; nil for ReadOnly.
 	w *work
+	// apply marks a replication-apply transaction (BeginApply): it passes
+	// the follower-mode write gate and skips validators.
+	apply bool
 	// metrics is the store's instrumentation as of Begin.
 	metrics *Metrics
 	// deferred holds OnCommitted callbacks, run after publication.
@@ -123,11 +126,17 @@ func (tx *Tx) Commit() error {
 		tx.done = true
 		return nil
 	}
-	if vs := tx.s.validators.Load(); vs != nil {
-		for _, v := range *vs {
-			if err := v(tx); err != nil {
-				tx.rollbackWrite()
-				return err
+	if !tx.apply {
+		if tx.s.follower.Load() {
+			tx.rollbackWrite()
+			return ErrFollowerStore
+		}
+		if vs := tx.s.validators.Load(); vs != nil {
+			for _, v := range *vs {
+				if err := v(tx); err != nil {
+					tx.rollbackWrite()
+					return err
+				}
 			}
 		}
 	}

@@ -1,0 +1,86 @@
+package replica
+
+import (
+	"repro/internal/metrics"
+)
+
+// Metric names registered by the replication subsystem. Every name is
+// documented in OBSERVABILITY.md; the CI docs job keeps the two in sync
+// (scripts/check_metrics_docs.sh, via scripts/metricnames).
+const (
+	// Follower side.
+	mLagRecords   = "rkm_replica_lag_records"
+	mLagSeconds   = "rkm_replica_lag_seconds"
+	mApplied      = "rkm_replica_applied_records_total"
+	mApplyBatches = "rkm_replica_apply_batches_total"
+	mApplySeconds = "rkm_replica_apply_seconds"
+	mConnects     = "rkm_replica_connects_total"
+	mStreamErrors = "rkm_replica_stream_errors_total"
+	mBootstraps   = "rkm_replica_bootstraps_total"
+	// Leader side.
+	mStreams         = "rkm_replica_streams_total"
+	mShipped         = "rkm_replica_shipped_records_total"
+	mSnapshotsServed = "rkm_replica_snapshots_served_total"
+)
+
+// followerMetrics caches the follower's instruments (nil-safe, like every
+// instrument in internal/metrics).
+type followerMetrics struct {
+	applied      *metrics.Counter
+	batches      *metrics.Counter
+	applySeconds *metrics.Histogram
+	connects     *metrics.Counter
+	streamErrors *metrics.Counter
+	bootstraps   *metrics.Counter
+}
+
+// wireMetrics registers the follower instruments on the follower knowledge
+// base's registry; the lag gauges read the live cursor positions at scrape
+// time, so lag is accurate even while the apply loop is wedged.
+func (f *Follower) wireMetrics() {
+	reg := f.kb.Metrics()
+	f.m = followerMetrics{
+		applied: reg.Counter(mApplied,
+			"Leader records applied to the local graph and mirrored into the local log."),
+		batches: reg.Counter(mApplyBatches,
+			"Replicated record batches applied (each one transaction and one durability wait)."),
+		applySeconds: reg.Histogram(mApplySeconds,
+			"Latency of applying one replicated batch, in seconds.", nil),
+		connects: reg.Counter(mConnects,
+			"Stream connections established to the leader."),
+		streamErrors: reg.Counter(mStreamErrors,
+			"Stream attempts that failed (connect errors, mid-stream drops, apply errors)."),
+		bootstraps: reg.Counter(mBootstraps,
+			"Snapshot bootstraps performed (initial seeds plus re-bootstraps after leader truncation)."),
+	}
+	reg.GaugeFunc(mLagRecords,
+		"Records the follower trails the leader's durable position by (bounded-staleness contract).",
+		func() float64 {
+			recs, _ := f.Lag()
+			return float64(recs)
+		})
+	reg.GaugeFunc(mLagSeconds,
+		"Seconds since the follower was last fully caught up with the leader (0 while caught up).",
+		func() float64 {
+			_, secs := f.Lag()
+			return secs
+		})
+}
+
+// leaderMetrics caches the leader's instruments.
+type leaderMetrics struct {
+	streams         *metrics.Counter
+	shipped         *metrics.Counter
+	snapshotsServed *metrics.Counter
+}
+
+func (ld *Leader) wireMetrics(reg *metrics.Registry) {
+	ld.m = leaderMetrics{
+		streams: reg.Counter(mStreams,
+			"Stream requests served (each covers at most one StreamWindow)."),
+		shipped: reg.Counter(mShipped,
+			"Records shipped to followers across all streams."),
+		snapshotsServed: reg.Counter(mSnapshotsServed,
+			"Bootstrap snapshots served to followers."),
+	}
+}

@@ -1,0 +1,314 @@
+package wal
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// commitNode commits one single-node transaction (the commit hook appends
+// the record) and returns nothing; sequence numbers advance by one each.
+func commitNode(h *harness, i int) {
+	h.t.Helper()
+	h.update(func(tx *graph.Tx) error {
+		_, err := tx.CreateNode([]string{"Item"}, map[string]value.Value{"i": value.Int(int64(i))})
+		return err
+	})
+}
+
+// drain reads records from cur until it has n of them, failing the test if
+// a read errors or no progress happens for several seconds. Empty polls
+// sleep briefly so a concurrent committer is never starved for CPU.
+func drain(t *testing.T, cur *Cursor, n int) []*Record {
+	t.Helper()
+	var out []*Record
+	lastProgress := time.Now()
+	for len(out) < n {
+		recs, err := cur.Next(n - len(out))
+		if err != nil {
+			t.Fatalf("cursor: %v", err)
+		}
+		if len(recs) == 0 {
+			if time.Since(lastProgress) > 15*time.Second {
+				t.Fatalf("cursor stalled at %d/%d records", len(out), n)
+			}
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		lastProgress = time.Now()
+		out = append(out, recs...)
+	}
+	return out
+}
+
+// assertContiguous verifies recs carry sequence numbers from..from+len-1 in
+// order — every record exactly once.
+func assertContiguous(t *testing.T, recs []*Record, from uint64) {
+	t.Helper()
+	for i, rec := range recs {
+		if want := from + uint64(i); rec.Seq != want {
+			t.Fatalf("record %d: seq %d, want %d", i, rec.Seq, want)
+		}
+	}
+}
+
+func TestCursorStreamsTail(t *testing.T) {
+	h := openHarness(t, t.TempDir(), Options{Fsync: FsyncAlways})
+	for i := 0; i < 20; i++ {
+		commitNode(h, i)
+	}
+	cur := h.log.Cursor(0)
+	defer cur.Close()
+	recs := drain(t, cur, 20)
+	assertContiguous(t, recs, 1)
+
+	// Caught up: empty poll, no error.
+	if recs, err := cur.Next(64); err != nil || len(recs) != 0 {
+		t.Fatalf("caught-up poll: %v records, err %v", len(recs), err)
+	}
+
+	// New appends become visible to the same cursor.
+	commitNode(h, 20)
+	recs = drain(t, cur, 1)
+	assertContiguous(t, recs, 21)
+
+	// A fresh cursor from the middle sees only the suffix.
+	mid := h.log.Cursor(15)
+	defer mid.Close()
+	recs = drain(t, mid, 6)
+	assertContiguous(t, recs, 16)
+}
+
+func TestCursorSurvivesCut(t *testing.T) {
+	h := openHarness(t, t.TempDir(), Options{Fsync: FsyncAlways})
+	for i := 0; i < 5; i++ {
+		commitNode(h, i)
+	}
+	cur := h.log.Cursor(0)
+	defer cur.Close()
+	got := drain(t, cur, 3) // cursor mid-segment
+
+	if _, err := h.log.Cut(); err != nil {
+		t.Fatalf("Cut: %v", err)
+	}
+	for i := 5; i < 10; i++ {
+		commitNode(h, i) // lands in a fresh segment
+	}
+	got = append(got, drain(t, cur, 7)...)
+	assertContiguous(t, got, 1)
+}
+
+// TestCursorConcurrentCutStream is the satellite race test: one goroutine
+// appends records and rotates segments underneath a streaming cursor; the
+// cursor must deliver every record exactly once, in order. Run with -race.
+func TestCursorConcurrentCutStream(t *testing.T) {
+	const total = 400
+	h := openHarness(t, t.TempDir(), Options{Fsync: FsyncAlways})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			commitNode(h, i)
+			if i%37 == 36 {
+				if _, err := h.log.Cut(); err != nil {
+					t.Errorf("Cut: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	cur := h.log.Cursor(0)
+	defer cur.Close()
+	recs := drain(t, cur, total)
+	wg.Wait()
+	assertContiguous(t, recs, 1)
+	if extra, err := cur.Next(64); err != nil || len(extra) != 0 {
+		t.Fatalf("after full drain: %d extra records, err %v", len(extra), err)
+	}
+}
+
+func TestCursorDurabilityBound(t *testing.T) {
+	h := openHarness(t, t.TempDir(), Options{Fsync: FsyncAlways})
+	commitNode(h, 0)
+
+	// Append asynchronously without waiting for durability: the record is
+	// in the log's buffer (and maybe on file), but below no fsync yet.
+	seq, err := h.log.AppendAsync(&Record{Ops: []Op{{Op: OpCreateNode, Node: 99, Labels: []string{"X"}}}, NextNode: 100})
+	if err != nil {
+		t.Fatalf("AppendAsync: %v", err)
+	}
+
+	cur := h.log.Cursor(0)
+	defer cur.Close()
+	recs := drain(t, cur, 1)
+	assertContiguous(t, recs, 1)
+	if got, err := cur.Next(64); err != nil || len(got) != 0 {
+		t.Fatalf("unsynced record visible to cursor: %d records, err %v", len(got), err)
+	}
+
+	if err := h.log.WaitDurable(seq); err != nil {
+		t.Fatalf("WaitDurable: %v", err)
+	}
+	recs = drain(t, cur, 1)
+	if recs[0].Seq != seq {
+		t.Fatalf("got seq %d, want %d", recs[0].Seq, seq)
+	}
+}
+
+func TestCursorTruncatedByCheckpoint(t *testing.T) {
+	h := openHarness(t, t.TempDir(), Options{Fsync: FsyncAlways})
+	for i := 0; i < 10; i++ {
+		commitNode(h, i)
+	}
+	ckpt := h.checkpoint() // compacts records 1..10 into a snapshot
+	for i := 10; i < 13; i++ {
+		commitNode(h, i)
+	}
+
+	// A cursor behind the checkpoint must be told to re-bootstrap.
+	cur := h.log.Cursor(4)
+	defer cur.Close()
+	_, err := cur.Next(64)
+	var te *TruncatedError
+	if !errors.As(err, &te) {
+		t.Fatalf("want TruncatedError, got %v", err)
+	}
+	if te.TailStart != ckpt {
+		t.Fatalf("TailStart = %d, want %d", te.TailStart, ckpt)
+	}
+
+	// A cursor at the advertised tail start streams the retained suffix.
+	ts, err := h.log.TailStart()
+	if err != nil {
+		t.Fatalf("TailStart: %v", err)
+	}
+	if ts != ckpt {
+		t.Fatalf("log.TailStart = %d, want %d", ts, ckpt)
+	}
+	tail := h.log.Cursor(ts)
+	defer tail.Close()
+	recs := drain(t, tail, 3)
+	assertContiguous(t, recs, ckpt+1)
+}
+
+func TestCursorFsyncNoneSeesBufferedAppends(t *testing.T) {
+	h := openHarness(t, t.TempDir(), Options{Fsync: FsyncNone})
+	for i := 0; i < 8; i++ {
+		commitNode(h, i)
+	}
+	// Nothing was flushed or fsynced, yet the cursor must see everything:
+	// FsyncNone promises no durability, so the bound is the appended tip.
+	cur := h.log.Cursor(0)
+	defer cur.Close()
+	assertContiguous(t, drain(t, cur, 8), 1)
+}
+
+func TestAppendReplicatedMirrorsLeaderSeqs(t *testing.T) {
+	leader := openHarness(t, t.TempDir(), Options{Fsync: FsyncAlways})
+	for i := 0; i < 6; i++ {
+		commitNode(leader, i)
+	}
+	cur := leader.log.Cursor(0)
+	defer cur.Close()
+	recs := drain(t, cur, 6)
+
+	fdir := t.TempDir()
+	flog, fstore, _, err := Open(fdir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatalf("Open follower: %v", err)
+	}
+	for _, rec := range recs {
+		tx := fstore.Begin(graph.ReadWrite)
+		if err := ApplyRecord(tx, rec); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		if err := flog.AppendReplicated(rec); err != nil {
+			t.Fatalf("AppendReplicated: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+	}
+	if err := flog.AppendReplicated(&Record{Seq: 42}); err == nil {
+		t.Fatal("out-of-order replicated append accepted")
+	}
+	if got, want := flog.LastSeq(), leader.log.LastSeq(); got != want {
+		t.Fatalf("follower LastSeq %d, want %d", got, want)
+	}
+	if err := flog.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// The mirrored log recovers to the leader's exact state, and the
+	// recovered position is the durable apply cursor.
+	rlog, rstore, info, err := Open(fdir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rlog.Close()
+	if info.LastSeq != leader.log.LastSeq() {
+		t.Fatalf("recovered LastSeq %d, want %d", info.LastSeq, leader.log.LastSeq())
+	}
+	if exp, fexp := exportOf(t, leader.store), exportOf(t, rstore); exp != fexp {
+		t.Fatalf("follower export differs from leader:\n%s\nvs\n%s", fexp, exp)
+	}
+}
+
+func exportOf(t *testing.T, s *graph.Store) string {
+	t.Helper()
+	var b strings.Builder
+	if err := s.Export(&b); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return b.String()
+}
+
+func TestSeedSnapshotBootstrapsFreshDir(t *testing.T) {
+	leader := openHarness(t, t.TempDir(), Options{Fsync: FsyncAlways})
+	for i := 0; i < 7; i++ {
+		commitNode(leader, i)
+	}
+	snap := exportOf(t, leader.store)
+	seq := leader.log.LastSeq()
+
+	dir := t.TempDir()
+	if has, _ := HasState(dir); has {
+		t.Fatal("fresh dir reports state")
+	}
+	if err := SeedSnapshot(dir, seq, []byte(snap)); err != nil {
+		t.Fatalf("SeedSnapshot: %v", err)
+	}
+	if has, _ := HasState(dir); !has {
+		t.Fatal("seeded dir reports no state")
+	}
+	if err := SeedSnapshot(dir, seq, []byte(snap)); err == nil {
+		t.Fatal("re-seed of a non-empty dir accepted")
+	}
+
+	l, store, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open seeded: %v", err)
+	}
+	if info.SnapshotSeq != seq || info.LastSeq != seq {
+		t.Fatalf("recovered seq %d/%d, want %d", info.SnapshotSeq, info.LastSeq, seq)
+	}
+	if got := exportOf(t, store); got != snap {
+		t.Fatal("seeded store differs from leader snapshot")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := RemoveState(dir); err != nil {
+		t.Fatalf("RemoveState: %v", err)
+	}
+	if has, _ := HasState(dir); has {
+		t.Fatal("RemoveState left state behind")
+	}
+}

@@ -483,27 +483,7 @@ func (l *Log) Checkpoint(seq uint64, snapshot []byte) error {
 		defer ckptHist.ObserveSince(time.Now())
 	}
 
-	final := filepath.Join(l.dir, snapshotName(seq))
-	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("wal: checkpoint: %w", err)
-	}
-	if _, err := f.Write(snapshot); err != nil {
-		f.Close()
-		return fmt.Errorf("wal: checkpoint: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("wal: checkpoint: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("wal: checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		return fmt.Errorf("wal: checkpoint: %w", err)
-	}
-	if err := syncDir(l.dir); err != nil {
+	if err := writeSnapshotFile(l.dir, seq, snapshot); err != nil {
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
 
@@ -531,6 +511,33 @@ func (l *Log) Checkpoint(seq uint64, snapshot []byte) error {
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	return nil
+}
+
+// writeSnapshotFile durably installs a snapshot document covering records
+// up to and including seq into dir: written to a temporary file, fsynced,
+// renamed into place, directory synced.
+func writeSnapshotFile(dir string, seq uint64, snapshot []byte) error {
+	final := filepath.Join(dir, snapshotName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(snapshot); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(dir)
 }
 
 // Close flushes and fsyncs the active segment and stops the background

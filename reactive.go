@@ -79,6 +79,11 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return wal.ParseFsyncPoli
 // RecoveryInfo reports what OpenDurable recovered.
 type RecoveryInfo = wal.RecoveryInfo
 
+// ErrFollowerWrite is returned by write operations on a knowledge base that
+// runs as a replication read replica (rkm-server -replica-of); writes belong
+// on the leader. See internal/replica and DESIGN.md §12.
+var ErrFollowerWrite = core.ErrFollower
+
 // OpenDurable opens (or creates) a durable knowledge base persisted under
 // dir: committed transactions append to a write-ahead log,
 // KnowledgeBase.Checkpoint compacts it into a snapshot, and OpenDurable
