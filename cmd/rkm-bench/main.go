@@ -12,6 +12,7 @@
 //	rkm-bench -fig conc -smoke       # tiny CI-sized version of the same
 //	rkm-bench -fig async             # sync vs async alert evaluation on the write path
 //	rkm-bench -fig replica           # aggregate read QPS vs replica count
+//	rkm-bench -fig shard             # hub-sharded write scaling + bridge mix
 //	rkm-bench -fig all               # everything
 //	rkm-bench -fig 9 -full           # paper-scale sweep (up to 10^6 patients)
 //	rkm-bench -fig 9 -patients 500,5000 -regions 10
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, fed, conc, async, replica, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, fed, conc, async, replica, shard, all")
 		patients = flag.String("patients", "", "comma-separated patient counts (overrides defaults)")
 		regions  = flag.Int("regions", 20, "number of regions")
 		days     = flag.Int("days", 2, "days the admissions are spread over")
@@ -40,7 +41,7 @@ func main() {
 		batch    = flag.Int("batch", 1, "patients per transaction")
 		full     = flag.Bool("full", false, "paper-scale sweep (10^2..10^6 patients; slow)")
 		reps     = flag.Int("reps", 1, "repetitions per measurement (median reported)")
-		smoke    = flag.Bool("smoke", false, "tiny sweep for CI (conc and async figures)")
+		smoke    = flag.Bool("smoke", false, "tiny sweep for CI (conc, async, replica, shard figures)")
 	)
 	flag.Parse()
 
@@ -86,6 +87,8 @@ func main() {
 		runAsync(*smoke)
 	case "replica":
 		runReplica(*smoke)
+	case "shard":
+		runShard(cfg, *smoke)
 	case "all":
 		runFig9(cfg)
 		fmt.Println()
@@ -104,8 +107,10 @@ func main() {
 		runAsync(*smoke)
 		fmt.Println()
 		runReplica(*smoke)
+		fmt.Println()
+		runShard(cfg, *smoke)
 	default:
-		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed, conc, async, replica or all)", *fig)
+		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed, conc, async, replica, shard or all)", *fig)
 	}
 }
 
@@ -213,6 +218,41 @@ func runReplica(smoke bool) {
 		fatalf("replica: %v", err)
 	}
 	bench.WriteReplica(os.Stdout, pts)
+}
+
+func runShard(cfg bench.Config, smoke bool) {
+	scfg := bench.ShardConfig{Seed: cfg.Seed}
+	if smoke {
+		scfg = bench.SmokeShardConfig()
+	}
+	scaling, err := bench.RunShardScaling(scfg)
+	if err != nil {
+		fatalf("shard scaling: %v", err)
+	}
+	mix, err := bench.RunShardBridgeMix(scfg)
+	if err != nil {
+		fatalf("shard bridge mix: %v", err)
+	}
+	bench.WriteShard(os.Stdout, scaling, mix)
+	if smoke {
+		// CI gate: the invariants, not the absolute numbers.
+		for _, p := range scaling {
+			if p.Txs == 0 {
+				fatalf("shard smoke: no commits at hubs=%d writers=%d", p.Hubs, p.Writers)
+			}
+		}
+		for _, p := range mix {
+			if p.Txs == 0 {
+				fatalf("shard smoke: no commits at bridge fraction %.0f%%", p.BridgeFrac*100)
+			}
+			if p.BridgeFrac > 0 && p.BridgeTxs == 0 {
+				fatalf("shard smoke: no bridge commits at bridge fraction %.0f%%", p.BridgeFrac*100)
+			}
+			if p.BridgeTxs > p.Txs {
+				fatalf("shard smoke: bridge commits exceed total commits")
+			}
+		}
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -49,6 +49,11 @@ const (
 	mWALGroupSyncs = "rkm_wal_group_commit_syncs_total"
 	mWALGroupBatch = "rkm_wal_group_commit_batch_txs"
 
+	mShardCommits      = "rkm_shard_commits_total"
+	mShardCrossCommits = "rkm_shard_cross_commits_total"
+	mShardLockWait     = "rkm_shard_lock_wait_seconds"
+	mShardWALFsync     = "rkm_shard_wal_fsync_seconds"
+
 	mAsyncEnqueued     = "rkm_trigger_async_enqueued_total"
 	mAsyncShed         = "rkm_trigger_async_shed_total"
 	mAsyncEvaluated    = "rkm_trigger_async_evaluated_total"

@@ -1,0 +1,540 @@
+package core
+
+// Behavior tests for the hub-sharded knowledge base: layout and routing,
+// rules firing on per-shard and bridge writes, hub-ownership enforcement on
+// every shard, durable round trips, cross-shard-consistent checkpoints, the
+// per-shard async pending queue, and replication follower apply.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hub"
+	"repro/internal/periodic"
+	"repro/internal/trigger"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+func twoHubs() []HubShard {
+	return []HubShard{
+		{Hub: "A", Description: "analysis", Labels: []string{"Sequence", "Lab"}},
+		{Hub: "B", Description: "trials", Labels: []string{"Trial"}},
+	}
+}
+
+func newShardedKB(t *testing.T) *ShardedKB {
+	t.Helper()
+	kb, err := NewSharded(Config{Clock: periodic.NewManualClock(sim0)}, twoHubs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kb
+}
+
+func shardQueryInt(t *testing.T, kb *ShardedKB, hubName, query string) int64 {
+	t.Helper()
+	res, err := kb.QueryInHub(hubName, query, nil)
+	if err != nil {
+		t.Fatalf("query %q in %s: %v", query, hubName, err)
+	}
+	v, ok := res.Value()
+	if !ok {
+		t.Fatalf("query %q: expected single value, got %d rows", query, len(res.Rows))
+	}
+	n, _ := v.AsInt()
+	return n
+}
+
+func TestShardedLayoutAndErrors(t *testing.T) {
+	kb := newShardedKB(t)
+	if kb.NumShards() != 2 {
+		t.Fatalf("NumShards = %d, want 2", kb.NumShards())
+	}
+	if i, ok := kb.ShardOf("B"); !ok || i != 1 {
+		t.Fatalf("ShardOf(B) = %d, %v", i, ok)
+	}
+	if _, ok := kb.ShardOf("nope"); ok {
+		t.Fatal("ShardOf on unknown hub reported ok")
+	}
+	if got := kb.HubOfShard(0); got != "A" {
+		t.Fatalf("HubOfShard(0) = %q", got)
+	}
+	if got := kb.HubOfShard(9); got != "" {
+		t.Fatalf("HubOfShard(9) = %q, want empty", got)
+	}
+	if _, err := NewSharded(Config{}, nil); err == nil {
+		t.Fatal("NewSharded with no hubs succeeded")
+	}
+	if _, err := NewSharded(Config{}, []HubShard{{Hub: "A"}, {Hub: "A"}}); err == nil {
+		t.Fatal("duplicate hub declaration accepted")
+	}
+	if _, err := kb.UpdateInHub("nope", func(tx *graph.Tx) error { return nil }); !errors.Is(err, ErrUnknownShardHub) {
+		t.Fatalf("UpdateInHub(nope) err = %v, want ErrUnknownShardHub", err)
+	}
+	if _, err := kb.UpdateShard(5, func(tx *graph.Tx) error { return nil }); err == nil {
+		t.Fatal("UpdateShard(5) accepted")
+	}
+	if kb.Durable() {
+		t.Fatal("in-memory sharded kb claims durability")
+	}
+	if err := kb.Checkpoint(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("Checkpoint err = %v, want ErrNotDurable", err)
+	}
+}
+
+func TestShardedRulesFire(t *testing.T) {
+	kb := newShardedKB(t)
+	if err := kb.InstallRule(trigger.Rule{
+		Name:  "watch",
+		Hub:   "A",
+		Event: trigger.Event{Kind: trigger.CreateNode, Label: "Sequence"},
+		Alert: "RETURN NEW.id AS sid",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := kb.UpdateInHub("A", func(tx *graph.Tx) error {
+		_, err := tx.CreateNode([]string{"Sequence"}, map[string]value.Value{"id": value.Str("S1")})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AlertNodes != 1 {
+		t.Fatalf("report = %+v, want one alert node", rep)
+	}
+	// The alert materializes in the triggering shard; the other shard's
+	// snapshot is untouched.
+	if n := shardQueryInt(t, kb, "A", "MATCH (a:Alert) RETURN count(a) AS n"); n != 1 {
+		t.Fatalf("alerts in A = %d, want 1", n)
+	}
+	if n := shardQueryInt(t, kb, "B", "MATCH (a:Alert) RETURN count(a) AS n"); n != 0 {
+		t.Fatalf("alerts in B = %d, want 0", n)
+	}
+
+	// ExecuteInHub drives the same path through the query layer.
+	if _, rep, err := kb.ExecuteInHub("A", "CREATE (:Sequence {id: 'S2'})", nil); err != nil {
+		t.Fatal(err)
+	} else if rep.AlertNodes != 1 {
+		t.Fatalf("ExecuteInHub report = %+v", rep)
+	}
+	if n := shardQueryInt(t, kb, "A", "MATCH (s:Sequence) RETURN count(s) AS n"); n != 2 {
+		t.Fatalf("sequences = %d, want 2", n)
+	}
+}
+
+func TestShardedBridgeWrite(t *testing.T) {
+	kb := newShardedKB(t)
+	if err := kb.InstallRule(trigger.Rule{
+		Name:  "watchTrial",
+		Hub:   "B",
+		Event: trigger.Event{Kind: trigger.CreateNode, Label: "Trial"},
+		Alert: "RETURN 1 AS one",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := kb.UpdateBridge("A", "B", func(bt *graph.BridgeTx) error {
+		a, err := bt.CreateNodeIn(0, []string{"Sequence"}, nil)
+		if err != nil {
+			return err
+		}
+		b, err := bt.CreateNodeIn(1, []string{"Trial"}, nil)
+		if err != nil {
+			return err
+		}
+		_, err = bt.CreateRel(a, b, "TESTED_IN", nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rule fired on the hi-shard side of the bridge commit.
+	if rep.AlertNodes != 1 {
+		t.Fatalf("bridge report = %+v, want one alert node", rep)
+	}
+	if err := kb.View(func(v *graph.MultiView) error {
+		if got := v.RelCount(); got != 1 {
+			t.Errorf("RelCount = %d, want 1", got)
+		}
+		if got := v.CountByLabel("Sequence"); got != 1 {
+			t.Errorf("sequences = %d, want 1", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kb.UpdateBridge("A", "nope", func(bt *graph.BridgeTx) error { return nil }); !errors.Is(err, ErrUnknownShardHub) {
+		t.Fatalf("UpdateBridge(nope) err = %v", err)
+	}
+}
+
+func TestShardedHubOwnershipEnforced(t *testing.T) {
+	kb := newShardedKB(t)
+	kb.EnforceHubOwnership()
+	// Owned label without the hub property: rejected on every shard.
+	for i, label := range []string{"Sequence", "Trial"} {
+		if _, err := kb.UpdateShard(i, func(tx *graph.Tx) error {
+			_, err := tx.CreateNode([]string{label}, nil)
+			return err
+		}); !errors.Is(err, hub.ErrMissingHub) {
+			t.Fatalf("shard %d unowned create err = %v, want ErrMissingHub", i, err)
+		}
+	}
+	// Declaring the owning hub passes.
+	if _, err := kb.UpdateShard(0, func(tx *graph.Tx) error {
+		_, err := tx.CreateNode([]string{"Sequence"}, hub.HubProp("A"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Enforcement also gates both sides of a bridge transaction.
+	if _, err := kb.UpdateBridgeShards(0, 1, func(bt *graph.BridgeTx) error {
+		_, err := bt.CreateNodeIn(1, []string{"Trial"}, nil)
+		return err
+	}); !errors.Is(err, hub.ErrMissingHub) {
+		t.Fatalf("bridge unowned create err = %v, want ErrMissingHub", err)
+	}
+	// Enforcing twice must not double-install validators (one error, and
+	// valid writes still pass).
+	kb.EnforceHubOwnership()
+	if _, err := kb.UpdateShard(1, func(tx *graph.Tx) error {
+		_, err := tx.CreateNode([]string{"Trial"}, hub.HubProp("B"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func shardedExports(t *testing.T, kb *ShardedKB) []string {
+	t.Helper()
+	out := make([]string, kb.NumShards())
+	for i := range out {
+		var b strings.Builder
+		if err := kb.ExportShard(i, &b); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+// seedShardedDurable populates a durable sharded kb with intra-hub writes on
+// both shards and one bridge.
+func seedShardedDurable(t *testing.T, kb *ShardedKB) {
+	t.Helper()
+	for i := 0; i < 2; i++ {
+		i := i
+		if _, err := kb.UpdateShard(i, func(tx *graph.Tx) error {
+			_, err := tx.CreateNode([]string{"Doc"}, map[string]value.Value{"shard": value.Int(int64(i))})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := kb.UpdateBridgeShards(0, 1, func(bt *graph.BridgeTx) error {
+		a, err := bt.CreateNodeIn(0, []string{"Sequence"}, nil)
+		if err != nil {
+			return err
+		}
+		b, err := bt.CreateNodeIn(1, []string{"Trial"}, nil)
+		if err != nil {
+			return err
+		}
+		_, err = bt.CreateRel(a, b, "TESTED_IN", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	kb, infos, err := OpenShardedDurable(dir, Config{}, twoHubs(), wal.Options{Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("recovery infos = %d, want 2", len(infos))
+	}
+	seedShardedDurable(t, kb)
+	want := shardedExports(t, kb)
+	if err := kb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kb2, infos2, err := OpenShardedDurable(dir, Config{}, twoHubs(), wal.Options{Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kb2.Close()
+	got := shardedExports(t, kb2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shard %d: recovered export differs", i)
+		}
+	}
+	if infos2[0].RecordsReplayed == 0 || infos2[1].RecordsReplayed == 0 {
+		t.Fatalf("infos = %+v, %+v: expected replayed records", infos2[0], infos2[1])
+	}
+	// The recovered kb keeps allocating in band: a new node in shard 1 must
+	// carry shard 1's identifier band.
+	if _, err := kb2.UpdateShard(1, func(tx *graph.Tx) error {
+		id, err := tx.CreateNode([]string{"Doc"}, nil)
+		if err == nil && graph.ShardOfNode(id) != 1 {
+			t.Errorf("post-recovery allocation landed in band %d", graph.ShardOfNode(id))
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	kb, _, err := OpenShardedDurable(dir, Config{}, twoHubs(), wal.Options{Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedShardedDurable(t, kb)
+	if err := kb.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Write past the global checkpoint, then compact a single hot shard.
+	if _, err := kb.UpdateShard(0, func(tx *graph.Tx) error {
+		_, err := tx.CreateNode([]string{"Doc"}, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.CheckpointShard(0); err != nil {
+		t.Fatal(err)
+	}
+	want := shardedExports(t, kb)
+	if err := kb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kb2, infos, err := OpenShardedDurable(dir, Config{}, twoHubs(), wal.Options{Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kb2.Close()
+	got := shardedExports(t, kb2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shard %d: export differs after checkpointed recovery", i)
+		}
+	}
+	for i, info := range infos {
+		if info.SnapshotSeq == 0 {
+			t.Fatalf("shard %d recovered without a snapshot: %+v", i, info)
+		}
+	}
+}
+
+func TestShardedDrainAsync(t *testing.T) {
+	kb := newShardedKB(t)
+	if err := kb.InstallRule(trigger.Rule{
+		Name:  "echo",
+		Hub:   "A",
+		Event: trigger.Event{Kind: trigger.CreateNode, Label: "Reading"},
+		Alert: "RETURN NEW.v AS v",
+		Phase: trigger.AfterAsync,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := kb.UpdateShard(0, func(tx *graph.Tx) error {
+		_, err := tx.CreateNode([]string{"Reading"}, map[string]value.Value{"v": value.Int(7)})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AsyncEnqueued != 1 || rep.AlertNodes != 0 {
+		t.Fatalf("report = %+v, want one staged activation and no sync alert", rep)
+	}
+	if kb.AsyncDepth() != 1 {
+		t.Fatalf("AsyncDepth = %d, want 1", kb.AsyncDepth())
+	}
+	done, err := kb.DrainAsync()
+	if err != nil || done != 1 {
+		t.Fatalf("DrainAsync = (%d, %v), want (1, nil)", done, err)
+	}
+	if kb.AsyncDepth() != 0 {
+		t.Fatalf("AsyncDepth after drain = %d, want 0", kb.AsyncDepth())
+	}
+	if n := shardQueryInt(t, kb, "A", "MATCH (a:Alert) RETURN count(a) AS n"); n != 1 {
+		t.Fatalf("alerts = %d, want 1", n)
+	}
+	// Draining again is a no-op.
+	if done, err := kb.DrainAsync(); err != nil || done != 0 {
+		t.Fatalf("second DrainAsync = (%d, %v)", done, err)
+	}
+}
+
+// TestShardedPendingSurvivesRecovery stages an AfterAsync activation, crashes
+// before the drain, and checks the recovered queue drains to the same alert.
+func TestShardedPendingSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	installEcho := func(kb *ShardedKB) {
+		t.Helper()
+		if err := kb.InstallRule(trigger.Rule{
+			Name:  "echo",
+			Hub:   "B",
+			Event: trigger.Event{Kind: trigger.CreateNode, Label: "Reading"},
+			Alert: "RETURN NEW.v AS v",
+			Phase: trigger.AfterAsync,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kb, _, err := OpenShardedDurable(dir, Config{}, twoHubs(), wal.Options{Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	installEcho(kb)
+	if _, err := kb.UpdateShard(1, func(tx *graph.Tx) error {
+		_, err := tx.CreateNode([]string{"Reading"}, map[string]value.Value{"v": value.Int(9)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.Close(); err != nil { // crash before draining
+		t.Fatal(err)
+	}
+
+	kb2, _, err := OpenShardedDurable(dir, Config{}, twoHubs(), wal.Options{Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kb2.Close()
+	installEcho(kb2)
+	if kb2.AsyncDepth() != 1 {
+		t.Fatalf("recovered AsyncDepth = %d, want 1", kb2.AsyncDepth())
+	}
+	if done, err := kb2.DrainAsync(); err != nil || done != 1 {
+		t.Fatalf("DrainAsync after recovery = (%d, %v), want (1, nil)", done, err)
+	}
+	if n := shardQueryInt(t, kb2, "B", "MATCH (a:Alert) RETURN count(a) AS n"); n != 1 {
+		t.Fatalf("alerts after recovered drain = %d, want 1", n)
+	}
+}
+
+func TestShardedFollowerApply(t *testing.T) {
+	ldir := t.TempDir()
+	leader, _, err := OpenShardedDurable(ldir, Config{}, twoHubs(), wal.Options{Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	seedShardedDurable(t, leader)
+	want := shardedExports(t, leader)
+
+	fdir := t.TempDir()
+	fol, _, err := OpenShardedDurableFollower(fdir, Config{}, twoHubs(), wal.Options{Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+	if !fol.Follower() {
+		t.Fatal("follower mode not reported")
+	}
+	if _, err := fol.UpdateShard(0, func(tx *graph.Tx) error { return nil }); !errors.Is(err, ErrFollower) {
+		t.Fatalf("follower UpdateShard err = %v, want ErrFollower", err)
+	}
+	if _, err := fol.DrainAsync(); !errors.Is(err, ErrFollower) {
+		t.Fatalf("follower DrainAsync err = %v, want ErrFollower", err)
+	}
+	if err := leader.ApplyReplicatedShard(0, nil); err == nil {
+		t.Fatal("leader accepted ApplyReplicatedShard")
+	}
+
+	// Ship each shard's stream independently, as the replica layer would.
+	for i := 0; i < 2; i++ {
+		cur := leader.WAL().Log(i).Cursor(fol.ShardAppliedSeq(i))
+		var recs []*wal.Record
+		for {
+			batch, err := cur.Next(0)
+			if err != nil {
+				t.Fatalf("shard %d cursor: %v", i, err)
+			}
+			if len(batch) == 0 {
+				break
+			}
+			recs = append(recs, batch...)
+		}
+		cur.Close()
+		if len(recs) == 0 {
+			t.Fatalf("shard %d: no records to ship", i)
+		}
+		if err := fol.ApplyReplicatedShard(i, recs); err != nil {
+			t.Fatalf("shard %d apply: %v", i, err)
+		}
+		if got := fol.ShardAppliedSeq(i); got != recs[len(recs)-1].Seq {
+			t.Fatalf("shard %d applied seq = %d, want %d", i, got, recs[len(recs)-1].Seq)
+		}
+		// Replays of the same batch are rejected as non-contiguous.
+		if err := fol.ApplyReplicatedShard(i, recs); err == nil {
+			t.Fatalf("shard %d: duplicate batch accepted", i)
+		}
+	}
+	got := shardedExports(t, fol)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shard %d: follower export differs from leader", i)
+		}
+	}
+
+	// The follower's mirrored logs recover the same state stand-alone.
+	if err := fol.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fol2, _, err := OpenShardedDurable(fdir, Config{}, twoHubs(), wal.Options{Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol2.Close()
+	got2 := shardedExports(t, fol2)
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("shard %d: recovered follower export differs from leader", i)
+		}
+	}
+}
+
+// TestShardedInMemoryFollower covers the replicaSeqs cursor path (no WAL).
+func TestShardedInMemoryFollower(t *testing.T) {
+	ldir := t.TempDir()
+	leader, _, err := OpenShardedDurable(ldir, Config{}, twoHubs(), wal.Options{Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	seedShardedDurable(t, leader)
+
+	fol := newShardedKB(t)
+	fol.SetFollowerMode(true)
+	for i := 0; i < 2; i++ {
+		cur := leader.WAL().Log(i).Cursor(0)
+		recs, err := cur.Next(0)
+		cur.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fol.ApplyReplicatedShard(i, recs); err != nil {
+			t.Fatalf("shard %d apply: %v", i, err)
+		}
+		if fol.ShardAppliedSeq(i) != recs[len(recs)-1].Seq {
+			t.Fatalf("shard %d applied seq = %d", i, fol.ShardAppliedSeq(i))
+		}
+	}
+	want := shardedExports(t, leader)
+	got := shardedExports(t, fol)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shard %d: in-memory follower export differs", i)
+		}
+	}
+}

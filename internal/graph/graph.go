@@ -224,6 +224,10 @@ type Metrics struct {
 	// RecordsCloned counts node and relationship records cloned
 	// copy-on-write by write transactions — the per-commit COW footprint.
 	RecordsCloned *metrics.Counter
+	// LockWaitSeconds observes how long Begin(ReadWrite) waited for the
+	// store's write lock. On a sharded store this is the per-shard writer
+	// queueing delay (rkm_shard_lock_wait_seconds).
+	LockWaitSeconds *metrics.Histogram
 }
 
 // Store is an in-memory property-graph database.
@@ -330,7 +334,14 @@ const (
 func (s *Store) Begin(mode Mode) *Tx {
 	m := s.metrics.Load()
 	if mode == ReadWrite {
+		var w0 time.Time
+		if m.LockWaitSeconds != nil {
+			w0 = time.Now()
+		}
 		s.writeMu.Lock()
+		if !w0.IsZero() {
+			m.LockWaitSeconds.ObserveSince(w0)
+		}
 		base := s.snap.Load()
 		view := *base // struct copy: maps stay shared until copied-on-write
 		tx := &Tx{s: s, mode: mode, data: &TxData{}, view: &view, w: newWork(), metrics: m}

@@ -159,16 +159,16 @@ func (s *Store) Import(r io.Reader) error {
 		}
 	}
 	for _, er := range doc.Rels {
-		start, ok := next.nodes[NodeID(er.Start)]
-		if !ok {
-			return fmt.Errorf("graph: import rel %d: start node %d missing", er.ID, er.Start)
-		}
-		end, ok := next.nodes[NodeID(er.End)]
-		if !ok {
-			return fmt.Errorf("graph: import rel %d: end node %d missing", er.ID, er.End)
+		// A bridge half-relationship (exported from one shard of a sharded
+		// store) has one endpoint in another shard: tolerate a single missing
+		// endpoint and attach adjacency only on the locally present ones.
+		start, hasStart := next.nodes[NodeID(er.Start)]
+		end, hasEnd := next.nodes[NodeID(er.End)]
+		if !hasStart && !hasEnd {
+			return fmt.Errorf("graph: import rel %d: both endpoints (%d, %d) missing", er.ID, er.Start, er.End)
 		}
 		rec := &relRec{
-			id: RelID(er.ID), typ: er.Type, start: start.id, end: end.id,
+			id: RelID(er.ID), typ: er.Type, start: NodeID(er.Start), end: NodeID(er.End),
 			props: make(map[string]value.Value, len(er.Props)),
 		}
 		for k, raw := range er.Props {
@@ -181,8 +181,12 @@ func (s *Store) Import(r io.Reader) error {
 			}
 		}
 		next.rels[rec.id] = rec
-		start.out[rec.id] = rec
-		end.in[rec.id] = rec
+		if hasStart {
+			start.out[rec.id] = rec
+		}
+		if hasEnd {
+			end.in[rec.id] = rec
+		}
 		next.relTypeSet(rec.typ)[rec.id] = struct{}{}
 	}
 	next.nextNode = NodeID(doc.NextNode)

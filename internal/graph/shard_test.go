@@ -1,0 +1,511 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func newShardedT(t *testing.T, n int) *ShardedStore {
+	t.Helper()
+	ss, err := NewSharded(n)
+	if err != nil {
+		t.Fatalf("NewSharded(%d): %v", n, err)
+	}
+	return ss
+}
+
+// TestShardIDBanding checks that every shard allocates identifiers inside
+// its own band and that ShardOfNode/ShardOfRel recover the shard.
+func TestShardIDBanding(t *testing.T) {
+	const n = 3
+	ss := newShardedT(t, n)
+	for i := 0; i < n; i++ {
+		i := i
+		var id NodeID
+		var rid RelID
+		if err := ss.Update(i, func(tx *Tx) error {
+			var err error
+			id, err = tx.CreateNode([]string{"N"}, nil)
+			if err != nil {
+				return err
+			}
+			other, err := tx.CreateNode([]string{"N"}, nil)
+			if err != nil {
+				return err
+			}
+			rid, err = tx.CreateRel(id, other, "R", nil)
+			return err
+		}); err != nil {
+			t.Fatalf("shard %d update: %v", i, err)
+		}
+		if got := ShardOfNode(id); got != i {
+			t.Fatalf("ShardOfNode(%d) = %d, want %d", id, got, i)
+		}
+		if got := ShardOfRel(rid); got != i {
+			t.Fatalf("ShardOfRel(%d) = %d, want %d", rid, got, i)
+		}
+		if id < ShardBaseNode(i) || (i+1 < MaxShards && id >= ShardBaseNode(i+1)) {
+			t.Fatalf("node %d outside shard %d band", id, i)
+		}
+	}
+}
+
+func TestShardBounds(t *testing.T) {
+	if _, err := NewSharded(0); !errors.Is(err, ErrBadShard) {
+		t.Fatalf("NewSharded(0) err = %v, want ErrBadShard", err)
+	}
+	if _, err := NewSharded(MaxShards + 1); !errors.Is(err, ErrBadShard) {
+		t.Fatalf("NewSharded(MaxShards+1) err = %v, want ErrBadShard", err)
+	}
+	ss := newShardedT(t, 2)
+	if err := ss.Update(2, func(tx *Tx) error { return nil }); !errors.Is(err, ErrBadShard) {
+		t.Fatalf("Update(2) err = %v, want ErrBadShard", err)
+	}
+	if _, err := ss.BeginBridge(0, 0); !errors.Is(err, ErrSameShard) {
+		t.Fatalf("BeginBridge(0,0) err = %v, want ErrSameShard", err)
+	}
+	if _, err := ss.BeginBridge(0, 5); !errors.Is(err, ErrBadShard) {
+		t.Fatalf("BeginBridge(0,5) err = %v, want ErrBadShard", err)
+	}
+}
+
+// bridgeOnce creates one A-(BRIDGES)->B bridge between shards a and b and
+// returns the three identifiers.
+func bridgeOnce(t *testing.T, ss *ShardedStore, a, b int) (NodeID, NodeID, RelID) {
+	t.Helper()
+	bt, err := ss.BeginBridge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, err := bt.CreateNodeIn(a, []string{"A"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := bt.CreateNodeIn(b, []string{"B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := bt.CreateRel(na, nb, "BRIDGES", map[string]value.Value{"w": value.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	return na, nb, rid
+}
+
+// TestBridgeHalves checks that a bridge relationship is visible from both
+// endpoint shards under one identifier allocated from the home shard.
+func TestBridgeHalves(t *testing.T) {
+	ss := newShardedT(t, 2)
+	na, nb, rid := bridgeOnce(t, ss, 0, 1)
+
+	if got := ShardOfRel(rid); got != 0 {
+		t.Fatalf("bridge home shard = %d, want 0 (start node's shard)", got)
+	}
+	for i, id := range []NodeID{na, nb} {
+		if err := ss.Shard(i).View(func(tx *Tx) error {
+			rels := tx.RelsOf(id, Both, nil)
+			if len(rels) != 1 || rels[0].ID != rid {
+				return fmt.Errorf("shard %d RelsOf(%d) = %v, want the bridge", i, id, rels)
+			}
+			if rels[0].Other(id) != []NodeID{nb, na}[i] {
+				return fmt.Errorf("shard %d bridge endpoint mismatch", i)
+			}
+			r, ok := tx.Rel(rid)
+			if !ok || r.Start != na || r.End != nb || r.Type != "BRIDGES" {
+				return fmt.Errorf("shard %d Rel(%d) = %+v, %v", i, rid, r, ok)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Deleting the bridge removes both halves.
+	bt, err := ss.BeginBridge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.DeleteRel(rid); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []NodeID{na, nb} {
+		if err := ss.Shard(i).View(func(tx *Tx) error {
+			if rels := tx.RelsOf(id, Both, nil); len(rels) != 0 {
+				return fmt.Errorf("shard %d still holds bridge half %v", i, rels)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBridgeDetachDelete checks that deleting a bridge endpoint with detach
+// removes the mirrored half from the peer shard too.
+func TestBridgeDetachDelete(t *testing.T) {
+	ss := newShardedT(t, 2)
+	na, nb, rid := bridgeOnce(t, ss, 0, 1)
+
+	bt, err := ss.BeginBridge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.DeleteNode(na, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Shard(1).View(func(tx *Tx) error {
+		if !tx.NodeExists(nb) {
+			return errors.New("peer endpoint deleted")
+		}
+		if rels := tx.RelsOf(nb, Both, nil); len(rels) != 0 {
+			return fmt.Errorf("dangling bridge half %v after detach delete", rels)
+		}
+		if _, ok := tx.Rel(rid); ok {
+			return errors.New("bridge half still readable in peer shard")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBridgeRollback checks that rolling back a bridge transaction leaves
+// both shards untouched, and that a finished bridge transaction rejects
+// further use.
+func TestBridgeRollback(t *testing.T) {
+	ss := newShardedT(t, 2)
+	bt, err := ss.BeginBridge(1, 0) // any order; locks sort ascending
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := bt.Shards(); lo != 0 || hi != 1 {
+		t.Fatalf("Shards() = (%d, %d), want (0, 1)", lo, hi)
+	}
+	na, err := bt.CreateNodeIn(0, []string{"A"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := bt.CreateNodeIn(1, []string{"B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bt.CreateRel(na, nb, "BRIDGES", nil); err != nil {
+		t.Fatal(err)
+	}
+	bt.Rollback()
+	for i := 0; i < 2; i++ {
+		if err := ss.Shard(i).View(func(tx *Tx) error {
+			if n := tx.NodeCount(); n != 0 {
+				return fmt.Errorf("shard %d has %d nodes after rollback", i, n)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bt.Commit(nil); !errors.Is(err, ErrBridgeTxDone) {
+		t.Fatalf("Commit after Rollback err = %v, want ErrBridgeTxDone", err)
+	}
+	if _, err := bt.CreateRel(na, nb, "BRIDGES", nil); !errors.Is(err, ErrBridgeTxDone) {
+		t.Fatalf("CreateRel after Rollback err = %v, want ErrBridgeTxDone", err)
+	}
+}
+
+// TestBridgeSealError checks that a failing seal callback aborts the commit
+// on both shards.
+func TestBridgeSealError(t *testing.T) {
+	ss := newShardedT(t, 2)
+	bt, err := ss.BeginBridge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bt.CreateNodeIn(0, []string{"A"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bt.CreateNodeIn(1, []string{"B"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("seal failed")
+	if err := bt.Commit(func(lo, hi *Tx) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Commit err = %v, want the seal error", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := ss.Shard(i).View(func(tx *Tx) error {
+			if n := tx.NodeCount(); n != 0 {
+				return fmt.Errorf("shard %d has %d nodes after failed seal", i, n)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBridgeSameShardRel checks that a BridgeTx CreateRel with both
+// endpoints in one shard produces an ordinary intra-shard relationship.
+func TestBridgeSameShardRel(t *testing.T) {
+	ss := newShardedT(t, 2)
+	bt, err := ss.BeginBridge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := bt.CreateNodeIn(0, []string{"A"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bt.CreateNodeIn(0, []string{"A"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := bt.CreateRel(a, b, "LOCAL", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ShardOfRel(rid) != 0 {
+		t.Fatalf("intra-shard rel landed in shard %d", ShardOfRel(rid))
+	}
+	if err := ss.Shard(1).View(func(tx *Tx) error {
+		if _, ok := tx.Rel(rid); ok {
+			return errors.New("intra-shard rel mirrored into the peer shard")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiViewCounts checks the cross-shard read view: label unions, and
+// node/rel counts that count each bridge exactly once.
+func TestMultiViewCounts(t *testing.T) {
+	ss := newShardedT(t, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		if err := ss.Update(i, func(tx *Tx) error {
+			for j := 0; j < i+1; j++ {
+				if _, err := tx.CreateNode([]string{"N", fmt.Sprintf("S%d", i)}, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	na, nb, rid := bridgeOnce(t, ss, 0, 2)
+
+	v := ss.View()
+	defer v.Rollback()
+	if got := v.NodeCount(); got != 6+2 {
+		t.Fatalf("NodeCount = %d, want 8", got)
+	}
+	if got := v.CountByLabel("N"); got != 6 {
+		t.Fatalf("CountByLabel(N) = %d, want 6", got)
+	}
+	if got := len(v.NodesByLabel("S1")); got != 2 {
+		t.Fatalf("NodesByLabel(S1) = %d ids, want 2", got)
+	}
+	// The bridge is stored in both shard 0 and shard 2 but counted once.
+	if got := v.RelCount(); got != 1 {
+		t.Fatalf("RelCount = %d, want 1", got)
+	}
+	if rels := v.AllRels(); len(rels) != 1 || rels[0] != rid {
+		t.Fatalf("AllRels = %v, want [%d]", rels, rid)
+	}
+	if r, ok := v.Rel(rid); !ok || r.Start != na || r.End != nb {
+		t.Fatalf("Rel(%d) = %+v, %v", rid, r, ok)
+	}
+	if rels := v.RelsOf(nb, Both, nil); len(rels) != 1 || rels[0].ID != rid {
+		t.Fatalf("RelsOf(far endpoint) = %v, want the bridge half", rels)
+	}
+	if got := len(v.AllNodes()); got != 8 {
+		t.Fatalf("AllNodes = %d ids, want 8", got)
+	}
+}
+
+// TestBarrierViewSeesWholeBridges hammers one bridge pair with commits
+// while repeatedly taking BarrierViews: a consistent cut must never show a
+// bridge half in one shard without its mirror in the other.
+func TestBarrierViewSeesWholeBridges(t *testing.T) {
+	ss := newShardedT(t, 2)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			bridgeOnce(t, ss, 0, 1)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		v, err := ss.BarrierView(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var halves [2]map[RelID]bool
+		for s := 0; s < 2; s++ {
+			halves[s] = make(map[RelID]bool)
+			for _, id := range v.ShardTx(s).AllRels() {
+				halves[s][id] = true
+			}
+		}
+		v.Rollback()
+		for id := range halves[0] {
+			if !halves[1][id] {
+				t.Fatalf("barrier view saw bridge %d in shard 0 only", id)
+			}
+		}
+		for id := range halves[1] {
+			if !halves[0][id] {
+				t.Fatalf("barrier view saw bridge %d in shard 1 only", id)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestConcurrentShardWriters commits from many goroutines — per-shard
+// writers plus bridge writers over every adjacent pair — and checks the
+// final state. Run under -race this doubles as the engine's data-race test.
+func TestConcurrentShardWriters(t *testing.T) {
+	const (
+		shards  = 4
+		perGoro = 25
+	)
+	ss := newShardedT(t, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perGoro; i++ {
+				if err := ss.Update(s, func(tx *Tx) error {
+					_, err := tx.CreateNode([]string{"Intra"}, nil)
+					return err
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for s := 0; s < shards; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			peer := (s + 1) % shards
+			for i := 0; i < perGoro; i++ {
+				bt, err := ss.BeginBridge(s, peer)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				a, err := bt.CreateNodeIn(s, []string{"End"}, nil)
+				if err == nil {
+					var b NodeID
+					b, err = bt.CreateNodeIn(peer, []string{"End"}, nil)
+					if err == nil {
+						_, err = bt.CreateRel(a, b, "BRIDGES", nil)
+					}
+				}
+				if err != nil {
+					bt.Rollback()
+					t.Error(err)
+					return
+				}
+				if err := bt.Commit(nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	v := ss.View()
+	defer v.Rollback()
+	if got := v.CountByLabel("Intra"); got != shards*perGoro {
+		t.Fatalf("Intra nodes = %d, want %d", got, shards*perGoro)
+	}
+	if got := v.CountByLabel("End"); got != 2*shards*perGoro {
+		t.Fatalf("End nodes = %d, want %d", got, 2*shards*perGoro)
+	}
+	if got := v.RelCount(); got != shards*perGoro {
+		t.Fatalf("bridges = %d, want %d", got, shards*perGoro)
+	}
+}
+
+// TestAttachShards round-trips shard contents through Export/Import and
+// re-attaches the stores, checking counters stay banded.
+func TestAttachShards(t *testing.T) {
+	ss := newShardedT(t, 3)
+	for i := 0; i < 3; i++ {
+		if err := ss.Update(i, func(tx *Tx) error {
+			_, err := tx.CreateNode([]string{"N"}, nil)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bridgeOnce(t, ss, 0, 1)
+
+	stores := make([]*Store, 3)
+	for i := range stores {
+		var b strings.Builder
+		if err := ss.Shard(i).Export(&b); err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = NewStore()
+		if err := stores[i].Import(strings.NewReader(b.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An empty extra store exercises the band-seeding path for recovered
+	// shards with no records.
+	stores = append(stores, NewStore())
+	ss2, err := AttachShards(stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var id NodeID
+	if err := ss2.Update(3, func(tx *Tx) error {
+		var err error
+		id, err = tx.CreateNode([]string{"Fresh"}, nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ShardOfNode(id) != 3 {
+		t.Fatalf("empty attached shard allocated into band %d", ShardOfNode(id))
+	}
+	v := ss2.View()
+	defer v.Rollback()
+	if got := v.NodeCount(); got != 3+2+1 {
+		t.Fatalf("NodeCount after attach = %d, want 6", got)
+	}
+	if got := v.RelCount(); got != 1 {
+		t.Fatalf("RelCount after attach = %d, want 1", got)
+	}
+}

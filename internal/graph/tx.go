@@ -80,6 +80,12 @@ func newWork() *work {
 // not mutate the returned record.
 func (tx *Tx) Data() *TxData { return tx.data }
 
+// IsApply reports whether this is a replication-apply transaction
+// (BeginApply). Commit hooks that derive log records from transactions use
+// it to skip applied batches, which the apply path mirrors into the local
+// log itself with the leader's sequence numbers.
+func (tx *Tx) IsApply() bool { return tx.apply }
+
 // ResetData replaces the change record with an empty one and returns the
 // previous record. Rule engines use this to process changes in rounds while
 // the transaction stays open.
@@ -518,10 +524,14 @@ func (tx *Tx) DeleteRel(id RelID) error {
 	}
 	snap := snapshotRel(rec)
 	delete(tx.wRels(), id)
-	sRec, _ := tx.wNode(rec.start)
-	delete(sRec.out, id)
-	eRec, _ := tx.wNode(rec.end)
-	delete(eRec.in, id)
+	// A bridge half-relationship (sharded stores) has one endpoint in another
+	// shard; only locally present endpoints carry adjacency entries.
+	if sRec, ok := tx.wNode(rec.start); ok {
+		delete(sRec.out, id)
+	}
+	if eRec, ok := tx.wNode(rec.end); ok {
+		delete(eRec.in, id)
+	}
 	delete(tx.wRelTypeSet(rec.typ), id)
 	tx.data.DeletedRels = append(tx.data.DeletedRels, snap)
 	return nil
@@ -688,6 +698,60 @@ func (tx *Tx) CreateRelWithID(id RelID, start, end NodeID, typ string, props map
 		tx.view.nextRel = id
 	}
 	return tx.createRel(id, start, end, typ, props)
+}
+
+// CreateBridgeRelWithID creates the local half of a cross-shard
+// ("knowledge bridge") relationship under a caller-chosen identifier: at
+// least one endpoint must be a local node, and only locally present
+// endpoints get adjacency entries — the missing endpoint lives in another
+// shard, which holds the mirror half under the same identifier. The
+// sharded engine (ShardedStore.BridgeTx) and write-ahead-log replay of
+// bridge operations are the intended callers; on an unsharded store every
+// endpoint is local and CreateRelWithID is the right primitive.
+//
+// The relationship-identifier counter is advanced only when id belongs to
+// this store's allocation band: the mirror half carries the home shard's
+// identifier, which must never drag a foreign shard's counter into another
+// band.
+func (tx *Tx) CreateBridgeRelWithID(id RelID, start, end NodeID, typ string, props map[string]value.Value) error {
+	if err := tx.writable(); err != nil {
+		return err
+	}
+	if _, exists := tx.view.rels[id]; exists {
+		return fmt.Errorf("graph: relationship %d already exists", id)
+	}
+	_, hasStart := tx.view.nodes[start]
+	_, hasEnd := tx.view.nodes[end]
+	if !hasStart && !hasEnd {
+		return fmt.Errorf("graph: bridge relationship %d: neither endpoint (%d, %d) is local", id, start, end)
+	}
+	if ShardOfRel(id) == ShardOfRel(tx.view.nextRel) && id > tx.view.nextRel {
+		tx.view.nextRel = id
+	}
+	return tx.createBridgeHalf(id, start, end, typ, props)
+}
+
+// createBridgeHalf installs one shard's half of a bridge relationship:
+// the record itself, the type-set entry and adjacency for whichever
+// endpoints are locally present.
+func (tx *Tx) createBridgeHalf(id RelID, start, end NodeID, typ string, props map[string]value.Value) error {
+	rec := &relRec{id: id, typ: typ, start: start, end: end,
+		props: make(map[string]value.Value, len(props))}
+	for k, v := range props {
+		if !v.IsNull() {
+			rec.props[k] = v
+		}
+	}
+	tx.putRel(rec)
+	if sRec, ok := tx.wNode(start); ok {
+		sRec.out[id] = rec
+	}
+	if eRec, ok := tx.wNode(end); ok {
+		eRec.in[id] = rec
+	}
+	tx.wRelTypeSet(typ)[id] = struct{}{}
+	tx.data.CreatedRels = append(tx.data.CreatedRels, id)
+	return nil
 }
 
 // Counters returns the identifier-allocation counters (the identifiers of

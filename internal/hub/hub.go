@@ -39,21 +39,26 @@ type Hub struct {
 	Description string
 }
 
-// Registry tracks hubs and label ownership.
+// Registry tracks hubs and label ownership. One registry may govern many
+// stores at once — in particular the per-hub shards of a sharded store,
+// which share a single ontology of hubs and owned labels.
 type Registry struct {
-	mu       sync.RWMutex
-	hubs     map[string]*Hub
-	ownerOf  map[string]string // label -> hub name
-	propKey  string
-	enforced bool
+	mu      sync.RWMutex
+	hubs    map[string]*Hub
+	ownerOf map[string]string // label -> hub name
+	propKey string
+	// enforced tracks the stores Enforce has installed its validator on, so
+	// repeated calls (and per-shard enforcement) never double-install.
+	enforced map[*graph.Store]bool
 }
 
 // NewRegistry creates an empty registry using DefaultHubProperty.
 func NewRegistry() *Registry {
 	return &Registry{
-		hubs:    make(map[string]*Hub),
-		ownerOf: make(map[string]string),
-		propKey: DefaultHubProperty,
+		hubs:     make(map[string]*Hub),
+		ownerOf:  make(map[string]string),
+		propKey:  DefaultHubProperty,
+		enforced: make(map[*graph.Store]bool),
 	}
 }
 
@@ -198,11 +203,13 @@ func (r *Registry) ClassifyEdge(tx *graph.Tx, id graph.RelID) EdgeScope {
 // Enforce installs a commit-time validator on the store: every created
 // node whose labels include an owned label must carry the hub property, and
 // that property must name the owning hub. Unowned labels are unconstrained,
-// so enforcement can be adopted incrementally.
+// so enforcement can be adopted incrementally. Calling Enforce again for a
+// store it already governs is a no-op, so one registry can enforce every
+// shard of a sharded store.
 func (r *Registry) Enforce(s *graph.Store) {
 	r.mu.Lock()
-	already := r.enforced
-	r.enforced = true
+	already := r.enforced[s]
+	r.enforced[s] = true
 	r.mu.Unlock()
 	if already {
 		return

@@ -139,6 +139,14 @@ type RecoveryInfo struct {
 	// LastSeq is the sequence number recovery ended on; appends continue
 	// from LastSeq+1.
 	LastSeq uint64
+	// PreparesAborted counts bridge prepare records skipped because no
+	// commit evidence survived — cross-shard transactions that never
+	// reached their commit point (sharded recovery only).
+	PreparesAborted int
+	// BridgesReconciled counts bridge transactions whose prepare record was
+	// lost to a torn tail and reapplied from the embedded copy in the
+	// surviving commit record (sharded recovery only).
+	BridgesReconciled int
 }
 
 // Log is an append-only write-ahead log over a directory. Appends are

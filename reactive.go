@@ -93,6 +93,36 @@ func OpenDurable(dir string, cfg Config, wopts WALOptions) (*KnowledgeBase, *Rec
 	return core.OpenDurable(dir, cfg, wopts)
 }
 
+// ShardedKB is a knowledge base whose graph is sharded by hub: each hub
+// gets its own single-writer store and WAL stream, so intra-hub
+// transactions on different hubs commit fully in parallel, and knowledge
+// bridges take a two-shard commit path. See DESIGN.md §13.
+type ShardedKB = core.ShardedKB
+
+// HubShard declares one hub (and the labels it owns) of a sharded
+// knowledge base; the slice order fixes the shard indexes.
+type HubShard = core.HubShard
+
+// BridgeTx is a two-shard transaction for writes that cross hub borders.
+type BridgeTx = graph.BridgeTx
+
+// MultiView is a read-only view spanning every shard of a sharded store.
+type MultiView = graph.MultiView
+
+// NewSharded creates an empty in-memory sharded knowledge base with one
+// shard per declared hub.
+func NewSharded(cfg Config, hubs []HubShard) (*ShardedKB, error) {
+	return core.NewSharded(cfg, hubs)
+}
+
+// OpenShardedDurable opens (or creates) a durable sharded knowledge base:
+// each shard persists to its own WAL stream under dir and recovers
+// independently, with torn cross-shard bridge commits reconciled from the
+// surviving commit records.
+func OpenShardedDurable(dir string, cfg Config, hubs []HubShard, wopts WALOptions) (*ShardedKB, []*RecoveryInfo, error) {
+	return core.OpenShardedDurable(dir, cfg, hubs, wopts)
+}
+
 // Rule is the reactive-rule quadruple <Event, Guard, Alert, AlertNode>.
 type Rule = trigger.Rule
 

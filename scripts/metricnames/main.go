@@ -60,8 +60,39 @@ func main() {
 	}
 	defer fol.Close()
 
+	// A durable sharded node registers the per-shard rkm_shard_* family
+	// (per-shard commits, cross-shard bridge commits, shard lock waits,
+	// per-shard WAL fsyncs).
+	sdir, err := os.MkdirTemp("", "rkm-metricnames-shard-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(sdir)
+	skb, _, err := reactive.OpenShardedDurable(sdir, reactive.Config{}, []reactive.HubShard{
+		{Hub: "A", Labels: []string{"Sequence"}},
+		{Hub: "B", Labels: []string{"Trial"}},
+	}, reactive.WALOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer skb.Close()
+	if _, err := skb.UpdateBridgeShards(0, 1, func(bt *reactive.BridgeTx) error {
+		a, err := bt.CreateNodeIn(0, []string{"Sequence"}, nil)
+		if err != nil {
+			return err
+		}
+		b, err := bt.CreateNodeIn(1, []string{"Trial"}, nil)
+		if err != nil {
+			return err
+		}
+		_, err = bt.CreateRel(a, b, "TESTED_IN", nil)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+
 	seen := map[string]bool{}
-	for _, reg := range []*reactive.MetricsRegistry{kb.Metrics(), fol.KB().Metrics()} {
+	for _, reg := range []*reactive.MetricsRegistry{kb.Metrics(), fol.KB().Metrics(), skb.Metrics()} {
 		for _, name := range reg.Names() {
 			seen[name] = true
 		}
