@@ -13,6 +13,7 @@
 //	rkm-bench -fig async             # sync vs async alert evaluation on the write path
 //	rkm-bench -fig replica           # aggregate read QPS vs replica count
 //	rkm-bench -fig shard             # hub-sharded write scaling + bridge mix
+//	rkm-bench -fig cep               # composite-event rules vs naive re-scan
 //	rkm-bench -fig all               # everything
 //	rkm-bench -fig 9 -full           # paper-scale sweep (up to 10^6 patients)
 //	rkm-bench -fig 9 -patients 500,5000 -regions 10
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, fed, conc, async, replica, shard, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, fed, conc, async, replica, shard, cep, all")
 		patients = flag.String("patients", "", "comma-separated patient counts (overrides defaults)")
 		regions  = flag.Int("regions", 20, "number of regions")
 		days     = flag.Int("days", 2, "days the admissions are spread over")
@@ -89,6 +90,8 @@ func main() {
 		runReplica(*smoke)
 	case "shard":
 		runShard(cfg, *smoke)
+	case "cep":
+		runCEP(cfg, *smoke)
 	case "all":
 		runFig9(cfg)
 		fmt.Println()
@@ -109,8 +112,10 @@ func main() {
 		runReplica(*smoke)
 		fmt.Println()
 		runShard(cfg, *smoke)
+		fmt.Println()
+		runCEP(cfg, *smoke)
 	default:
-		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed, conc, async, replica, shard or all)", *fig)
+		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed, conc, async, replica, shard, cep or all)", *fig)
 	}
 }
 
@@ -250,6 +255,30 @@ func runShard(cfg bench.Config, smoke bool) {
 			}
 			if p.BridgeTxs > p.Txs {
 				fatalf("shard smoke: bridge commits exceed total commits")
+			}
+		}
+	}
+}
+
+func runCEP(cfg bench.Config, smoke bool) {
+	ccfg := bench.CEPConfig{}
+	ccfg.Fraud.Seed = cfg.Seed
+	if smoke {
+		ccfg = bench.SmokeCEPConfig()
+	}
+	pts, err := bench.RunCEP(ccfg)
+	if err != nil {
+		fatalf("cep: %v", err)
+	}
+	bench.WriteCEP(os.Stdout, pts)
+	if smoke {
+		// CI gate: the invariants, not the absolute numbers.
+		for _, p := range pts {
+			if p.Events == 0 {
+				fatalf("cep smoke: no events at window=%s mode=%s", p.Window, p.Mode)
+			}
+			if p.Mode == "cep" && p.Alerts == 0 {
+				fatalf("cep smoke: composite rules produced no alerts at window=%s", p.Window)
 			}
 		}
 	}

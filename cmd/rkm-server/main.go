@@ -67,6 +67,7 @@ import (
 	"time"
 
 	reactive "repro"
+	"repro/internal/cep"
 	"repro/internal/democovid"
 	"repro/internal/fednet"
 	"repro/internal/replica"
@@ -80,6 +81,10 @@ type server struct {
 	// follower streams from -replica-of. At most one of the two is set.
 	leader   *replica.Leader
 	follower *replica.Follower
+	// cep manages composite-event rules and their durable partial-match
+	// state; nil on followers (composite rules replicate as graph state and
+	// fire on the leader).
+	cep *cep.Manager
 	// maxLag is the -max-lag staleness bound a follower's /healthz enforces
 	// (0 = no bound).
 	maxLag time.Duration
@@ -103,6 +108,8 @@ func main() {
 		asyncWorkers = flag.Int("trigger-async-workers", 2, "async alert pipeline workers (0 = afterAsync rules evaluate synchronously)")
 		asyncQueue   = flag.Int("trigger-async-queue", 1024, "async pending-queue bound")
 		asyncBP      = flag.String("trigger-async-backpressure", "block", "behavior at a full async queue: block or shed")
+
+		cepDrain = flag.Duration("cep-drain", time.Second, "composite-event drain period: how often done/expired partial matches are materialized or evicted (0 = drain only on /tick)")
 
 		replicaOf = flag.String("replica-of", "", "run as a read replica of the leader at this base URL (writes are rejected)")
 		maxLag    = flag.Duration("max-lag", 10*time.Second, "replica staleness bound: /healthz degrades to 503 beyond this time lag (0 = no bound)")
@@ -163,6 +170,18 @@ func main() {
 	} else {
 		srv.kb = reactive.New(cfg)
 	}
+	// Composite-event rules hook the trigger engine before any demo rules
+	// install; Enable also recovers partial-match state left in the graph by
+	// a previous run.
+	cm, err := cep.Enable(srv.kb, cep.Options{Logf: log.Printf})
+	if err != nil {
+		log.Fatalf("composite events: %v", err)
+	}
+	srv.cep = cm
+	if n := cm.Recovered(); n > 0 {
+		log.Printf("composite events: recovered %d open partial match(es)", n)
+	}
+
 	if *demo {
 		if err := democovid.Setup(srv.kb); err != nil {
 			log.Fatalf("demo setup: %v", err)
@@ -230,6 +249,12 @@ func main() {
 		srv.leader = ld
 	}
 
+	if *cepDrain > 0 {
+		if err := cm.Start(*cepDrain); err != nil {
+			log.Fatalf("composite-event drain loop: %v", err)
+		}
+	}
+
 	srv.ready.Store(true) // recovery and seeding are done; serving can begin
 	srv.serve(*addr, *withPprof)
 }
@@ -284,6 +309,12 @@ func (s *server) serve(addr string, withPprof bool) {
 	// stream on the next start.
 	if s.follower != nil {
 		s.follower.Stop()
+	}
+	// Stop the composite-event drain loop before the final checkpoint so no
+	// completion transaction races the log compaction; open partial matches
+	// stay in the graph and recover on the next start.
+	if s.cep != nil {
+		s.cep.Stop()
 	}
 	// Stop the async workers before the final checkpoint so no follow-up
 	// transaction races the log compaction; unprocessed pending entries stay
@@ -514,19 +545,24 @@ var eventKinds = map[string]reactive.EventKind{
 
 func (s *server) handleRulesList(w http.ResponseWriter, r *http.Request) {
 	type ruleJSON struct {
-		Name   string `json:"name"`
-		Hub    string `json:"hub"`
-		Event  string `json:"event"`
-		Phase  string `json:"phase"`
-		Guard  string `json:"guard,omitempty"`
-		Alert  string `json:"alert,omitempty"`
-		Action string `json:"action,omitempty"`
-		Paused bool   `json:"paused"`
-		Scope  string `json:"scope"`
-		State  string `json:"state"`
+		Name      string `json:"name"`
+		Hub       string `json:"hub"`
+		Event     string `json:"event"`
+		Phase     string `json:"phase"`
+		Guard     string `json:"guard,omitempty"`
+		Alert     string `json:"alert,omitempty"`
+		Action    string `json:"action,omitempty"`
+		Paused    bool   `json:"paused"`
+		Scope     string `json:"scope,omitempty"`
+		State     string `json:"state,omitempty"`
+		Composite bool   `json:"composite,omitempty"`
+		Text      string `json:"text,omitempty"`
 	}
 	var out []ruleJSON
 	for _, info := range s.kb.Rules() {
+		if s.cep != nil && s.cep.Owns(info.Name) {
+			continue // internal per-step rule of a composite; listed below
+		}
 		out = append(out, ruleJSON{
 			Name: info.Name, Hub: info.Hub, Event: info.Event.String(),
 			Phase: info.Phase.String(),
@@ -535,6 +571,14 @@ func (s *server) handleRulesList(w http.ResponseWriter, r *http.Request) {
 			Scope:  info.Classification.Scope.String(),
 			State:  info.Classification.State.String(),
 		})
+	}
+	if s.cep != nil {
+		for _, info := range s.cep.Rules() {
+			out = append(out, ruleJSON{
+				Name: info.Name, Hub: info.Hub, Event: info.Op.String(),
+				Alert: info.Alert, Composite: true, Text: info.Text,
+			})
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -559,6 +603,21 @@ func (s *server) handleRuleInstall(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Text != "" {
+		// A WHEN SEQUENCE/ALL/COUNT declaration routes to the composite-event
+		// manager; anything else is an ordinary trigger.
+		if cep.IsCompositeStatement(req.Text) {
+			if s.cep == nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("composite rules are not available on a %s", s.kb.Role()))
+				return
+			}
+			rule, err := s.cep.InstallText(req.Text)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			writeJSON(w, http.StatusCreated, map[string]any{"installed": rule.Name, "composite": true})
+			return
+		}
 		rule, err := s.kb.InstallRuleText(req.Text)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -599,6 +658,14 @@ func (s *server) handleRuleDrop(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing ?name="))
 		return
 	}
+	if s.cep != nil && s.cep.Has(name) {
+		if err := s.cep.Drop(name); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+		return
+	}
 	if err := s.kb.DropRule(name); err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -610,10 +677,34 @@ func (s *server) handleRuleDrop(w http.ResponseWriter, r *http.Request) {
 // (Fig. 6/7 translation).
 func (s *server) handleRulesAPOC(w http.ResponseWriter, r *http.Request) {
 	translated, skipped := s.kb.TranslateRulesAPOC("neo4j", "before")
-	writeJSON(w, http.StatusOK, map[string]any{
+	if s.cep != nil {
+		// The composite manager's internal per-step rules translate as part
+		// of the composite export below, not as standalone triggers.
+		translated = dropCEPInternal(translated)
+		skipped = dropCEPInternal(skipped)
+	}
+	out := map[string]any{
 		"triggers": translated,
 		"skipped":  skipped,
-	})
+	}
+	if s.cep != nil {
+		composite, cskipped := s.cep.TranslateAllAPOC("neo4j")
+		out["composite"] = composite
+		out["compositeSkipped"] = cskipped
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// dropCEPInternal filters the composite manager's per-step engine rules
+// (named "cep:<rule>#<i>") out of an APOC export list.
+func dropCEPInternal(in []string) []string {
+	out := in[:0]
+	for _, s := range in {
+		if !strings.Contains(s, "cep:") {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func (s *server) handleHubs(w http.ResponseWriter, r *http.Request) {
@@ -651,6 +742,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"asyncPending":  s.kb.AsyncDepth(),
 		"time":          s.kb.Now().Format(time.RFC3339),
 		"role":          s.kb.Role(),
+	}
+	if s.cep != nil {
+		out["cepPartials"] = s.cep.Depth()
+		out["cepRules"] = len(s.cep.Rules())
 	}
 	if s.follower != nil {
 		out["replica"] = s.follower.Status()
@@ -724,6 +819,14 @@ func (s *server) handleTick(w http.ResponseWriter, r *http.Request) {
 	if err := s.kb.Tick(); err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
+	}
+	if s.cep != nil {
+		// Advancing the simulated clock may expire composite windows; drain
+		// now so absences fire without waiting for the background loop.
+		if _, err := s.cep.DrainOnce(); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"time": s.kb.Now().Format(time.RFC3339)})
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	reactive "repro"
+	"repro/internal/cep"
 	"repro/internal/democovid"
 	"repro/internal/fednet"
 )
@@ -22,6 +23,11 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 		clock: reactive.NewManualClock(time.Date(2023, 4, 1, 8, 0, 0, 0, time.UTC)),
 	}
 	s.kb = reactive.New(reactive.Config{Clock: s.clock})
+	m, err := cep.Enable(s.kb, cep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.cep = m
 	if err := democovid.Setup(s.kb); err != nil {
 		t.Fatal(err)
 	}
@@ -665,5 +671,106 @@ func TestAsyncRuleOverHTTP(t *testing.T) {
 	})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad phase accepted: %d", resp.StatusCode)
+	}
+}
+
+// TestCEPServerEndToEnd drives a composite rule through the HTTP API:
+// install via text, watch a partial match open in /stats, complete it,
+// drain via /tick, read the alert, export APOC, drop.
+func TestCEPServerEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/rules", map[string]any{
+		"text": `CREATE TRIGGER handoff ON HUB C
+WHEN SEQUENCE(CREATE NODE Arrival BY NEW.ward,
+              CREATE NODE Transfer BY NEW.ward)
+WITHIN 5m
+THEN ALERT RETURN KEY AS ward`,
+	})
+	if resp.StatusCode != http.StatusCreated || out["composite"] != true {
+		t.Fatalf("composite install: %d %v", resp.StatusCode, out)
+	}
+
+	var rules []map[string]any
+	getJSON(t, ts.URL+"/rules", &rules)
+	seen := false
+	for _, r := range rules {
+		name := r["name"].(string)
+		if strings.HasPrefix(name, "cep:") {
+			t.Errorf("internal step rule leaked into /rules: %s", name)
+		}
+		if name == "handoff" {
+			seen = true
+			if r["composite"] != true || !strings.Contains(r["text"].(string), "SEQUENCE") {
+				t.Errorf("composite listing: %v", r)
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("composite rule missing from /rules")
+	}
+
+	resp, out = postJSON(t, ts.URL+"/execute", map[string]any{
+		"query": "CREATE (:Arrival {ward: 'icu-3', hub: 'C'})",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("execute: %d %v", resp.StatusCode, out)
+	}
+	var stats map[string]any
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats["cepPartials"].(float64) != 1 {
+		t.Fatalf("cepPartials = %v, want 1", stats["cepPartials"])
+	}
+
+	postJSON(t, ts.URL+"/execute", map[string]any{
+		"query": "CREATE (:Transfer {ward: 'icu-3', hub: 'C'})",
+	})
+	// /tick advances the clock and drains done partials into alerts.
+	resp, _ = postJSON(t, ts.URL+"/tick", map[string]any{"hours": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tick: %d", resp.StatusCode)
+	}
+	var alerts []map[string]any
+	getJSON(t, ts.URL+"/alerts", &alerts)
+	found := false
+	for _, a := range alerts {
+		if a["rule"] == "handoff" {
+			found = true
+			if a["props"].(map[string]any)["ward"] != "icu-3" {
+				t.Errorf("alert props: %v", a)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no handoff alert in %v", alerts)
+	}
+
+	var apoc map[string][]string
+	getJSON(t, ts.URL+"/rules/apoc", &apoc)
+	if len(apoc["composite"]) == 0 {
+		t.Error("no composite APOC export")
+	}
+	for _, lists := range [][]string{apoc["triggers"], apoc["skipped"]} {
+		for _, s := range lists {
+			if strings.Contains(s, "cep:") {
+				t.Errorf("internal step rule leaked into APOC export: %s", s)
+			}
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/rules?name=handoff", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("drop: %d", dresp.StatusCode)
+	}
+	rules = nil
+	getJSON(t, ts.URL+"/rules", &rules)
+	for _, r := range rules {
+		if r["name"] == "handoff" {
+			t.Fatal("composite rule still listed after drop")
+		}
 	}
 }

@@ -1,0 +1,170 @@
+package bench
+
+// The cep figure: composite-event throughput on the fraud stream. Two
+// designs detect the same anomalies — the composite rules of internal/cep
+// (durable partial-match automata, O(1) state per correlation key) and the
+// naive single-event strawman that re-scans the account's recent history on
+// every flagged transaction. The sweep runs both over the same seeded
+// stream for a set of window sizes: the naive re-scan grows with the
+// window (more history matched per firing) while the automaton pays a
+// constant small update, and only the automaton covers sequences and
+// absences at all.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cep"
+	"repro/internal/core"
+	"repro/internal/periodic"
+	"repro/internal/workload"
+)
+
+// CEPConfig parameterizes the composite-event figure.
+type CEPConfig struct {
+	// Minutes of simulated stream per measurement.
+	Minutes int
+	// Windows to sweep (composite window / naive re-scan horizon).
+	Windows []time.Duration
+	// Fraud tunes the event stream (zero value = defaults).
+	Fraud workload.FraudConfig
+	// Batch is events per transaction during ingest.
+	Batch int
+}
+
+func (c CEPConfig) withDefaults() CEPConfig {
+	if c.Minutes <= 0 {
+		c.Minutes = 120
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []time.Duration{time.Minute, 5 * time.Minute, 30 * time.Minute}
+	}
+	if c.Fraud.BurstChance == 0 && c.Fraud.PairChance == 0 {
+		seed := c.Fraud.Seed
+		c.Fraud = workload.DefaultFraudConfig()
+		c.Fraud.TxnsPerMinute = 50
+		if seed != 0 {
+			c.Fraud.Seed = seed
+		}
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	return c
+}
+
+// SmokeCEPConfig is the tiny CI-sized sweep.
+func SmokeCEPConfig() CEPConfig {
+	f := workload.DefaultFraudConfig()
+	f.Accounts = 10
+	f.TxnsPerMinute = 10
+	f.BurstChance = 0.5
+	f.PairChance = 0.5
+	return CEPConfig{
+		Minutes: 20,
+		Windows: []time.Duration{time.Minute, 5 * time.Minute},
+		Fraud:   f,
+	}
+}
+
+// CEPPoint is one measurement of the cep figure.
+type CEPPoint struct {
+	Window       time.Duration
+	Mode         string // "cep" (composite rules) or "naive" (re-scan)
+	Events       int    // stream events ingested
+	Elapsed      time.Duration
+	EventsPerSec float64
+	Alerts       int // alerts materialized
+	Partials     int // partial matches still open at the end (cep only)
+}
+
+// RunCEP sweeps window sizes, running the composite-rule pack and the
+// naive re-scan rule over identical seeded streams.
+func RunCEP(cfg CEPConfig) ([]CEPPoint, error) {
+	cfg = cfg.withDefaults()
+	var pts []CEPPoint
+	for _, w := range cfg.Windows {
+		for _, mode := range []string{"cep", "naive"} {
+			p, err := runCEPOnce(cfg, w, mode)
+			if err != nil {
+				return nil, fmt.Errorf("window %s mode %s: %w", w, mode, err)
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts, nil
+}
+
+func runCEPOnce(cfg CEPConfig, window time.Duration, mode string) (CEPPoint, error) {
+	clock := periodic.NewManualClock(simStart)
+	kb := core.New(core.Config{Clock: clock})
+	sc, err := workload.BuildFraud(kb, cfg.Fraud)
+	if err != nil {
+		return CEPPoint{}, err
+	}
+	var m *cep.Manager
+	switch mode {
+	case "cep":
+		m, err = cep.Enable(kb, cep.Options{})
+		if err != nil {
+			return CEPPoint{}, err
+		}
+		for _, r := range workload.CompositeRulePack(window) {
+			if err := m.Install(r); err != nil {
+				return CEPPoint{}, err
+			}
+		}
+	case "naive":
+		minutes := int(window / time.Minute)
+		if minutes < 1 {
+			minutes = 1
+		}
+		if err := kb.InstallRule(workload.NaiveVelocityRuleSpec(minutes)); err != nil {
+			return CEPPoint{}, err
+		}
+	default:
+		return CEPPoint{}, fmt.Errorf("unknown mode %q", mode)
+	}
+
+	p := CEPPoint{Window: window, Mode: mode}
+	start := time.Now()
+	for min := 0; min < cfg.Minutes; min++ {
+		events := sc.Minute(min)
+		p.Events += len(events)
+		if err := sc.Ingest(kb, events, workload.IngestOptions{Batch: cfg.Batch}); err != nil {
+			return CEPPoint{}, err
+		}
+		clock.Advance(time.Minute)
+		if m != nil {
+			if _, err := m.DrainOnce(); err != nil {
+				return CEPPoint{}, err
+			}
+		}
+	}
+	p.Elapsed = time.Since(start)
+	if p.Elapsed > 0 {
+		p.EventsPerSec = float64(p.Events) / p.Elapsed.Seconds()
+	}
+	alerts, err := kb.Alerts()
+	if err != nil {
+		return CEPPoint{}, err
+	}
+	p.Alerts = len(alerts)
+	if m != nil {
+		p.Partials = m.Depth()
+	}
+	return p, nil
+}
+
+// WriteCEP renders the figure as an aligned table.
+func WriteCEP(w io.Writer, pts []CEPPoint) {
+	fmt.Fprintln(w, "Composite events: durable partial-match automata vs naive re-scan (fraud stream)")
+	fmt.Fprintf(w, "%8s  %6s  %8s  %12s  %12s  %7s  %8s\n",
+		"window", "mode", "events", "elapsed", "events/s", "alerts", "partials")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8s  %6s  %8d  %12s  %12.0f  %7d  %8d\n",
+			p.Window, p.Mode, p.Events, p.Elapsed.Round(time.Millisecond),
+			p.EventsPerSec, p.Alerts, p.Partials)
+	}
+}

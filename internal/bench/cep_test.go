@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+func TestCEPSmoke(t *testing.T) {
+	pts, err := RunCEP(SmokeCEPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 windows x 2 modes.
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if p.Events == 0 {
+			t.Errorf("window %s mode %s: no events", p.Window, p.Mode)
+		}
+		if p.Mode == "cep" && p.Alerts == 0 {
+			t.Errorf("window %s: composite rules produced no alerts", p.Window)
+		}
+	}
+	// Both modes ingest the identical seeded stream.
+	if pts[0].Events != pts[1].Events {
+		t.Errorf("stream mismatch: cep=%d naive=%d events", pts[0].Events, pts[1].Events)
+	}
+}

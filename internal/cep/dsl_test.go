@@ -1,0 +1,336 @@
+package cep
+
+// Parser tests for the composite DSL: accepted forms, byte-offset error
+// reporting, statement routing, canonical-text round trips, and the APOC
+// export.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trigger"
+)
+
+func TestCEPParseRuleForms(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want func(t *testing.T, r Rule)
+	}{
+		{
+			name: "count with guard and key",
+			src: "CREATE TRIGGER velocity ON HUB P\n" +
+				"WHEN COUNT(CREATE NODE Txn IF NEW.flagged BY NEW.account) >= 3 WITHIN 5m",
+			want: func(t *testing.T, r Rule) {
+				if r.Name != "velocity" || r.Hub != "P" || r.Op != Count {
+					t.Fatalf("header = %+v", r)
+				}
+				if r.Threshold != 3 || r.Window != 5*time.Minute {
+					t.Fatalf("threshold/window = %d/%v", r.Threshold, r.Window)
+				}
+				st := r.Steps[0]
+				if st.Event.Kind != trigger.CreateNode || st.Event.Label != "Txn" {
+					t.Fatalf("event = %+v", st.Event)
+				}
+				if st.Guard != "NEW.flagged" || st.Key != "NEW.account" {
+					t.Fatalf("guard/key = %q/%q", st.Guard, st.Key)
+				}
+			},
+		},
+		{
+			name: "multi-line sequence",
+			src: "CREATE TRIGGER big-pair ON HUB P\n" +
+				"WHEN SEQUENCE(CREATE NODE Txn IF NEW.amount > 900 BY NEW.account,\n" +
+				"              CREATE NODE Txn IF NEW.amount > 900 BY NEW.account)\n" +
+				"WITHIN 5m",
+			want: func(t *testing.T, r Rule) {
+				if r.Op != Sequence || len(r.Steps) != 2 {
+					t.Fatalf("rule = %+v", r)
+				}
+				if r.Steps[1].Guard != "NEW.amount > 900" {
+					t.Fatalf("step guard = %q", r.Steps[1].Guard)
+				}
+			},
+		},
+		{
+			name: "absence with alert query",
+			src: "CREATE TRIGGER unconfirmed ON HUB P\n" +
+				"WHEN SEQUENCE(CREATE NODE Txn BY NEW.account,\n" +
+				"              NOT CREATE NODE Confirmation BY NEW.account)\n" +
+				"WITHIN 30m\n" +
+				"THEN ALERT\n" +
+				"  RETURN KEY AS account, MATCHES AS hits",
+			want: func(t *testing.T, r Rule) {
+				if !r.Steps[1].Negated {
+					t.Fatal("NOT atom not negated")
+				}
+				if r.Window != 30*time.Minute {
+					t.Fatalf("window = %v", r.Window)
+				}
+				if r.Alert != "RETURN KEY AS account, MATCHES AS hits" {
+					t.Fatalf("alert = %q", r.Alert)
+				}
+			},
+		},
+		{
+			name: "AND with OF keyword and bare THEN",
+			src: "CREATE TRIGGER both\n" +
+				"WHEN AND(CREATE OF NODE A, DELETE OF NODE B) WITHIN 1h\n" +
+				"THEN RETURN RULE AS r",
+			want: func(t *testing.T, r Rule) {
+				if r.Hub != "" || r.Op != All || len(r.Steps) != 2 {
+					t.Fatalf("rule = %+v", r)
+				}
+				if r.Steps[1].Event.Kind != trigger.DeleteNode {
+					t.Fatalf("step 1 = %+v", r.Steps[1].Event)
+				}
+				if r.Alert != "RETURN RULE AS r" {
+					t.Fatalf("alert = %q", r.Alert)
+				}
+			},
+		},
+		{
+			name: "keywords inside guard parens are opaque",
+			src: "CREATE TRIGGER tricky\n" +
+				"WHEN COUNT(CREATE NODE Txn IF (NEW.tag = 'WITHIN THEN BY') BY NEW.k) >= 2 WITHIN 90s",
+			want: func(t *testing.T, r Rule) {
+				if r.Steps[0].Guard != "(NEW.tag = 'WITHIN THEN BY')" {
+					t.Fatalf("guard = %q", r.Steps[0].Guard)
+				}
+				if r.Window != 90*time.Second {
+					t.Fatalf("window = %v", r.Window)
+				}
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r, err := ParseRule(c.src)
+			if err != nil {
+				t.Fatalf("ParseRule: %v", err)
+			}
+			c.want(t, r)
+			if _, err := compile(r); err != nil {
+				t.Fatalf("parsed rule does not compile: %v", err)
+			}
+		})
+	}
+}
+
+func TestCEPParseRuleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring the error must contain
+	}{
+		{"no when", "CREATE TRIGGER x", "missing WHEN clause"},
+		{"bad header", "WHEN SEQUENCE(CREATE NODE A) WITHIN 5m", "expected CREATE TRIGGER"},
+		{"header junk", "CREATE TRIGGER x y z\nWHEN SEQUENCE(CREATE NODE A) WITHIN 5m", `unexpected "y z"`},
+		{"bad op", "CREATE TRIGGER x\nWHEN MERGE(CREATE NODE A) WITHIN 5m", "expected SEQUENCE(, AND( or COUNT("},
+		{"no paren", "CREATE TRIGGER x\nWHEN SEQUENCE CREATE NODE A WITHIN 5m", "expected ( after SEQUENCE"},
+		{"unclosed", "CREATE TRIGGER x\nWHEN SEQUENCE(CREATE NODE A WITHIN 5m", "unclosed ( in SEQUENCE"},
+		{"empty atoms", "CREATE TRIGGER x\nWHEN SEQUENCE() WITHIN 5m", "at least one atom"},
+		{"bad event", "CREATE TRIGGER x\nWHEN SEQUENCE(EXPLODE NODE A) WITHIN 5m", "EXPLODE"},
+		{"empty atom event", "CREATE TRIGGER x\nWHEN SEQUENCE(IF NEW.v > 1) WITHIN 5m", "atom needs an event"},
+		{"empty if", "CREATE TRIGGER x\nWHEN SEQUENCE(CREATE NODE A IF ) WITHIN 5m", "IF needs a predicate"},
+		{"empty by", "CREATE TRIGGER x\nWHEN SEQUENCE(CREATE NODE A BY ) WITHIN 5m", "BY needs a key expression"},
+		{"by before if", "CREATE TRIGGER x\nWHEN SEQUENCE(CREATE NODE A BY NEW.k IF NEW.v) WITHIN 5m", "BY must follow IF"},
+		{"count no threshold", "CREATE TRIGGER x\nWHEN COUNT(CREATE NODE A) WITHIN 5m", "COUNT needs >="},
+		{"count bad threshold", "CREATE TRIGGER x\nWHEN COUNT(CREATE NODE A) >= zero WITHIN 5m", `bad COUNT threshold "zero"`},
+		{"count zero threshold", "CREATE TRIGGER x\nWHEN COUNT(CREATE NODE A) >= 0 WITHIN 5m", `bad COUNT threshold "0"`},
+		{"no within", "CREATE TRIGGER x\nWHEN SEQUENCE(CREATE NODE A)", "expected WITHIN"},
+		{"within no duration", "CREATE TRIGGER x\nWHEN SEQUENCE(CREATE NODE A) WITHIN", "WITHIN needs a duration"},
+		{"bad duration", "CREATE TRIGGER x\nWHEN SEQUENCE(CREATE NODE A) WITHIN fortnight", `bad WITHIN duration "fortnight"`},
+		{"negative duration", "CREATE TRIGGER x\nWHEN SEQUENCE(CREATE NODE A) WITHIN -5m", `bad WITHIN duration "-5m"`},
+		{"trailing junk", "CREATE TRIGGER x\nWHEN SEQUENCE(CREATE NODE A) WITHIN 5m junk", `unexpected "junk"`},
+		{"empty then", "CREATE TRIGGER x\nWHEN SEQUENCE(CREATE NODE A) WITHIN 5m\nTHEN ALERT", "THEN needs an alert query"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseRule(c.src)
+			if err == nil {
+				t.Fatalf("ParseRule(%q) should fail", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+			if !strings.Contains(err.Error(), "byte ") {
+				t.Fatalf("error %q carries no byte offset", err)
+			}
+		})
+	}
+}
+
+func TestCEPParseErrorOffsets(t *testing.T) {
+	// The reported offset must point into the offending clause, not at 0.
+	src := "CREATE TRIGGER x\nWHEN COUNT(CREATE NODE A) >= 3 WITHIN fortnight"
+	_, err := ParseRule(src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	i := strings.Index(msg, "byte ")
+	if i < 0 {
+		t.Fatalf("no byte offset in %q", msg)
+	}
+	var off int
+	if _, scanErr := fmt.Sscanf(msg[i:], "byte %d", &off); scanErr != nil {
+		t.Fatalf("unparsable offset in %q: %v", msg, scanErr)
+	}
+	within := strings.Index(src, "WITHIN")
+	if off != within {
+		t.Fatalf("offset = %d, want %d (start of the WITHIN tail)", off, within)
+	}
+}
+
+func TestCEPIsCompositeStatement(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"CREATE TRIGGER x\nWHEN SEQUENCE(CREATE NODE A) WITHIN 5m", true},
+		{"  create trigger x\nwhen count(CREATE NODE A) >= 2 within 5m", true},
+		{"CREATE TRIGGER x\nWHEN AND(CREATE NODE A, CREATE NODE B) WITHIN 5m", true},
+		// Single-event trigger DSL: WHEN holds a predicate, not an operator.
+		{"CREATE TRIGGER x\nAFTER CREATE OF NODE A\nWHEN true", false},
+		// AND as a predicate conjunction, not a call.
+		{"CREATE TRIGGER x\nAFTER CREATE OF NODE A\nWHEN NEW.a AND NEW.b", false},
+		// COUNTER is not COUNT at a word boundary.
+		{"CREATE TRIGGER x\nWHEN COUNTER(1) WITHIN 5m", false},
+		{"MATCH (n) RETURN n", false},
+		{"CREATE (:Trigger)", false},
+	}
+	for _, c := range cases {
+		if got := IsCompositeStatement(c.src); got != c.want {
+			t.Errorf("IsCompositeStatement(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestCEPTextRoundTrip(t *testing.T) {
+	srcs := []string{
+		"CREATE TRIGGER velocity ON HUB P\n" +
+			"WHEN COUNT(CREATE NODE Txn IF NEW.flagged BY NEW.account) >= 3 WITHIN 5m",
+		"CREATE TRIGGER unconfirmed ON HUB P\n" +
+			"WHEN SEQUENCE(CREATE NODE Txn BY NEW.account, NOT CREATE NODE Confirmation BY NEW.account) WITHIN 30m\n" +
+			"THEN ALERT\n  RETURN KEY AS account",
+		"CREATE TRIGGER both\nWHEN AND(CREATE NODE A, DELETE NODE B) WITHIN 1h30m",
+	}
+	for _, src := range srcs {
+		r1, err := ParseRule(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		text := r1.Text()
+		r2, err := ParseRule(text)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", text, err)
+		}
+		if r2.Name != r1.Name || r2.Hub != r1.Hub || r2.Op != r1.Op ||
+			r2.Threshold != r1.Threshold || r2.Window != r1.Window ||
+			r2.Alert != r1.Alert || len(r2.Steps) != len(r1.Steps) {
+			t.Fatalf("round trip drifted:\n%+v\n%+v", r1, r2)
+		}
+		for i := range r1.Steps {
+			if r1.Steps[i] != r2.Steps[i] {
+				t.Fatalf("step %d drifted: %+v vs %+v", i, r1.Steps[i], r2.Steps[i])
+			}
+		}
+	}
+}
+
+func TestCEPFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		90 * time.Second:             "1m30s",
+		5 * time.Minute:              "5m",
+		time.Hour:                    "1h",
+		time.Hour + 30*time.Minute:   "1h30m",
+		2*time.Hour + 15*time.Second: "2h0m15s",
+		30 * time.Minute:             "30m",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestCEPTranslateAPOC(t *testing.T) {
+	r, err := ParseRule("CREATE TRIGGER unconfirmed ON HUB P\n" +
+		"WHEN SEQUENCE(CREATE NODE Txn IF NEW.amount > 900 BY NEW.account,\n" +
+		"              NOT CREATE NODE Confirmation BY NEW.account)\n" +
+		"WITHIN 30m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts, err := TranslateAPOC(r, "neo4j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 { // one per step + the drain job
+		t.Fatalf("statements = %d, want 3", len(stmts))
+	}
+	for i := 0; i < 2; i++ {
+		if !strings.Contains(stmts[i], "apoc.trigger.install") {
+			t.Fatalf("statement %d is not a trigger install:\n%s", i, stmts[i])
+		}
+		if !strings.Contains(stmts[i], stepRuleName("unconfirmed", i)) {
+			t.Fatalf("statement %d misses its step name:\n%s", i, stmts[i])
+		}
+		if !strings.Contains(stmts[i], "CEPPartial") {
+			t.Fatalf("statement %d does not maintain CEPPartial:\n%s", i, stmts[i])
+		}
+	}
+	if !strings.Contains(stmts[0], "MERGE") || !strings.Contains(stmts[1], "DETACH DELETE") {
+		t.Fatalf("opener/killer shapes wrong:\n%s\n%s", stmts[0], stmts[1])
+	}
+	if !strings.Contains(stmts[2], "apoc.periodic.repeat") {
+		t.Fatalf("last statement is not the drain job:\n%s", stmts[2])
+	}
+
+	// COUNT renders the sliding-window list comprehension.
+	cnt, err := ParseRule("CREATE TRIGGER velocity\n" +
+		"WHEN COUNT(CREATE NODE Txn BY NEW.account) >= 3 WITHIN 5m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts, err = TranslateAPOC(cnt, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 2 || !strings.Contains(stmts[0], "p.times") {
+		t.Fatalf("COUNT translation wrong:\n%v", stmts)
+	}
+
+	// Property events are outside the Fig. 6 scheme.
+	bad := Rule{
+		Name: "x", Op: Sequence, Window: time.Minute,
+		Steps: []Step{{Event: trigger.Event{Kind: trigger.SetProperty, PropKey: "v"}}},
+	}
+	if _, err := TranslateAPOC(bad, ""); err == nil {
+		t.Fatal("property-event step should not translate")
+	}
+}
+
+func TestCEPManagerTranslateAllAPOC(t *testing.T) {
+	_, _, m := newCEPKB(t)
+	if err := m.Install(seq2("pair", 5*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Install(Rule{
+		Name: "props", Hub: "H", Op: Sequence, Window: time.Minute,
+		Steps: []Step{{Event: trigger.Event{Kind: trigger.SetProperty, PropKey: "v"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	translated, skipped := m.TranslateAllAPOC("neo4j")
+	if len(translated) != 3 { // pair's two steps + drain
+		t.Fatalf("translated = %d statements, want 3", len(translated))
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "props") {
+		t.Fatalf("skipped = %v, want the property-event rule", skipped)
+	}
+}

@@ -186,6 +186,19 @@ func Run(tx *graph.Tx, query string, opts *Options) (*Result, error) {
 // against the supplied bindings, returning its truth value under ternary
 // semantics (NULL/unknown evaluates to false).
 func EvalPredicate(tx *graph.Tx, expr Expr, opts *Options) (bool, error) {
+	v, err := EvalExpr(tx, expr, opts)
+	if err != nil {
+		return false, err
+	}
+	b, known := v.Truthy()
+	return known && b, nil
+}
+
+// EvalExpr evaluates a standalone parsed expression with the supplied
+// bindings visible as variables and returns its value. The composite-event
+// layer uses it for correlation-key (BY) expressions; EvalPredicate wraps
+// it with three-valued-logic truthiness for guards.
+func EvalExpr(tx *graph.Tx, expr Expr, opts *Options) (value.Value, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -201,12 +214,7 @@ func EvalPredicate(tx *graph.Tx, expr Expr, opts *Options) (bool, error) {
 		en.add(name)
 		r = append(r, opts.Bindings[name])
 	}
-	v, err := evalExpr(ctx, en, r, expr)
-	if err != nil {
-		return false, err
-	}
-	b, known := v.Truthy()
-	return known && b, nil
+	return evalExpr(ctx, en, r, expr)
 }
 
 // ---- fast count path ----

@@ -46,6 +46,9 @@ func TranslateAPOC(r Rule, dbName, phase string) (string, error) {
 	if r.Action != "" {
 		return "", fmt.Errorf("trigger: APOC translation covers alert-node rules; rule %s has a custom action", r.Name)
 	}
+	if r.Composite != "" {
+		return "", fmt.Errorf("trigger: rule %s is a step of composite rule %s; composite rules are exported by the cep manager", r.Name, r.Composite)
+	}
 	alertLabel := r.AlertLabel
 	if alertLabel == "" {
 		alertLabel = DefaultAlertLabel

@@ -35,11 +35,26 @@ package trigger
 // Inserting ASYNC after AFTER (e.g. AFTER ASYNC CREATE OF NODE Sequence)
 // installs the rule with Phase AfterAsync: the guard still runs in the
 // writing transaction, but the alert query is evaluated asynchronously.
+//
+// Parse errors carry the byte offset of the offending clause within the
+// declaration plus the clause text itself, so multi-rule scripts can point
+// at the exact spot.
 
 import (
 	"fmt"
 	"strings"
 )
+
+// dslErrf builds a parse error that names the offending clause and its
+// byte offset within the declaration source.
+func dslErrf(off int, clause, format string, args ...any) error {
+	c := collapseSpace(clause)
+	if len(c) > 60 {
+		c = c[:57] + "..."
+	}
+	msg := fmt.Sprintf(format, args...)
+	return fmt.Errorf("trigger dsl: %s (byte %d: %q)", msg, off, c)
+}
 
 // ParseRule parses one CREATE TRIGGER declaration into a Rule. The result
 // still needs Engine.Install (which compiles the embedded Cypher).
@@ -52,7 +67,7 @@ func ParseRule(src string) (Rule, error) {
 	if err := parseHeader(sections.header, &r); err != nil {
 		return r, err
 	}
-	if sections.event == "" {
+	if sections.event.text == "" {
 		return r, fmt.Errorf("trigger dsl: missing AFTER event clause")
 	}
 	ev, phase, err := parseEventClause(sections.event)
@@ -61,9 +76,9 @@ func ParseRule(src string) (Rule, error) {
 	}
 	r.Event = ev
 	r.Phase = phase
-	r.Guard = strings.TrimSpace(sections.when)
-	r.Alert = strings.TrimSpace(sections.alert)
-	r.Action = strings.TrimSpace(sections.do)
+	r.Guard = strings.TrimSpace(sections.when.text)
+	r.Alert = strings.TrimSpace(sections.alert.text)
+	r.Action = strings.TrimSpace(sections.do.text)
 	if r.Guard == "" && r.Alert == "" && r.Action == "" {
 		return r, fmt.Errorf("trigger dsl: trigger %s needs WHEN, ALERT or DO", r.Name)
 	}
@@ -80,67 +95,80 @@ func IsTriggerStatement(src string) bool {
 		strings.EqualFold(fields[1], "TRIGGER")
 }
 
+// section is one keyword-introduced part of a declaration, remembering
+// where its text begins in the source so errors can point at it.
+type section struct {
+	text string
+	off  int // byte offset of the section's text within the source
+}
+
 type ruleSections struct {
-	header string
-	event  string
-	when   string
-	alert  string
-	do     string
+	header section
+	event  section
+	when   section
+	alert  section
+	do     section
 }
 
 // splitSections cuts the source into sections at lines beginning with the
-// section keywords.
+// section keywords, tracking the byte offset where each section's text
+// starts.
 func splitSections(src string) (ruleSections, error) {
 	var out ruleSections
-	section := "header"
-	var bufs = map[string]*strings.Builder{
+	name := "header"
+	bufs := map[string]*strings.Builder{
 		"header": {}, "event": {}, "when": {}, "alert": {}, "do": {},
 	}
+	offs := map[string]int{}
 	seen := map[string]bool{}
+	lineStart := 0
 	for _, line := range strings.Split(src, "\n") {
+		nextStart := lineStart + len(line) + 1
+		indent := len(line) - len(strings.TrimLeft(line, " \t\r"))
 		trimmed := strings.TrimSpace(line)
 		first := ""
 		if f := strings.Fields(trimmed); len(f) > 0 {
 			first = strings.ToUpper(f[0])
 		}
+		contentOff := lineStart + indent
 		switch first {
 		case "AFTER":
-			section = "event"
-		case "WHEN":
-			section = "when"
-			trimmed = strings.TrimSpace(trimmed[len("WHEN"):])
-			line = trimmed
-		case "ALERT":
-			section = "alert"
-			trimmed = strings.TrimSpace(trimmed[len("ALERT"):])
-			line = trimmed
-		case "DO":
-			section = "do"
-			trimmed = strings.TrimSpace(trimmed[len("DO"):])
+			name = "event"
+		case "WHEN", "ALERT", "DO":
+			name = strings.ToLower(first)
+			rest := trimmed[len(first):]
+			contentOff += len(first) + (len(rest) - len(strings.TrimLeft(rest, " \t")))
+			trimmed = strings.TrimSpace(rest)
 			line = trimmed
 		}
 		if first == "AFTER" || first == "WHEN" || first == "ALERT" || first == "DO" {
-			if seen[section] {
-				return out, fmt.Errorf("trigger dsl: duplicate %s section", strings.ToUpper(section))
+			if seen[name] {
+				return out, dslErrf(lineStart+indent, line,
+					"duplicate %s section", strings.ToUpper(name))
 			}
-			seen[section] = true
+			seen[name] = true
+			offs[name] = contentOff
 		}
-		bufs[section].WriteString(line)
-		bufs[section].WriteByte('\n')
+		bufs[name].WriteString(line)
+		bufs[name].WriteByte('\n')
+		lineStart = nextStart
 	}
-	out.header = strings.TrimSpace(bufs["header"].String())
-	out.event = strings.TrimSpace(bufs["event"].String())
-	out.when = strings.TrimSpace(bufs["when"].String())
-	out.alert = strings.TrimSpace(bufs["alert"].String())
-	out.do = strings.TrimSpace(bufs["do"].String())
+	trim := func(name string) section {
+		return section{text: strings.TrimSpace(bufs[name].String()), off: offs[name]}
+	}
+	out.header = trim("header")
+	out.event = trim("event")
+	out.when = trim("when")
+	out.alert = trim("alert")
+	out.do = trim("do")
 	return out, nil
 }
 
-func parseHeader(header string, r *Rule) error {
-	fields := strings.Fields(header)
+func parseHeader(header section, r *Rule) error {
+	fields := strings.Fields(header.text)
 	if len(fields) < 3 || !strings.EqualFold(fields[0], "CREATE") ||
 		!strings.EqualFold(fields[1], "TRIGGER") {
-		return fmt.Errorf("trigger dsl: expected CREATE TRIGGER <name>")
+		return dslErrf(header.off, header.text, "expected CREATE TRIGGER <name>")
 	}
 	r.Name = fields[2]
 	rest := fields[3:]
@@ -152,62 +180,86 @@ func parseHeader(header string, r *Rule) error {
 		rest = rest[3:]
 	}
 	if len(rest) != 0 {
-		return fmt.Errorf("trigger dsl: unexpected %q after trigger header", strings.Join(rest, " "))
+		return dslErrf(header.off, header.text,
+			"unexpected %q after trigger header", strings.Join(rest, " "))
 	}
 	return nil
 }
 
-func parseEventClause(clause string) (Event, Phase, error) {
-	fields := strings.Fields(clause)
+func parseEventClause(clause section) (Event, Phase, error) {
+	fields := strings.Fields(clause.text)
 	if len(fields) < 2 || !strings.EqualFold(fields[0], "AFTER") {
-		return Event{}, Before, fmt.Errorf("trigger dsl: expected AFTER <verb> OF <target>")
+		return Event{}, Before, dslErrf(clause.off, clause.text,
+			"expected AFTER <verb> OF <target>")
 	}
 	phase := Before
 	if strings.EqualFold(fields[1], "ASYNC") {
 		phase = AfterAsync
 		fields = append(fields[:1], fields[2:]...)
 	}
-	if len(fields) < 4 {
-		return Event{}, phase, fmt.Errorf("trigger dsl: expected AFTER <verb> OF <target>")
+	ev, err := parseEventFields(fields[1:], true)
+	if err != nil {
+		return Event{}, phase, dslErrf(clause.off, clause.text, "%s", err)
 	}
-	verb := strings.ToUpper(fields[1])
-	if !strings.EqualFold(fields[2], "OF") {
-		return Event{}, phase, fmt.Errorf("trigger dsl: expected OF after %s", verb)
+	return ev, phase, nil
+}
+
+// ParseEventSpec parses the verb/target part of an event clause — e.g.
+// "CREATE OF NODE Sequence", or the shorthand "CREATE NODE Sequence"
+// without OF — as it appears after AFTER in trigger declarations and
+// inside composite-event atoms (internal/cep).
+func ParseEventSpec(spec string) (Event, error) {
+	return parseEventFields(strings.Fields(spec), false)
+}
+
+func parseEventFields(fields []string, requireOF bool) (Event, error) {
+	hasOF := len(fields) >= 2 && strings.EqualFold(fields[1], "OF")
+	if hasOF {
+		fields = append(fields[:1:1], fields[2:]...)
+	} else if requireOF {
+		if len(fields) == 0 {
+			return Event{}, fmt.Errorf("expected <verb> OF <target>")
+		}
+		return Event{}, fmt.Errorf("expected OF after %s", strings.ToUpper(fields[0]))
 	}
-	target := strings.ToUpper(fields[3])
+	if len(fields) < 2 {
+		return Event{}, fmt.Errorf("expected <verb> OF <target>")
+	}
+	verb := strings.ToUpper(fields[0])
+	target := strings.ToUpper(fields[1])
 	selector := ""
-	if len(fields) >= 5 {
-		selector = fields[4]
+	if len(fields) >= 3 {
+		selector = fields[2]
 	}
-	if len(fields) > 5 {
-		return Event{}, phase, fmt.Errorf("trigger dsl: unexpected %q in event clause",
-			strings.Join(fields[5:], " "))
+	if len(fields) > 3 {
+		return Event{}, fmt.Errorf("unexpected %q in event clause",
+			strings.Join(fields[3:], " "))
 	}
 
 	switch target {
 	case "NODE":
 		switch verb {
 		case "CREATE":
-			return Event{Kind: CreateNode, Label: selector}, phase, nil
+			return Event{Kind: CreateNode, Label: selector}, nil
 		case "DELETE":
-			return Event{Kind: DeleteNode, Label: selector}, phase, nil
+			return Event{Kind: DeleteNode, Label: selector}, nil
 		}
 	case "RELATIONSHIP", "EDGE":
 		switch verb {
 		case "CREATE":
-			return Event{Kind: CreateRelationship, Label: selector}, phase, nil
+			return Event{Kind: CreateRelationship, Label: selector}, nil
 		case "DELETE":
-			return Event{Kind: DeleteRelationship, Label: selector}, phase, nil
+			return Event{Kind: DeleteRelationship, Label: selector}, nil
 		}
 	case "LABEL":
 		if selector == "" {
-			return Event{}, phase, fmt.Errorf("trigger dsl: SET/REMOVE OF LABEL needs a label name")
+			return Event{}, fmt.Errorf("SET/REMOVE OF LABEL needs a label name")
 		}
 		switch verb {
 		case "SET":
-			return Event{Kind: SetLabel, Label: selector}, phase, nil
+			return Event{Kind: SetLabel, Label: selector}, nil
 		case "REMOVE":
-			return Event{Kind: RemoveLabel, Label: selector}, phase, nil
+			return Event{Kind: RemoveLabel, Label: selector}, nil
 		}
 	case "PROPERTY":
 		label, key := "", ""
@@ -220,12 +272,12 @@ func parseEventClause(clause string) (Event, Phase, error) {
 		}
 		switch verb {
 		case "SET":
-			return Event{Kind: SetProperty, Label: label, PropKey: key}, phase, nil
+			return Event{Kind: SetProperty, Label: label, PropKey: key}, nil
 		case "REMOVE":
-			return Event{Kind: RemoveProperty, Label: label, PropKey: key}, phase, nil
+			return Event{Kind: RemoveProperty, Label: label, PropKey: key}, nil
 		}
 	}
-	return Event{}, phase, fmt.Errorf("trigger dsl: unsupported event AFTER %s OF %s", verb, target)
+	return Event{}, fmt.Errorf("unsupported event %s OF %s", verb, target)
 }
 
 // InstallText parses a CREATE TRIGGER declaration and installs it.

@@ -1,6 +1,7 @@
 package trigger
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -82,6 +83,106 @@ func TestParseRuleErrors(t *testing.T) {
 		if _, err := ParseRule(src); err == nil {
 			t.Errorf("ParseRule(%q) should fail", src)
 		}
+	}
+}
+
+// TestParseRuleErrorOffsets pins the error contract: parse errors name the
+// offending clause and its byte offset within the declaration source.
+func TestParseRuleErrorOffsets(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		msg    string // substring the error must contain
+		off    int    // expected byte offset
+		clause string // expected quoted clause (collapsed)
+	}{
+		{
+			name:   "bad header",
+			src:    "CREATE RULE x\nAFTER CREATE OF NODE\nWHEN true",
+			msg:    "expected CREATE TRIGGER <name>",
+			off:    0,
+			clause: "CREATE RULE x",
+		},
+		{
+			name:   "header junk",
+			src:    "CREATE TRIGGER x EXTRA\nAFTER CREATE OF NODE\nWHEN true",
+			msg:    `unexpected "EXTRA" after trigger header`,
+			off:    0,
+			clause: "CREATE TRIGGER x EXTRA",
+		},
+		{
+			name:   "missing OF",
+			src:    "CREATE TRIGGER x\nAFTER CREATE NODE\nWHEN true",
+			msg:    "expected OF after CREATE",
+			off:    17, // start of the AFTER line
+			clause: "AFTER CREATE NODE",
+		},
+		{
+			name:   "bad verb",
+			src:    "CREATE TRIGGER x\nAFTER EXPLODE OF NODE\nWHEN true",
+			msg:    "unsupported event EXPLODE OF NODE",
+			off:    17,
+			clause: "AFTER EXPLODE OF NODE",
+		},
+		{
+			name:   "event junk",
+			src:    "CREATE TRIGGER x\nAFTER CREATE OF NODE A B\nWHEN true",
+			msg:    `unexpected "B" in event clause`,
+			off:    17,
+			clause: "AFTER CREATE OF NODE A B",
+		},
+		{
+			name:   "label needs name",
+			src:    "CREATE TRIGGER x\n  AFTER SET OF LABEL\nWHEN true",
+			msg:    "SET/REMOVE OF LABEL needs a label name",
+			off:    19, // indentation is not part of the clause
+			clause: "AFTER SET OF LABEL",
+		},
+		{
+			name:   "duplicate section",
+			src:    "CREATE TRIGGER x\nAFTER CREATE OF NODE\nWHEN true\nWHEN false",
+			msg:    "duplicate WHEN section",
+			off:    48, // start of the second WHEN line
+			clause: "false",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseRule(c.src)
+			if err == nil {
+				t.Fatalf("ParseRule(%q) should fail", c.src)
+			}
+			got := err.Error()
+			if !strings.Contains(got, c.msg) {
+				t.Fatalf("error %q does not mention %q", got, c.msg)
+			}
+			want := fmt.Sprintf("(byte %d: %q)", c.off, c.clause)
+			if !strings.Contains(got, want) {
+				t.Fatalf("error %q does not carry %q", got, want)
+			}
+		})
+	}
+}
+
+func TestParseEventSpecShorthand(t *testing.T) {
+	// The composite DSL's atoms accept the event grammar without OF; the
+	// AFTER clause stays strict.
+	ev, err := ParseEventSpec("CREATE NODE Txn")
+	if err != nil {
+		t.Fatalf("ParseEventSpec: %v", err)
+	}
+	if ev.Kind != CreateNode || ev.Label != "Txn" {
+		t.Fatalf("event = %+v", ev)
+	}
+	ev, err = ParseEventSpec("SET OF PROPERTY Txn.amount")
+	if err != nil {
+		t.Fatalf("ParseEventSpec: %v", err)
+	}
+	if ev.Kind != SetProperty || ev.Label != "Txn" || ev.PropKey != "amount" {
+		t.Fatalf("event = %+v", ev)
+	}
+	if _, err := ParseEventSpec("EXPLODE NODE"); err == nil {
+		t.Fatal("bad verb should fail")
 	}
 }
 

@@ -58,6 +58,27 @@ type AsyncItem struct {
 // (and no error) when the item was shed by backpressure.
 type AsyncSink func(tx *graph.Tx, item AsyncItem) (bool, error)
 
+// StepItem is one passing activation of a composite-rule step, handed to
+// the engine's StepSink so the composite automaton can advance its durable
+// partial-match state inside the writing transaction.
+type StepItem struct {
+	// Composite names the composite rule the step belongs to; Step is the
+	// step's index within it.
+	Composite string
+	Step      int
+	// Rule is the compiled step rule's own name; Hub its owning hub.
+	Rule string
+	Hub  string
+	// Binding holds the transition variables of the activation.
+	Binding Binding
+}
+
+// StepSink advances one composite-rule step inside the writing
+// transaction. Installed by the CEP manager (internal/cep) before the
+// first write; when nil, rules carrying a Composite marker are inert (the
+// state fallback forks use).
+type StepSink func(tx *graph.Tx, item StepItem) error
+
 // Engine manages reactive rules and fires them against transaction change
 // records, the role apoc.trigger plays in the paper's Neo4j prototype.
 type Engine struct {
@@ -94,6 +115,10 @@ type Engine struct {
 	// Nil means AfterAsync rules are evaluated synchronously, like Before
 	// rules (the fallback forks use). Set before the first write.
 	AsyncSink AsyncSink
+	// StepSink, when set, receives the passing bindings of composite step
+	// rules (Rule.Composite != ""); nil makes such rules inert. Set before
+	// the first write.
+	StepSink StepSink
 	// SkipLabels names node labels whose create/delete events are invisible
 	// to rule matching — the async pipeline's PendingAlert bookkeeping
 	// nodes. The changes still reach commit validators and the WAL; only
@@ -288,6 +313,9 @@ type Report struct {
 	// AsyncShed counts those the sink dropped under backpressure.
 	AsyncEnqueued int
 	AsyncShed     int
+	// CompositeSteps counts composite-step activations handed to the
+	// StepSink.
+	CompositeSteps int
 }
 
 // dispatchIndex buckets compiled rules by the (EventKind, Label) pairs their
@@ -371,9 +399,12 @@ func (idx dispatchIndex) candidates(tx *graph.Tx, data *graph.TxData) []*compile
 	return out
 }
 
-// filterSkipped returns data minus the created/deleted nodes that carry a
-// label in SkipLabels. The returned record is a copy when anything was
-// filtered; the original stays complete for commit validators and the WAL.
+// filterSkipped returns data minus the changes that touch nodes carrying a
+// label in SkipLabels: their create/delete events, and the property and
+// label changes on them (partial-match bookkeeping nodes are updated in
+// place as composite automata advance). The returned record is a copy when
+// anything was filtered; the original stays complete for commit validators
+// and the WAL.
 func (e *Engine) filterSkipped(tx *graph.Tx, data *graph.TxData) *graph.TxData {
 	if len(e.SkipLabels) == 0 {
 		return data
@@ -386,14 +417,41 @@ func (e *Engine) filterSkipped(tx *graph.Tx, data *graph.TxData) *graph.TxData {
 		}
 		return false
 	}
+	skipNode := func(id graph.NodeID) bool {
+		ls, ok := tx.NodeLabels(id)
+		return ok && skip(ls)
+	}
+	skipProp := func(pc graph.PropChange) bool {
+		return pc.Kind == graph.NodeEntity && skipNode(pc.Node)
+	}
 	n := 0
 	for _, id := range data.CreatedNodes {
-		if ls, ok := tx.NodeLabels(id); ok && skip(ls) {
+		if skipNode(id) {
 			n++
 		}
 	}
 	for _, snap := range data.DeletedNodes {
 		if skip(snap.Labels) {
+			n++
+		}
+	}
+	for _, pc := range data.AssignedProps {
+		if skipProp(pc) {
+			n++
+		}
+	}
+	for _, pc := range data.RemovedProps {
+		if skipProp(pc) {
+			n++
+		}
+	}
+	for _, lc := range data.AssignedLabels {
+		if skipNode(lc.Node) {
+			n++
+		}
+	}
+	for _, lc := range data.RemovedLabels {
+		if skipNode(lc.Node) {
 			n++
 		}
 	}
@@ -403,7 +461,7 @@ func (e *Engine) filterSkipped(tx *graph.Tx, data *graph.TxData) *graph.TxData {
 	out := *data
 	out.CreatedNodes = make([]graph.NodeID, 0, len(data.CreatedNodes))
 	for _, id := range data.CreatedNodes {
-		if ls, ok := tx.NodeLabels(id); ok && skip(ls) {
+		if skipNode(id) {
 			continue
 		}
 		out.CreatedNodes = append(out.CreatedNodes, id)
@@ -415,6 +473,30 @@ func (e *Engine) filterSkipped(tx *graph.Tx, data *graph.TxData) *graph.TxData {
 		}
 		out.DeletedNodes = append(out.DeletedNodes, snap)
 	}
+	filterProps := func(in []graph.PropChange) []graph.PropChange {
+		outp := make([]graph.PropChange, 0, len(in))
+		for _, pc := range in {
+			if skipProp(pc) {
+				continue
+			}
+			outp = append(outp, pc)
+		}
+		return outp
+	}
+	out.AssignedProps = filterProps(data.AssignedProps)
+	out.RemovedProps = filterProps(data.RemovedProps)
+	filterLabels := func(in []graph.LabelChange) []graph.LabelChange {
+		outl := make([]graph.LabelChange, 0, len(in))
+		for _, lc := range in {
+			if skipNode(lc.Node) {
+				continue
+			}
+			outl = append(outl, lc)
+		}
+		return outl
+	}
+	out.AssignedLabels = filterLabels(data.AssignedLabels)
+	out.RemovedLabels = filterLabels(data.RemovedLabels)
 	return &out
 }
 
@@ -488,6 +570,19 @@ func (e *Engine) fireRule(tx *graph.Tx, cr *compiledRule, data *graph.TxData,
 		report.GuardPasses++
 		cr.nActivations.Add(1)
 		cr.mFired.Inc()
+		if cr.Composite != "" {
+			if e.StepSink == nil {
+				continue // no automaton attached (forks): steps are inert
+			}
+			if err := e.StepSink(tx, StepItem{
+				Composite: cr.Composite, Step: cr.StepIndex,
+				Rule: cr.Name, Hub: cr.Hub, Binding: bind,
+			}); err != nil {
+				return fmt.Errorf("trigger: rule %s step: %w", cr.Name, err)
+			}
+			report.CompositeSteps++
+			continue
+		}
 		if cr.Phase == AfterAsync && e.AsyncSink != nil {
 			enqueued, err := e.AsyncSink(tx, AsyncItem{
 				Rule: cr.Name, Hub: cr.Hub, Binding: bind,

@@ -103,6 +103,14 @@ type Rule struct {
 	// Phase selects synchronous (Before, default) or asynchronous
 	// (AfterAsync) alert evaluation.
 	Phase Phase
+	// Composite, when non-empty, marks this rule as one compiled step of a
+	// composite (CEP) rule with that name: a passing guard does not run an
+	// alert query but is handed to the engine's StepSink, which advances
+	// the composite rule's durable partial-match automaton inside the same
+	// transaction (internal/cep compiles its operators down to such
+	// rules). StepIndex is the step's position within the composite rule.
+	Composite string
+	StepIndex int
 }
 
 type compiledRule struct {
@@ -128,7 +136,9 @@ func compileRule(r Rule, defaultAlertLabel string) (*compiledRule, error) {
 	if r.Name == "" {
 		return nil, fmt.Errorf("trigger: rule needs a name")
 	}
-	if r.Guard == "" && r.Alert == "" && r.Action == "" {
+	// Composite step rules may be bare selectors: the step event itself is
+	// the payload, delivered to the StepSink.
+	if r.Guard == "" && r.Alert == "" && r.Action == "" && r.Composite == "" {
 		return nil, fmt.Errorf("%w: %s", ErrEmptyRule, r.Name)
 	}
 	if r.AlertLabel == "" {

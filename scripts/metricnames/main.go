@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	reactive "repro"
+	"repro/internal/cep"
 	"repro/internal/democovid"
 	"repro/internal/fednet"
 	"repro/internal/replica"
@@ -38,6 +39,10 @@ func main() {
 	}
 	defer kb.Close()
 	if err := democovid.Setup(kb); err != nil {
+		log.Fatal(err)
+	}
+	// Composite-event management registers the rkm_cep_* instruments.
+	if _, err := cep.Enable(kb, cep.Options{}); err != nil {
 		log.Fatal(err)
 	}
 	if _, err := fednet.NewNode("metricnames", kb, fednet.Options{}); err != nil {
