@@ -14,6 +14,7 @@
 //	rkm-bench -fig replica           # aggregate read QPS vs replica count
 //	rkm-bench -fig shard             # hub-sharded write scaling + bridge mix
 //	rkm-bench -fig cep               # composite-event rules vs naive re-scan
+//	rkm-bench -fig plan              # prepared plans + plan cache vs per-event parse
 //	rkm-bench -fig all               # everything
 //	rkm-bench -fig 9 -full           # paper-scale sweep (up to 10^6 patients)
 //	rkm-bench -fig 9 -patients 500,5000 -regions 10
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, fed, conc, async, replica, shard, cep, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, fed, conc, async, replica, shard, cep, plan, all")
 		patients = flag.String("patients", "", "comma-separated patient counts (overrides defaults)")
 		regions  = flag.Int("regions", 20, "number of regions")
 		days     = flag.Int("days", 2, "days the admissions are spread over")
@@ -42,7 +43,7 @@ func main() {
 		batch    = flag.Int("batch", 1, "patients per transaction")
 		full     = flag.Bool("full", false, "paper-scale sweep (10^2..10^6 patients; slow)")
 		reps     = flag.Int("reps", 1, "repetitions per measurement (median reported)")
-		smoke    = flag.Bool("smoke", false, "tiny sweep for CI (conc, async, replica, shard figures)")
+		smoke    = flag.Bool("smoke", false, "tiny sweep for CI (conc, async, replica, shard, cep, plan figures)")
 	)
 	flag.Parse()
 
@@ -92,6 +93,8 @@ func main() {
 		runShard(cfg, *smoke)
 	case "cep":
 		runCEP(cfg, *smoke)
+	case "plan":
+		runPlan(*smoke)
 	case "all":
 		runFig9(cfg)
 		fmt.Println()
@@ -114,8 +117,10 @@ func main() {
 		runShard(cfg, *smoke)
 		fmt.Println()
 		runCEP(cfg, *smoke)
+		fmt.Println()
+		runPlan(*smoke)
 	default:
-		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed, conc, async, replica, shard, cep or all)", *fig)
+		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed, conc, async, replica, shard, cep, plan or all)", *fig)
 	}
 }
 
@@ -183,6 +188,20 @@ func runFed(cfg bench.Config) {
 		fatalf("fed: %v", err)
 	}
 	bench.WriteFed(os.Stdout, pts)
+}
+
+func runPlan(smoke bool) {
+	ruleCounts := []int{10, 100, 250}
+	events, reps := 0, 3
+	if smoke {
+		ruleCounts = []int{100}
+		events, reps = 200, 1
+	}
+	pts, err := bench.RunPlan(ruleCounts, events, reps)
+	if err != nil {
+		fatalf("plan: %v", err)
+	}
+	bench.WritePlan(os.Stdout, pts)
 }
 
 func runConc(cfg bench.Config, smoke bool) {

@@ -743,6 +743,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"time":          s.kb.Now().Format(time.RFC3339),
 		"role":          s.kb.Role(),
 	}
+	pc := s.kb.PlanCacheStats()
+	ratio := 0.0
+	if total := pc.Hits + pc.Misses; total > 0 {
+		ratio = float64(pc.Hits) / float64(total)
+	}
+	out["planCache"] = map[string]any{
+		"size":      pc.Size,
+		"hits":      pc.Hits,
+		"misses":    pc.Misses,
+		"evictions": pc.Evictions,
+		"hitRatio":  ratio,
+	}
 	if s.cep != nil {
 		out["cepPartials"] = s.cep.Depth()
 		out["cepRules"] = len(s.cep.Rules())

@@ -186,6 +186,13 @@ func meta(kb *reactive.KnowledgeBase, clock *reactive.ManualClock, cmd string) b
 			fmt.Printf("per-hub: %v (unassigned %d); intra=%d inter=%d edges\n",
 				hs.NodesPerHub, hs.Unassigned, hs.IntraEdges, hs.InterEdges)
 		}
+		pc := kb.PlanCacheStats()
+		ratio := 0.0
+		if total := pc.Hits + pc.Misses; total > 0 {
+			ratio = float64(pc.Hits) / float64(total)
+		}
+		fmt.Printf("plan cache: %d plan(s), %d hit(s) / %d miss(es) (%.0f%% hit ratio)\n",
+			pc.Size, pc.Hits, pc.Misses, 100*ratio)
 		printMetrics(kb)
 	case ":hubs":
 		for _, h := range kb.Hubs().Hubs() {

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/cypher"
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// PlanPoint compares event-processing throughput with many installed rules
+// between the retired per-event-parse behavior (cold: every guard and alert
+// is parsed and compiled for every event) and the staged pipeline (cached:
+// guards prepared once, alert plans served from a shared PlanCache). Both
+// arms evaluate the identical guard and alert workload; the only difference
+// is where parsing and compilation happen.
+type PlanPoint struct {
+	Rules      int
+	Events     int
+	Cold       time.Duration
+	Cached     time.Duration
+	ColdRate   float64 // events/sec, per-event parse + compile
+	CachedRate float64 // events/sec, prepared pipeline
+	Speedup    float64 // CachedRate / ColdRate
+	Cache      cypher.PlanCacheStats
+}
+
+// planWorkload is one rule set over a shared store: per rule an equality
+// guard on the event binding and an alert query over the graph.
+type planWorkload struct {
+	store     *graph.Store
+	guardSrc  []string
+	alertSrc  []string
+	guards    []*cypher.CompiledExpr
+	alertHits int
+}
+
+func buildPlanWorkload(rules int) (*planWorkload, error) {
+	w := &planWorkload{
+		guardSrc: make([]string, rules),
+		alertSrc: make([]string, rules),
+		guards:   make([]*cypher.CompiledExpr, rules),
+	}
+	w.store = graph.NewStore()
+	err := w.store.Update(func(tx *graph.Tx) error {
+		for i := 0; i < 200; i++ {
+			if _, err := tx.CreateNode([]string{"Person"}, map[string]value.Value{
+				"age": value.Int(int64(i % 90))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < rules; k++ {
+		// Exactly one guard passes per event (event age cycles over the rule
+		// count), so every event pays rules guard evaluations plus one alert.
+		w.guardSrc[k] = fmt.Sprintf("NEW.age = %d AND NEW.severity >= 0", k)
+		w.alertSrc[k] = fmt.Sprintf(
+			"MATCH (p:Person) WHERE p.age > NEW.age - %d RETURN count(*) AS n", k%7)
+		ce, err := cypher.PrepareExpr(w.guardSrc[k])
+		if err != nil {
+			return nil, err
+		}
+		w.guards[k] = ce
+	}
+	return w, nil
+}
+
+func (w *planWorkload) binding(event int) map[string]value.Value {
+	return map[string]value.Value{
+		"NEW": value.Map(map[string]value.Value{
+			"age":      value.Int(int64(event % len(w.guardSrc))),
+			"severity": value.Int(int64(event % 3)),
+		}),
+	}
+}
+
+// runCold processes events the way the retired tree-walk engine did: parse
+// every guard for every event, and parse + plan + execute every passing
+// rule's alert query from scratch.
+func (w *planWorkload) runCold(events int) (time.Duration, error) {
+	tx := w.store.Begin(graph.ReadOnly)
+	defer tx.Rollback()
+	runtime.GC()
+	start := time.Now()
+	for e := 0; e < events; e++ {
+		opts := &cypher.Options{Bindings: w.binding(e)}
+		for k := range w.guardSrc {
+			g, err := cypher.ParseExpr(w.guardSrc[k])
+			if err != nil {
+				return 0, err
+			}
+			ok, err := cypher.EvalPredicate(tx, g, opts)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				continue
+			}
+			if _, err := cypher.Run(tx, w.alertSrc[k], opts); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return time.Since(start), nil
+}
+
+// runCached processes the same events through the staged pipeline: guards
+// were prepared once at install time, alert plans come from the shared
+// cache, and steady state performs no parsing.
+func (w *planWorkload) runCached(events int, cache *cypher.PlanCache) (time.Duration, error) {
+	tx := w.store.Begin(graph.ReadOnly)
+	defer tx.Rollback()
+	runtime.GC()
+	start := time.Now()
+	for e := 0; e < events; e++ {
+		opts := &cypher.Options{Bindings: w.binding(e)}
+		for k := range w.guards {
+			ok, err := w.guards[k].EvalBool(tx, opts)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				continue
+			}
+			plan, err := cache.Get(w.alertSrc[k])
+			if err != nil {
+				return 0, err
+			}
+			if _, err := plan.Execute(tx, opts); err != nil {
+				return 0, err
+			}
+			w.alertHits++
+		}
+	}
+	return time.Since(start), nil
+}
+
+// RunPlan measures the prepared-pipeline speedup for each rule count.
+// events <= 0 picks a default sized to the rule count.
+func RunPlan(ruleCounts []int, events int, reps int) ([]PlanPoint, error) {
+	if len(ruleCounts) == 0 {
+		ruleCounts = []int{10, 100, 250}
+	}
+	if reps <= 0 {
+		reps = 1
+	}
+	var out []PlanPoint
+	for _, rules := range ruleCounts {
+		n := events
+		if n <= 0 {
+			n = 200000 / rules // keep total guard evaluations comparable
+			if n < 200 {
+				n = 200
+			}
+		}
+		w, err := buildPlanWorkload(rules)
+		if err != nil {
+			return nil, err
+		}
+		var colds, cacheds []time.Duration
+		cache := cypher.NewPlanCache(0)
+		for r := 0; r < reps; r++ {
+			cold, err := w.runCold(n)
+			if err != nil {
+				return nil, err
+			}
+			cached, err := w.runCached(n, cache)
+			if err != nil {
+				return nil, err
+			}
+			colds = append(colds, cold)
+			cacheds = append(cacheds, cached)
+		}
+		pt := PlanPoint{
+			Rules:  rules,
+			Events: n,
+			Cold:   medianDuration(colds),
+			Cached: medianDuration(cacheds),
+			Cache:  cache.Stats(),
+		}
+		if pt.Cold > 0 {
+			pt.ColdRate = float64(n) / pt.Cold.Seconds()
+		}
+		if pt.Cached > 0 {
+			pt.CachedRate = float64(n) / pt.Cached.Seconds()
+		}
+		if pt.ColdRate > 0 {
+			pt.Speedup = pt.CachedRate / pt.ColdRate
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WritePlan prints the prepared-pipeline comparison.
+func WritePlan(w io.Writer, pts []PlanPoint) {
+	fmt.Fprintln(w, "Plan pipeline — event throughput, per-event parse vs prepared plans")
+	fmt.Fprintf(w, "%8s  %8s  %12s  %12s  %12s  %12s  %8s\n",
+		"rules", "events", "cold", "cached", "cold-ev/s", "cached-ev/s", "speedup")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8d  %8d  %12s  %12s  %12.0f  %12.0f  %7.1fx\n",
+			p.Rules, p.Events, p.Cold.Round(time.Microsecond),
+			p.Cached.Round(time.Microsecond), p.ColdRate, p.CachedRate, p.Speedup)
+	}
+	for _, p := range pts {
+		total := p.Cache.Hits + p.Cache.Misses
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%8d  plan cache: %d plans, %d/%d hits (%.1f%%)\n",
+			p.Rules, p.Cache.Size, p.Cache.Hits, total,
+			100*float64(p.Cache.Hits)/float64(total))
+	}
+}

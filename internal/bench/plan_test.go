@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPlanSmoke runs the prepared-pipeline comparison at smoke scale and
+// checks the scale-independent invariants: both arms finish, each event's
+// passing rule runs exactly one alert, the cache converges to one plan per
+// rule with hits, and the report renders.
+func TestPlanSmoke(t *testing.T) {
+	pts, err := RunPlan([]int{8}, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	p := pts[0]
+	if p.Cold <= 0 || p.Cached <= 0 {
+		t.Fatalf("non-positive timings: %+v", p)
+	}
+	// 50 events over 8 rules: each event matches exactly one rule, so the
+	// cache sees 50 alert lookups across at most 8 distinct queries.
+	if total := p.Cache.Hits + p.Cache.Misses; total != 50 {
+		t.Errorf("cache lookups = %d, want 50", total)
+	}
+	if p.Cache.Size > 8 {
+		t.Errorf("cache size = %d, want <= 8", p.Cache.Size)
+	}
+	if p.Cache.Hits == 0 {
+		t.Error("no cache hits across repeated events")
+	}
+
+	var buf bytes.Buffer
+	WritePlan(&buf, pts)
+	if !strings.Contains(buf.String(), "plan cache") {
+		t.Errorf("report lacks cache line:\n%s", buf.String())
+	}
+}

@@ -323,7 +323,7 @@ func (m *Manager) step(tx *graph.Tx, item trigger.StepItem) error {
 	now := m.h.clock().Now()
 	key := ""
 	if ke := cr.keys[item.Step]; ke != nil {
-		v, err := cypher.EvalExpr(tx, ke, &cypher.Options{
+		v, err := ke.Eval(tx, &cypher.Options{
 			Bindings: item.Binding,
 			Now:      func() time.Time { return now },
 		})
@@ -800,7 +800,7 @@ func (m *Manager) complete(tx *graph.Tx, cr *compiledRule, id graph.NodeID) erro
 	}
 	alerts := 0
 	if cr.alert != nil {
-		res, err := cypher.Execute(tx, cr.alert, &cypher.Options{
+		res, err := cr.alert.Execute(tx, &cypher.Options{
 			Bindings: bind,
 			Now:      func() time.Time { return now },
 		})

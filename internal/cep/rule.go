@@ -107,8 +107,8 @@ type Rule struct {
 
 type compiledRule struct {
 	Rule
-	keys  []cypher.Expr // parsed BY expressions, index-aligned with Steps
-	alert *cypher.Statement
+	keys  []*cypher.CompiledExpr // prepared BY expressions, index-aligned with Steps
+	alert *cypher.Plan
 	seq   int
 }
 
@@ -172,7 +172,7 @@ func compile(r Rule) (*compiledRule, error) {
 	if r.Op != Count && r.Threshold != 0 {
 		return nil, fmt.Errorf("cep: rule %s: threshold is only valid with COUNT", r.Name)
 	}
-	cr := &compiledRule{Rule: r, keys: make([]cypher.Expr, len(r.Steps))}
+	cr := &compiledRule{Rule: r, keys: make([]*cypher.CompiledExpr, len(r.Steps))}
 	for i, st := range r.Steps {
 		if st.Guard != "" {
 			if _, err := cypher.ParseExpr(st.Guard); err != nil {
@@ -180,7 +180,7 @@ func compile(r Rule) (*compiledRule, error) {
 			}
 		}
 		if st.Key != "" {
-			ke, err := cypher.ParseExpr(st.Key)
+			ke, err := cypher.PrepareExpr(st.Key)
 			if err != nil {
 				return nil, fmt.Errorf("cep: rule %s step %d BY: %w", r.Name, i, err)
 			}
@@ -188,11 +188,11 @@ func compile(r Rule) (*compiledRule, error) {
 		}
 	}
 	if r.Alert != "" {
-		stmt, err := cypher.Parse(r.Alert)
+		plan, err := cypher.Prepare(r.Alert)
 		if err != nil {
 			return nil, fmt.Errorf("cep: rule %s alert: %w", r.Name, err)
 		}
-		cr.alert = stmt
+		cr.alert = plan
 	}
 	return cr, nil
 }

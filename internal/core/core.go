@@ -92,10 +92,15 @@ type KnowledgeBase struct {
 	mRollovers       *metrics.Counter
 	mRolloverSeconds *metrics.Histogram
 
+	// plans caches prepared statements (parse + compile artifacts) keyed
+	// by query text; lookups are lock-free. mPrepare observes the latency
+	// of resolving a query to its plan (cache hits included).
+	plans    *cypher.PlanCache
+	mPrepare *metrics.Histogram
+
 	mu        sync.Mutex
 	summaries *summary.Manager
 	schemas   []*schema.GraphType
-	stmtCache map[string]*cypher.Statement
 }
 
 // New creates an empty knowledge base.
@@ -105,10 +110,10 @@ func New(cfg Config) *KnowledgeBase {
 		clock = periodic.RealClock{}
 	}
 	kb := &KnowledgeBase{
-		store:     graph.NewStore(),
-		hubs:      hub.NewRegistry(),
-		clock:     clock,
-		stmtCache: make(map[string]*cypher.Statement),
+		store: graph.NewStore(),
+		hubs:  hub.NewRegistry(),
+		clock: clock,
+		plans: cypher.NewPlanCache(0),
 	}
 	kb.scheduler = periodic.NewScheduler(clock)
 	e := trigger.NewEngine()
@@ -266,45 +271,43 @@ func (kb *KnowledgeBase) Engine() *trigger.Engine { return kb.engine }
 
 // ---- Statement execution ----
 
-func (kb *KnowledgeBase) parse(query string) (*cypher.Statement, error) {
-	kb.mu.Lock()
-	stmt, ok := kb.stmtCache[query]
-	kb.mu.Unlock()
-	if ok {
-		return stmt, nil
-	}
-	stmt, err := cypher.Parse(query)
+// prepare resolves a query to its cached Plan, parsing and caching on
+// first sight. Steady-state lookups are lock-free map reads.
+func (kb *KnowledgeBase) prepare(query string) (*cypher.Plan, error) {
+	start := time.Now()
+	plan, err := kb.plans.Get(query)
 	if err != nil {
 		return nil, err
 	}
-	kb.mu.Lock()
-	kb.stmtCache[query] = stmt
-	kb.mu.Unlock()
-	return stmt, nil
+	kb.mPrepare.ObserveSince(start)
+	return plan, nil
 }
+
+// PlanCacheStats snapshots the shared plan cache's size and hit counters.
+func (kb *KnowledgeBase) PlanCacheStats() cypher.PlanCacheStats { return kb.plans.Stats() }
 
 // ExplainQuery renders the execution plan of a statement: the clause
 // pipeline and the access path each MATCH anchor would use against the
 // current indexes and statistics.
 func (kb *KnowledgeBase) ExplainQuery(query string) (string, error) {
-	stmt, err := kb.parse(query)
+	plan, err := kb.prepare(query)
 	if err != nil {
 		return "", err
 	}
 	tx := kb.store.Begin(graph.ReadOnly)
 	defer tx.Rollback()
-	return cypher.Explain(tx, stmt), nil
+	return cypher.Explain(tx, plan.Statement()), nil
 }
 
 // Query runs a read-only statement; write clauses fail.
 func (kb *KnowledgeBase) Query(query string, params map[string]value.Value) (*cypher.Result, error) {
-	stmt, err := kb.parse(query)
+	plan, err := kb.prepare(query)
 	if err != nil {
 		return nil, err
 	}
 	tx := kb.store.Begin(graph.ReadOnly)
 	defer tx.Rollback()
-	return cypher.Execute(tx, stmt, &cypher.Options{Params: params, Now: kb.clock.Now})
+	return plan.Execute(tx, &cypher.Options{Params: params, Now: kb.clock.Now})
 }
 
 // Execute runs a statement in a read-write transaction, fires the reactive
@@ -318,7 +321,7 @@ func (kb *KnowledgeBase) Execute(query string, params map[string]value.Value) (*
 
 // ExecuteReport is Execute plus the rule engine's activation report.
 func (kb *KnowledgeBase) ExecuteReport(query string, params map[string]value.Value) (*cypher.Result, *trigger.Report, error) {
-	stmt, err := kb.parse(query)
+	plan, err := kb.prepare(query)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -326,7 +329,7 @@ func (kb *KnowledgeBase) ExecuteReport(query string, params map[string]value.Val
 	var rep *trigger.Report
 	err = kb.writeWithTriggers(func(tx *graph.Tx) error {
 		var err error
-		res, err = cypher.Execute(tx, stmt, &cypher.Options{Params: params, Now: kb.clock.Now})
+		res, err = plan.Execute(tx, &cypher.Options{Params: params, Now: kb.clock.Now})
 		return err
 	}, &rep)
 	if err != nil {
@@ -605,11 +608,13 @@ func (kb *KnowledgeBase) Fork(clock periodic.Clock) (*KnowledgeBase, error) {
 	if clock == nil {
 		clock = kb.clock
 	}
+	// The fork gets its own plan cache: plans re-cost against the fork's
+	// statistics, and its cache counters feed the fork's registry.
 	nkb := &KnowledgeBase{
-		store:     kb.store.Clone(),
-		hubs:      kb.hubs,
-		clock:     clock,
-		stmtCache: make(map[string]*cypher.Statement),
+		store: kb.store.Clone(),
+		hubs:  kb.hubs,
+		clock: clock,
+		plans: cypher.NewPlanCache(0),
 	}
 	nkb.scheduler = periodic.NewScheduler(clock)
 

@@ -90,11 +90,12 @@ func TestStatementCache(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		exec(t, kb, "CREATE (:N)")
 	}
-	kb.mu.Lock()
-	cached := len(kb.stmtCache)
-	kb.mu.Unlock()
-	if cached != 1 {
-		t.Errorf("cache entries = %d, want 1", cached)
+	st := kb.PlanCacheStats()
+	if st.Size != 1 {
+		t.Errorf("cache entries = %d, want 1", st.Size)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
 	}
 	if kb.GraphStats().Nodes != 3 {
 		t.Error("all executions should commit")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/cypher"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/periodic"
@@ -53,6 +54,13 @@ const (
 	mShardCrossCommits = "rkm_shard_cross_commits_total"
 	mShardLockWait     = "rkm_shard_lock_wait_seconds"
 	mShardWALFsync     = "rkm_shard_wal_fsync_seconds"
+
+	mPlanCacheHits      = "rkm_cypher_plan_cache_hits_total"
+	mPlanCacheMisses    = "rkm_cypher_plan_cache_misses_total"
+	mPlanCacheEvictions = "rkm_cypher_plan_cache_evictions_total"
+	mPlanCacheSize      = "rkm_cypher_plan_cache_size"
+	mPlansCompiled      = "rkm_cypher_plans_compiled_total"
+	mPrepareSeconds     = "rkm_cypher_prepare_seconds"
 
 	mAsyncEnqueued     = "rkm_trigger_async_enqueued_total"
 	mAsyncShed         = "rkm_trigger_async_shed_total"
@@ -130,6 +138,21 @@ func (kb *KnowledgeBase) wireMetrics(reg *metrics.Registry) {
 		blockSeconds: reg.Histogram(mAsyncBlockSeconds,
 			"Time writers spent blocked on async backpressure, in seconds.", nil),
 	}
+	kb.plans.SetMetrics(
+		reg.Counter(mPlanCacheHits,
+			"Plan-cache lookups served from the cache."),
+		reg.Counter(mPlanCacheMisses,
+			"Plan-cache lookups that had to parse the query."),
+		reg.Counter(mPlanCacheEvictions,
+			"Plans evicted from the cache by capacity pressure."))
+	kb.mPrepare = reg.Histogram(mPrepareSeconds,
+		"Latency of resolving a query to its prepared plan (cache hits included), in seconds.", nil)
+	reg.GaugeFunc(mPlanCacheSize,
+		"Prepared plans currently held by this knowledge base's plan cache.",
+		func() float64 { return float64(kb.plans.Len()) })
+	reg.GaugeFunc(mPlansCompiled,
+		"Plan variants compiled process-wide (recompiles on statistics drift included).",
+		func() float64 { return float64(cypher.PlansCompiled()) })
 	reg.GaugeFunc(mAsyncQueueDepth,
 		"PendingAlert entries currently on the async queue.",
 		func() float64 { return float64(kb.store.LabelCount(PendingAlertLabel)) })

@@ -77,8 +77,11 @@ type ShardedKB struct {
 	mCross    *metrics.Counter
 	mAsyncEnq *metrics.Counter
 
-	mu        sync.Mutex
-	stmtCache map[string]*cypher.Statement
+	// plans caches prepared statements keyed by query text; lookups are
+	// lock-free, so concurrent per-hub readers never contend on parsing.
+	plans *cypher.PlanCache
+
+	mu sync.Mutex
 }
 
 // NewSharded creates an empty in-memory sharded knowledge base with one
@@ -154,7 +157,7 @@ func assembleSharded(cfg Config, defs []HubShard, ss *graph.ShardedStore, set *w
 		hubOf:       make([]string, len(defs)),
 		wal:         set,
 		replicaSeqs: make([]atomic.Uint64, len(defs)),
-		stmtCache:   make(map[string]*cypher.Statement),
+		plans:       cypher.NewPlanCache(0),
 	}
 	for i, d := range defs {
 		if _, dup := kb.shardOf[d.Hub]; dup {
@@ -448,22 +451,13 @@ func mergeReports(dst, src *trigger.Report) {
 
 // ---- Read paths ----
 
-func (kb *ShardedKB) parse(query string) (*cypher.Statement, error) {
-	kb.mu.Lock()
-	stmt, ok := kb.stmtCache[query]
-	kb.mu.Unlock()
-	if ok {
-		return stmt, nil
-	}
-	stmt, err := cypher.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	kb.mu.Lock()
-	kb.stmtCache[query] = stmt
-	kb.mu.Unlock()
-	return stmt, nil
+// prepare resolves a query to its cached Plan, parsing on first sight.
+func (kb *ShardedKB) prepare(query string) (*cypher.Plan, error) {
+	return kb.plans.Get(query)
 }
+
+// PlanCacheStats snapshots the shared plan cache's size and hit counters.
+func (kb *ShardedKB) PlanCacheStats() cypher.PlanCacheStats { return kb.plans.Stats() }
 
 // QueryInHub runs a read-only statement against the named hub's shard,
 // lock-free on its committed snapshot. The query sees that hub's nodes and
@@ -473,13 +467,13 @@ func (kb *ShardedKB) QueryInHub(hubName, query string, params map[string]value.V
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownShardHub, hubName)
 	}
-	stmt, err := kb.parse(query)
+	plan, err := kb.prepare(query)
 	if err != nil {
 		return nil, err
 	}
 	tx := kb.store.Shard(i).Begin(graph.ReadOnly)
 	defer tx.Rollback()
-	return cypher.Execute(tx, stmt, &cypher.Options{Params: params, Now: kb.clock.Now})
+	return plan.Execute(tx, &cypher.Options{Params: params, Now: kb.clock.Now})
 }
 
 // ExecuteInHub runs a statement in a read-write transaction on the named
@@ -489,14 +483,14 @@ func (kb *ShardedKB) ExecuteInHub(hubName, query string, params map[string]value
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownShardHub, hubName)
 	}
-	stmt, err := kb.parse(query)
+	plan, err := kb.prepare(query)
 	if err != nil {
 		return nil, nil, err
 	}
 	var res *cypher.Result
 	rep, uerr := kb.UpdateShard(i, func(tx *graph.Tx) error {
 		var err error
-		res, err = cypher.Execute(tx, stmt, &cypher.Options{Params: params, Now: kb.clock.Now})
+		res, err = plan.Execute(tx, &cypher.Options{Params: params, Now: kb.clock.Now})
 		return err
 	})
 	if uerr != nil {
@@ -878,6 +872,19 @@ func (kb *ShardedKB) wireShardedMetrics(reg *metrics.Registry, policy wal.FsyncP
 		"Committed two-shard bridge transactions.")
 	kb.mAsyncEnq = reg.Counter(mAsyncEnqueued,
 		"AfterAsync activations committed onto the pending queue.")
+	kb.plans.SetMetrics(
+		reg.Counter(mPlanCacheHits,
+			"Plan-cache lookups served from the cache."),
+		reg.Counter(mPlanCacheMisses,
+			"Plan-cache lookups that had to parse the query."),
+		reg.Counter(mPlanCacheEvictions,
+			"Plans evicted from the cache by capacity pressure."))
+	reg.GaugeFunc(mPlanCacheSize,
+		"Prepared plans currently held by this knowledge base's plan cache.",
+		func() float64 { return float64(kb.plans.Len()) })
+	reg.GaugeFunc(mPlansCompiled,
+		"Plan variants compiled process-wide (recompiles on statistics drift included).",
+		func() float64 { return float64(cypher.PlansCompiled()) })
 
 	commits := reg.CounterVec(mShardCommits, "shard",
 		"Committed read-write transactions, by shard.")

@@ -39,21 +39,6 @@ func newAggregator(call *FuncCall) aggregator {
 	return inner
 }
 
-// feedAggregator evaluates the aggregate's argument on a row and feeds it.
-func feedAggregator(ctx *evalCtx, en *env, r row, call *FuncCall, agg aggregator) error {
-	if call.Star {
-		return agg.add(value.Bool(true))
-	}
-	if len(call.Args) != 1 {
-		return fmt.Errorf("cypher: %s() takes exactly one argument", call.Name)
-	}
-	v, err := evalExpr(ctx, en, r, call.Args[0])
-	if err != nil {
-		return err
-	}
-	return agg.add(v)
-}
-
 type distinctAgg struct {
 	inner aggregator
 	seen  map[string]bool

@@ -1,6 +1,10 @@
 package cypher
 
-import "repro/internal/value"
+import (
+	"sync/atomic"
+
+	"repro/internal/value"
+)
 
 // Statement is a parsed query: a sequence of clauses executed as a pipeline
 // over binding rows.
@@ -10,12 +14,19 @@ type Statement struct {
 	// Unions holds additional UNION branches; each contributes rows to the
 	// same result. Column names must agree across branches.
 	Unions []UnionBranch
+	// Explain marks an EXPLAIN-prefixed query: Execute describes the
+	// physical plan instead of running it.
+	Explain bool
+
+	// plan caches the compiled Plan; see Statement.Prepared.
+	plan atomic.Pointer[Plan]
 }
 
 // UnionBranch is one UNION [ALL] arm of a statement.
 type UnionBranch struct {
 	All     bool
 	Clauses []Clause
+	pos     int // byte offset of the UNION keyword
 }
 
 // Clause is one step of the query pipeline.
@@ -53,6 +64,7 @@ type ReturnClause struct {
 	OrderBy  []*SortItem
 	Skip     Expr
 	Limit    Expr
+	pos      int // byte offset of the RETURN keyword
 }
 
 // CreateClause creates the nodes and relationships of its patterns.

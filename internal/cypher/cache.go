@@ -1,0 +1,148 @@
+package cypher
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+const cacheShards = 16
+
+// cacheEntry pairs a prepared plan with its last-touched generation for
+// approximate LRU eviction.
+type cacheEntry struct {
+	plan *Plan
+	gen  atomic.Int64
+}
+
+type cacheShard struct {
+	m  atomic.Pointer[map[string]*cacheEntry] // copy-on-write; readers never lock
+	mu sync.Mutex                             // serializes writers
+}
+
+// PlanCache is a sharded, lock-free-on-read cache from query text to
+// prepared Plans. Hits touch only two atomics, so concurrent lookups from
+// many event-processing goroutines never contend; insertions copy the
+// shard's map under its writer lock. Eviction is approximate LRU by touch
+// generation, per shard.
+type PlanCache struct {
+	shards   [cacheShards]cacheShard
+	perShard int
+	gen      atomic.Int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	mHits      *metrics.Counter
+	mMisses    *metrics.Counter
+	mEvictions *metrics.Counter
+}
+
+// NewPlanCache returns a cache holding roughly capacity plans (split across
+// shards). capacity <= 0 selects the default of 1024.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	per := (capacity + cacheShards - 1) / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &PlanCache{perShard: per}
+	for i := range c.shards {
+		empty := make(map[string]*cacheEntry)
+		c.shards[i].m.Store(&empty)
+	}
+	return c
+}
+
+// SetMetrics mirrors hit/miss/eviction counts into the given counters
+// (rkm_cypher_plan_cache_*). Nil counters are no-ops.
+func (c *PlanCache) SetMetrics(hits, misses, evictions *metrics.Counter) {
+	c.mHits, c.mMisses, c.mEvictions = hits, misses, evictions
+}
+
+func cacheHash(s string) uint32 {
+	// FNV-1a.
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Get returns the prepared Plan for query, parsing it on first sight.
+// Parse errors are returned and not cached.
+func (c *PlanCache) Get(query string) (*Plan, error) {
+	sh := &c.shards[cacheHash(query)%cacheShards]
+	if e, ok := (*sh.m.Load())[query]; ok {
+		e.gen.Store(c.gen.Add(1))
+		c.hits.Add(1)
+		c.mHits.Inc()
+		return e.plan, nil
+	}
+	c.misses.Add(1)
+	c.mMisses.Inc()
+	plan, err := Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := *sh.m.Load()
+	if e, ok := old[query]; ok {
+		// Another writer inserted it while we parsed.
+		e.gen.Store(c.gen.Add(1))
+		return e.plan, nil
+	}
+	next := make(map[string]*cacheEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	e := &cacheEntry{plan: plan}
+	e.gen.Store(c.gen.Add(1))
+	next[query] = e
+	for len(next) > c.perShard {
+		oldestKey, oldestGen := "", int64(1)<<62
+		for k, v := range next {
+			if g := v.gen.Load(); g < oldestGen {
+				oldestKey, oldestGen = k, g
+			}
+		}
+		delete(next, oldestKey)
+		c.evictions.Add(1)
+		c.mEvictions.Inc()
+	}
+	sh.m.Store(&next)
+	return plan, nil
+}
+
+// Len reports how many plans the cache currently holds.
+func (c *PlanCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		n += len(*c.shards[i].m.Load())
+	}
+	return n
+}
+
+// PlanCacheStats is a point-in-time snapshot of cache effectiveness.
+type PlanCacheStats struct {
+	Size      int
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Stats snapshots the cache counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	return PlanCacheStats{
+		Size:      c.Len(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

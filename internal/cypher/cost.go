@@ -1,0 +1,116 @@
+package cypher
+
+import "repro/internal/graph"
+
+// statsSnapshot memoizes the store statistics a compilation consulted while
+// choosing access paths. The snapshot doubles as the plan's staleness stamp:
+// stale() replays exactly the reads that informed the plan and reports
+// whether any of them has drifted far enough to change a costing decision,
+// which is what lets cached plans adapt to data growth without re-parsing.
+type statsSnapshot struct {
+	nodeCount    int
+	sawNodeCount bool
+	labels       map[string]int
+	indexes      map[indexKey]bool
+}
+
+type indexKey struct{ label, key string }
+
+func newStatsSnapshot() *statsSnapshot {
+	return &statsSnapshot{
+		labels:  make(map[string]int),
+		indexes: make(map[indexKey]bool),
+	}
+}
+
+func (s *statsSnapshot) labelCount(tx *graph.Tx, label string) int {
+	if c, ok := s.labels[label]; ok {
+		return c
+	}
+	c := tx.CountByLabel(label)
+	s.labels[label] = c
+	return c
+}
+
+func (s *statsSnapshot) totalNodes(tx *graph.Tx) int {
+	if !s.sawNodeCount {
+		s.nodeCount = tx.NodeCount()
+		s.sawNodeCount = true
+	}
+	return s.nodeCount
+}
+
+func (s *statsSnapshot) hasIndex(tx *graph.Tx, label, key string) bool {
+	k := indexKey{label, key}
+	if has, ok := s.indexes[k]; ok {
+		return has
+	}
+	has := tx.HasIndex(label, key)
+	s.indexes[k] = has
+	return has
+}
+
+// stale reports whether the statistics have drifted enough since compilation
+// that access-path choices should be recomputed: an index appeared or
+// disappeared, or a cardinality the plan was costed on changed by more than
+// 2x (with absolute slack so tiny stores don't thrash).
+func (s *statsSnapshot) stale(tx *graph.Tx) bool {
+	for k, had := range s.indexes {
+		if tx.HasIndex(k.label, k.key) != had {
+			return true
+		}
+	}
+	if s.sawNodeCount && drifted(s.nodeCount, tx.NodeCount()) {
+		return true
+	}
+	for l, c := range s.labels {
+		if drifted(c, tx.CountByLabel(l)) {
+			return true
+		}
+	}
+	return false
+}
+
+func drifted(old, cur int) bool {
+	hi, lo := old, cur
+	if cur > hi {
+		hi, lo = cur, old
+	}
+	if hi < 16 {
+		return false
+	}
+	return hi > 2*lo
+}
+
+// accessPlan records the statically chosen way to enumerate anchor
+// candidates for one pattern part, plus the cardinality estimate that drove
+// the choice (surfaced by EXPLAIN). At runtime a node variable already bound
+// by an earlier clause always overrides it, since a single bound node beats
+// any scan.
+type accessPlan struct {
+	anchor int        // node position in the pattern chain
+	kind   accessKind // how candidates are produced
+	label  string     // accessIndex, accessLabel
+	key    string     // accessIndex
+	valFn  exprFn     // accessIndex: the property's compiled expression
+	est    int        // estimated candidate count at plan time
+}
+
+type accessKind int
+
+const (
+	accessScan accessKind = iota
+	accessLabel
+	accessIndex
+)
+
+func (k accessKind) String() string {
+	switch k {
+	case accessIndex:
+		return "index"
+	case accessLabel:
+		return "label scan"
+	default:
+		return "full scan"
+	}
+}

@@ -10,9 +10,9 @@ import (
 	"repro/internal/value"
 )
 
-// evalCtx carries everything expression evaluation needs: the transaction,
-// query parameters, the clock, and (during aggregation finalization) the
-// computed values of aggregate sub-expressions.
+// evalCtx carries everything compiled-expression evaluation needs: the
+// transaction, query parameters, the clock, and (during aggregation
+// finalization) the computed values of aggregate sub-expressions.
 type evalCtx struct {
 	tx         *graph.Tx
 	params     map[string]value.Value
@@ -67,87 +67,6 @@ func (e *env) lookup(name string) (int, bool) {
 
 type row = []value.Value
 
-// evalExpr evaluates an expression against a row.
-func evalExpr(ctx *evalCtx, en *env, r row, e Expr) (value.Value, error) {
-	switch x := e.(type) {
-	case *Literal:
-		return x.Val, nil
-	case *Variable:
-		i, ok := en.lookup(x.Name)
-		if !ok {
-			return value.Null, errAt(ctx.query, x.pos, "variable `%s` not defined", x.Name)
-		}
-		return r[i], nil
-	case *Param:
-		v, ok := ctx.params[x.Name]
-		if !ok {
-			return value.Null, fmt.Errorf("cypher: parameter $%s not supplied", x.Name)
-		}
-		return v, nil
-	case *PropAccess:
-		base, err := evalExpr(ctx, en, r, x.X)
-		if err != nil {
-			return value.Null, err
-		}
-		return propOf(ctx, base, x.Key)
-	case *IndexExpr:
-		return evalIndex(ctx, en, r, x)
-	case *SliceExpr:
-		return evalSlice(ctx, en, r, x)
-	case *UnaryOp:
-		return evalUnary(ctx, en, r, x)
-	case *BinaryOp:
-		return evalBinary(ctx, en, r, x)
-	case *FuncCall:
-		if ctx.aggSub != nil {
-			if v, ok := ctx.aggSub[x]; ok {
-				return v, nil
-			}
-		}
-		if isAggregateFunc(x.Name) {
-			return value.Null, errAt(ctx.query, x.pos,
-				"aggregate function %s() not allowed here", x.Name)
-		}
-		return evalFunc(ctx, en, r, x)
-	case *CaseExpr:
-		return evalCase(ctx, en, r, x)
-	case *ListLit:
-		out := make([]value.Value, len(x.Elems))
-		for i, el := range x.Elems {
-			v, err := evalExpr(ctx, en, r, el)
-			if err != nil {
-				return value.Null, err
-			}
-			out[i] = v
-		}
-		return value.ListOf(out), nil
-	case *MapLit:
-		m := make(map[string]value.Value, len(x.Keys))
-		for i, k := range x.Keys {
-			v, err := evalExpr(ctx, en, r, x.Vals[i])
-			if err != nil {
-				return value.Null, err
-			}
-			m[k] = v
-		}
-		return value.Map(m), nil
-	case *ListComp:
-		return evalListComp(ctx, en, r, x)
-	case *ListPredicate:
-		return evalListPredicate(ctx, en, r, x)
-	case *ReduceExpr:
-		return evalReduce(ctx, en, r, x)
-	case *PatternExpr:
-		ok, err := patternExists(ctx, en, r, x.Pattern)
-		if err != nil {
-			return value.Null, err
-		}
-		return value.Bool(ok), nil
-	default:
-		return value.Null, fmt.Errorf("cypher: unhandled expression %T", e)
-	}
-}
-
 // propOf resolves entity, map and temporal property access.
 func propOf(ctx *evalCtx, base value.Value, key string) (value.Value, error) {
 	switch base.Kind() {
@@ -199,15 +118,8 @@ func propOf(ctx *evalCtx, base value.Value, key string) (value.Value, error) {
 	}
 }
 
-func evalIndex(ctx *evalCtx, en *env, r row, x *IndexExpr) (value.Value, error) {
-	base, err := evalExpr(ctx, en, r, x.X)
-	if err != nil {
-		return value.Null, err
-	}
-	idx, err := evalExpr(ctx, en, r, x.Idx)
-	if err != nil {
-		return value.Null, err
-	}
+// indexValue applies the [] operator to already evaluated operands.
+func indexValue(ctx *evalCtx, base, idx value.Value) (value.Value, error) {
 	if base.IsNull() || idx.IsNull() {
 		return value.Null, nil
 	}
@@ -236,43 +148,8 @@ func evalIndex(ctx *evalCtx, en *env, r row, x *IndexExpr) (value.Value, error) 
 	}
 }
 
-func evalSlice(ctx *evalCtx, en *env, r row, x *SliceExpr) (value.Value, error) {
-	base, err := evalExpr(ctx, en, r, x.X)
-	if err != nil {
-		return value.Null, err
-	}
-	if base.IsNull() {
-		return value.Null, nil
-	}
-	list, ok := base.AsList()
-	if !ok {
-		return value.Null, fmt.Errorf("cypher: cannot slice %s", base.Kind())
-	}
-	from, to := int64(0), int64(len(list))
-	if x.From != nil {
-		v, err := evalExpr(ctx, en, r, x.From)
-		if err != nil {
-			return value.Null, err
-		}
-		if v.IsNull() {
-			return value.Null, nil
-		}
-		if from, ok = v.AsInt(); !ok {
-			return value.Null, fmt.Errorf("cypher: slice bound must be an integer")
-		}
-	}
-	if x.To != nil {
-		v, err := evalExpr(ctx, en, r, x.To)
-		if err != nil {
-			return value.Null, err
-		}
-		if v.IsNull() {
-			return value.Null, nil
-		}
-		if to, ok = v.AsInt(); !ok {
-			return value.Null, fmt.Errorf("cypher: slice bound must be an integer")
-		}
-	}
+// sliceValue applies [from..to] to an evaluated list with evaluated bounds.
+func sliceValue(list []value.Value, from, to int64) value.Value {
 	n := int64(len(list))
 	if from < 0 {
 		from += n
@@ -283,9 +160,9 @@ func evalSlice(ctx *evalCtx, en *env, r row, x *SliceExpr) (value.Value, error) 
 	from = clamp(from, 0, n)
 	to = clamp(to, 0, n)
 	if from >= to {
-		return value.List(), nil
+		return value.List()
 	}
-	return value.ListOf(append([]value.Value(nil), list[from:to]...)), nil
+	return value.ListOf(append([]value.Value(nil), list[from:to]...))
 }
 
 func clamp(v, lo, hi int64) int64 {
@@ -296,157 +173,6 @@ func clamp(v, lo, hi int64) int64 {
 		return hi
 	}
 	return v
-}
-
-func evalUnary(ctx *evalCtx, en *env, r row, x *UnaryOp) (value.Value, error) {
-	v, err := evalExpr(ctx, en, r, x.X)
-	if err != nil {
-		return value.Null, err
-	}
-	switch x.Op {
-	case OpNeg:
-		return value.Neg(v)
-	case OpNot:
-		b, known := v.Truthy()
-		if !known {
-			return value.Null, nil
-		}
-		return value.Bool(!b), nil
-	case OpIsNull:
-		return value.Bool(v.IsNull()), nil
-	case OpIsNotNull:
-		return value.Bool(!v.IsNull()), nil
-	default:
-		return value.Null, fmt.Errorf("cypher: unknown unary op")
-	}
-}
-
-func evalBinary(ctx *evalCtx, en *env, r row, x *BinaryOp) (value.Value, error) {
-	// AND/OR/XOR need ternary short-circuit logic.
-	switch x.Op {
-	case OpAnd, OpOr, OpXor:
-		return evalLogic(ctx, en, r, x)
-	}
-	l, err := evalExpr(ctx, en, r, x.L)
-	if err != nil {
-		return value.Null, err
-	}
-	rv, err := evalExpr(ctx, en, r, x.R)
-	if err != nil {
-		return value.Null, err
-	}
-	switch x.Op {
-	case OpAdd:
-		return value.Add(l, rv)
-	case OpSub:
-		return value.Sub(l, rv)
-	case OpMul:
-		return value.Mul(l, rv)
-	case OpDiv:
-		return value.Div(l, rv)
-	case OpMod:
-		return value.Mod(l, rv)
-	case OpPow:
-		return value.Pow(l, rv)
-	case OpEq:
-		eq, known := value.Equal(l, rv)
-		if !known {
-			return value.Null, nil
-		}
-		return value.Bool(eq), nil
-	case OpNeq:
-		eq, known := value.Equal(l, rv)
-		if !known {
-			return value.Null, nil
-		}
-		return value.Bool(!eq), nil
-	case OpLt:
-		less, known := value.Less3(l, rv)
-		if !known {
-			return value.Null, nil
-		}
-		return value.Bool(less), nil
-	case OpGt:
-		less, known := value.Less3(rv, l)
-		if !known {
-			return value.Null, nil
-		}
-		return value.Bool(less), nil
-	case OpLte:
-		less, known := value.Less3(rv, l)
-		if !known {
-			return value.Null, nil
-		}
-		return value.Bool(!less), nil
-	case OpGte:
-		less, known := value.Less3(l, rv)
-		if !known {
-			return value.Null, nil
-		}
-		return value.Bool(!less), nil
-	case OpIn:
-		return evalIn(l, rv)
-	case OpStartsWith, OpEndsWith, OpContains:
-		return evalStringPredicate(x.Op, l, rv)
-	case OpRegex:
-		return evalRegex(ctx, l, rv)
-	default:
-		return value.Null, fmt.Errorf("cypher: unknown binary op")
-	}
-}
-
-func evalLogic(ctx *evalCtx, en *env, r row, x *BinaryOp) (value.Value, error) {
-	l, err := evalExpr(ctx, en, r, x.L)
-	if err != nil {
-		return value.Null, err
-	}
-	lb, lk := l.Truthy()
-	if !lk && !l.IsNull() {
-		return value.Null, errAt(ctx.query, x.pos, "boolean operator on non-boolean value %s", l.Kind())
-	}
-	switch x.Op {
-	case OpAnd:
-		if lk && !lb {
-			return value.Bool(false), nil
-		}
-	case OpOr:
-		if lk && lb {
-			return value.Bool(true), nil
-		}
-	}
-	rv, err := evalExpr(ctx, en, r, x.R)
-	if err != nil {
-		return value.Null, err
-	}
-	rb, rk := rv.Truthy()
-	if !rk && !rv.IsNull() {
-		return value.Null, errAt(ctx.query, x.pos, "boolean operator on non-boolean value %s", rv.Kind())
-	}
-	switch x.Op {
-	case OpAnd:
-		switch {
-		case rk && !rb:
-			return value.Bool(false), nil
-		case lk && rk:
-			return value.Bool(true), nil
-		default:
-			return value.Null, nil
-		}
-	case OpOr:
-		switch {
-		case rk && rb:
-			return value.Bool(true), nil
-		case lk && rk:
-			return value.Bool(false), nil
-		default:
-			return value.Null, nil
-		}
-	default: // XOR
-		if !lk || !rk {
-			return value.Null, nil
-		}
-		return value.Bool(lb != rb), nil
-	}
 }
 
 func evalIn(l, list value.Value) (value.Value, error) {
@@ -519,188 +245,4 @@ func evalRegex(ctx *evalCtx, l, r value.Value) (value.Value, error) {
 		ctx.regexCache[pat] = re
 	}
 	return value.Bool(re.MatchString(s)), nil
-}
-
-func evalCase(ctx *evalCtx, en *env, r row, x *CaseExpr) (value.Value, error) {
-	if x.Test != nil {
-		test, err := evalExpr(ctx, en, r, x.Test)
-		if err != nil {
-			return value.Null, err
-		}
-		for _, w := range x.Whens {
-			v, err := evalExpr(ctx, en, r, w.Cond)
-			if err != nil {
-				return value.Null, err
-			}
-			if eq, known := value.Equal(test, v); known && eq {
-				return evalExpr(ctx, en, r, w.Then)
-			}
-		}
-	} else {
-		for _, w := range x.Whens {
-			v, err := evalExpr(ctx, en, r, w.Cond)
-			if err != nil {
-				return value.Null, err
-			}
-			if b, known := v.Truthy(); known && b {
-				return evalExpr(ctx, en, r, w.Then)
-			}
-		}
-	}
-	if x.Else != nil {
-		return evalExpr(ctx, en, r, x.Else)
-	}
-	return value.Null, nil
-}
-
-func evalListComp(ctx *evalCtx, en *env, r row, x *ListComp) (value.Value, error) {
-	lv, err := evalExpr(ctx, en, r, x.List)
-	if err != nil {
-		return value.Null, err
-	}
-	if lv.IsNull() {
-		return value.Null, nil
-	}
-	list, ok := lv.AsList()
-	if !ok {
-		return value.Null, fmt.Errorf("cypher: list comprehension over %s", lv.Kind())
-	}
-	inner := en.clone()
-	slot := inner.add(x.Var)
-	out := make([]value.Value, 0, len(list))
-	for _, el := range list {
-		ir := make(row, len(inner.names))
-		copy(ir, r)
-		ir[slot] = el
-		if x.Where != nil {
-			cond, err := evalExpr(ctx, inner, ir, x.Where)
-			if err != nil {
-				return value.Null, err
-			}
-			if b, known := cond.Truthy(); !known || !b {
-				continue
-			}
-		}
-		if x.Proj != nil {
-			v, err := evalExpr(ctx, inner, ir, x.Proj)
-			if err != nil {
-				return value.Null, err
-			}
-			out = append(out, v)
-		} else {
-			out = append(out, el)
-		}
-	}
-	return value.ListOf(out), nil
-}
-
-// evalListPredicate implements the quantified predicates with Cypher's
-// ternary logic: unknown element predicates make the quantifier unknown
-// unless the outcome is already decided.
-func evalListPredicate(ctx *evalCtx, en *env, r row, x *ListPredicate) (value.Value, error) {
-	lv, err := evalExpr(ctx, en, r, x.List)
-	if err != nil {
-		return value.Null, err
-	}
-	if lv.IsNull() {
-		return value.Null, nil
-	}
-	list, ok := lv.AsList()
-	if !ok {
-		return value.Null, fmt.Errorf("cypher: quantifier over %s", lv.Kind())
-	}
-	inner := en.clone()
-	slot := inner.add(x.Var)
-	trueCount, unknown := 0, false
-	for _, el := range list {
-		ir := make(row, len(inner.names))
-		copy(ir, r)
-		ir[slot] = el
-		v, err := evalExpr(ctx, inner, ir, x.Where)
-		if err != nil {
-			return value.Null, err
-		}
-		b, known := v.Truthy()
-		switch {
-		case !known:
-			unknown = true
-		case b:
-			trueCount++
-			switch x.Kind {
-			case QuantAny:
-				return value.Bool(true), nil
-			case QuantNone:
-				return value.Bool(false), nil
-			}
-		default: // known false
-			if x.Kind == QuantAll {
-				return value.Bool(false), nil
-			}
-		}
-	}
-	if unknown {
-		return value.Null, nil
-	}
-	switch x.Kind {
-	case QuantAll:
-		return value.Bool(true), nil
-	case QuantAny:
-		return value.Bool(false), nil
-	case QuantNone:
-		return value.Bool(true), nil
-	default: // QuantSingle
-		return value.Bool(trueCount == 1), nil
-	}
-}
-
-// evalReduce folds the list through the body with the accumulator bound.
-func evalReduce(ctx *evalCtx, en *env, r row, x *ReduceExpr) (value.Value, error) {
-	acc, err := evalExpr(ctx, en, r, x.Init)
-	if err != nil {
-		return value.Null, err
-	}
-	lv, err := evalExpr(ctx, en, r, x.List)
-	if err != nil {
-		return value.Null, err
-	}
-	if lv.IsNull() {
-		return value.Null, nil
-	}
-	list, ok := lv.AsList()
-	if !ok {
-		return value.Null, fmt.Errorf("cypher: reduce over %s", lv.Kind())
-	}
-	inner := en.clone()
-	accSlot := inner.add(x.Acc)
-	varSlot := inner.add(x.Var)
-	ir := make(row, len(inner.names))
-	copy(ir, r)
-	for _, el := range list {
-		ir[accSlot] = acc
-		ir[varSlot] = el
-		acc, err = evalExpr(ctx, inner, ir, x.Body)
-		if err != nil {
-			return value.Null, err
-		}
-	}
-	return acc, nil
-}
-
-// truthyFilter applies WHERE semantics: keep only rows whose predicate is
-// exactly TRUE.
-func truthyFilter(ctx *evalCtx, en *env, rows []row, pred Expr) ([]row, error) {
-	if pred == nil {
-		return rows, nil
-	}
-	out := rows[:0]
-	for _, r := range rows {
-		v, err := evalExpr(ctx, en, r, pred)
-		if err != nil {
-			return nil, err
-		}
-		if b, known := v.Truthy(); known && b {
-			out = append(out, r)
-		}
-	}
-	return out, nil
 }

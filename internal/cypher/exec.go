@@ -58,119 +58,17 @@ type Options struct {
 	Now func() time.Time
 }
 
+// executor carries the per-execution runtime state of a compiled plan.
 type executor struct {
-	ctx   *evalCtx
-	stats UpdateStats
+	ctx    *evalCtx
+	stats  UpdateStats
+	result *Result
 }
 
-// Execute runs a parsed statement in the given transaction.
+// Execute runs a parsed statement in the given transaction through its
+// compiled plan (compiling on first use).
 func Execute(tx *graph.Tx, stmt *Statement, opts *Options) (*Result, error) {
-	if len(stmt.Unions) == 0 {
-		return executeBranch(tx, stmt, stmt.Clauses, opts)
-	}
-	// UNION: run every branch, check column agreement, concatenate, and
-	// deduplicate unless every joint is UNION ALL.
-	res, err := executeBranch(tx, stmt, stmt.Clauses, opts)
-	if err != nil {
-		return nil, err
-	}
-	dedupe := false
-	for _, b := range stmt.Unions {
-		br, err := executeBranch(tx, stmt, b.Clauses, opts)
-		if err != nil {
-			return nil, err
-		}
-		if len(br.Columns) != len(res.Columns) {
-			return nil, fmt.Errorf("cypher: UNION branches return different numbers of columns")
-		}
-		for i := range br.Columns {
-			if br.Columns[i] != res.Columns[i] {
-				return nil, fmt.Errorf("cypher: UNION column mismatch: %s vs %s",
-					res.Columns[i], br.Columns[i])
-			}
-		}
-		res.Rows = append(res.Rows, br.Rows...)
-		res.Stats.Add(br.Stats)
-		if !b.All {
-			dedupe = true
-		}
-	}
-	if dedupe {
-		rows := make([]row, len(res.Rows))
-		copy(rows, res.Rows)
-		rows = dedupeRows(rows)
-		res.Rows = res.Rows[:len(rows)]
-		copy(res.Rows, rows)
-	}
-	return res, nil
-}
-
-// executeBranch runs one clause pipeline.
-func executeBranch(tx *graph.Tx, stmt *Statement, clauses []Clause, opts *Options) (*Result, error) {
-	if opts == nil {
-		opts = &Options{}
-	}
-	ctx := &evalCtx{tx: tx, params: opts.Params, now: opts.Now, query: stmt.Query}
-	ex := &executor{ctx: ctx}
-
-	if res, ok, err := ex.tryFastCount(clauses); err != nil {
-		return nil, err
-	} else if ok {
-		return res, nil
-	}
-
-	en := newEnv()
-	base := row{}
-	if len(opts.Bindings) > 0 {
-		names := make([]string, 0, len(opts.Bindings))
-		for name := range opts.Bindings {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			en.add(name)
-			base = append(base, opts.Bindings[name])
-		}
-	}
-	rows := []row{base}
-
-	var result *Result
-	for i, cl := range clauses {
-		var err error
-		switch c := cl.(type) {
-		case *MatchClause:
-			en, rows, err = ex.execMatch(en, rows, c)
-		case *UnwindClause:
-			en, rows, err = ex.execUnwind(en, rows, c)
-		case *WithClause:
-			en, rows, err = ex.execWith(en, rows, c)
-		case *ReturnClause:
-			result, err = ex.execReturn(en, rows, c)
-		case *CreateClause:
-			en, rows, err = ex.execCreate(en, rows, c)
-		case *ForeachClause:
-			err = ex.execForeach(en, rows, c)
-		case *MergeClause:
-			en, rows, err = ex.execMerge(en, rows, c)
-		case *DeleteClause:
-			rows, err = ex.execDelete(en, rows, c)
-		case *SetClause:
-			err = ex.execSet(en, rows, c.Items)
-		case *RemoveClause:
-			err = ex.execRemove(en, rows, c)
-		default:
-			err = fmt.Errorf("cypher: unhandled clause %T", cl)
-		}
-		if err != nil {
-			return nil, err
-		}
-		_ = i
-	}
-	if result == nil {
-		result = &Result{}
-	}
-	result.Stats = ex.stats
-	return result, nil
+	return stmt.Prepared().Execute(tx, opts)
 }
 
 // Run parses and executes a query.
@@ -195,14 +93,12 @@ func EvalPredicate(tx *graph.Tx, expr Expr, opts *Options) (bool, error) {
 }
 
 // EvalExpr evaluates a standalone parsed expression with the supplied
-// bindings visible as variables and returns its value. The composite-event
-// layer uses it for correlation-key (BY) expressions; EvalPredicate wraps
-// it with three-valued-logic truthiness for guards.
+// bindings visible as variables and returns its value. The expression is
+// compiled transiently; hot paths should hold a CompiledExpr instead.
 func EvalExpr(tx *graph.Tx, expr Expr, opts *Options) (value.Value, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
-	ctx := &evalCtx{tx: tx, params: opts.Params, now: opts.Now}
 	en := newEnv()
 	var r row
 	names := make([]string, 0, len(opts.Bindings))
@@ -214,618 +110,20 @@ func EvalExpr(tx *graph.Tx, expr Expr, opts *Options) (value.Value, error) {
 		en.add(name)
 		r = append(r, opts.Bindings[name])
 	}
-	return evalExpr(ctx, en, r, expr)
-}
-
-// ---- fast count path ----
-
-// tryFastCount recognizes `MATCH (v:Label {k: const}) RETURN count(...)`
-// and answers it from label and property indexes without materializing
-// candidates — the analog of Neo4j's count store, which is what keeps the
-// paper's naive per-event triggers (Fig. 9) at near-constant per-event cost.
-func (ex *executor) tryFastCount(clauses []Clause) (*Result, bool, error) {
-	if len(clauses) != 2 {
-		return nil, false, nil
-	}
-	m, ok := clauses[0].(*MatchClause)
-	if !ok || m.Optional || m.Where != nil || len(m.Patterns) != 1 {
-		return nil, false, nil
-	}
-	part := m.Patterns[0]
-	if part.Var != "" || len(part.Rels) != 0 || len(part.Nodes) != 1 {
-		return nil, false, nil
-	}
-	np := part.Nodes[0]
-	ret, ok := clauses[1].(*ReturnClause)
-	if !ok || ret.Distinct || ret.Star || len(ret.Items) != 1 ||
-		ret.OrderBy != nil || ret.Skip != nil || ret.Limit != nil {
-		return nil, false, nil
-	}
-	call, ok := ret.Items[0].Expr.(*FuncCall)
-	if !ok || call.Name != "count" || call.Distinct {
-		return nil, false, nil
-	}
-	if !call.Star {
-		if len(call.Args) != 1 {
-			return nil, false, nil
-		}
-		v, ok := call.Args[0].(*Variable)
-		if !ok || v.Name != np.Var {
-			return nil, false, nil
-		}
-	}
-
-	en := newEnv()
-	var count int
-	switch {
-	case len(np.Props) == 0 && len(np.Labels) == 0:
-		count = ex.ctx.tx.NodeCount()
-	case len(np.Props) == 0 && len(np.Labels) == 1:
-		count = ex.ctx.tx.CountByLabel(np.Labels[0])
-	case len(np.Props) == 1 && len(np.Labels) == 1:
-		var key string
-		var expr Expr
-		for k, e := range np.Props {
-			key, expr = k, e
-		}
-		want, err := evalExpr(ex.ctx, en, row{}, expr)
-		if err != nil {
-			// Property depends on bindings; fall back to the general path.
-			return nil, false, nil
-		}
-		c, has := ex.ctx.tx.CountByProp(np.Labels[0], key, want)
-		if !has {
-			return nil, false, nil
-		}
-		count = c
-	default:
-		return nil, false, nil
-	}
-	col := ret.Items[0].Alias
-	if col == "" {
-		col = ret.Items[0].Text
-	}
-	return &Result{Columns: []string{col}, Rows: [][]value.Value{{value.Int(int64(count))}}}, true, nil
-}
-
-// ---- MATCH ----
-
-func (ex *executor) execMatch(en *env, rows []row, c *MatchClause) (*env, []row, error) {
-	newEn := en.clone()
-	cps := make([]*compiledPattern, len(c.Patterns))
-	for i, p := range c.Patterns {
-		cps[i] = compilePattern(newEn, p)
-	}
-	width := len(newEn.names)
-	var out []row
-
-	for _, r := range rows {
-		base := make(row, width)
-		copy(base, r)
-		matched := false
-
-		var matchFrom func(pi int, cur row, used map[graph.RelID]bool) error
-		matchFrom = func(pi int, cur row, used map[graph.RelID]bool) error {
-			if pi == len(cps) {
-				if c.Where != nil {
-					v, err := evalExpr(ex.ctx, newEn, cur, c.Where)
-					if err != nil {
-						return err
-					}
-					if b, known := v.Truthy(); !known || !b {
-						return nil
-					}
-				}
-				matched = true
-				out = append(out, cur)
-				return nil
-			}
-			return matchPart(ex.ctx, newEn, cur, cps[pi], used, func(nr row) error {
-				return matchFrom(pi+1, nr, used)
-			})
-		}
-		if err := matchFrom(0, base, make(map[graph.RelID]bool)); err != nil {
-			return nil, nil, err
-		}
-		if !matched && c.Optional {
-			out = append(out, base) // pattern variables stay NULL
-		}
-	}
-	return newEn, out, nil
-}
-
-// ---- UNWIND ----
-
-func (ex *executor) execUnwind(en *env, rows []row, c *UnwindClause) (*env, []row, error) {
-	newEn := en.clone()
-	slot := newEn.add(c.Var)
-	width := len(newEn.names)
-	var out []row
-	for _, r := range rows {
-		lv, err := evalExpr(ex.ctx, en, r, c.List)
-		if err != nil {
-			return nil, nil, err
-		}
-		if lv.IsNull() {
-			continue
-		}
-		elems, ok := lv.AsList()
-		if !ok {
-			// UNWIND of a single value behaves as a singleton list.
-			elems = []value.Value{lv}
-		}
-		for _, e := range elems {
-			nr := make(row, width)
-			copy(nr, r)
-			nr[slot] = e
-			out = append(out, nr)
-		}
-	}
-	return newEn, out, nil
-}
-
-// ---- WITH / RETURN ----
-
-func (ex *executor) projectionItems(en *env, c interface{}) (items []*ReturnItem, distinct bool, orderBy []*SortItem, skip, limit Expr, where Expr) {
-	switch cl := c.(type) {
-	case *WithClause:
-		items = cl.Items
-		if cl.Star {
-			items = append(starItems(en), cl.Items...)
-		}
-		return items, cl.Distinct, cl.OrderBy, cl.Skip, cl.Limit, cl.Where
-	case *ReturnClause:
-		items = cl.Items
-		if cl.Star {
-			items = append(starItems(en), cl.Items...)
-		}
-		return items, cl.Distinct, cl.OrderBy, cl.Skip, cl.Limit, nil
-	}
-	return nil, false, nil, nil, nil, nil
-}
-
-func starItems(en *env) []*ReturnItem {
-	items := make([]*ReturnItem, 0, len(en.names))
-	for _, name := range en.names {
-		items = append(items, &ReturnItem{Expr: &Variable{Name: name}, Alias: name, Text: name})
-	}
-	return items
-}
-
-func itemName(it *ReturnItem) string {
-	if it.Alias != "" {
-		return it.Alias
-	}
-	if v, ok := it.Expr.(*Variable); ok {
-		return v.Name
-	}
-	return it.Text
-}
-
-func (ex *executor) execWith(en *env, rows []row, c *WithClause) (*env, []row, error) {
-	items, distinct, orderBy, skip, limit, where := ex.projectionItems(en, c)
-	newEn, newRows, err := ex.projectOrdered(en, rows, items, distinct, orderBy, skip, limit)
+	cc := &compileCtx{tx: tx, snap: newStatsSnapshot()}
+	fn, err := compileExpr(cc, en, expr)
 	if err != nil {
-		return nil, nil, err
+		return value.Null, err
 	}
-	if where != nil {
-		newRows, err = truthyFilter(ex.ctx, newEn, newRows, where)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	return newEn, newRows, nil
+	ctx := &evalCtx{tx: tx, params: opts.Params, now: opts.Now}
+	return fn(ctx, r)
 }
 
-func (ex *executor) execReturn(en *env, rows []row, c *ReturnClause) (*Result, error) {
-	items, distinct, orderBy, skip, limit, _ := ex.projectionItems(en, c)
-	_, newRows, err := ex.projectOrdered(en, rows, items, distinct, orderBy, skip, limit)
-	if err != nil {
-		return nil, err
-	}
-	cols := make([]string, len(items))
-	for i, it := range items {
-		cols[i] = itemName(it)
-	}
-	out := make([][]value.Value, len(newRows))
-	for i, r := range newRows {
-		out[i] = r
-	}
-	return &Result{Columns: cols, Rows: out}, nil
-}
+// ---- compiled-op runtime helpers ----
 
-// projectOrdered applies the projection and then ORDER BY / SKIP / LIMIT.
-// Without aggregation, sort expressions may reference both the projected
-// aliases and the pre-projection variables (Cypher's ORDER BY scoping); the
-// projection therefore temporarily carries the input bindings alongside the
-// output columns. With aggregation, only the projected columns are in scope.
-func (ex *executor) projectOrdered(en *env, rows []row, items []*ReturnItem,
-	distinct bool, orderBy []*SortItem, skip, limit Expr) (*env, []row, error) {
-	hasAgg := false
-	for _, it := range items {
-		var calls []*FuncCall
-		collectAggregates(it.Expr, &calls)
-		if len(calls) > 0 {
-			hasAgg = true
-			break
-		}
-	}
-	if hasAgg || len(orderBy) == 0 {
-		newEn, newRows, err := ex.project(en, rows, items, distinct)
-		if err != nil {
-			return nil, nil, err
-		}
-		newRows, err = ex.orderSkipLimit(newEn, newRows, orderBy, skip, limit)
-		if err != nil {
-			return nil, nil, err
-		}
-		return newEn, newRows, nil
-	}
-
-	// Non-aggregating projection with ORDER BY: build combined rows of the
-	// projected values followed by surviving input bindings.
-	outEn := newEnv()
-	for _, it := range items {
-		outEn.add(itemName(it))
-	}
-	if len(outEn.names) != len(items) {
-		return nil, nil, fmt.Errorf("cypher: duplicate column name in projection")
-	}
-	combEn := outEn.clone()
-	type carry struct{ from, to int }
-	var carries []carry
-	for i, name := range en.names {
-		if _, taken := combEn.lookup(name); !taken {
-			carries = append(carries, carry{from: i, to: combEn.add(name)})
-		}
-	}
-
-	comb := make([]row, 0, len(rows))
-	for _, r := range rows {
-		nr := make(row, len(combEn.names))
-		for i, it := range items {
-			v, err := evalExpr(ex.ctx, en, r, it.Expr)
-			if err != nil {
-				return nil, nil, err
-			}
-			nr[i] = v
-		}
-		for _, c := range carries {
-			nr[c.to] = r[c.from]
-		}
-		comb = append(comb, nr)
-	}
-	if distinct {
-		comb = dedupePrefix(comb, len(items))
-	}
-	comb, err := ex.orderSkipLimit(combEn, comb, orderBy, skip, limit)
-	if err != nil {
-		return nil, nil, err
-	}
-	out := make([]row, len(comb))
-	for i, r := range comb {
-		out[i] = r[:len(items):len(items)]
-	}
-	return outEn, out, nil
-}
-
-// dedupePrefix keeps the first row for each distinct prefix of width n.
-func dedupePrefix(rows []row, n int) []row {
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0]
-	for _, r := range rows {
-		hk := ""
-		for _, v := range r[:n] {
-			k := v.HashKey()
-			hk += fmt.Sprintf("%d:%s;", len(k), k)
-		}
-		if seen[hk] {
-			continue
-		}
-		seen[hk] = true
-		out = append(out, r)
-	}
-	return out
-}
-
-// collectAggregates gathers the aggregate function calls inside an item.
-func collectAggregates(e Expr, out *[]*FuncCall) {
-	switch x := e.(type) {
-	case *FuncCall:
-		if isAggregateFunc(x.Name) {
-			*out = append(*out, x)
-			return // aggregates cannot nest
-		}
-		for _, a := range x.Args {
-			collectAggregates(a, out)
-		}
-	case *PropAccess:
-		collectAggregates(x.X, out)
-	case *IndexExpr:
-		collectAggregates(x.X, out)
-		collectAggregates(x.Idx, out)
-	case *SliceExpr:
-		collectAggregates(x.X, out)
-		if x.From != nil {
-			collectAggregates(x.From, out)
-		}
-		if x.To != nil {
-			collectAggregates(x.To, out)
-		}
-	case *UnaryOp:
-		collectAggregates(x.X, out)
-	case *BinaryOp:
-		collectAggregates(x.L, out)
-		collectAggregates(x.R, out)
-	case *CaseExpr:
-		if x.Test != nil {
-			collectAggregates(x.Test, out)
-		}
-		for _, w := range x.Whens {
-			collectAggregates(w.Cond, out)
-			collectAggregates(w.Then, out)
-		}
-		if x.Else != nil {
-			collectAggregates(x.Else, out)
-		}
-	case *ListLit:
-		for _, el := range x.Elems {
-			collectAggregates(el, out)
-		}
-	case *MapLit:
-		for _, v := range x.Vals {
-			collectAggregates(v, out)
-		}
-	case *ListComp:
-		collectAggregates(x.List, out)
-	case *ListPredicate:
-		collectAggregates(x.List, out)
-	case *ReduceExpr:
-		collectAggregates(x.Init, out)
-		collectAggregates(x.List, out)
-	}
-}
-
-func (ex *executor) project(en *env, rows []row, items []*ReturnItem, distinct bool) (*env, []row, error) {
-	newEn := newEnv()
-	for _, it := range items {
-		newEn.add(itemName(it))
-	}
-	if len(newEn.names) != len(items) {
-		return nil, nil, fmt.Errorf("cypher: duplicate column name in projection")
-	}
-
-	var aggCalls []*FuncCall
-	itemAggs := make([][]*FuncCall, len(items))
-	for i, it := range items {
-		var calls []*FuncCall
-		collectAggregates(it.Expr, &calls)
-		itemAggs[i] = calls
-		aggCalls = append(aggCalls, calls...)
-	}
-
-	if len(aggCalls) == 0 {
-		out := make([]row, 0, len(rows))
-		for _, r := range rows {
-			nr := make(row, len(items))
-			for i, it := range items {
-				v, err := evalExpr(ex.ctx, en, r, it.Expr)
-				if err != nil {
-					return nil, nil, err
-				}
-				nr[i] = v
-			}
-			out = append(out, nr)
-		}
-		if distinct {
-			out = dedupeRows(out)
-		}
-		return newEn, out, nil
-	}
-
-	// Aggregating projection: group by the aggregate-free items.
-	type group struct {
-		rep  row // representative input row
-		keys map[int]value.Value
-		aggs map[*FuncCall]aggregator
-	}
-	groups := make(map[string]*group)
-	var order []string
-
-	keyItems := make([]int, 0, len(items))
-	for i := range items {
-		if len(itemAggs[i]) == 0 {
-			keyItems = append(keyItems, i)
-		}
-	}
-
-	for _, r := range rows {
-		keyVals := make(map[int]value.Value, len(keyItems))
-		hk := ""
-		for _, i := range keyItems {
-			v, err := evalExpr(ex.ctx, en, r, items[i].Expr)
-			if err != nil {
-				return nil, nil, err
-			}
-			keyVals[i] = v
-			k := v.HashKey()
-			hk += fmt.Sprintf("%d:%s;", len(k), k)
-		}
-		g, ok := groups[hk]
-		if !ok {
-			g = &group{rep: r, keys: keyVals, aggs: make(map[*FuncCall]aggregator)}
-			for _, call := range aggCalls {
-				g.aggs[call] = newAggregator(call)
-			}
-			groups[hk] = g
-			order = append(order, hk)
-		}
-		for _, call := range aggCalls {
-			if err := feedAggregator(ex.ctx, en, r, call, g.aggs[call]); err != nil {
-				return nil, nil, err
-			}
-		}
-	}
-
-	// With no grouping keys and no input rows, aggregates still produce one
-	// row (count(*) of nothing is 0).
-	if len(groups) == 0 && len(keyItems) == 0 {
-		g := &group{rep: row{}, keys: map[int]value.Value{}, aggs: make(map[*FuncCall]aggregator)}
-		for _, call := range aggCalls {
-			g.aggs[call] = newAggregator(call)
-		}
-		groups["" /* empty key */] = g
-		order = append(order, "")
-	}
-
-	out := make([]row, 0, len(groups))
-	for _, hk := range order {
-		g := groups[hk]
-		sub := make(map[*FuncCall]value.Value, len(g.aggs))
-		for call, agg := range g.aggs {
-			sub[call] = agg.result()
-		}
-		saved := ex.ctx.aggSub
-		ex.ctx.aggSub = sub
-		nr := make(row, len(items))
-		for i, it := range items {
-			if v, ok := g.keys[i]; ok {
-				nr[i] = v
-				continue
-			}
-			v, err := evalExpr(ex.ctx, en, g.rep, it.Expr)
-			if err != nil {
-				ex.ctx.aggSub = saved
-				return nil, nil, err
-			}
-			nr[i] = v
-		}
-		ex.ctx.aggSub = saved
-		out = append(out, nr)
-	}
-	if distinct {
-		out = dedupeRows(out)
-	}
-	return newEn, out, nil
-}
-
-func dedupeRows(rows []row) []row {
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0]
-	for _, r := range rows {
-		hk := ""
-		for _, v := range r {
-			k := v.HashKey()
-			hk += fmt.Sprintf("%d:%s;", len(k), k)
-		}
-		if seen[hk] {
-			continue
-		}
-		seen[hk] = true
-		out = append(out, r)
-	}
-	return out
-}
-
-func (ex *executor) orderSkipLimit(en *env, rows []row, orderBy []*SortItem, skip, limit Expr) ([]row, error) {
-	if len(orderBy) > 0 {
-		type keyed struct {
-			r    row
-			keys []value.Value
-		}
-		ks := make([]keyed, len(rows))
-		for i, r := range rows {
-			keys := make([]value.Value, len(orderBy))
-			for j, s := range orderBy {
-				v, err := evalExpr(ex.ctx, en, r, s.Expr)
-				if err != nil {
-					return nil, err
-				}
-				keys[j] = v
-			}
-			ks[i] = keyed{r: r, keys: keys}
-		}
-		sort.SliceStable(ks, func(a, b int) bool {
-			for j, s := range orderBy {
-				c := value.Compare(ks[a].keys[j], ks[b].keys[j])
-				if c == 0 {
-					continue
-				}
-				if s.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-		for i := range ks {
-			rows[i] = ks[i].r
-		}
-	}
-	if skip != nil {
-		n, err := ex.evalBound(skip, "SKIP")
-		if err != nil {
-			return nil, err
-		}
-		if n >= int64(len(rows)) {
-			rows = nil
-		} else {
-			rows = rows[n:]
-		}
-	}
-	if limit != nil {
-		n, err := ex.evalBound(limit, "LIMIT")
-		if err != nil {
-			return nil, err
-		}
-		if n < int64(len(rows)) {
-			rows = rows[:n]
-		}
-	}
-	return rows, nil
-}
-
-func (ex *executor) evalBound(e Expr, what string) (int64, error) {
-	v, err := evalExpr(ex.ctx, newEnv(), row{}, e)
-	if err != nil {
-		return 0, err
-	}
-	n, ok := v.AsInt()
-	if !ok || n < 0 {
-		return 0, fmt.Errorf("cypher: %s requires a non-negative integer", what)
-	}
-	return n, nil
-}
-
-// ---- CREATE / MERGE ----
-
-func (ex *executor) execCreate(en *env, rows []row, c *CreateClause) (*env, []row, error) {
-	newEn := en.clone()
-	cps := make([]*compiledPattern, len(c.Patterns))
-	for i, p := range c.Patterns {
-		if p.Var != "" {
-			return nil, nil, fmt.Errorf("cypher: path variables are not supported in CREATE")
-		}
-		cps[i] = compilePattern(newEn, p)
-	}
-	width := len(newEn.names)
-	out := make([]row, 0, len(rows))
-	for _, r := range rows {
-		nr := make(row, width)
-		copy(nr, r)
-		for _, cp := range cps {
-			var err error
-			nr, err = ex.createPattern(newEn, nr, cp)
-			if err != nil {
-				return nil, nil, err
-			}
-		}
-		out = append(out, nr)
-	}
-	return newEn, out, nil
-}
-
-func (ex *executor) createPattern(en *env, r row, cp *compiledPattern) (row, error) {
+// createPattern creates the pattern's nodes and relationships for one row,
+// reusing already bound variables, and returns the row with fresh bindings.
+func (ex *executor) createPattern(r row, cp *compiledPattern) (row, error) {
 	ids := make([]graph.NodeID, len(cp.part.Nodes))
 	for i, np := range cp.part.Nodes {
 		slot := cp.nodeSlots[i]
@@ -843,7 +141,7 @@ func (ex *executor) createPattern(en *env, r row, cp *compiledPattern) (row, err
 			ids[i] = graph.NodeID(id)
 			continue
 		}
-		props, err := ex.evalProps(en, r, np.Props)
+		props, err := cp.nodeProps[i](ex.ctx, r)
 		if err != nil {
 			return r, err
 		}
@@ -875,7 +173,7 @@ func (ex *executor) createPattern(en *env, r row, cp *compiledPattern) (row, err
 		default:
 			return r, errAt(ex.ctx.query, rp.pos, "CREATE requires a directed relationship")
 		}
-		props, err := ex.evalProps(en, r, rp.Props)
+		props, err := cp.relProps[i](ex.ctx, r)
 		if err != nil {
 			return r, err
 		}
@@ -892,177 +190,63 @@ func (ex *executor) createPattern(en *env, r row, cp *compiledPattern) (row, err
 	return r, nil
 }
 
-func (ex *executor) evalProps(en *env, r row, props map[string]Expr) (map[string]value.Value, error) {
-	if len(props) == 0 {
-		return nil, nil
-	}
-	out := make(map[string]value.Value, len(props))
-	for k, e := range props {
-		v, err := evalExpr(ex.ctx, en, r, e)
-		if err != nil {
-			return nil, err
+// deleteEntity deletes the node or relationship v refers to, tolerating
+// entities already deleted by an earlier row.
+func (ex *executor) deleteEntity(v value.Value, detach bool) error {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindNode:
+		id, _ := v.EntityID()
+		nid := graph.NodeID(id)
+		if !ex.ctx.tx.NodeExists(nid) {
+			return nil // deleted by an earlier row
 		}
-		out[k] = v
-	}
-	return out, nil
-}
-
-func (ex *executor) execMerge(en *env, rows []row, c *MergeClause) (*env, []row, error) {
-	newEn := en.clone()
-	cp := compilePattern(newEn, c.Pattern)
-	width := len(newEn.names)
-	var out []row
-	for _, r := range rows {
-		base := make(row, width)
-		copy(base, r)
-		if cp.nullBound(base) {
-			return nil, nil, fmt.Errorf("cypher: MERGE on a NULL-bound variable")
-		}
-		var matches []row
-		err := matchPart(ex.ctx, newEn, base, cp, nil, func(nr row) error {
-			matches = append(matches, nr)
-			return nil
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		if len(matches) > 0 {
-			for _, mr := range matches {
-				if err := ex.execSet(newEn, []row{mr}, c.OnMatchSet); err != nil {
-					return nil, nil, err
-				}
-				out = append(out, mr)
-			}
-			continue
-		}
-		created, err := ex.createPattern(newEn, base, cp)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := ex.execSet(newEn, []row{created}, c.OnCreateSet); err != nil {
-			return nil, nil, err
-		}
-		out = append(out, created)
-	}
-	return newEn, out, nil
-}
-
-// execForeach runs the nested update clauses once per list element per
-// input row. Variables introduced inside the body (and the loop variable)
-// are not visible afterwards, per Cypher.
-func (ex *executor) execForeach(en *env, rows []row, c *ForeachClause) error {
-	for _, r := range rows {
-		lv, err := evalExpr(ex.ctx, en, r, c.List)
-		if err != nil {
+		before := ex.ctx.tx.Degree(nid, graph.Both)
+		if err := ex.ctx.tx.DeleteNode(nid, detach); err != nil {
 			return err
 		}
-		if lv.IsNull() {
-			continue
+		ex.stats.NodesDeleted++
+		ex.stats.RelsDeleted += before
+		return nil
+	case value.KindRelationship:
+		id, _ := v.EntityID()
+		rid := graph.RelID(id)
+		if _, _, _, ok := ex.ctx.tx.RelEndpoints(rid); !ok {
+			return nil
 		}
-		elems, ok := lv.AsList()
-		if !ok {
-			return fmt.Errorf("cypher: FOREACH requires a list, got %s", lv.Kind())
+		if err := ex.ctx.tx.DeleteRel(rid); err != nil {
+			return err
 		}
-		inner := en.clone()
-		slot := inner.add(c.Var)
-		for _, el := range elems {
-			ir := make(row, len(inner.names))
-			copy(ir, r)
-			ir[slot] = el
-			bodyEn, bodyRows := inner, []row{ir}
-			for _, cl := range c.Body {
-				switch bc := cl.(type) {
-				case *CreateClause:
-					bodyEn, bodyRows, err = ex.execCreate(bodyEn, bodyRows, bc)
-				case *MergeClause:
-					bodyEn, bodyRows, err = ex.execMerge(bodyEn, bodyRows, bc)
-				case *SetClause:
-					err = ex.execSet(bodyEn, bodyRows, bc.Items)
-				case *RemoveClause:
-					err = ex.execRemove(bodyEn, bodyRows, bc)
-				case *DeleteClause:
-					bodyRows, err = ex.execDelete(bodyEn, bodyRows, bc)
-				case *ForeachClause:
-					err = ex.execForeach(bodyEn, bodyRows, bc)
-				}
-				if err != nil {
-					return err
-				}
-			}
+		ex.stats.RelsDeleted++
+		return nil
+	default:
+		return fmt.Errorf("cypher: DELETE of %s", v.Kind())
+	}
+}
+
+// applySetOps applies compiled SET items to one row.
+func (ex *executor) applySetOps(r row, ops []setOp) error {
+	for i := range ops {
+		if err := ex.applySetOp(r, &ops[i]); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// ---- DELETE / SET / REMOVE ----
-
-func (ex *executor) execDelete(en *env, rows []row, c *DeleteClause) ([]row, error) {
-	for _, r := range rows {
-		for _, e := range c.Exprs {
-			v, err := evalExpr(ex.ctx, en, r, e)
-			if err != nil {
-				return nil, err
-			}
-			switch v.Kind() {
-			case value.KindNull:
-				continue
-			case value.KindNode:
-				id, _ := v.EntityID()
-				nid := graph.NodeID(id)
-				if !ex.ctx.tx.NodeExists(nid) {
-					continue // deleted by an earlier row
-				}
-				before := ex.ctx.tx.Degree(nid, graph.Both)
-				if err := ex.ctx.tx.DeleteNode(nid, c.Detach); err != nil {
-					return nil, err
-				}
-				ex.stats.NodesDeleted++
-				ex.stats.RelsDeleted += before
-			case value.KindRelationship:
-				id, _ := v.EntityID()
-				rid := graph.RelID(id)
-				if _, _, _, ok := ex.ctx.tx.RelEndpoints(rid); !ok {
-					continue
-				}
-				if err := ex.ctx.tx.DeleteRel(rid); err != nil {
-					return nil, err
-				}
-				ex.stats.RelsDeleted++
-			default:
-				return nil, fmt.Errorf("cypher: DELETE of %s", v.Kind())
-			}
-		}
-	}
-	return rows, nil
-}
-
-func (ex *executor) execSet(en *env, rows []row, items []*SetItem) error {
-	for _, r := range rows {
-		for _, it := range items {
-			if err := ex.applySetItem(en, r, it); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-func (ex *executor) applySetItem(en *env, r row, it *SetItem) error {
-	slot, ok := en.lookup(it.Target)
-	if !ok {
-		return fmt.Errorf("cypher: variable `%s` not defined in SET", it.Target)
-	}
-	target := r[slot]
+func (ex *executor) applySetOp(r row, op *setOp) error {
+	target := r[op.slot]
 	if target.IsNull() {
 		return nil // SET on null is a no-op (OPTIONAL MATCH semantics)
 	}
 	id, isEnt := target.EntityID()
-	switch it.Kind {
+	switch op.kind {
 	case SetLabels:
 		if target.Kind() != value.KindNode {
 			return fmt.Errorf("cypher: cannot set labels on %s", target.Kind())
 		}
-		for _, l := range it.Labels {
+		for _, l := range op.labels {
 			if err := ex.ctx.tx.SetLabel(graph.NodeID(id), l); err != nil {
 				return err
 			}
@@ -1070,17 +254,17 @@ func (ex *executor) applySetItem(en *env, r row, it *SetItem) error {
 		}
 		return nil
 	case SetProp:
-		v, err := evalExpr(ex.ctx, en, r, it.Value)
+		v, err := op.valFn(ex.ctx, r)
 		if err != nil {
 			return err
 		}
 		switch target.Kind() {
 		case value.KindNode:
-			if err := ex.ctx.tx.SetNodeProp(graph.NodeID(id), it.Key, v); err != nil {
+			if err := ex.ctx.tx.SetNodeProp(graph.NodeID(id), op.key, v); err != nil {
 				return err
 			}
 		case value.KindRelationship:
-			if err := ex.ctx.tx.SetRelProp(graph.RelID(id), it.Key, v); err != nil {
+			if err := ex.ctx.tx.SetRelProp(graph.RelID(id), op.key, v); err != nil {
 				return err
 			}
 		default:
@@ -1089,7 +273,7 @@ func (ex *executor) applySetItem(en *env, r row, it *SetItem) error {
 		ex.stats.PropsSet++
 		return nil
 	case SetAllProps, SetMergeProps:
-		v, err := evalExpr(ex.ctx, en, r, it.Value)
+		v, err := op.valFn(ex.ctx, r)
 		if err != nil {
 			return err
 		}
@@ -1099,13 +283,13 @@ func (ex *executor) applySetItem(en *env, r row, it *SetItem) error {
 				m, ok = props.AsMap()
 			}
 			if !ok {
-				return fmt.Errorf("cypher: SET %s = requires a map", it.Target)
+				return fmt.Errorf("cypher: SET %s = requires a map", op.target)
 			}
 		}
 		if !isEnt {
 			return fmt.Errorf("cypher: cannot set properties on %s", target.Kind())
 		}
-		if it.Kind == SetAllProps {
+		if op.kind == SetAllProps {
 			// Clear existing properties first.
 			switch target.Kind() {
 			case value.KindNode:
@@ -1142,43 +326,36 @@ func (ex *executor) applySetItem(en *env, r row, it *SetItem) error {
 	return fmt.Errorf("cypher: unknown SET item kind")
 }
 
-func (ex *executor) execRemove(en *env, rows []row, c *RemoveClause) error {
-	for _, r := range rows {
-		for _, it := range c.Items {
-			slot, ok := en.lookup(it.Target)
-			if !ok {
-				return fmt.Errorf("cypher: variable `%s` not defined in REMOVE", it.Target)
+// applyRemoveOp applies one compiled REMOVE item to one row.
+func (ex *executor) applyRemoveOp(r row, op *removeOp) error {
+	target := r[op.slot]
+	if target.IsNull() {
+		return nil
+	}
+	id, _ := target.EntityID()
+	if op.key != "" {
+		switch target.Kind() {
+		case value.KindNode:
+			if err := ex.ctx.tx.RemoveNodeProp(graph.NodeID(id), op.key); err != nil {
+				return err
 			}
-			target := r[slot]
-			if target.IsNull() {
-				continue
+		case value.KindRelationship:
+			if err := ex.ctx.tx.RemoveRelProp(graph.RelID(id), op.key); err != nil {
+				return err
 			}
-			id, _ := target.EntityID()
-			if it.Key != "" {
-				switch target.Kind() {
-				case value.KindNode:
-					if err := ex.ctx.tx.RemoveNodeProp(graph.NodeID(id), it.Key); err != nil {
-						return err
-					}
-				case value.KindRelationship:
-					if err := ex.ctx.tx.RemoveRelProp(graph.RelID(id), it.Key); err != nil {
-						return err
-					}
-				default:
-					return fmt.Errorf("cypher: cannot remove property from %s", target.Kind())
-				}
-				ex.stats.PropsSet++
-			}
-			for _, l := range it.Labels {
-				if target.Kind() != value.KindNode {
-					return fmt.Errorf("cypher: cannot remove label from %s", target.Kind())
-				}
-				if err := ex.ctx.tx.RemoveLabel(graph.NodeID(id), l); err != nil {
-					return err
-				}
-				ex.stats.LabelsRemoved++
-			}
+		default:
+			return fmt.Errorf("cypher: cannot remove property from %s", target.Kind())
 		}
+		ex.stats.PropsSet++
+	}
+	for _, l := range op.labels {
+		if target.Kind() != value.KindNode {
+			return fmt.Errorf("cypher: cannot remove label from %s", target.Kind())
+		}
+		if err := ex.ctx.tx.RemoveLabel(graph.NodeID(id), l); err != nil {
+			return err
+		}
+		ex.stats.LabelsRemoved++
 	}
 	return nil
 }

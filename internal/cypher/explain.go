@@ -5,74 +5,150 @@ import (
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/value"
 )
 
-// Explain renders a static description of how a statement would execute:
-// the clause pipeline, and for each MATCH pattern the access path the
-// matcher would choose for its anchor (index lookup, label scan, or full
-// scan) given the store's current indexes and statistics.
+// Explain renders a description of the physical plan the compiler chooses
+// for a statement against the store's current indexes and statistics: the
+// clause pipeline, and for each MATCH the pattern execution order and the
+// access path (index lookup, label scan, or full scan) with its estimated
+// cardinality. The same costing code that plans execution produces the
+// description.
 func Explain(tx *graph.Tx, stmt *Statement) string {
-	ctx := &evalCtx{tx: tx, query: stmt.Query}
-	var sb strings.Builder
+	lines := explainLines(tx, stmt)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// explainResult is what executing an EXPLAIN-prefixed statement returns:
+// one "plan" column with a line per row.
+func (p *Plan) explainResult(tx *graph.Tx, v *planVariant) *Result {
+	lines := explainLines(tx, p.stmt)
+	lines = append(lines, fmt.Sprintf("plan variants compiled: %d", p.Variants()))
+	rows := make([][]value.Value, len(lines))
+	for i, l := range lines {
+		rows[i] = []value.Value{value.Str(l)}
+	}
+	_ = v
+	return &Result{Columns: []string{"plan"}, Rows: rows}
+}
+
+func explainLines(tx *graph.Tx, stmt *Statement) []string {
+	var lines []string
+	lines = append(lines, explainBranch(tx, stmt, stmt.Clauses)...)
+	for i, b := range stmt.Unions {
+		joint := "UNION"
+		if b.All {
+			joint = "UNION ALL"
+		}
+		lines = append(lines, fmt.Sprintf("%s (branch %d)", joint, i+2))
+		lines = append(lines, explainBranch(tx, stmt, b.Clauses)...)
+	}
+	return lines
+}
+
+// explainBranch walks one clause pipeline with the same slot assignment and
+// access-path planning the compiler performs, emitting a line per step.
+func explainBranch(tx *graph.Tx, stmt *Statement, clauses []Clause) []string {
+	cc := &compileCtx{query: stmt.Query, tx: tx, snap: newStatsSnapshot()}
 	en := newEnv()
-	for i, cl := range stmt.Clauses {
-		fmt.Fprintf(&sb, "%d. ", i+1)
+	var lines []string
+	if fc := compileFastCount(cc, clauses); fc != nil {
+		switch fc.kind {
+		case fcTotal:
+			lines = append(lines, "fast count: total nodes (count store)")
+		case fcLabel:
+			lines = append(lines, fmt.Sprintf("fast count: label :%s (count store)", fc.label))
+		default:
+			lines = append(lines, fmt.Sprintf("fast count: :%s.%s (property count store)", fc.label, fc.key))
+		}
+	}
+	for i, cl := range clauses {
+		prefix := fmt.Sprintf("%d. ", i+1)
 		switch c := cl.(type) {
 		case *MatchClause:
 			kw := "MATCH"
 			if c.Optional {
 				kw = "OPTIONAL MATCH"
 			}
-			fmt.Fprintf(&sb, "%s\n", kw)
-			for _, p := range c.Patterns {
-				cp := compilePattern(en, p)
-				m := &matcher{ctx: ctx, en: en, cp: cp}
-				anchor := m.chooseAnchor(make(row, len(en.names)))
-				fmt.Fprintf(&sb, "   pattern %s\n", describePattern(p))
-				fmt.Fprintf(&sb, "   anchor: %s\n", describeAnchor(ctx, p, cp, anchor))
+			lines = append(lines, prefix+kw)
+			parent := en
+			en = en.clone()
+			cps := make([]*compiledPattern, len(c.Patterns))
+			for j, p := range c.Patterns {
+				cps[j] = patternSlots(en, p)
+			}
+			planned := true
+			for _, cp := range cps {
+				if err := compilePatternBody(cc, en, cp); err != nil {
+					lines = append(lines, "   plan error: "+err.Error())
+					planned = false
+					break
+				}
+			}
+			if !planned {
+				continue
+			}
+			order := orderPatterns(parent, en, cps)
+			for rank, idx := range order {
+				cp := cps[idx]
+				lines = append(lines, fmt.Sprintf("   pattern %d/%d %s",
+					rank+1, len(order), describePattern(cp.part)))
+				lines = append(lines, "   "+describeAccess(&cp.access))
 			}
 			if c.Where != nil {
-				sb.WriteString("   filter: WHERE\n")
+				lines = append(lines, "   filter: WHERE")
 			}
 		case *UnwindClause:
-			fmt.Fprintf(&sb, "UNWIND … AS %s\n", c.Var)
+			lines = append(lines, fmt.Sprintf("%sUNWIND … AS %s", prefix, c.Var))
 			en = en.clone()
 			en.add(c.Var)
 		case *WithClause:
-			fmt.Fprintf(&sb, "WITH (%s)\n", describeProjection(c.Items, c.Star, c.Distinct, c.OrderBy != nil))
+			lines = append(lines, fmt.Sprintf("%sWITH (%s)", prefix,
+				describeProjection(c.Items, c.Star, c.Distinct, c.OrderBy != nil)))
 			en = projectionEnv(en, c.Items, c.Star)
 		case *ReturnClause:
-			fmt.Fprintf(&sb, "RETURN (%s)\n", describeProjection(c.Items, c.Star, c.Distinct, c.OrderBy != nil))
+			lines = append(lines, fmt.Sprintf("%sRETURN (%s)", prefix,
+				describeProjection(c.Items, c.Star, c.Distinct, c.OrderBy != nil)))
 		case *CreateClause:
-			fmt.Fprintf(&sb, "CREATE %d pattern(s)\n", len(c.Patterns))
+			lines = append(lines, fmt.Sprintf("%sCREATE %d pattern(s)", prefix, len(c.Patterns)))
+			en = en.clone()
 			for _, p := range c.Patterns {
-				compilePattern(en, p)
+				patternSlots(en, p)
 			}
 		case *MergeClause:
-			fmt.Fprintf(&sb, "MERGE %s\n", describePattern(c.Pattern))
-			compilePattern(en, c.Pattern)
+			lines = append(lines, fmt.Sprintf("%sMERGE %s", prefix, describePattern(c.Pattern)))
+			en = en.clone()
+			cp := patternSlots(en, c.Pattern)
+			if err := compilePatternBody(cc, en, cp); err == nil {
+				lines = append(lines, "   "+describeAccess(&cp.access))
+			}
 		case *DeleteClause:
 			kw := "DELETE"
 			if c.Detach {
 				kw = "DETACH DELETE"
 			}
-			fmt.Fprintf(&sb, "%s %d expression(s)\n", kw, len(c.Exprs))
+			lines = append(lines, fmt.Sprintf("%s%s %d expression(s)", prefix, kw, len(c.Exprs)))
 		case *ForeachClause:
-			fmt.Fprintf(&sb, "FOREACH %s IN … (%d update clause(s))\n", c.Var, len(c.Body))
+			lines = append(lines, fmt.Sprintf("%sFOREACH %s IN … (%d update clause(s))",
+				prefix, c.Var, len(c.Body)))
 		case *SetClause:
-			fmt.Fprintf(&sb, "SET %d item(s)\n", len(c.Items))
+			lines = append(lines, fmt.Sprintf("%sSET %d item(s)", prefix, len(c.Items)))
 		case *RemoveClause:
-			fmt.Fprintf(&sb, "REMOVE %d item(s)\n", len(c.Items))
+			lines = append(lines, fmt.Sprintf("%sREMOVE %d item(s)", prefix, len(c.Items)))
 		}
 	}
-	for i, b := range stmt.Unions {
-		joint := "UNION"
-		if b.All {
-			joint = "UNION ALL"
-		}
-		fmt.Fprintf(&sb, "%s (branch %d: %d clause(s))\n", joint, i+2, len(b.Clauses))
+	return lines
+}
+
+func describeAccess(ap *accessPlan) string {
+	switch ap.kind {
+	case accessIndex:
+		return fmt.Sprintf("anchor: node %d via index (%s.%s), est 1 row", ap.anchor, ap.label, ap.key)
+	case accessLabel:
+		return fmt.Sprintf("anchor: node %d via label scan :%s, est %d rows", ap.anchor, ap.label, ap.est)
+	default:
+		return fmt.Sprintf("anchor: node %d via full scan, est %d rows", ap.anchor, ap.est)
 	}
-	return sb.String()
 }
 
 func projectionEnv(en *env, items []*ReturnItem, star bool) *env {
@@ -136,26 +212,4 @@ func describePattern(p *PatternPart) string {
 		}
 	}
 	return sb.String()
-}
-
-func describeAnchor(ctx *evalCtx, p *PatternPart, cp *compiledPattern, anchor int) string {
-	np := p.Nodes[anchor]
-	pos := fmt.Sprintf("node %d", anchor)
-	for key := range np.Props {
-		for _, l := range np.Labels {
-			if ctx.tx.HasIndex(l, key) {
-				return fmt.Sprintf("%s via index (%s.%s)", pos, l, key)
-			}
-		}
-	}
-	if len(np.Labels) > 0 {
-		best := np.Labels[0]
-		for _, l := range np.Labels[1:] {
-			if ctx.tx.CountByLabel(l) < ctx.tx.CountByLabel(best) {
-				best = l
-			}
-		}
-		return fmt.Sprintf("%s via label scan :%s (%d nodes)", pos, best, ctx.tx.CountByLabel(best))
-	}
-	return fmt.Sprintf("%s via full scan (%d nodes)", pos, ctx.tx.NodeCount())
 }

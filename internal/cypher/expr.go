@@ -1,0 +1,116 @@
+package cypher
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// CompiledExpr is a prepared standalone expression: parsed once, compiled
+// lazily per binding shape, recompiled only on statistics drift (pattern
+// predicates consult the planner). The trigger engine holds one per rule
+// guard and the composite-event layer one per BY key, so steady-state
+// evaluation performs no parsing and no AST interpretation.
+type CompiledExpr struct {
+	src      string
+	expr     Expr
+	variants atomic.Pointer[map[string]*exprVariant]
+	mu       sync.Mutex
+}
+
+type exprVariant struct {
+	names []string
+	fn    exprFn
+	snap  *statsSnapshot
+}
+
+// PrepareExpr parses and wraps a standalone expression.
+func PrepareExpr(src string) (*CompiledExpr, error) {
+	e, err := ParseExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewCompiledExpr(e, src), nil
+}
+
+// NewCompiledExpr wraps an already parsed expression. src is used for
+// positioned error messages and may be empty.
+func NewCompiledExpr(e Expr, src string) *CompiledExpr {
+	ce := &CompiledExpr{src: src, expr: e}
+	empty := make(map[string]*exprVariant)
+	ce.variants.Store(&empty)
+	return ce
+}
+
+// Expr returns the parsed AST (for footprint inspection).
+func (ce *CompiledExpr) Expr() Expr { return ce.expr }
+
+// Source returns the original expression text.
+func (ce *CompiledExpr) Source() string { return ce.src }
+
+// Eval evaluates the expression with opts.Bindings visible as variables.
+func (ce *CompiledExpr) Eval(tx *graph.Tx, opts *Options) (value.Value, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	names := sortedBindingNames(opts.Bindings)
+	v, err := ce.variant(tx, names)
+	if err != nil {
+		return value.Null, err
+	}
+	r := make(row, len(names))
+	for i, n := range names {
+		r[i] = opts.Bindings[n]
+	}
+	ctx := &evalCtx{tx: tx, params: opts.Params, now: opts.Now, query: ce.src}
+	return v.fn(ctx, r)
+}
+
+// EvalBool evaluates the expression under ternary guard semantics: only an
+// exactly-TRUE result is true.
+func (ce *CompiledExpr) EvalBool(tx *graph.Tx, opts *Options) (bool, error) {
+	v, err := ce.Eval(tx, opts)
+	if err != nil {
+		return false, err
+	}
+	b, known := v.Truthy()
+	return known && b, nil
+}
+
+func (ce *CompiledExpr) variant(tx *graph.Tx, names []string) (*exprVariant, error) {
+	shape := strings.Join(names, "\x1f")
+	if m := ce.variants.Load(); m != nil {
+		if v, ok := (*m)[shape]; ok && !v.snap.stale(tx) {
+			return v, nil
+		}
+	}
+	ce.mu.Lock()
+	defer ce.mu.Unlock()
+	if m := ce.variants.Load(); m != nil {
+		if v, ok := (*m)[shape]; ok && !v.snap.stale(tx) {
+			return v, nil
+		}
+	}
+	snap := newStatsSnapshot()
+	cc := &compileCtx{query: ce.src, tx: tx, snap: snap}
+	en := newEnv()
+	for _, n := range names {
+		en.add(n)
+	}
+	fn, err := compileExpr(cc, en, ce.expr)
+	if err != nil {
+		return nil, err
+	}
+	v := &exprVariant{names: names, fn: fn, snap: snap}
+	old := ce.variants.Load()
+	next := make(map[string]*exprVariant, len(*old)+1)
+	for k, ov := range *old {
+		next[k] = ov
+	}
+	next[shape] = v
+	ce.variants.Store(&next)
+	return v, nil
+}

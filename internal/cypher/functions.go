@@ -19,18 +19,6 @@ func isAggregateFunc(name string) bool {
 	return false
 }
 
-func evalFunc(ctx *evalCtx, en *env, r row, call *FuncCall) (value.Value, error) {
-	args := make([]value.Value, len(call.Args))
-	for i, a := range call.Args {
-		v, err := evalExpr(ctx, en, r, a)
-		if err != nil {
-			return value.Null, err
-		}
-		args[i] = v
-	}
-	return applyFunc(ctx, call, args)
-}
-
 func arity(call *FuncCall, args []value.Value, min, max int) error {
 	if len(args) < min || (max >= 0 && len(args) > max) {
 		return fmt.Errorf("cypher: wrong number of arguments to %s()", call.Name)

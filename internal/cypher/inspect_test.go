@@ -111,7 +111,7 @@ func TestExplain(t *testing.T) {
 	}
 	// Label scan and full scan paths.
 	stmt = mustParse(t, "MATCH (c:Company) RETURN c")
-	if out := Explain(tx, stmt); !strings.Contains(out, "label scan :Company (1 nodes)") {
+	if out := Explain(tx, stmt); !strings.Contains(out, "label scan :Company, est 1 rows") {
 		t.Errorf("label scan:\n%s", out)
 	}
 	stmt = mustParse(t, "MATCH (n) RETURN n")

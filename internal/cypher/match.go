@@ -2,6 +2,7 @@ package cypher
 
 import (
 	"errors"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/value"
@@ -10,8 +11,19 @@ import (
 // errStop is used internally to abort a match enumeration early (EXISTS).
 var errStop = errors.New("stop iteration")
 
-// compiledPattern pre-resolves the variable slots of one pattern part
-// against an environment.
+// nodeCheckFn tests one node pattern's labels and property constraints
+// against a concrete node.
+type nodeCheckFn func(ctx *evalCtx, r row, id graph.NodeID) (bool, error)
+
+// relCheckFn tests one relationship pattern's types and property constraints.
+type relCheckFn func(ctx *evalCtx, r row, h graph.RelHandle) (bool, error)
+
+// propsFn materializes a pattern element's property map (CREATE/MERGE).
+type propsFn func(ctx *evalCtx, r row) (map[string]value.Value, error)
+
+// compiledPattern is the fully compiled form of one pattern part: variable
+// slots resolved against an environment, label/property predicates lowered
+// to closures, and a statically costed access plan for the anchor.
 type compiledPattern struct {
 	part      *PatternPart
 	nodeSlots []int  // slot per node pattern; -1 for anonymous
@@ -19,14 +31,20 @@ type compiledPattern struct {
 	nodePre   []bool // slot existed before this pattern (a reused variable)
 	relPre    []bool
 	pathSlot  int // -1 when the part has no path variable
+
+	nodeChecks []nodeCheckFn
+	relChecks  []relCheckFn
+	nodeProps  []propsFn
+	relProps   []propsFn
+	access     accessPlan
 }
 
-// compilePattern assigns slots in en (mutating it) for every named variable
-// of the pattern part. Pre-existing names are reused, which is how joins on
+// patternSlots assigns slots in en (mutating it) for every named variable of
+// the pattern part. Pre-existing names are reused, which is how joins on
 // shared variables happen; whether a slot pre-existed is recorded so the
 // matcher can tell a fresh variable (free to bind) from a variable that an
 // earlier clause bound to NULL (which matches nothing, per Cypher).
-func compilePattern(en *env, part *PatternPart) *compiledPattern {
+func patternSlots(en *env, part *PatternPart) *compiledPattern {
 	cp := &compiledPattern{part: part, pathSlot: -1}
 	introduced := make(map[string]bool)
 	for _, n := range part.Nodes {
@@ -57,6 +75,218 @@ func compilePattern(en *env, part *PatternPart) *compiledPattern {
 	return cp
 }
 
+// compilePatternBody lowers the pattern's predicates and property templates
+// to closures against en and plans the anchor access path. en must already
+// contain every slot the pattern (and its siblings in the same MATCH) binds,
+// so property expressions may reference any of them.
+func compilePatternBody(cc *compileCtx, en *env, cp *compiledPattern) error {
+	cp.nodeChecks = make([]nodeCheckFn, len(cp.part.Nodes))
+	cp.nodeProps = make([]propsFn, len(cp.part.Nodes))
+	for i, np := range cp.part.Nodes {
+		check, err := compileNodeCheck(cc, en, np)
+		if err != nil {
+			return err
+		}
+		cp.nodeChecks[i] = check
+		props, err := compileProps(cc, en, np.Props)
+		if err != nil {
+			return err
+		}
+		cp.nodeProps[i] = props
+	}
+	cp.relChecks = make([]relCheckFn, len(cp.part.Rels))
+	cp.relProps = make([]propsFn, len(cp.part.Rels))
+	for i, rp := range cp.part.Rels {
+		check, err := compileRelCheck(cc, en, rp)
+		if err != nil {
+			return err
+		}
+		cp.relChecks[i] = check
+		props, err := compileProps(cc, en, rp.Props)
+		if err != nil {
+			return err
+		}
+		cp.relProps[i] = props
+	}
+	return planAccess(cc, en, cp)
+}
+
+// compileFullPattern combines slot assignment and body compilation for
+// single-pattern contexts (MERGE, pattern predicates).
+func compileFullPattern(cc *compileCtx, en *env, part *PatternPart) (*compiledPattern, error) {
+	cp := patternSlots(en, part)
+	if err := compilePatternBody(cc, en, cp); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+func compileNodeCheck(cc *compileCtx, en *env, np *NodePattern) (nodeCheckFn, error) {
+	type propCheck struct {
+		key string
+		fn  exprFn
+	}
+	checks := make([]propCheck, 0, len(np.Props))
+	for _, key := range sortedPropKeys(np.Props) {
+		fn, err := compileExpr(cc, en, np.Props[key])
+		if err != nil {
+			return nil, err
+		}
+		checks = append(checks, propCheck{key: key, fn: fn})
+	}
+	labels := np.Labels
+	return func(ctx *evalCtx, r row, id graph.NodeID) (bool, error) {
+		for _, l := range labels {
+			if !ctx.tx.NodeHasLabel(id, l) {
+				return false, nil
+			}
+		}
+		for _, pc := range checks {
+			want, err := pc.fn(ctx, r)
+			if err != nil {
+				return false, err
+			}
+			got, ok := ctx.tx.NodeProp(id, pc.key)
+			if !ok {
+				return false, nil
+			}
+			eq, known := value.Equal(got, want)
+			if !known || !eq {
+				return false, nil
+			}
+		}
+		return true, nil
+	}, nil
+}
+
+func compileRelCheck(cc *compileCtx, en *env, rp *RelPattern) (relCheckFn, error) {
+	type propCheck struct {
+		key string
+		fn  exprFn
+	}
+	checks := make([]propCheck, 0, len(rp.Props))
+	for _, key := range sortedPropKeys(rp.Props) {
+		fn, err := compileExpr(cc, en, rp.Props[key])
+		if err != nil {
+			return nil, err
+		}
+		checks = append(checks, propCheck{key: key, fn: fn})
+	}
+	types := rp.Types
+	return func(ctx *evalCtx, r row, h graph.RelHandle) (bool, error) {
+		if len(types) > 0 {
+			found := false
+			for _, t := range types {
+				if t == h.Type {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false, nil
+			}
+		}
+		for _, pc := range checks {
+			want, err := pc.fn(ctx, r)
+			if err != nil {
+				return false, err
+			}
+			got, ok := ctx.tx.RelProp(h.ID, pc.key)
+			if !ok {
+				return false, nil
+			}
+			eq, known := value.Equal(got, want)
+			if !known || !eq {
+				return false, nil
+			}
+		}
+		return true, nil
+	}, nil
+}
+
+// compileProps compiles a property template to a map-building closure.
+func compileProps(cc *compileCtx, en *env, props map[string]Expr) (propsFn, error) {
+	if len(props) == 0 {
+		return func(*evalCtx, row) (map[string]value.Value, error) { return nil, nil }, nil
+	}
+	keys := sortedPropKeys(props)
+	fns := make([]exprFn, len(keys))
+	for i, k := range keys {
+		fn, err := compileExpr(cc, en, props[k])
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+	}
+	return func(ctx *evalCtx, r row) (map[string]value.Value, error) {
+		out := make(map[string]value.Value, len(keys))
+		for i, k := range keys {
+			v, err := fns[i](ctx, r)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = v
+		}
+		return out, nil
+	}, nil
+}
+
+func sortedPropKeys(props map[string]Expr) []string {
+	keys := make([]string, 0, len(props))
+	for k := range props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// planAccess chooses the anchor node position and its candidate source from
+// the statistics snapshot: index-backed equality beats the smallest label
+// scan beats a full scan. The decision is made once at plan time; the
+// snapshot records the statistics it read so Execute can cheaply detect
+// drift and trigger recompilation.
+func planAccess(cc *compileCtx, en *env, cp *compiledPattern) error {
+	best := accessPlan{anchor: 0}
+	bestCost := int(^uint(0) >> 1)
+	for i, np := range cp.part.Nodes {
+		plan, cost, err := accessFor(cc, en, np, i)
+		if err != nil {
+			return err
+		}
+		if cost < bestCost {
+			best, bestCost = plan, cost
+		}
+	}
+	cp.access = best
+	return nil
+}
+
+func accessFor(cc *compileCtx, en *env, np *NodePattern, pos int) (accessPlan, int, error) {
+	for _, key := range sortedPropKeys(np.Props) {
+		for _, l := range np.Labels {
+			if !cc.snap.hasIndex(cc.tx, l, key) {
+				continue
+			}
+			valFn, err := compileExpr(cc, en, np.Props[key])
+			if err != nil {
+				return accessPlan{}, 0, err
+			}
+			return accessPlan{anchor: pos, kind: accessIndex, label: l, key: key, valFn: valFn, est: 1}, 1, nil
+		}
+	}
+	if len(np.Labels) > 0 {
+		bestLabel, bestCount := np.Labels[0], cc.snap.labelCount(cc.tx, np.Labels[0])
+		for _, l := range np.Labels[1:] {
+			if c := cc.snap.labelCount(cc.tx, l); c < bestCount {
+				bestLabel, bestCount = l, c
+			}
+		}
+		return accessPlan{anchor: pos, kind: accessLabel, label: bestLabel, est: bestCount}, 2 + bestCount, nil
+	}
+	total := cc.snap.totalNodes(cc.tx)
+	return accessPlan{anchor: pos, kind: accessScan, est: total}, 2 + total*2, nil
+}
+
 // nullBound reports whether some pattern variable was bound to NULL by an
 // earlier clause, in which case the pattern matches nothing.
 func (cp *compiledPattern) nullBound(r row) bool {
@@ -73,65 +303,28 @@ func (cp *compiledPattern) nullBound(r row) bool {
 	return false
 }
 
-// nodeMatches checks labels and property constraints of a node pattern
-// against a concrete node.
-func nodeMatches(ctx *evalCtx, en *env, r row, np *NodePattern, id graph.NodeID) (bool, error) {
-	for _, l := range np.Labels {
-		if !ctx.tx.NodeHasLabel(id, l) {
-			return false, nil
+// slots returns every variable slot the pattern binds (nodes, rels, path).
+func (cp *compiledPattern) slots() []int {
+	var out []int
+	for _, s := range cp.nodeSlots {
+		if s >= 0 {
+			out = append(out, s)
 		}
 	}
-	for key, expr := range np.Props {
-		want, err := evalExpr(ctx, en, r, expr)
-		if err != nil {
-			return false, err
-		}
-		got, ok := ctx.tx.NodeProp(id, key)
-		if !ok {
-			return false, nil
-		}
-		eq, known := value.Equal(got, want)
-		if !known || !eq {
-			return false, nil
+	for _, s := range cp.relSlots {
+		if s >= 0 {
+			out = append(out, s)
 		}
 	}
-	return true, nil
-}
-
-func relMatches(ctx *evalCtx, en *env, r row, rp *RelPattern, h graph.RelHandle) (bool, error) {
-	if len(rp.Types) > 0 {
-		found := false
-		for _, t := range rp.Types {
-			if t == h.Type {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return false, nil
-		}
+	if cp.pathSlot >= 0 {
+		out = append(out, cp.pathSlot)
 	}
-	for key, expr := range rp.Props {
-		want, err := evalExpr(ctx, en, r, expr)
-		if err != nil {
-			return false, err
-		}
-		got, ok := ctx.tx.RelProp(h.ID, key)
-		if !ok {
-			return false, nil
-		}
-		eq, known := value.Equal(got, want)
-		if !known || !eq {
-			return false, nil
-		}
-	}
-	return true, nil
+	return out
 }
 
 // matcher drives the backtracking search for one pattern part on one row.
 type matcher struct {
 	ctx      *evalCtx
-	en       *env
 	cp       *compiledPattern
 	usedRels map[graph.RelID]bool
 	emit     func(row) error
@@ -140,7 +333,7 @@ type matcher struct {
 // matchPart enumerates all bindings of cp against base, invoking emit for
 // each complete match. usedRels carries relationship-uniqueness state across
 // pattern parts of the same MATCH clause; pass nil for a fresh scope.
-func matchPart(ctx *evalCtx, en *env, base row, cp *compiledPattern,
+func matchPart(ctx *evalCtx, base row, cp *compiledPattern,
 	usedRels map[graph.RelID]bool, emit func(row) error) error {
 	if usedRels == nil {
 		usedRels = make(map[graph.RelID]bool)
@@ -148,7 +341,7 @@ func matchPart(ctx *evalCtx, en *env, base row, cp *compiledPattern,
 	if cp.nullBound(base) {
 		return nil // a NULL-bound variable in a pattern matches nothing
 	}
-	m := &matcher{ctx: ctx, en: en, cp: cp, usedRels: usedRels, emit: emit}
+	m := &matcher{ctx: ctx, cp: cp, usedRels: usedRels, emit: emit}
 
 	anchor := m.chooseAnchor(base)
 	candidates, err := m.anchorCandidates(base, anchor)
@@ -156,7 +349,7 @@ func matchPart(ctx *evalCtx, en *env, base row, cp *compiledPattern,
 		return err
 	}
 	for _, id := range candidates {
-		ok, err := nodeMatches(ctx, en, base, cp.part.Nodes[anchor], id)
+		ok, err := cp.nodeChecks[anchor](ctx, base, id)
 		if err != nil {
 			return err
 		}
@@ -180,7 +373,7 @@ func matchPart(ctx *evalCtx, en *env, base row, cp *compiledPattern,
 	return nil
 }
 
-// nodeAt returns the concrete node bound at pattern position i in r, if any.
+// boundNode returns the concrete node bound at pattern position i in r, if any.
 func (m *matcher) boundNode(r row, i int) (graph.NodeID, bool) {
 	slot := m.cp.nodeSlots[i]
 	if slot < 0 || slot >= len(r) {
@@ -194,46 +387,20 @@ func (m *matcher) boundNode(r row, i int) (graph.NodeID, bool) {
 	return graph.NodeID(id), true
 }
 
-// chooseAnchor picks the starting node position: a bound variable if any,
-// otherwise the most selective unbound pattern.
+// chooseAnchor picks the starting node position: a bound variable if any
+// (a single concrete node beats any planned scan), otherwise the position
+// the access plan selected at compile time.
 func (m *matcher) chooseAnchor(base row) int {
 	for i := range m.cp.part.Nodes {
 		if _, ok := m.boundNode(base, i); ok {
 			return i
 		}
 	}
-	best, bestCost := 0, int(^uint(0)>>1)
-	for i, np := range m.cp.part.Nodes {
-		cost := m.estimateCost(base, np)
-		if cost < bestCost {
-			best, bestCost = i, cost
-		}
-	}
-	return best
+	return m.cp.access.anchor
 }
 
-func (m *matcher) estimateCost(base row, np *NodePattern) int {
-	// Index-backed equality is cheapest, then label scans, then full scans.
-	for key := range np.Props {
-		for _, l := range np.Labels {
-			if m.ctx.tx.HasIndex(l, key) {
-				return 1
-			}
-		}
-	}
-	if len(np.Labels) > 0 {
-		best := int(^uint(0) >> 1)
-		for _, l := range np.Labels {
-			if c := m.ctx.tx.CountByLabel(l); c < best {
-				best = c
-			}
-		}
-		return 2 + best
-	}
-	return 2 + m.ctx.tx.NodeCount()*2
-}
-
-// anchorCandidates enumerates candidate nodes for the anchor position.
+// anchorCandidates enumerates candidate nodes for the anchor position using
+// the compiled access plan (unless the anchor is already bound).
 func (m *matcher) anchorCandidates(base row, anchor int) ([]graph.NodeID, error) {
 	if id, ok := m.boundNode(base, anchor); ok {
 		if !m.ctx.tx.NodeExists(id) {
@@ -241,31 +408,29 @@ func (m *matcher) anchorCandidates(base row, anchor int) ([]graph.NodeID, error)
 		}
 		return []graph.NodeID{id}, nil
 	}
-	np := m.cp.part.Nodes[anchor]
-	// Index-backed equality lookup.
-	for key, expr := range np.Props {
-		for _, l := range np.Labels {
-			if !m.ctx.tx.HasIndex(l, key) {
-				continue
-			}
-			want, err := evalExpr(m.ctx, m.en, base, expr)
-			if err != nil {
-				return nil, err
-			}
-			ids, _ := m.ctx.tx.NodesByProp(l, key, want)
-			return ids, nil
+	ap := &m.cp.access
+	if anchor != ap.anchor {
+		// A different position was forced (bound variable elsewhere released
+		// mid-chain is impossible, but be safe): scan by that node's label.
+		np := m.cp.part.Nodes[anchor]
+		if len(np.Labels) > 0 {
+			return m.ctx.tx.NodesByLabel(np.Labels[0]), nil
 		}
+		return m.ctx.tx.AllNodes(), nil
 	}
-	if len(np.Labels) > 0 {
-		best := np.Labels[0]
-		for _, l := range np.Labels[1:] {
-			if m.ctx.tx.CountByLabel(l) < m.ctx.tx.CountByLabel(best) {
-				best = l
-			}
+	switch ap.kind {
+	case accessIndex:
+		want, err := ap.valFn(m.ctx, base)
+		if err != nil {
+			return nil, err
 		}
-		return m.ctx.tx.NodesByLabel(best), nil
+		ids, _ := m.ctx.tx.NodesByProp(ap.label, ap.key, want)
+		return ids, nil
+	case accessLabel:
+		return m.ctx.tx.NodesByLabel(ap.label), nil
+	default:
+		return m.ctx.tx.AllNodes(), nil
 	}
-	return m.ctx.tx.AllNodes(), nil
 }
 
 // expandRight advances from pattern position i (node bound to id) towards
@@ -276,8 +441,7 @@ func (m *matcher) expandRight(r row, i int, id graph.NodeID, anchor int, anchorI
 	if i == len(m.cp.part.Nodes)-1 {
 		return m.expandLeft(r, anchor, anchorID)
 	}
-	rp := m.cp.part.Rels[i]
-	return m.expandRel(r, rp, m.cp.relSlots[i], id, i+1, false, func(nr row, nextID graph.NodeID) error {
+	return m.expandRel(r, i, id, i+1, false, func(nr row, nextID graph.NodeID) error {
 		return m.expandRight(nr, i+1, nextID, anchor, anchorID)
 	})
 }
@@ -288,26 +452,28 @@ func (m *matcher) expandLeft(r row, i int, id graph.NodeID) error {
 	if i == 0 {
 		return m.finish(r)
 	}
-	rp := m.cp.part.Rels[i-1]
-	return m.expandRel(r, rp, m.cp.relSlots[i-1], id, i-1, true, func(nr row, nextID graph.NodeID) error {
+	return m.expandRel(r, i-1, id, i-1, true, func(nr row, nextID graph.NodeID) error {
 		return m.expandLeft(nr, i-1, nextID)
 	})
 }
 
-// expandRel enumerates relationships of pattern rp from node fromID towards
-// pattern node position toIdx. reverse is true when walking right-to-left
-// (the pattern's source node is on the other side).
-func (m *matcher) expandRel(r row, rp *RelPattern, relSlot int, fromID graph.NodeID,
+// expandRel enumerates relationships of pattern position ri from node fromID
+// towards pattern node position toIdx. reverse is true when walking
+// right-to-left (the pattern's source node is on the other side).
+func (m *matcher) expandRel(r row, ri int, fromID graph.NodeID,
 	toIdx int, reverse bool, cont func(row, graph.NodeID) error) error {
+	rp := m.cp.part.Rels[ri]
+	relSlot := m.cp.relSlots[ri]
+	check := m.cp.relChecks[ri]
 	if rp.VarHops {
-		return m.expandVarHops(r, rp, relSlot, fromID, toIdx, reverse, cont)
+		return m.expandVarHops(r, rp, relSlot, check, fromID, toIdx, reverse, cont)
 	}
 	dir := traverseDir(rp.Dir, reverse)
 	for _, h := range m.ctx.tx.RelsOf(fromID, dir, rp.Types) {
 		if m.usedRels[h.ID] {
 			continue
 		}
-		ok, err := relMatches(m.ctx, m.en, r, rp, h)
+		ok, err := check(m.ctx, r, h)
 		if err != nil {
 			return err
 		}
@@ -362,14 +528,13 @@ func traverseDir(d PatternDirection, reverse bool) graph.Direction {
 // bindNode checks pattern constraints of node position idx against id and
 // returns the row with the binding applied (a fresh copy when modified).
 func (m *matcher) bindNode(r row, idx int, id graph.NodeID) (row, bool, error) {
-	np := m.cp.part.Nodes[idx]
 	if bound, ok := m.boundNode(r, idx); ok {
 		if bound != id {
 			return r, false, nil
 		}
 		return r, true, nil
 	}
-	ok, err := nodeMatches(m.ctx, m.en, r, np, id)
+	ok, err := m.cp.nodeChecks[idx](m.ctx, r, id)
 	if err != nil || !ok {
 		return r, ok, err
 	}
@@ -382,8 +547,8 @@ func (m *matcher) bindNode(r row, idx int, id graph.NodeID) (row, bool, error) {
 }
 
 // expandVarHops performs depth-first variable-length expansion.
-func (m *matcher) expandVarHops(r row, rp *RelPattern, relSlot int, fromID graph.NodeID,
-	toIdx int, reverse bool, cont func(row, graph.NodeID) error) error {
+func (m *matcher) expandVarHops(r row, rp *RelPattern, relSlot int, check relCheckFn,
+	fromID graph.NodeID, toIdx int, reverse bool, cont func(row, graph.NodeID) error) error {
 	dir := traverseDir(rp.Dir, reverse)
 	maxHops := rp.MaxHops
 	var pathRels []value.Value
@@ -415,7 +580,7 @@ func (m *matcher) expandVarHops(r row, rp *RelPattern, relSlot int, fromID graph
 			if m.usedRels[h.ID] {
 				continue
 			}
-			ok, err := relMatches(m.ctx, m.en, r, rp, h)
+			ok, err := check(m.ctx, r, h)
 			if err != nil {
 				return err
 			}
@@ -459,23 +624,4 @@ func (m *matcher) finish(r row) error {
 		return m.emit(nr)
 	}
 	return m.emit(r)
-}
-
-// patternExists evaluates a pattern expression as an existential predicate:
-// variables already bound in the row constrain the pattern; fresh variables
-// are matched locally and discarded.
-func patternExists(ctx *evalCtx, en *env, r row, part *PatternPart) (bool, error) {
-	local := en.clone()
-	cp := compilePattern(local, part)
-	base := make(row, len(local.names))
-	copy(base, r)
-	found := false
-	err := matchPart(ctx, local, base, cp, nil, func(row) error {
-		found = true
-		return errStop
-	})
-	if err != nil && !errors.Is(err, errStop) {
-		return false, err
-	}
-	return found, nil
 }

@@ -3,6 +3,7 @@ package cypher
 import (
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/value"
 )
@@ -13,22 +14,40 @@ type parser struct {
 	pos  int
 }
 
-// Parse parses a full statement (a clause pipeline).
+// parseCount counts Parse/ParseExpr invocations process-wide. Plan-cache
+// tests use it to prove the hot path performs zero parses in steady state.
+var parseCount atomic.Int64
+
+// ParseCount reports how many times this process has parsed a query or
+// standalone expression.
+func ParseCount() int64 { return parseCount.Load() }
+
+// Parse parses a full statement (a clause pipeline). A leading EXPLAIN
+// marks the statement so Execute describes the physical plan instead of
+// running it.
 func Parse(src string) (*Statement, error) {
+	parseCount.Add(1)
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{src: src, toks: toks}
 	stmt := &Statement{Query: src}
+	// EXPLAIN is not a reserved keyword (it stays usable as an identifier);
+	// a leading bare identifier can only be this prefix, since no clause
+	// starts with one.
+	if p.at(tokIdent) && strings.EqualFold(p.cur().text, "EXPLAIN") {
+		p.advance()
+		stmt.Explain = true
+	}
 	clauses, err := p.parseClauses()
 	if err != nil {
 		return nil, err
 	}
 	stmt.Clauses = clauses
 	for p.atKeyword("UNION") {
+		branch := UnionBranch{pos: p.cur().pos}
 		p.advance()
-		branch := UnionBranch{}
 		if p.at(tokIdent) && strings.EqualFold(p.cur().text, "ALL") {
 			p.advance()
 			branch.All = true
@@ -56,15 +75,15 @@ func Parse(src string) (*Statement, error) {
 			return nil, err
 		}
 		if len(b.Clauses) == 0 {
-			return nil, errAt(src, 0, "empty UNION branch")
+			return nil, errAt(src, b.pos, "empty UNION branch")
 		}
 		if _, ok := b.Clauses[len(b.Clauses)-1].(*ReturnClause); !ok {
-			return nil, errAt(src, 0, "every UNION branch must end in RETURN")
+			return nil, errAt(src, b.pos, "every UNION branch must end in RETURN")
 		}
 	}
 	if len(stmt.Unions) > 0 {
 		if _, ok := stmt.Clauses[len(stmt.Clauses)-1].(*ReturnClause); !ok {
-			return nil, errAt(src, 0, "every UNION branch must end in RETURN")
+			return nil, errAt(src, stmt.Unions[0].pos, "every UNION branch must end in RETURN")
 		}
 	}
 	return stmt, nil
@@ -89,6 +108,7 @@ func ParseExpr(src string) (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
+	parseCount.Add(1)
 	p := &parser{src: src, toks: toks}
 	e, err := p.parseExpr()
 	if err != nil {
@@ -102,8 +122,8 @@ func ParseExpr(src string) (Expr, error) {
 
 func validateClauseOrder(src string, clauses []Clause) error {
 	for i, cl := range clauses {
-		if _, ok := cl.(*ReturnClause); ok && i != len(clauses)-1 {
-			return errAt(src, 0, "RETURN must be the final clause")
+		if r, ok := cl.(*ReturnClause); ok && i != len(clauses)-1 {
+			return errAt(src, r.pos, "RETURN must be the final clause")
 		}
 		var preds []Expr
 		switch c := cl.(type) {
@@ -205,8 +225,14 @@ func (p *parser) parseClause() (Clause, error) {
 		p.advance()
 		return p.parseWith()
 	case "RETURN":
+		pos := t.pos
 		p.advance()
-		return p.parseReturn()
+		r, err := p.parseReturn()
+		if err != nil {
+			return nil, err
+		}
+		r.pos = pos
+		return r, nil
 	case "CREATE":
 		p.advance()
 		pats, err := p.parsePatternList()
@@ -310,7 +336,7 @@ func (p *parser) parseWith() (Clause, error) {
 	return w, nil
 }
 
-func (p *parser) parseReturn() (Clause, error) {
+func (p *parser) parseReturn() (*ReturnClause, error) {
 	r := &ReturnClause{}
 	r.Distinct = p.acceptKeyword("DISTINCT")
 	if p.at(tokStar) {

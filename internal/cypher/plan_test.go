@@ -1,0 +1,407 @@
+package cypher
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// TestParseErrorOffsets pins the byte-exact error positions the parser
+// reports: Error.Pos must be the offset of the offending token in the query
+// text, found here with strings.Index on a uniquely identifying fragment.
+func TestParseErrorOffsets(t *testing.T) {
+	cases := []struct {
+		query string
+		frag  string // first occurrence marks the expected offset
+	}{
+		{"MATCH (n) RETURN n MATCH (m)", "RETURN"}, // RETURN is the misplaced clause
+		{"MATCH (n) WHERE RETURN n", "RETURN"},
+		{"RETURN 1 +", ""}, // end of input: offset == len(query)
+		{"MATCH (n RETURN n", "RETURN"},
+		{"RETURN )", ")"},
+		{"MATCH (n) RETURN n ORDER BY", ""},
+		{"RETURN 1 UNION MATCH (n)", "UNION"}, // RETURN-less branch blamed on its UNION
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.query)
+		if err == nil {
+			t.Errorf("%q should fail", tc.query)
+			continue
+		}
+		var pe *Error
+		if !errors.As(err, &pe) {
+			t.Errorf("%q: error is %T, want *Error", tc.query, err)
+			continue
+		}
+		want := len(tc.query)
+		if tc.frag != "" {
+			want = strings.Index(tc.query, tc.frag)
+		}
+		if pe.Pos != want {
+			t.Errorf("%q: Pos = %d, want %d (%v)", tc.query, pe.Pos, want, err)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("offset %d", want)) {
+			t.Errorf("%q: rendered error lacks offset: %v", tc.query, err)
+		}
+	}
+}
+
+// TestPreparedSteadyStateNoParse is the retire-the-per-event-parse check:
+// once a plan is prepared, executing it any number of times — with varying
+// parameters and binding values — performs zero parser invocations.
+func TestPreparedSteadyStateNoParse(t *testing.T) {
+	s := testGraph(t)
+	plan, err := Prepare("MATCH (p:Person) WHERE p.age > $min RETURN count(*) AS n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin(graph.ReadOnly)
+	defer tx.Rollback()
+	before := ParseCount()
+	for i := 0; i < 100; i++ {
+		res, err := plan.Execute(tx, &Options{
+			Params: map[string]value.Value{"min": value.Int(int64(i % 40))},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+	if d := ParseCount() - before; d != 0 {
+		t.Errorf("steady-state executions parsed %d time(s), want 0", d)
+	}
+	if plan.Variants() != 1 {
+		t.Errorf("variants = %d, want 1", plan.Variants())
+	}
+}
+
+// TestPreparedExprSteadyStateNoParse covers the trigger-guard shape: a
+// CompiledExpr evaluated per event with fresh bindings never re-parses.
+func TestPreparedExprSteadyStateNoParse(t *testing.T) {
+	s := testGraph(t)
+	ce, err := PrepareExpr("NEW.age > 21 AND NEW.age < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin(graph.ReadOnly)
+	defer tx.Rollback()
+	before := ParseCount()
+	for i := 0; i < 100; i++ {
+		m := value.Map(map[string]value.Value{"age": value.Int(int64(i))})
+		ok, err := ce.EvalBool(tx, &Options{Bindings: map[string]value.Value{"NEW": m}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i > 21 && i < 100; ok != want {
+			t.Errorf("age %d: got %v", i, ok)
+		}
+	}
+	if d := ParseCount() - before; d != 0 {
+		t.Errorf("steady-state evaluations parsed %d time(s), want 0", d)
+	}
+}
+
+// TestPlanRecompileOnStatsDrift verifies cheap invalidation: a plan compiled
+// against small-graph statistics recompiles (without re-parsing) after the
+// statistics drift past the 2x threshold, and not before.
+func TestPlanRecompileOnStatsDrift(t *testing.T) {
+	s := graph.NewStore()
+	seed := func(n int) {
+		err := s.Update(func(tx *graph.Tx) error {
+			for i := 0; i < n; i++ {
+				if _, err := tx.CreateNode([]string{"Big"}, map[string]value.Value{
+					"i": value.Int(int64(i))}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed(40)
+	plan, err := Prepare("MATCH (b:Big) RETURN count(*) AS n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() int64 {
+		tx := s.Begin(graph.ReadOnly)
+		defer tx.Rollback()
+		res, err := plan.Execute(tx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := res.Rows[0][0].AsInt()
+		return n
+	}
+	if got := run(); got != 40 {
+		t.Fatalf("count = %d", got)
+	}
+	parses := ParseCount()
+	compiled := PlansCompiled()
+	if got := run(); got != 40 { // warm: no drift, no recompile
+		t.Fatalf("count = %d", got)
+	}
+	if d := PlansCompiled() - compiled; d != 0 {
+		t.Errorf("stable stats recompiled %d time(s)", d)
+	}
+	seed(400) // 40 -> 440 nodes: past the 2x drift threshold
+	if got := run(); got != 440 {
+		t.Fatalf("count after growth = %d", got)
+	}
+	if d := PlansCompiled() - compiled; d != 1 {
+		t.Errorf("drift recompiled %d time(s), want 1", d)
+	}
+	if d := ParseCount() - parses; d != 0 {
+		t.Errorf("recompile parsed %d time(s), want 0", d)
+	}
+}
+
+func TestPlanCacheBasics(t *testing.T) {
+	c := NewPlanCache(64)
+	p1, err := c.Get("RETURN 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Get("RETURN 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("repeat lookup should return the cached plan")
+	}
+	if _, err := c.Get("RETURN ]"); err == nil {
+		t.Error("parse error should surface")
+	}
+	st := c.Stats()
+	if st.Size != 1 || st.Hits != 1 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want size 1, hits 1, misses 2", st)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	// Capacity 16 with 16 shards -> one plan per shard; hammering many
+	// distinct queries must keep the cache bounded and count evictions.
+	c := NewPlanCache(16)
+	for i := 0; i < 200; i++ {
+		if _, err := c.Get(fmt.Sprintf("RETURN %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n > 16 {
+		t.Errorf("cache holds %d plans, capacity 16", n)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Error("no evictions counted")
+	}
+}
+
+// TestPlanCacheConcurrent hammers one cache from many goroutines mixing
+// repeat queries (hits), a churning tail (misses + evictions) and executions
+// of the returned plans. Run under -race this is the lock-free lookup path's
+// soundness check.
+func TestPlanCacheConcurrent(t *testing.T) {
+	s := testGraph(t)
+	c := NewPlanCache(32)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tx := s.Begin(graph.ReadOnly)
+			defer tx.Rollback()
+			for i := 0; i < 300; i++ {
+				query := "MATCH (p:Person) RETURN count(*) AS n"
+				if i%3 == 0 {
+					query = fmt.Sprintf("RETURN %d + %d AS x", g, i%7)
+				}
+				plan, err := c.Get(query)
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := plan.Execute(tx, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows) != 1 {
+					errs <- fmt.Errorf("rows = %d", len(res.Rows))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != goroutines*300 {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, goroutines*300)
+	}
+	if st.Hits == 0 {
+		t.Error("no cache hits under repetition")
+	}
+}
+
+// TestPlanCacheConcurrentSameQuery races every goroutine on one cold query:
+// all must converge on working plans with exactly one cache entry.
+func TestPlanCacheConcurrentSameQuery(t *testing.T) {
+	s := testGraph(t)
+	c := NewPlanCache(0)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			tx := s.Begin(graph.ReadOnly)
+			defer tx.Rollback()
+			for i := 0; i < 100; i++ {
+				plan, err := c.Get("MATCH (p:Person) WHERE p.age > 20 RETURN count(*) AS n")
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := plan.Execute(tx, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n, _ := res.Rows[0][0].AsInt(); n != 3 {
+					errs <- fmt.Errorf("count = %d, want 3", n)
+					return
+				}
+			}
+		}()
+	}
+	start.Done()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := c.Len(); n != 1 {
+		t.Errorf("cache entries = %d, want 1", n)
+	}
+}
+
+// TestExplainStatement runs an EXPLAIN-prefixed query through the normal
+// execution path and checks it returns the plan instead of results.
+func TestExplainStatement(t *testing.T) {
+	s := testGraph(t)
+	if err := s.CreateIndex("Person", "name"); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin(graph.ReadOnly)
+	defer tx.Rollback()
+	res, err := Run(tx, "EXPLAIN MATCH (p:Person {name: 'Alice'}) RETURN p.age", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "plan" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	var out strings.Builder
+	for _, r := range res.Rows {
+		sv, _ := r[0].AsString()
+		out.WriteString(sv)
+		out.WriteByte('\n')
+	}
+	for _, want := range []string{"MATCH", "via index (Person.name)", "RETURN", "plan variants compiled"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explain output missing %q:\n%s", want, out.String())
+		}
+	}
+	// EXPLAIN must not execute: a write statement explained leaves no trace.
+	res, err = Run(tx, "EXPLAIN CREATE (:Ghost)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.NodesCreated != 0 || tx.CountByLabel("Ghost") != 0 {
+		t.Error("EXPLAIN executed the statement")
+	}
+}
+
+// BenchmarkExecutePrepared measures the steady-state hot path: plan-cache
+// hit plus compiled execution. Parser allocations must be zero here — the
+// companion check is TestPreparedSteadyStateNoParse; allocs/op in this
+// benchmark bound the whole per-event overhead.
+func BenchmarkExecutePrepared(b *testing.B) {
+	s := benchGraph(b)
+	c := NewPlanCache(0)
+	query := "MATCH (p:Person) WHERE p.age > $min RETURN count(*) AS n"
+	opts := &Options{Params: map[string]value.Value{"min": value.Int(25)}}
+	tx := s.Begin(graph.ReadOnly)
+	defer tx.Rollback()
+	if _, err := c.Get(query); err != nil {
+		b.Fatal(err)
+	}
+	parses := ParseCount()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := c.Get(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := plan.Execute(tx, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if d := ParseCount() - parses; d != 0 {
+		b.Fatalf("hot path parsed %d time(s)", d)
+	}
+}
+
+// BenchmarkExecuteCold measures the legacy behavior for contrast: parse and
+// compile on every execution.
+func BenchmarkExecuteCold(b *testing.B) {
+	s := benchGraph(b)
+	query := "MATCH (p:Person) WHERE p.age > $min RETURN count(*) AS n"
+	opts := &Options{Params: map[string]value.Value{"min": value.Int(25)}}
+	tx := s.Begin(graph.ReadOnly)
+	defer tx.Rollback()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tx, query, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchGraph(b *testing.B) *graph.Store {
+	b.Helper()
+	s := graph.NewStore()
+	err := s.Update(func(tx *graph.Tx) error {
+		for i := 0; i < 100; i++ {
+			if _, err := tx.CreateNode([]string{"Person"}, map[string]value.Value{
+				"age": value.Int(int64(20 + i%40))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}

@@ -90,6 +90,9 @@ var keywords = map[string]bool{
 }
 
 // Error reports a parse or runtime error with its position in the query.
+// Pos is the exact byte offset of the offending token in Query; Error()
+// renders it alongside the derived line and column so editors and tests can
+// anchor on either form.
 type Error struct {
 	Query string
 	Pos   int
@@ -106,7 +109,7 @@ func (e *Error) Error() string {
 			col++
 		}
 	}
-	return fmt.Sprintf("cypher: %s (line %d, column %d)", e.Msg, line, col)
+	return fmt.Sprintf("cypher: %s (line %d, column %d, offset %d)", e.Msg, line, col, e.Pos)
 }
 
 func errAt(query string, pos int, format string, args ...any) error {

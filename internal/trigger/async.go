@@ -63,7 +63,7 @@ func (e *Engine) EvaluateAsync(tx *graph.Tx, ruleName string, bind Binding) (col
 	if e.Metrics.AlertQuerySeconds != nil {
 		t0 = time.Now()
 	}
-	res, err := cypher.Execute(tx, cr.alert, &cypher.Options{
+	res, err := cr.alert.Execute(tx, &cypher.Options{
 		Bindings: bind,
 		Now:      func() time.Time { return now },
 	})
@@ -99,7 +99,7 @@ func (e *Engine) MaterializeAsync(tx *graph.Tx, ruleName string, bind Binding,
 			for i, c := range cols {
 				actBind[c] = rowVals[i]
 			}
-			if _, err := cypher.Execute(tx, cr.action, &cypher.Options{
+			if _, err := cr.action.Execute(tx, &cypher.Options{
 				Bindings: actBind,
 				Now:      func() time.Time { return now },
 			}); err != nil {

@@ -181,7 +181,7 @@ func (e *Engine) Install(r Rule) error {
 		if state == nil {
 			state = defaultStateLabels
 		}
-		info := cypher.InspectExpr(cr.guard)
+		info := cypher.InspectExpr(cr.guard.Expr())
 		for _, l := range info.MatchedNodeLabels {
 			if state[l] || l == cr.AlertLabel {
 				continue
@@ -555,7 +555,7 @@ func (e *Engine) fireRule(tx *graph.Tx, cr *compiledRule, data *graph.TxData,
 		report.GuardChecks++
 		cr.nChecks.Add(1)
 		if cr.guard != nil {
-			ok, err := cypher.EvalPredicate(tx, cr.guard, &cypher.Options{
+			ok, err := cr.guard.EvalBool(tx, &cypher.Options{
 				Bindings: bind,
 				Now:      func() time.Time { return now },
 			})
@@ -610,7 +610,7 @@ func (e *Engine) fireRule(tx *graph.Tx, cr *compiledRule, data *graph.TxData,
 			if e.Metrics.AlertQuerySeconds != nil {
 				t0 = time.Now()
 			}
-			res, err := cypher.Execute(tx, cr.alert, &cypher.Options{
+			res, err := cr.alert.Execute(tx, &cypher.Options{
 				Bindings: bind,
 				Now:      func() time.Time { return now },
 			})
@@ -635,7 +635,7 @@ func (e *Engine) fireRule(tx *graph.Tx, cr *compiledRule, data *graph.TxData,
 				for i, c := range cols {
 					actBind[c] = rowVals[i]
 				}
-				if _, err := cypher.Execute(tx, cr.action, &cypher.Options{
+				if _, err := cr.action.Execute(tx, &cypher.Options{
 					Bindings: actBind,
 					Now:      func() time.Time { return now },
 				}); err != nil {

@@ -113,11 +113,15 @@ type Rule struct {
 	StepIndex int
 }
 
+// compiledRule holds the rule's prepared artifacts: the guard as a
+// CompiledExpr and the alert/action as Plans. All three are compiled once
+// at install time; steady-state evaluation binds NEW/OLD and runs closures,
+// with no per-event parsing or AST walking.
 type compiledRule struct {
 	Rule
-	guard  cypher.Expr
-	alert  *cypher.Statement
-	action *cypher.Statement
+	guard  *cypher.CompiledExpr
+	alert  *cypher.Plan
+	action *cypher.Plan
 	paused atomic.Bool
 	seq    int
 
@@ -146,25 +150,25 @@ func compileRule(r Rule, defaultAlertLabel string) (*compiledRule, error) {
 	}
 	cr := &compiledRule{Rule: r}
 	if r.Guard != "" {
-		g, err := cypher.ParseExpr(r.Guard)
+		g, err := cypher.PrepareExpr(r.Guard)
 		if err != nil {
 			return nil, fmt.Errorf("trigger: rule %s guard: %w", r.Name, err)
 		}
 		cr.guard = g
 	}
 	if r.Alert != "" {
-		stmt, err := cypher.Parse(r.Alert)
+		plan, err := cypher.Prepare(r.Alert)
 		if err != nil {
 			return nil, fmt.Errorf("trigger: rule %s alert: %w", r.Name, err)
 		}
-		cr.alert = stmt
+		cr.alert = plan
 	}
 	if r.Action != "" {
-		stmt, err := cypher.Parse(r.Action)
+		plan, err := cypher.Prepare(r.Action)
 		if err != nil {
 			return nil, fmt.Errorf("trigger: rule %s action: %w", r.Name, err)
 		}
-		cr.action = stmt
+		cr.action = plan
 	}
 	return cr, nil
 }
@@ -199,15 +203,15 @@ func (cr *compiledRule) footprint() footprint {
 		}
 	}
 	if cr.guard != nil {
-		add(cypher.InspectExpr(cr.guard), false)
+		add(cypher.InspectExpr(cr.guard.Expr()), false)
 	}
 	if cr.alert != nil {
 		// The alert query may itself contain write clauses in action-less
 		// mode (discouraged but possible), so treat it as read+write.
-		add(cypher.Inspect(cr.alert), true)
+		add(cypher.Inspect(cr.alert.Statement()), true)
 	}
 	if cr.action != nil {
-		add(cypher.Inspect(cr.action), true)
+		add(cypher.Inspect(cr.action.Statement()), true)
 	}
 	if cr.action == nil {
 		// Alert-node mode always creates a node with the alert label.
