@@ -13,6 +13,7 @@
 //	rkm-bench -fig async             # sync vs async alert evaluation on the write path
 //	rkm-bench -fig replica           # aggregate read QPS vs replica count
 //	rkm-bench -fig shard             # hub-sharded write scaling + bridge mix
+//	rkm-bench -fig xshard            # cross-shard MATCH vs per-hub fan-out + merge
 //	rkm-bench -fig cep               # composite-event rules vs naive re-scan
 //	rkm-bench -fig plan              # prepared plans + plan cache vs per-event parse
 //	rkm-bench -fig all               # everything
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, fed, conc, async, replica, shard, cep, plan, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 9, 10, ablation, rules, wal, fed, conc, async, replica, shard, xshard, cep, plan, all")
 		patients = flag.String("patients", "", "comma-separated patient counts (overrides defaults)")
 		regions  = flag.Int("regions", 20, "number of regions")
 		days     = flag.Int("days", 2, "days the admissions are spread over")
@@ -43,7 +44,7 @@ func main() {
 		batch    = flag.Int("batch", 1, "patients per transaction")
 		full     = flag.Bool("full", false, "paper-scale sweep (10^2..10^6 patients; slow)")
 		reps     = flag.Int("reps", 1, "repetitions per measurement (median reported)")
-		smoke    = flag.Bool("smoke", false, "tiny sweep for CI (conc, async, replica, shard, cep, plan figures)")
+		smoke    = flag.Bool("smoke", false, "tiny sweep for CI (conc, async, replica, shard, xshard, cep, plan figures)")
 	)
 	flag.Parse()
 
@@ -91,6 +92,8 @@ func main() {
 		runReplica(*smoke)
 	case "shard":
 		runShard(cfg, *smoke)
+	case "xshard":
+		runXShard(cfg, *smoke)
 	case "cep":
 		runCEP(cfg, *smoke)
 	case "plan":
@@ -116,11 +119,13 @@ func main() {
 		fmt.Println()
 		runShard(cfg, *smoke)
 		fmt.Println()
+		runXShard(cfg, *smoke)
+		fmt.Println()
 		runCEP(cfg, *smoke)
 		fmt.Println()
 		runPlan(*smoke)
 	default:
-		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed, conc, async, replica, shard, cep, plan or all)", *fig)
+		fatalf("unknown -fig %q (want 9, 10, ablation, rules, wal, fed, conc, async, replica, shard, xshard, cep, plan or all)", *fig)
 	}
 }
 
@@ -274,6 +279,30 @@ func runShard(cfg bench.Config, smoke bool) {
 			}
 			if p.BridgeTxs > p.Txs {
 				fatalf("shard smoke: bridge commits exceed total commits")
+			}
+		}
+	}
+}
+
+func runXShard(cfg bench.Config, smoke bool) {
+	xcfg := bench.XShardConfig{Seed: cfg.Seed}
+	if smoke {
+		xcfg = bench.SmokeXShardConfig()
+	}
+	pts, err := bench.RunXShard(xcfg)
+	if err != nil {
+		// RunXShard already fails hard if the two strategies disagree or a
+		// bridge binds twice — the correctness half of the CI gate.
+		fatalf("xshard: %v", err)
+	}
+	bench.WriteXShard(os.Stdout, pts)
+	if smoke {
+		for _, p := range pts {
+			if p.Queries == 0 {
+				fatalf("xshard smoke: no queries completed at hubs=%d strategy=%s", p.Hubs, p.Strategy)
+			}
+			if p.Rows == 0 {
+				fatalf("xshard smoke: empty result at hubs=%d strategy=%s", p.Hubs, p.Strategy)
 			}
 		}
 	}

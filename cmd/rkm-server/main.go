@@ -48,6 +48,21 @@
 // trade-off. SIGINT/SIGTERM shut the server down gracefully: in-flight
 // requests drain, the periodic scheduler stops, and a final checkpoint
 // compacts the log before exit.
+//
+// With -hubs the server runs hub-sharded: each declared hub gets its own
+// graph shard (single-writer store + WAL stream), writes name their hub and
+// commit in parallel across hubs, and /query executes cross-shard over a
+// lock-free multi-shard view — a MATCH crossing a knowledge bridge binds it
+// exactly once, with no per-hub fan-out:
+//
+//	rkm-server -hubs 'people:Person+Admin,places:City' -shard-dir ./data
+//
+//	POST /query    {"query": "...", "hub": "people"}   optional hub pins one shard
+//	POST /execute  {"query": "...", "hub": "people"}   hub is required (writes are per-shard)
+//	GET  /stats                                        per-shard blocks + planCache
+//
+// -shard-dir persists the sharded graph (one WAL stream per shard);
+// -data-dir, -demo, -fed-name and -replica-of are incompatible with -hubs.
 package main
 
 import (
@@ -74,7 +89,11 @@ import (
 )
 
 type server struct {
-	kb    *reactive.KnowledgeBase
+	kb *reactive.KnowledgeBase
+	// skb is set instead of kb when the server runs hub-sharded (-hubs);
+	// handlers branch on it. Reads without a hub go cross-shard, writes name
+	// their hub.
+	skb   *reactive.ShardedKB
 	clock *reactive.ManualClock // nil when running on the wall clock
 	fed   *fednet.Node          // nil unless -fed-name was given
 	// leader serves the /wal replication endpoints of a durable server;
@@ -113,11 +132,65 @@ func main() {
 
 		replicaOf = flag.String("replica-of", "", "run as a read replica of the leader at this base URL (writes are rejected)")
 		maxLag    = flag.Duration("max-lag", 10*time.Second, "replica staleness bound: /healthz degrades to 503 beyond this time lag (0 = no bound)")
+
+		hubsSpec = flag.String("hubs", "", "run hub-sharded: comma-separated hub declarations, name:Label1+Label2 (one shard per hub)")
+		shardDir = flag.String("shard-dir", "", "persist the sharded graph under this directory, one WAL stream per shard (requires -hubs)")
 	)
 	flag.Parse()
 
 	srv := &server{maxLag: *maxLag}
 	cfg := reactive.Config{}
+	if *hubsSpec != "" {
+		// Sharded mode: the graph is partitioned by hub; features that assume
+		// one store (demo seeding, federation, replication, the single-store
+		// WAL directory) don't apply to it.
+		switch {
+		case *demo:
+			log.Fatal("-hubs is incompatible with -demo")
+		case *fedName != "" || *fedPeers != "":
+			log.Fatal("-hubs is incompatible with -fed-name/-fed-peers")
+		case *replicaOf != "":
+			log.Fatal("-hubs is incompatible with -replica-of")
+		case *dataDir != "":
+			log.Fatal("-hubs persists with -shard-dir, not -data-dir")
+		}
+		defs, err := parseHubShards(*hubsSpec)
+		if err != nil {
+			log.Fatalf("-hubs: %v", err)
+		}
+		if *shardDir != "" {
+			policy, err := reactive.ParseFsyncPolicy(*fsync)
+			if err != nil {
+				log.Fatalf("-fsync: %v", err)
+			}
+			skb, infos, err := reactive.OpenShardedDurable(*shardDir, cfg, defs, reactive.WALOptions{Fsync: policy})
+			if err != nil {
+				log.Fatalf("open %s: %v", *shardDir, err)
+			}
+			srv.skb = skb
+			for i, info := range infos {
+				if info == nil {
+					continue
+				}
+				log.Printf("recovered shard %d (%s): snapshot seq %d, %d records replayed, last seq %d",
+					i, skb.HubOfShard(i), info.SnapshotSeq, info.RecordsReplayed, info.LastSeq)
+			}
+		} else {
+			skb, err := reactive.NewSharded(cfg, defs)
+			if err != nil {
+				log.Fatalf("-hubs: %v", err)
+			}
+			srv.skb = skb
+		}
+		srv.skb.EnforceHubOwnership()
+		log.Printf("sharded: %d hub(s), one shard each", srv.skb.NumShards())
+		srv.ready.Store(true)
+		srv.serve(*addr, *withPprof)
+		return
+	}
+	if *shardDir != "" {
+		log.Fatal("-shard-dir requires -hubs")
+	}
 	if *demo {
 		srv.clock = reactive.NewManualClock(time.Date(2023, 4, 1, 8, 0, 0, 0, time.UTC))
 		cfg.Clock = srv.clock
@@ -270,23 +343,42 @@ func (s *server) serve(addr string, withPprof bool) {
 	hs := &http.Server{Addr: addr, Handler: mux}
 
 	// On the wall clock the summary scheduler needs a driver; with -demo the
-	// clock is manual and /tick drives it instead.
+	// clock is manual and /tick drives it instead. A sharded server has no
+	// scheduler — instead its afterAsync pending queue needs a drain loop
+	// (the unsharded async pipeline's workers play that role).
 	stopSched := make(chan struct{})
 	schedDone := make(chan struct{})
-	if s.clock == nil {
+	switch {
+	case s.skb != nil:
+		go func() {
+			defer close(schedDone)
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopSched:
+					return
+				case <-t.C:
+					if _, err := s.skb.DrainAsync(); err != nil {
+						log.Printf("async drain: %v", err)
+					}
+				}
+			}
+		}()
+	case s.clock == nil:
 		go func() {
 			defer close(schedDone)
 			if err := s.kb.Scheduler().Run(stopSched, time.Second); err != nil {
 				log.Printf("scheduler: %v", err)
 			}
 		}()
-	} else {
+	default:
 		close(schedDone)
 	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.ListenAndServe() }()
-	log.Printf("rkm-server listening on %s (role=%s, durable=%v)", addr, s.kb.Role(), s.kb.Durable())
+	log.Printf("rkm-server listening on %s (role=%s, durable=%v)", addr, s.role(), s.durable())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -316,6 +408,17 @@ func (s *server) serve(addr string, withPprof bool) {
 	if s.cep != nil {
 		s.cep.Stop()
 	}
+	if s.skb != nil {
+		if s.skb.Durable() {
+			if err := s.skb.Checkpoint(); err != nil {
+				log.Printf("final checkpoint: %v", err)
+			}
+			if err := s.skb.Close(); err != nil {
+				log.Printf("close: %v", err)
+			}
+		}
+		return
+	}
 	// Stop the async workers before the final checkpoint so no follow-up
 	// transaction races the log compaction; unprocessed pending entries stay
 	// in the graph and drain on the next start.
@@ -328,6 +431,22 @@ func (s *server) serve(addr string, withPprof bool) {
 			log.Printf("close: %v", err)
 		}
 	}
+}
+
+// role and durable read the serving instance — sharded or not — so shared
+// code paths don't branch on which one is set.
+func (s *server) role() string {
+	if s.skb != nil {
+		return s.skb.Role()
+	}
+	return s.kb.Role()
+}
+
+func (s *server) durable() bool {
+	if s.skb != nil {
+		return s.skb.Durable()
+	}
+	return s.kb.Durable()
 }
 
 func (s *server) register(mux *http.ServeMux) {
@@ -351,6 +470,38 @@ func (s *server) register(mux *http.ServeMux) {
 	if s.leader != nil {
 		s.leader.Register(mux) // GET /wal/status, /wal/snapshot, /wal/stream
 	}
+}
+
+// parseHubShards parses the -hubs declaration list: comma-separated
+// "name:Label1+Label2" entries, one shard per hub, in declaration order
+// (which fixes the shard indexes — keep it stable across restarts of a
+// durable directory).
+func parseHubShards(s string) ([]reactive.HubShard, error) {
+	var out []reactive.HubShard
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, labels, ok := strings.Cut(part, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad hub %q (want name:Label1+Label2)", part)
+		}
+		hs := reactive.HubShard{Hub: name, Description: "hub " + name}
+		for _, l := range strings.Split(labels, "+") {
+			if l = strings.TrimSpace(l); l != "" {
+				hs.Labels = append(hs.Labels, l)
+			}
+		}
+		if len(hs.Labels) == 0 {
+			return nil, fmt.Errorf("hub %q owns no labels (want name:Label1+Label2)", name)
+		}
+		out = append(out, hs)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no hubs declared")
+	}
+	return out, nil
 }
 
 // fedPeer is one parsed -fed-peers entry.
@@ -402,6 +553,10 @@ func registerPprof(mux *http.ServeMux) {
 type statementRequest struct {
 	Query  string         `json:"query"`
 	Params map[string]any `json:"params"`
+	// Hub pins a statement to one hub's shard on a sharded server: required
+	// for /execute (writes are per-shard), optional for /query (absent means
+	// cross-shard). Ignored on an unsharded server.
+	Hub string `json:"hub"`
 }
 
 type resultResponse struct {
@@ -471,7 +626,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.kb.Query(req.Query, reactive.Params(req.Params))
+	var res *reactive.Result
+	switch {
+	case s.skb != nil && req.Hub != "":
+		res, err = s.skb.QueryInHub(req.Hub, req.Query, reactive.Params(req.Params))
+	case s.skb != nil:
+		res, err = s.skb.Query(req.Query, reactive.Params(req.Params))
+	default:
+		res, err = s.kb.Query(req.Query, reactive.Params(req.Params))
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -485,7 +648,19 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, rep, err := s.kb.ExecuteReport(req.Query, reactive.Params(req.Params))
+	var (
+		res *reactive.Result
+		rep *reactive.Report
+	)
+	if s.skb != nil {
+		if req.Hub == "" {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf(`sharded execute requires "hub" (writes are per-shard)`))
+			return
+		}
+		res, rep, err = s.skb.ExecuteInHub(req.Hub, req.Query, reactive.Params(req.Params))
+	} else {
+		res, rep, err = s.kb.ExecuteReport(req.Query, reactive.Params(req.Params))
+	}
 	if err != nil {
 		if errors.Is(err, reactive.ErrFollowerWrite) {
 			writeErr(w, http.StatusForbidden, err)
@@ -506,7 +681,15 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleAlerts(w http.ResponseWriter, r *http.Request) {
-	alerts, err := s.kb.Alerts()
+	var (
+		alerts []reactive.Alert
+		err    error
+	)
+	if s.skb != nil {
+		alerts, err = s.skb.Alerts()
+	} else {
+		alerts, err = s.kb.Alerts()
+	}
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -558,8 +741,14 @@ func (s *server) handleRulesList(w http.ResponseWriter, r *http.Request) {
 		Composite bool   `json:"composite,omitempty"`
 		Text      string `json:"text,omitempty"`
 	}
+	infos := func() []reactive.RuleInfo {
+		if s.skb != nil {
+			return s.skb.Rules()
+		}
+		return s.kb.Rules()
+	}()
 	var out []ruleJSON
-	for _, info := range s.kb.Rules() {
+	for _, info := range infos {
 		if s.cep != nil && s.cep.Owns(info.Name) {
 			continue // internal per-step rule of a composite; listed below
 		}
@@ -607,7 +796,7 @@ func (s *server) handleRuleInstall(w http.ResponseWriter, r *http.Request) {
 		// manager; anything else is an ordinary trigger.
 		if cep.IsCompositeStatement(req.Text) {
 			if s.cep == nil {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("composite rules are not available on a %s", s.kb.Role()))
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("composite rules are not available on a %s", s.role()))
 				return
 			}
 			rule, err := s.cep.InstallText(req.Text)
@@ -618,7 +807,15 @@ func (s *server) handleRuleInstall(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusCreated, map[string]any{"installed": rule.Name, "composite": true})
 			return
 		}
-		rule, err := s.kb.InstallRuleText(req.Text)
+		var (
+			rule reactive.Rule
+			err  error
+		)
+		if s.skb != nil {
+			rule, err = s.skb.InstallRuleText(req.Text)
+		} else {
+			rule, err = s.kb.InstallRuleText(req.Text)
+		}
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
@@ -636,7 +833,7 @@ func (s *server) handleRuleInstall(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	err = s.kb.InstallRule(reactive.Rule{
+	rule := reactive.Rule{
 		Name:   req.Name,
 		Hub:    req.Hub,
 		Event:  reactive.Event{Kind: kind, Label: req.Label, PropKey: req.PropKey},
@@ -644,7 +841,12 @@ func (s *server) handleRuleInstall(w http.ResponseWriter, r *http.Request) {
 		Guard:  req.Guard,
 		Alert:  req.Alert,
 		Action: req.Action,
-	})
+	}
+	if s.skb != nil {
+		err = s.skb.InstallRule(rule)
+	} else {
+		err = s.kb.InstallRule(rule)
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -666,7 +868,13 @@ func (s *server) handleRuleDrop(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
 		return
 	}
-	if err := s.kb.DropRule(name); err != nil {
+	var err error
+	if s.skb != nil {
+		err = s.skb.DropRule(name)
+	} else {
+		err = s.kb.DropRule(name)
+	}
+	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
@@ -676,7 +884,12 @@ func (s *server) handleRuleDrop(w http.ResponseWriter, r *http.Request) {
 // handleRulesAPOC exports the rule set as Neo4j APOC trigger calls
 // (Fig. 6/7 translation).
 func (s *server) handleRulesAPOC(w http.ResponseWriter, r *http.Request) {
-	translated, skipped := s.kb.TranslateRulesAPOC("neo4j", "before")
+	var translated, skipped []string
+	if s.skb != nil {
+		translated, skipped = s.skb.TranslateRulesAPOC("neo4j", "before")
+	} else {
+		translated, skipped = s.kb.TranslateRulesAPOC("neo4j", "before")
+	}
 	if s.cep != nil {
 		// The composite manager's internal per-step rules translate as part
 		// of the composite export below, not as standalone triggers.
@@ -714,7 +927,12 @@ func (s *server) handleHubs(w http.ResponseWriter, r *http.Request) {
 		Labels      []string `json:"labels"`
 	}
 	var out []hubJSON
-	reg := s.kb.Hubs()
+	reg := func() *reactive.HubRegistry {
+		if s.skb != nil {
+			return s.skb.Hubs()
+		}
+		return s.kb.Hubs()
+	}()
 	for _, h := range reg.Hubs() {
 		out = append(out, hubJSON{Name: h.Name, Description: h.Description,
 			Labels: reg.OwnedLabels(h.Name)})
@@ -723,6 +941,10 @@ func (s *server) handleHubs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.skb != nil {
+		s.handleShardedStats(w)
+		return
+	}
 	g := s.kb.GraphStats()
 	hs, err := s.kb.HubStats()
 	if err != nil {
@@ -765,11 +987,67 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleShardedStats is /stats on a sharded server: aggregate totals, one
+// block per shard (its hub, store sizes), and the shared plan cache's
+// counters.
+func (s *server) handleShardedStats(w http.ResponseWriter) {
+	kb := s.skb
+	// Totals come from the multi-shard view's mirror-aware counters: a
+	// knowledge bridge stores a half in both endpoint shards, so summing
+	// the raw per-shard record counts would count it twice.
+	var totalNodes, totalRels int
+	_ = kb.View(func(v *reactive.MultiView) error {
+		totalNodes, totalRels = v.NodeCount(), v.RelCount()
+		return nil
+	})
+	perShard := make([]map[string]any, 0, kb.NumShards())
+	for i := 0; i < kb.NumShards(); i++ {
+		st := kb.Store().Shard(i).Stats()
+		perShard = append(perShard, map[string]any{
+			"shard":         i,
+			"hub":           kb.HubOfShard(i),
+			"nodes":         st.Nodes,
+			"relationships": st.Relationships,
+			"labels":        st.Labels,
+			"relTypes":      st.RelTypes,
+			"indexes":       st.Indexes,
+		})
+	}
+	out := map[string]any{
+		"nodes":         totalNodes,
+		"relationships": totalRels,
+		"shards":        kb.NumShards(),
+		"perShard":      perShard,
+		"asyncPending":  kb.AsyncDepth(),
+		"time":          kb.Now().Format(time.RFC3339),
+		"role":          kb.Role(),
+	}
+	pc := kb.PlanCacheStats()
+	ratio := 0.0
+	if total := pc.Hits + pc.Misses; total > 0 {
+		ratio = float64(pc.Hits) / float64(total)
+	}
+	out["planCache"] = map[string]any{
+		"size":      pc.Size,
+		"hits":      pc.Hits,
+		"misses":    pc.Misses,
+		"evictions": pc.Evictions,
+		"hitRatio":  ratio,
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // handleMetrics serves the Prometheus text exposition of every registered
 // metric (see OBSERVABILITY.md for the catalog).
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.kb.Metrics().WritePrometheus(w); err != nil {
+	reg := func() *reactive.MetricsRegistry {
+		if s.skb != nil {
+			return s.skb.Metrics()
+		}
+		return s.kb.Metrics()
+	}()
+	if err := reg.WritePrometheus(w); err != nil {
 		log.Printf("metrics: %v", err)
 	}
 }
@@ -781,11 +1059,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "starting", "role": s.kb.Role(),
+			"status": "starting", "role": s.role(),
 		})
 		return
 	}
-	out := map[string]any{"status": "ok", "role": s.kb.Role()}
+	out := map[string]any{"status": "ok", "role": s.role()}
 	if s.follower != nil {
 		recs, secs := s.follower.Lag()
 		out["lagRecords"] = recs
@@ -801,8 +1079,23 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if !s.kb.Durable() {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("checkpoint requires -data-dir (durable mode)"))
+	if !s.durable() {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("checkpoint requires -data-dir or -shard-dir (durable mode)"))
+		return
+	}
+	if s.skb != nil {
+		if err := s.skb.Checkpoint(); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		seqs := make([]uint64, s.skb.NumShards())
+		for i := range seqs {
+			seqs[i] = s.skb.WAL().Log(i).LastSeq()
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"checkpointed": true,
+			"lastSeqs":     seqs,
+		})
 		return
 	}
 	if err := s.kb.Checkpoint(); err != nil {

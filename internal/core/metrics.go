@@ -54,6 +54,8 @@ const (
 	mShardCrossCommits = "rkm_shard_cross_commits_total"
 	mShardLockWait     = "rkm_shard_lock_wait_seconds"
 	mShardWALFsync     = "rkm_shard_wal_fsync_seconds"
+	mShardQueries      = "rkm_shard_query_total"
+	mShardQuerySeconds = "rkm_shard_query_seconds"
 
 	mPlanCacheHits      = "rkm_cypher_plan_cache_hits_total"
 	mPlanCacheMisses    = "rkm_cypher_plan_cache_misses_total"

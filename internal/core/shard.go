@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cypher"
 	"repro/internal/graph"
@@ -73,9 +74,11 @@ type ShardedKB struct {
 	follower    atomic.Bool
 	replicaSeqs []atomic.Uint64 // in-memory follower apply cursors, one per shard
 
-	metrics   *metrics.Registry
-	mCross    *metrics.Counter
-	mAsyncEnq *metrics.Counter
+	metrics     *metrics.Registry
+	mCross      *metrics.Counter
+	mAsyncEnq   *metrics.Counter
+	mXQuery     *metrics.Counter
+	mXQuerySecs *metrics.Histogram
 
 	// plans caches prepared statements keyed by query text; lookups are
 	// lock-free, so concurrent per-hub readers never contend on parsing.
@@ -275,6 +278,27 @@ func (kb *ShardedKB) InstallRuleText(src string) (trigger.Rule, error) {
 // Rules lists installed rules with their classifications.
 func (kb *ShardedKB) Rules() []trigger.RuleInfo { return kb.engine.Rules() }
 
+// DropRule uninstalls a rule (shared by all shards).
+func (kb *ShardedKB) DropRule(name string) error { return kb.engine.Drop(name) }
+
+// TranslateRulesAPOC exports every installed rule as a Neo4j APOC trigger
+// installation call (Fig. 6/7 translation); untranslatable rules are listed
+// in skipped.
+func (kb *ShardedKB) TranslateRulesAPOC(dbName, phase string) (translated, skipped []string) {
+	return kb.engine.TranslateAllAPOC(dbName, phase)
+}
+
+// Now reads the knowledge base's clock.
+func (kb *ShardedKB) Now() time.Time { return kb.clock.Now() }
+
+// Role names this instance's replication role, qualified as sharded.
+func (kb *ShardedKB) Role() string {
+	if kb.Follower() {
+		return "sharded-follower"
+	}
+	return "sharded-leader"
+}
+
 func (kb *ShardedKB) checkShard(i int) error {
 	if i < 0 || i >= kb.store.NumShards() {
 		return fmt.Errorf("core: shard %d out of range [0,%d)", i, kb.store.NumShards())
@@ -458,6 +482,94 @@ func (kb *ShardedKB) prepare(query string) (*cypher.Plan, error) {
 
 // PlanCacheStats snapshots the shared plan cache's size and hit counters.
 func (kb *ShardedKB) PlanCacheStats() cypher.PlanCacheStats { return kb.plans.Stats() }
+
+// Query runs a read-only statement across all shards at once, lock-free:
+// every shard's committed snapshot is pinned independently and the plan
+// executes over the resulting multi-shard view. A MATCH that crosses a
+// knowledge bridge follows it from either side and binds the bridge exactly
+// once (both halves share one relationship identifier). Anchor selection
+// costs against cardinalities aggregated over all shards, and the compiled
+// variant is cached per backing store, so per-hub reads on skewed shards
+// never execute a plan costed for the sharded view or vice versa. Write
+// clauses fail: cross-shard views take no shard locks and are read-only.
+func (kb *ShardedKB) Query(query string, params map[string]value.Value) (*cypher.Result, error) {
+	plan, err := kb.prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	var t0 time.Time
+	if kb.mXQuerySecs != nil {
+		t0 = time.Now()
+	}
+	v := kb.store.View()
+	defer v.Rollback()
+	res, err := plan.Execute(v, &cypher.Options{Params: params, Now: kb.clock.Now})
+	if err != nil {
+		return nil, err
+	}
+	if kb.mXQuery != nil {
+		kb.mXQuery.Inc()
+		kb.mXQuerySecs.ObserveSince(t0)
+	}
+	return res, nil
+}
+
+// ExplainQuery renders the compiled plan a cross-shard Query for this
+// statement would run: anchor choices are costed against label and index
+// cardinalities aggregated over every shard.
+func (kb *ShardedKB) ExplainQuery(query string) (string, error) {
+	plan, err := kb.prepare(query)
+	if err != nil {
+		return "", err
+	}
+	v := kb.store.View()
+	defer v.Rollback()
+	return cypher.Explain(v, plan.Statement()), nil
+}
+
+// Alerts lists the alert nodes of every shard, oldest first (by dateTime,
+// then id). Alert nodes are created in the shard of the hub whose rule
+// fired, so the list is assembled over a multi-shard view.
+func (kb *ShardedKB) Alerts() ([]Alert, error) {
+	label := kb.engine.AlertLabel
+	if label == "" {
+		label = trigger.DefaultAlertLabel
+	}
+	var out []Alert
+	err := kb.View(func(v *graph.MultiView) error {
+		for _, id := range v.NodesByLabel(label) {
+			n, ok := v.Node(id)
+			if !ok {
+				continue
+			}
+			a := Alert{ID: id, Props: make(map[string]value.Value)}
+			for k, pv := range n.Props {
+				switch k {
+				case "rule":
+					a.Rule, _ = pv.AsString()
+				case "hub":
+					a.Hub, _ = pv.AsString()
+				case "dateTime":
+					a.DateTime, _ = pv.AsDateTime()
+				default:
+					a.Props[k] = pv
+				}
+			}
+			out = append(out, a)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].DateTime.Equal(out[j].DateTime) {
+			return out[i].DateTime.Before(out[j].DateTime)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
 
 // QueryInHub runs a read-only statement against the named hub's shard,
 // lock-free on its committed snapshot. The query sees that hub's nodes and
@@ -872,6 +984,10 @@ func (kb *ShardedKB) wireShardedMetrics(reg *metrics.Registry, policy wal.FsyncP
 		"Committed two-shard bridge transactions.")
 	kb.mAsyncEnq = reg.Counter(mAsyncEnqueued,
 		"AfterAsync activations committed onto the pending queue.")
+	kb.mXQuery = reg.Counter(mShardQueries,
+		"Cross-shard read-only queries executed over a multi-shard view.")
+	kb.mXQuerySecs = reg.Histogram(mShardQuerySeconds,
+		"Latency of cross-shard read-only queries, in seconds.", nil)
 	kb.plans.SetMetrics(
 		reg.Counter(mPlanCacheHits,
 			"Plan-cache lookups served from the cache."),

@@ -1,0 +1,224 @@
+package core
+
+// Planner behavior on sharded stores: the plan cache is shared by every
+// shard (one parse per query text), but compiled variants carry
+// statistics-driven anchor choices, so they must be cached per executing
+// store. These tests pin that contract and race cross-shard reads against
+// per-shard and bridge writers.
+
+import (
+	"fmt"
+	"regexp"
+	"sync"
+	"testing"
+
+	"repro/internal/cypher"
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// skewedSharded builds a two-hub knowledge base with opposite label skews:
+// shard 0 holds 50 :X and 1 :Y, shard 1 holds 1 :X and 50 :Y, each with one
+// X->Y relationship. A cost-based planner must anchor MATCH (x:X)-->(y:Y)
+// at :Y on shard 0 and at :X on shard 1.
+func skewedSharded(t *testing.T) *ShardedKB {
+	t.Helper()
+	kb, err := NewSharded(Config{}, []HubShard{
+		{Hub: "a", Description: "x-heavy"},
+		{Hub: "b", Description: "y-heavy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := func(shard, nx, ny int) {
+		if _, err := kb.UpdateShard(shard, func(tx *graph.Tx) error {
+			var x0, y0 graph.NodeID
+			for i := 0; i < nx; i++ {
+				id, err := tx.CreateNode([]string{"X"}, nil)
+				if err != nil {
+					return err
+				}
+				if i == 0 {
+					x0 = id
+				}
+			}
+			for i := 0; i < ny; i++ {
+				id, err := tx.CreateNode([]string{"Y"}, nil)
+				if err != nil {
+					return err
+				}
+				if i == 0 {
+					y0 = id
+				}
+			}
+			_, err := tx.CreateRel(x0, y0, "R", nil)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fill(0, 50, 1)
+	fill(1, 1, 50)
+	return kb
+}
+
+var anchorLine = regexp.MustCompile(`anchor: node \d+ via label scan :(\w+)`)
+
+// TestShardedPlanVariantsPerStore checks that one shared plan yields one
+// compiled variant per executing store — per-hub executions on skewed
+// shards must each be costed against their own statistics, and the
+// cross-shard view is a fourth store with aggregated statistics, not a
+// reuse of whichever shard prepared the plan first.
+func TestShardedPlanVariantsPerStore(t *testing.T) {
+	kb := skewedSharded(t)
+	const q = "MATCH (x:X)-[:R]->(y:Y) RETURN count(*)"
+
+	// The anchor choice really is statistics-dependent: explain against
+	// each shard's own view picks the rare side.
+	stmt, err := cypher.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		if err := kb.ViewShard(i, func(tx *graph.Tx) error {
+			m := anchorLine.FindStringSubmatch(cypher.Explain(tx, stmt))
+			if m == nil {
+				t.Fatalf("shard %d explain has no label-scan anchor:\n%s", i, cypher.Explain(tx, stmt))
+			}
+			anchors[i] = m[1]
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if anchors[0] != "Y" || anchors[1] != "X" {
+		t.Fatalf("anchors = %v, want [Y X] (each shard anchors its rare label)", anchors)
+	}
+
+	run := func(exec func() (*cypher.Result, error), want int64, where string) {
+		t.Helper()
+		res, err := exec()
+		if err != nil {
+			t.Fatalf("%s: %v", where, err)
+		}
+		if got := res.Rows[0][0].String(); got != fmt.Sprint(want) {
+			t.Fatalf("%s: count = %s, want %d", where, got, want)
+		}
+	}
+	inHub := func(hub string) func() (*cypher.Result, error) {
+		return func() (*cypher.Result, error) { return kb.QueryInHub(hub, q, nil) }
+	}
+	cross := func() (*cypher.Result, error) { return kb.Query(q, nil) }
+
+	before := cypher.PlansCompiled()
+	run(inHub("a"), 1, "hub a, first")
+	run(inHub("b"), 1, "hub b, first")
+	run(cross, 2, "cross-shard, first")
+	if d := cypher.PlansCompiled() - before; d != 3 {
+		t.Fatalf("first executions compiled %d variants, want 3 (one per store)", d)
+	}
+	// Re-executions must hit each store's cached variant, not recompile —
+	// and not cross-contaminate: the counts stay right on every store.
+	run(inHub("a"), 1, "hub a, repeat")
+	run(inHub("b"), 1, "hub b, repeat")
+	run(cross, 2, "cross-shard, repeat")
+	if d := cypher.PlansCompiled() - before; d != 3 {
+		t.Fatalf("repeat executions recompiled: %d variants total, want 3", d)
+	}
+}
+
+// TestShardedCrossQueryConcurrentWithWriters races cross-shard MATCHes that
+// traverse knowledge bridges against per-shard writers and a bridge
+// writer. Every read must see a consistent multi-shard snapshot: each
+// bridge bound exactly once, never a torn half. Run under -race by the CI
+// concurrency sweeps.
+func TestShardedCrossQueryConcurrentWithWriters(t *testing.T) {
+	kb := paritySharded(t)
+	const readers = 4
+	const rounds = 50
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // per-shard writer churning an unrelated shard
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := kb.UpdateShard(2, func(tx *graph.Tx) error {
+				_, err := tx.CreateNode([]string{"Widget"}, map[string]value.Value{"n": value.Int(int64(100 + i))})
+				return err
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // bridge writer adding person->city bridges
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := kb.UpdateBridgeShards(0, 1, func(bt *graph.BridgeTx) error {
+				p, err := bt.CreateNodeIn(0, []string{"Visitor"}, nil)
+				if err != nil {
+					return err
+				}
+				c, err := bt.CreateNodeIn(1, []string{"Stop"}, nil)
+				if err != nil {
+					return err
+				}
+				_, err = bt.CreateRel(p, c, "VISITED", nil)
+				return err
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var rwg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for i := 0; i < rounds; i++ {
+				// The fixture's four LIVES_IN bridges are immutable during
+				// the run; each must be bound exactly once.
+				res, err := kb.Query(
+					"MATCH (p:Person)-[:LIVES_IN]->(c:City) RETURN p.name, c.code", nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(res.Rows) != 4 {
+					t.Errorf("cross-shard bridge MATCH returned %d rows, want 4", len(res.Rows))
+					return
+				}
+				// Visitor/Stop bridges churn, but a consistent cut never
+				// shows a torn half: every VISITED edge reaches a Stop.
+				res, err = kb.Query(
+					"MATCH (v:Visitor)-[e:VISITED]->(s) RETURN count(e), count(s)", nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if fmt.Sprint(res.Rows[0][0]) != fmt.Sprint(res.Rows[0][1]) {
+					t.Errorf("torn bridge: %s edges but %s endpoints",
+						res.Rows[0][0].String(), res.Rows[0][1].String())
+					return
+				}
+			}
+		}()
+	}
+	rwg.Wait()
+	close(done)
+	wg.Wait()
+}

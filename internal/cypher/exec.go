@@ -65,14 +65,26 @@ type executor struct {
 	result *Result
 }
 
-// Execute runs a parsed statement in the given transaction through its
+// writer returns the execution view as a write-capable transaction. Write
+// clauses compile against any ReadView but can only run in a single-store
+// *graph.Tx; a cross-shard MultiView takes no shard locks and is read-only
+// by design.
+func (ex *executor) writer() (*graph.Tx, error) {
+	tx, ok := ex.ctx.tx.(*graph.Tx)
+	if !ok {
+		return nil, fmt.Errorf("cypher: write clauses require a single-store transaction (cross-shard views are read-only)")
+	}
+	return tx, nil
+}
+
+// Execute runs a parsed statement in the given read view through its
 // compiled plan (compiling on first use).
-func Execute(tx *graph.Tx, stmt *Statement, opts *Options) (*Result, error) {
+func Execute(tx graph.ReadView, stmt *Statement, opts *Options) (*Result, error) {
 	return stmt.Prepared().Execute(tx, opts)
 }
 
 // Run parses and executes a query.
-func Run(tx *graph.Tx, query string, opts *Options) (*Result, error) {
+func Run(tx graph.ReadView, query string, opts *Options) (*Result, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -83,7 +95,7 @@ func Run(tx *graph.Tx, query string, opts *Options) (*Result, error) {
 // EvalPredicate evaluates a standalone parsed expression (a rule guard)
 // against the supplied bindings, returning its truth value under ternary
 // semantics (NULL/unknown evaluates to false).
-func EvalPredicate(tx *graph.Tx, expr Expr, opts *Options) (bool, error) {
+func EvalPredicate(tx graph.ReadView, expr Expr, opts *Options) (bool, error) {
 	v, err := EvalExpr(tx, expr, opts)
 	if err != nil {
 		return false, err
@@ -95,7 +107,7 @@ func EvalPredicate(tx *graph.Tx, expr Expr, opts *Options) (bool, error) {
 // EvalExpr evaluates a standalone parsed expression with the supplied
 // bindings visible as variables and returns its value. The expression is
 // compiled transiently; hot paths should hold a CompiledExpr instead.
-func EvalExpr(tx *graph.Tx, expr Expr, opts *Options) (value.Value, error) {
+func EvalExpr(tx graph.ReadView, expr Expr, opts *Options) (value.Value, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -124,6 +136,10 @@ func EvalExpr(tx *graph.Tx, expr Expr, opts *Options) (value.Value, error) {
 // createPattern creates the pattern's nodes and relationships for one row,
 // reusing already bound variables, and returns the row with fresh bindings.
 func (ex *executor) createPattern(r row, cp *compiledPattern) (row, error) {
+	w, err := ex.writer()
+	if err != nil {
+		return r, err
+	}
 	ids := make([]graph.NodeID, len(cp.part.Nodes))
 	for i, np := range cp.part.Nodes {
 		slot := cp.nodeSlots[i]
@@ -145,7 +161,7 @@ func (ex *executor) createPattern(r row, cp *compiledPattern) (row, error) {
 		if err != nil {
 			return r, err
 		}
-		id, err := ex.ctx.tx.CreateNode(np.Labels, props)
+		id, err := w.CreateNode(np.Labels, props)
 		if err != nil {
 			return r, err
 		}
@@ -177,7 +193,7 @@ func (ex *executor) createPattern(r row, cp *compiledPattern) (row, error) {
 		if err != nil {
 			return r, err
 		}
-		id, err := ex.ctx.tx.CreateRel(start, end, rp.Types[0], props)
+		id, err := w.CreateRel(start, end, rp.Types[0], props)
 		if err != nil {
 			return r, err
 		}
@@ -193,17 +209,22 @@ func (ex *executor) createPattern(r row, cp *compiledPattern) (row, error) {
 // deleteEntity deletes the node or relationship v refers to, tolerating
 // entities already deleted by an earlier row.
 func (ex *executor) deleteEntity(v value.Value, detach bool) error {
-	switch v.Kind() {
-	case value.KindNull:
+	if v.Kind() == value.KindNull {
 		return nil
+	}
+	w, err := ex.writer()
+	if err != nil {
+		return err
+	}
+	switch v.Kind() {
 	case value.KindNode:
 		id, _ := v.EntityID()
 		nid := graph.NodeID(id)
-		if !ex.ctx.tx.NodeExists(nid) {
+		if !w.NodeExists(nid) {
 			return nil // deleted by an earlier row
 		}
-		before := ex.ctx.tx.Degree(nid, graph.Both)
-		if err := ex.ctx.tx.DeleteNode(nid, detach); err != nil {
+		before := w.Degree(nid, graph.Both)
+		if err := w.DeleteNode(nid, detach); err != nil {
 			return err
 		}
 		ex.stats.NodesDeleted++
@@ -212,10 +233,10 @@ func (ex *executor) deleteEntity(v value.Value, detach bool) error {
 	case value.KindRelationship:
 		id, _ := v.EntityID()
 		rid := graph.RelID(id)
-		if _, _, _, ok := ex.ctx.tx.RelEndpoints(rid); !ok {
+		if _, _, _, ok := w.RelEndpoints(rid); !ok {
 			return nil
 		}
-		if err := ex.ctx.tx.DeleteRel(rid); err != nil {
+		if err := w.DeleteRel(rid); err != nil {
 			return err
 		}
 		ex.stats.RelsDeleted++
@@ -240,6 +261,10 @@ func (ex *executor) applySetOp(r row, op *setOp) error {
 	if target.IsNull() {
 		return nil // SET on null is a no-op (OPTIONAL MATCH semantics)
 	}
+	w, err := ex.writer()
+	if err != nil {
+		return err
+	}
 	id, isEnt := target.EntityID()
 	switch op.kind {
 	case SetLabels:
@@ -247,7 +272,7 @@ func (ex *executor) applySetOp(r row, op *setOp) error {
 			return fmt.Errorf("cypher: cannot set labels on %s", target.Kind())
 		}
 		for _, l := range op.labels {
-			if err := ex.ctx.tx.SetLabel(graph.NodeID(id), l); err != nil {
+			if err := w.SetLabel(graph.NodeID(id), l); err != nil {
 				return err
 			}
 			ex.stats.LabelsAdded++
@@ -260,11 +285,11 @@ func (ex *executor) applySetOp(r row, op *setOp) error {
 		}
 		switch target.Kind() {
 		case value.KindNode:
-			if err := ex.ctx.tx.SetNodeProp(graph.NodeID(id), op.key, v); err != nil {
+			if err := w.SetNodeProp(graph.NodeID(id), op.key, v); err != nil {
 				return err
 			}
 		case value.KindRelationship:
-			if err := ex.ctx.tx.SetRelProp(graph.RelID(id), op.key, v); err != nil {
+			if err := w.SetRelProp(graph.RelID(id), op.key, v); err != nil {
 				return err
 			}
 		default:
@@ -293,15 +318,15 @@ func (ex *executor) applySetOp(r row, op *setOp) error {
 			// Clear existing properties first.
 			switch target.Kind() {
 			case value.KindNode:
-				for _, k := range ex.ctx.tx.NodePropKeys(graph.NodeID(id)) {
-					if err := ex.ctx.tx.RemoveNodeProp(graph.NodeID(id), k); err != nil {
+				for _, k := range w.NodePropKeys(graph.NodeID(id)) {
+					if err := w.RemoveNodeProp(graph.NodeID(id), k); err != nil {
 						return err
 					}
 					ex.stats.PropsSet++
 				}
 			case value.KindRelationship:
-				for _, k := range ex.ctx.tx.RelPropKeys(graph.RelID(id)) {
-					if err := ex.ctx.tx.RemoveRelProp(graph.RelID(id), k); err != nil {
+				for _, k := range w.RelPropKeys(graph.RelID(id)) {
+					if err := w.RemoveRelProp(graph.RelID(id), k); err != nil {
 						return err
 					}
 					ex.stats.PropsSet++
@@ -311,11 +336,11 @@ func (ex *executor) applySetOp(r row, op *setOp) error {
 		for k, pv := range m {
 			switch target.Kind() {
 			case value.KindNode:
-				if err := ex.ctx.tx.SetNodeProp(graph.NodeID(id), k, pv); err != nil {
+				if err := w.SetNodeProp(graph.NodeID(id), k, pv); err != nil {
 					return err
 				}
 			case value.KindRelationship:
-				if err := ex.ctx.tx.SetRelProp(graph.RelID(id), k, pv); err != nil {
+				if err := w.SetRelProp(graph.RelID(id), k, pv); err != nil {
 					return err
 				}
 			}
@@ -332,15 +357,19 @@ func (ex *executor) applyRemoveOp(r row, op *removeOp) error {
 	if target.IsNull() {
 		return nil
 	}
+	w, err := ex.writer()
+	if err != nil {
+		return err
+	}
 	id, _ := target.EntityID()
 	if op.key != "" {
 		switch target.Kind() {
 		case value.KindNode:
-			if err := ex.ctx.tx.RemoveNodeProp(graph.NodeID(id), op.key); err != nil {
+			if err := w.RemoveNodeProp(graph.NodeID(id), op.key); err != nil {
 				return err
 			}
 		case value.KindRelationship:
-			if err := ex.ctx.tx.RemoveRelProp(graph.RelID(id), op.key); err != nil {
+			if err := w.RemoveRelProp(graph.RelID(id), op.key); err != nil {
 				return err
 			}
 		default:
@@ -352,7 +381,7 @@ func (ex *executor) applyRemoveOp(r row, op *removeOp) error {
 		if target.Kind() != value.KindNode {
 			return fmt.Errorf("cypher: cannot remove label from %s", target.Kind())
 		}
-		if err := ex.ctx.tx.RemoveLabel(graph.NodeID(id), l); err != nil {
+		if err := w.RemoveLabel(graph.NodeID(id), l); err != nil {
 			return err
 		}
 		ex.stats.LabelsRemoved++

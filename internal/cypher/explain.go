@@ -14,14 +14,14 @@ import (
 // access path (index lookup, label scan, or full scan) with its estimated
 // cardinality. The same costing code that plans execution produces the
 // description.
-func Explain(tx *graph.Tx, stmt *Statement) string {
+func Explain(tx graph.ReadView, stmt *Statement) string {
 	lines := explainLines(tx, stmt)
 	return strings.Join(lines, "\n") + "\n"
 }
 
 // explainResult is what executing an EXPLAIN-prefixed statement returns:
 // one "plan" column with a line per row.
-func (p *Plan) explainResult(tx *graph.Tx, v *planVariant) *Result {
+func (p *Plan) explainResult(tx graph.ReadView, v *planVariant) *Result {
 	lines := explainLines(tx, p.stmt)
 	lines = append(lines, fmt.Sprintf("plan variants compiled: %d", p.Variants()))
 	rows := make([][]value.Value, len(lines))
@@ -32,7 +32,7 @@ func (p *Plan) explainResult(tx *graph.Tx, v *planVariant) *Result {
 	return &Result{Columns: []string{"plan"}, Rows: rows}
 }
 
-func explainLines(tx *graph.Tx, stmt *Statement) []string {
+func explainLines(tx graph.ReadView, stmt *Statement) []string {
 	var lines []string
 	lines = append(lines, explainBranch(tx, stmt, stmt.Clauses)...)
 	for i, b := range stmt.Unions {
@@ -48,7 +48,7 @@ func explainLines(tx *graph.Tx, stmt *Statement) []string {
 
 // explainBranch walks one clause pipeline with the same slot assignment and
 // access-path planning the compiler performs, emitting a line per step.
-func explainBranch(tx *graph.Tx, stmt *Statement, clauses []Clause) []string {
+func explainBranch(tx graph.ReadView, stmt *Statement, clauses []Clause) []string {
 	cc := &compileCtx{query: stmt.Query, tx: tx, snap: newStatsSnapshot()}
 	en := newEnv()
 	var lines []string

@@ -17,7 +17,7 @@ import (
 type CompiledExpr struct {
 	src      string
 	expr     Expr
-	variants atomic.Pointer[map[string]*exprVariant]
+	variants atomic.Pointer[map[variantKey]*exprVariant]
 	mu       sync.Mutex
 }
 
@@ -40,7 +40,7 @@ func PrepareExpr(src string) (*CompiledExpr, error) {
 // positioned error messages and may be empty.
 func NewCompiledExpr(e Expr, src string) *CompiledExpr {
 	ce := &CompiledExpr{src: src, expr: e}
-	empty := make(map[string]*exprVariant)
+	empty := make(map[variantKey]*exprVariant)
 	ce.variants.Store(&empty)
 	return ce
 }
@@ -52,7 +52,7 @@ func (ce *CompiledExpr) Expr() Expr { return ce.expr }
 func (ce *CompiledExpr) Source() string { return ce.src }
 
 // Eval evaluates the expression with opts.Bindings visible as variables.
-func (ce *CompiledExpr) Eval(tx *graph.Tx, opts *Options) (value.Value, error) {
+func (ce *CompiledExpr) Eval(tx graph.ReadView, opts *Options) (value.Value, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -71,7 +71,7 @@ func (ce *CompiledExpr) Eval(tx *graph.Tx, opts *Options) (value.Value, error) {
 
 // EvalBool evaluates the expression under ternary guard semantics: only an
 // exactly-TRUE result is true.
-func (ce *CompiledExpr) EvalBool(tx *graph.Tx, opts *Options) (bool, error) {
+func (ce *CompiledExpr) EvalBool(tx graph.ReadView, opts *Options) (bool, error) {
 	v, err := ce.Eval(tx, opts)
 	if err != nil {
 		return false, err
@@ -80,17 +80,17 @@ func (ce *CompiledExpr) EvalBool(tx *graph.Tx, opts *Options) (bool, error) {
 	return known && b, nil
 }
 
-func (ce *CompiledExpr) variant(tx *graph.Tx, names []string) (*exprVariant, error) {
-	shape := strings.Join(names, "\x1f")
+func (ce *CompiledExpr) variant(tx graph.ReadView, names []string) (*exprVariant, error) {
+	key := variantKey{shape: strings.Join(names, "\x1f"), store: tx.StoreKey()}
 	if m := ce.variants.Load(); m != nil {
-		if v, ok := (*m)[shape]; ok && !v.snap.stale(tx) {
+		if v, ok := (*m)[key]; ok && !v.snap.stale(tx) {
 			return v, nil
 		}
 	}
 	ce.mu.Lock()
 	defer ce.mu.Unlock()
 	if m := ce.variants.Load(); m != nil {
-		if v, ok := (*m)[shape]; ok && !v.snap.stale(tx) {
+		if v, ok := (*m)[key]; ok && !v.snap.stale(tx) {
 			return v, nil
 		}
 	}
@@ -106,11 +106,11 @@ func (ce *CompiledExpr) variant(tx *graph.Tx, names []string) (*exprVariant, err
 	}
 	v := &exprVariant{names: names, fn: fn, snap: snap}
 	old := ce.variants.Load()
-	next := make(map[string]*exprVariant, len(*old)+1)
+	next := make(map[variantKey]*exprVariant, len(*old)+1)
 	for k, ov := range *old {
 		next[k] = ov
 	}
-	next[shape] = v
+	next[key] = v
 	ce.variants.Store(&next)
 	return v, nil
 }

@@ -21,15 +21,27 @@ var plansCompiled atomic.Int64
 func PlansCompiled() int64 { return plansCompiled.Load() }
 
 // Plan is an immutable prepared statement: the parsed AST plus lazily
-// compiled physical variants, one per binding shape. Compilation happens on
-// first Execute (it needs a transaction to read statistics); the compiled
-// variant is cached inside the Plan and recompiled only when the statistics
-// it was costed on drift. Plans are safe for concurrent use.
+// compiled physical variants, one per (binding shape, executing store).
+// Compilation happens on first Execute (it needs a read view to cost access
+// paths against); the compiled variant is cached inside the Plan and
+// recompiled only when the statistics it was costed on drift. Variants are
+// keyed per store because shared plans (a ShardedKB's cache serves every
+// shard) execute against stores with independent cardinalities: one shard's
+// anchor order can be pessimal — and its drift check meaningless — on
+// another. Plans are safe for concurrent use.
 type Plan struct {
 	query    string
 	stmt     *Statement
-	variants atomic.Pointer[map[string]*planVariant]
+	variants atomic.Pointer[map[variantKey]*planVariant]
 	mu       sync.Mutex // serializes variant compilation
+}
+
+// variantKey addresses one compiled physical plan: the sorted binding-name
+// shape joined with \x1f, plus the identity of the store the variant was
+// costed against (graph.ReadView.StoreKey).
+type variantKey struct {
+	shape string
+	store any
 }
 
 // Prepare parses a query into a reusable Plan. This is the entry point of
@@ -55,7 +67,7 @@ func (s *Statement) Prepared() *Plan {
 
 func newPlan(stmt *Statement) *Plan {
 	p := &Plan{query: stmt.Query, stmt: stmt}
-	empty := make(map[string]*planVariant)
+	empty := make(map[variantKey]*planVariant)
 	p.variants.Store(&empty)
 	return p
 }
@@ -69,11 +81,14 @@ func (p *Plan) Query() string { return p.query }
 // Variants reports how many compiled binding-shape variants the plan holds.
 func (p *Plan) Variants() int { return len(*p.variants.Load()) }
 
-// Execute runs the plan in the given transaction, compiling (or
-// recompiling, on statistics drift) the variant for the binding shape first
-// if needed. The hot path — plan already compiled, statistics stable —
-// performs no parsing and no AST interpretation.
-func (p *Plan) Execute(tx *graph.Tx, opts *Options) (*Result, error) {
+// Execute runs the plan against the given read view — a *graph.Tx for
+// single-store execution (writes included), or a *graph.MultiView for
+// lock-free cross-shard reads — compiling (or recompiling, on statistics
+// drift) the variant for the (binding shape, store) pair first if needed.
+// The hot path — plan already compiled, statistics stable — performs no
+// parsing and no AST interpretation. Write clauses require a *graph.Tx and
+// fail on any other view.
+func (p *Plan) Execute(tx graph.ReadView, opts *Options) (*Result, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -88,17 +103,17 @@ func (p *Plan) Execute(tx *graph.Tx, opts *Options) (*Result, error) {
 	return v.run(tx, p.query, opts, names)
 }
 
-func (p *Plan) variant(tx *graph.Tx, bindNames []string) (*planVariant, error) {
-	shape := strings.Join(bindNames, "\x1f")
+func (p *Plan) variant(tx graph.ReadView, bindNames []string) (*planVariant, error) {
+	key := variantKey{shape: strings.Join(bindNames, "\x1f"), store: tx.StoreKey()}
 	if m := p.variants.Load(); m != nil {
-		if v, ok := (*m)[shape]; ok && !v.snap.stale(tx) {
+		if v, ok := (*m)[key]; ok && !v.snap.stale(tx) {
 			return v, nil
 		}
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if m := p.variants.Load(); m != nil {
-		if v, ok := (*m)[shape]; ok && !v.snap.stale(tx) {
+		if v, ok := (*m)[key]; ok && !v.snap.stale(tx) {
 			return v, nil
 		}
 	}
@@ -107,11 +122,11 @@ func (p *Plan) variant(tx *graph.Tx, bindNames []string) (*planVariant, error) {
 		return nil, err
 	}
 	old := p.variants.Load()
-	next := make(map[string]*planVariant, len(*old)+1)
+	next := make(map[variantKey]*planVariant, len(*old)+1)
 	for k, ov := range *old {
 		next[k] = ov
 	}
-	next[shape] = v
+	next[key] = v
 	p.variants.Store(&next)
 	plansCompiled.Add(1)
 	return v, nil
@@ -144,7 +159,7 @@ type unionBranchPlan struct {
 	cb  *compiledBranch
 }
 
-func compileVariant(stmt *Statement, bindNames []string, tx *graph.Tx) (*planVariant, error) {
+func compileVariant(stmt *Statement, bindNames []string, tx graph.ReadView) (*planVariant, error) {
 	snap := newStatsSnapshot()
 	cc := &compileCtx{query: stmt.Query, tx: tx, snap: snap}
 	main, err := compileBranch(cc, stmt.Clauses, bindNames)
@@ -171,7 +186,7 @@ func compileVariant(stmt *Statement, bindNames []string, tx *graph.Tx) (*planVar
 	return v, nil
 }
 
-func (v *planVariant) run(tx *graph.Tx, query string, opts *Options, names []string) (*Result, error) {
+func (v *planVariant) run(tx graph.ReadView, query string, opts *Options, names []string) (*Result, error) {
 	ctx := &evalCtx{tx: tx, params: opts.Params, now: opts.Now, query: query}
 	ex := &executor{ctx: ctx}
 	bindVals := make([]value.Value, len(names))

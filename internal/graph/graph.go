@@ -154,6 +154,13 @@ type snapshot struct {
 	indexes   map[indexKey]*propIndex
 	nextNode  NodeID
 	nextRel   RelID
+	// mirrorRels counts the bridge mirror halves held by this store:
+	// relationship records whose identifier belongs to another shard's
+	// allocation band. It is maintained on every bridge-half install and
+	// delete (and by Import), so home-relationship counts — len(rels) minus
+	// mirrorRels — are O(1) instead of an O(E) band scan. Always zero on an
+	// unsharded store.
+	mirrorRels int
 }
 
 func emptySnapshot() *snapshot {

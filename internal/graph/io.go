@@ -191,14 +191,28 @@ func (s *Store) Import(r io.Reader) error {
 	}
 	next.nextNode = NodeID(doc.NextNode)
 	next.nextRel = RelID(doc.NextRel)
+	// The document's own counters fix the store's allocation band; raising a
+	// counter past an imported identifier must stay inside it. A shard's
+	// export can contain bridge mirror halves whose identifiers belong to the
+	// peer shard's band — letting one of those raise nextRel would drag the
+	// counter into a foreign band and corrupt every later allocation (and
+	// trip AttachShards' band check on reopen). Those foreign-band records
+	// are exactly the mirror halves, so the same band test rebuilds the
+	// mirrorRels counter.
+	band := ShardOfRel(next.nextRel)
 	for _, en := range doc.Nodes {
-		if NodeID(en.ID) > next.nextNode {
-			next.nextNode = NodeID(en.ID)
+		if id := NodeID(en.ID); ShardOfNode(id) == ShardOfNode(next.nextNode) && id > next.nextNode {
+			next.nextNode = id
 		}
 	}
 	for _, er := range doc.Rels {
-		if RelID(er.ID) > next.nextRel {
-			next.nextRel = RelID(er.ID)
+		id := RelID(er.ID)
+		if ShardOfRel(id) != band {
+			next.mirrorRels++
+			continue
+		}
+		if id > next.nextRel {
+			next.nextRel = id
 		}
 	}
 	s.snap.Store(next)

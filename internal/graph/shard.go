@@ -204,6 +204,14 @@ func (v *MultiView) nodeTx(id NodeID) (*Tx, bool) {
 	return v.txs[s], true
 }
 
+func (v *MultiView) relTx(id RelID) (*Tx, bool) {
+	s := ShardOfRel(id)
+	if s < 0 || s >= len(v.txs) {
+		return nil, false
+	}
+	return v.txs[s], true
+}
+
 // Node returns a snapshot of the node, routed to its shard.
 func (v *MultiView) Node(id NodeID) (Node, bool) {
 	tx, ok := v.nodeTx(id)
@@ -211,6 +219,46 @@ func (v *MultiView) Node(id NodeID) (Node, bool) {
 		return Node{}, false
 	}
 	return tx.Node(id)
+}
+
+// NodeExists reports whether the node exists, routed to its shard.
+func (v *MultiView) NodeExists(id NodeID) bool {
+	tx, ok := v.nodeTx(id)
+	return ok && tx.NodeExists(id)
+}
+
+// NodeLabels returns the node's labels, routed to its shard.
+func (v *MultiView) NodeLabels(id NodeID) ([]string, bool) {
+	tx, ok := v.nodeTx(id)
+	if !ok {
+		return nil, false
+	}
+	return tx.NodeLabels(id)
+}
+
+// NodeHasLabel reports whether the node carries the label, routed to its
+// shard.
+func (v *MultiView) NodeHasLabel(id NodeID, label string) bool {
+	tx, ok := v.nodeTx(id)
+	return ok && tx.NodeHasLabel(id, label)
+}
+
+// NodeProp returns one property of a node, routed to its shard.
+func (v *MultiView) NodeProp(id NodeID, key string) (value.Value, bool) {
+	tx, ok := v.nodeTx(id)
+	if !ok {
+		return value.Null, false
+	}
+	return tx.NodeProp(id, key)
+}
+
+// NodePropKeys returns the node's property keys, routed to its shard.
+func (v *MultiView) NodePropKeys(id NodeID) []string {
+	tx, ok := v.nodeTx(id)
+	if !ok {
+		return nil
+	}
+	return tx.NodePropKeys(id)
 }
 
 // Rel returns a snapshot of the relationship from its home shard (a bridge
@@ -221,6 +269,49 @@ func (v *MultiView) Rel(id RelID) (Rel, bool) {
 		return Rel{}, false
 	}
 	return v.txs[s].Rel(id)
+}
+
+// RelProp returns one property of a relationship, routed to its home shard.
+// Both halves of a bridge store the full property map, so the home half is
+// always sufficient.
+func (v *MultiView) RelProp(id RelID, key string) (value.Value, bool) {
+	tx, ok := v.relTx(id)
+	if !ok {
+		return value.Null, false
+	}
+	return tx.RelProp(id, key)
+}
+
+// RelPropKeys returns the relationship's property keys, routed to its home
+// shard.
+func (v *MultiView) RelPropKeys(id RelID) []string {
+	tx, ok := v.relTx(id)
+	if !ok {
+		return nil
+	}
+	return tx.RelPropKeys(id)
+}
+
+// RelEndpoints returns the relationship's type and endpoint identifiers,
+// routed to its home shard. A bridge's far endpoint identifier names the
+// peer shard; resolving it routes there by band.
+func (v *MultiView) RelEndpoints(id RelID) (typ string, start, end NodeID, ok bool) {
+	tx, txOK := v.relTx(id)
+	if !txOK {
+		return "", 0, 0, false
+	}
+	return tx.RelEndpoints(id)
+}
+
+// Degree counts the relationships incident to a node, routed to the node's
+// shard (bridge halves are stored with each endpoint, so the local count is
+// complete).
+func (v *MultiView) Degree(id NodeID, dir Direction) int {
+	tx, ok := v.nodeTx(id)
+	if !ok {
+		return 0
+	}
+	return tx.Degree(id, dir)
 }
 
 // RelsOf returns the relationships incident to a node — including bridge
@@ -252,6 +343,47 @@ func (v *MultiView) CountByLabel(label string) int {
 	return n
 }
 
+// NodesByProp unions the property index's matches across all shards. The
+// second result is false — fall back to a scan — unless every shard carries
+// the (label, prop) index: a partial union would silently drop the shards
+// without one.
+func (v *MultiView) NodesByProp(label, prop string, val value.Value) ([]NodeID, bool) {
+	var out []NodeID
+	for _, tx := range v.txs {
+		ids, ok := tx.NodesByProp(label, prop, val)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, ids...)
+	}
+	return out, true
+}
+
+// CountByProp sums the property index's match counts across all shards; the
+// second result is false unless every shard carries the index.
+func (v *MultiView) CountByProp(label, prop string, val value.Value) (int, bool) {
+	n := 0
+	for _, tx := range v.txs {
+		c, ok := tx.CountByProp(label, prop, val)
+		if !ok {
+			return 0, false
+		}
+		n += c
+	}
+	return n, true
+}
+
+// HasIndex reports whether every shard carries an index on (label, prop) —
+// the condition under which cross-shard index lookups are complete.
+func (v *MultiView) HasIndex(label, prop string) bool {
+	for _, tx := range v.txs {
+		if !tx.HasIndex(label, prop) {
+			return false
+		}
+	}
+	return true
+}
+
 // NodeCount sums the node counts of all shards.
 func (v *MultiView) NodeCount() int {
 	n := 0
@@ -262,15 +394,13 @@ func (v *MultiView) NodeCount() int {
 }
 
 // RelCount counts relationships across all shards, counting each bridge
-// once (by its home half).
+// once (by its home half). O(shards): each shard's snapshot tracks how many
+// of its records are bridge mirror halves, so no relationship scan is
+// needed.
 func (v *MultiView) RelCount() int {
 	n := 0
-	for i, tx := range v.txs {
-		for _, id := range tx.AllRels() {
-			if ShardOfRel(id) == i {
-				n++
-			}
-		}
+	for _, tx := range v.txs {
+		n += tx.HomeRelCount()
 	}
 	return n
 }
@@ -285,11 +415,18 @@ func (v *MultiView) AllNodes() []NodeID {
 }
 
 // AllRels returns every relationship identifier across all shards, each
-// bridge reported once (by its home half).
+// bridge reported once (by its home half). The result is pre-sized from the
+// per-shard home counters, and shards holding no mirror halves append their
+// identifiers without any per-identifier band test.
 func (v *MultiView) AllRels() []RelID {
-	var out []RelID
+	out := make([]RelID, 0, v.RelCount())
 	for i, tx := range v.txs {
-		for _, id := range tx.AllRels() {
+		ids := tx.AllRels()
+		if tx.view.mirrorRels == 0 {
+			out = append(out, ids...)
+			continue
+		}
+		for _, id := range ids {
 			if ShardOfRel(id) == i {
 				out = append(out, id)
 			}

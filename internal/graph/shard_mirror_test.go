@@ -1,0 +1,188 @@
+package graph
+
+// Regression tests for the mirror-aware relationship counters: a bridge
+// stores a full half in both endpoint shards under one identifier, and
+// MultiView.RelCount/AllRels must count and enumerate it exactly once —
+// without the full dedupe scan they originally did. HomeRelCount (records
+// minus mirror halves) is the per-shard primitive; it must track creates,
+// deletes and Export/Import round trips.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// dedupeScanRels is the ground truth the counters are checked against: the
+// union of every shard's raw relationship records.
+func dedupeScanRels(v *MultiView) map[RelID]bool {
+	seen := make(map[RelID]bool)
+	for i := 0; i < v.NumShards(); i++ {
+		for _, id := range v.ShardTx(i).AllRels() {
+			seen[id] = true
+		}
+	}
+	return seen
+}
+
+func checkRelCounters(t *testing.T, ss *ShardedStore, when string) {
+	t.Helper()
+	v := ss.View()
+	defer v.Rollback()
+	truth := dedupeScanRels(v)
+	if got := v.RelCount(); got != len(truth) {
+		t.Fatalf("%s: RelCount = %d, dedupe scan says %d", when, got, len(truth))
+	}
+	all := v.AllRels()
+	if len(all) != len(truth) {
+		t.Fatalf("%s: AllRels returned %d ids, dedupe scan says %d", when, len(all), len(truth))
+	}
+	for _, id := range all {
+		if !truth[id] {
+			t.Fatalf("%s: AllRels returned unknown rel %d", when, id)
+		}
+	}
+	// Per shard, the home count must equal the raw records whose ID lies in
+	// the shard's own band (everything else is a mirror half).
+	for i := 0; i < v.NumShards(); i++ {
+		tx := v.ShardTx(i)
+		home := 0
+		for _, id := range tx.AllRels() {
+			if ShardOfRel(id) == i {
+				home++
+			}
+		}
+		if got := tx.HomeRelCount(); got != home {
+			t.Fatalf("%s: shard %d HomeRelCount = %d, band scan says %d", when, i, got, home)
+		}
+	}
+}
+
+// TestShardMirrorRelCounters drives a bridge-heavy two-shard store through
+// creates and deletes of plain and bridge relationships (in both
+// directions, so each shard holds mirror halves) and checks RelCount,
+// AllRels and HomeRelCount against a full dedupe scan at every step.
+func TestShardMirrorRelCounters(t *testing.T) {
+	ss := newShardedT(t, 2)
+
+	// Plain intra-shard relationships on both shards.
+	intra := make([]RelID, 0, 4)
+	for i := 0; i < 2; i++ {
+		i := i
+		if err := ss.Update(i, func(tx *Tx) error {
+			for j := 0; j < 2; j++ {
+				a, err := tx.CreateNode([]string{"N"}, nil)
+				if err != nil {
+					return err
+				}
+				b, err := tx.CreateNode([]string{"N"}, nil)
+				if err != nil {
+					return err
+				}
+				id, err := tx.CreateRel(a, b, "PLAIN", nil)
+				if err != nil {
+					return err
+				}
+				intra = append(intra, id)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// More bridges than plain rels, in both directions: shard 0 holds homes
+	// for the 0->1 bridges and mirrors for the 1->0 ones, and vice versa.
+	var bridges []RelID
+	for i := 0; i < 5; i++ {
+		_, _, rid := bridgeOnce(t, ss, 0, 1)
+		bridges = append(bridges, rid)
+		_, _, rid = bridgeOnce(t, ss, 1, 0)
+		bridges = append(bridges, rid)
+	}
+	checkRelCounters(t, ss, "after creates")
+
+	if ShardOfRel(bridges[0]) != 0 || ShardOfRel(bridges[1]) != 1 {
+		t.Fatalf("bridge IDs not allocated from their start shards: %v", bridges[:2])
+	}
+
+	// Delete one bridge of each direction through a bridge transaction and
+	// one plain relationship through its shard.
+	bt, err := ss.BeginBridge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.DeleteRel(bridges[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.DeleteRel(bridges[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Update(0, func(tx *Tx) error { return tx.DeleteRel(intra[0]) }); err != nil {
+		t.Fatal(err)
+	}
+	checkRelCounters(t, ss, "after deletes")
+
+	// Export/Import round trip: the mirror counter is not serialized, so
+	// Import must rebuild it from the ID bands for the counters to survive
+	// a durable restart (checkpoint + recovery uses this path).
+	stores := make([]*Store, 2)
+	for i := range stores {
+		var b strings.Builder
+		if err := ss.Shard(i).Export(&b); err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = NewStore()
+		if err := stores[i].Import(strings.NewReader(b.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss2, err := AttachShards(stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRelCounters(t, ss2, "after export/import")
+
+	// And the reattached store keeps counting correctly as bridges churn.
+	_, _, rid := bridgeOnce(t, ss2, 1, 0)
+	bt, err = ss2.BeginBridge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.DeleteRel(rid); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	checkRelCounters(t, ss2, "after post-import churn")
+}
+
+// TestShardMirrorAllRelsNoMirrorFastPath checks the mirror-free fast path:
+// with no bridges, AllRels on a multi-shard view must still return every
+// relationship exactly once.
+func TestShardMirrorAllRelsNoMirrorFastPath(t *testing.T) {
+	ss := newShardedT(t, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		if err := ss.Update(i, func(tx *Tx) error {
+			a, err := tx.CreateNode([]string{"N"}, nil)
+			if err != nil {
+				return err
+			}
+			b, err := tx.CreateNode([]string{"N"}, nil)
+			if err != nil {
+				return err
+			}
+			_, err = tx.CreateRel(a, b, "PLAIN", map[string]value.Value{"s": value.Int(int64(i))})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkRelCounters(t, ss, "no bridges")
+}

@@ -533,6 +533,9 @@ func (tx *Tx) DeleteRel(id RelID) error {
 		delete(eRec.in, id)
 	}
 	delete(tx.wRelTypeSet(rec.typ), id)
+	if tx.relIsMirror(id) {
+		tx.view.mirrorRels--
+	}
 	tx.data.DeletedRels = append(tx.data.DeletedRels, snap)
 	return nil
 }
@@ -750,9 +753,27 @@ func (tx *Tx) createBridgeHalf(id RelID, start, end NodeID, typ string, props ma
 		eRec.in[id] = rec
 	}
 	tx.wRelTypeSet(typ)[id] = struct{}{}
+	if tx.relIsMirror(id) {
+		tx.view.mirrorRels++
+	}
 	tx.data.CreatedRels = append(tx.data.CreatedRels, id)
 	return nil
 }
+
+// relIsMirror reports whether a relationship identifier belongs to another
+// shard's allocation band — i.e. the local record is the mirror half of a
+// bridge whose home is the peer shard. The store's own band is read off the
+// nextRel counter, which by invariant never leaves it (CreateBridgeRelWithID
+// and Import both band-guard their counter raises).
+func (tx *Tx) relIsMirror(id RelID) bool {
+	return ShardOfRel(id) != ShardOfRel(tx.view.nextRel)
+}
+
+// HomeRelCount returns the number of relationships whose home is this
+// store: every record except bridge mirror halves. Summing it across the
+// shards of a sharded store counts each bridge exactly once, in O(1) per
+// shard.
+func (tx *Tx) HomeRelCount() int { return len(tx.view.rels) - tx.view.mirrorRels }
 
 // Counters returns the identifier-allocation counters (the identifiers of
 // the most recently created node and relationship).

@@ -253,6 +253,10 @@ func ParseGraphType(src string) (*GraphType, error) { return schema.ParseGraphTy
 // HubStats summarizes the partitioning of the knowledge graph.
 type HubStats = hub.Stats
 
+// HubRegistry is the registry of knowledge hubs: names, descriptions and
+// the node labels each hub owns.
+type HubRegistry = hub.Registry
+
 // SummaryManager maintains the Essential Summary structure.
 type SummaryManager = summary.Manager
 
